@@ -1,0 +1,48 @@
+//! Microbenchmarks for the graph substrate: the per-payment path
+//! computations that dominate router cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcn_graph::{
+    edge_disjoint_widest_paths, k_shortest_paths, max_flow, watts_strogatz, Graph,
+};
+use pcn_types::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn topology() -> Graph {
+    watts_strogatz(500, 8, 0.3, &mut StdRng::seed_from_u64(1))
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = topology();
+    let src = NodeId::new(0);
+    let dst = NodeId::new(250);
+
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+    group.bench_function("dijkstra_ws500", |b| {
+        b.iter(|| black_box(g.shortest_path(src, dst, |_| Some(1.0))))
+    });
+    group.bench_function("widest_edw_k5_ws500", |b| {
+        b.iter(|| {
+            black_box(edge_disjoint_widest_paths(&g, src, dst, 5, |e| {
+                Some(1.0 + (e.id.index() % 97) as f64)
+            }))
+        })
+    });
+    group.bench_function("yen_ksp_k5_ws500", |b| {
+        b.iter(|| black_box(k_shortest_paths(&g, src, dst, 5, |_| Some(1.0))))
+    });
+    group.bench_function("dinic_maxflow_ws500", |b| {
+        b.iter(|| {
+            black_box(max_flow(&g, src, dst, |e| {
+                Some(1 + (e.id.index() % 50) as u64)
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

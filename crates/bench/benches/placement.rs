@@ -1,0 +1,44 @@
+//! Microbenchmarks for the placement solvers (§IV-C ablation: exact vs
+//! approximation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcn_placement::supermodular::{double_greedy_deterministic, double_greedy_randomized};
+use pcn_placement::{exact::solve_exhaustive, CostParams, PlacementInstance};
+use pcn_sim::SimRng;
+use pcn_types::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(nodes: usize, candidates: usize) -> PlacementInstance {
+    let g = pcn_graph::watts_strogatz(nodes, 6, 0.3, &mut StdRng::seed_from_u64(7));
+    PlacementInstance::from_graph(
+        &g,
+        (candidates..nodes).map(NodeId::from_index).collect(),
+        (0..candidates).map(NodeId::from_index).collect(),
+        CostParams::paper(0.3),
+    )
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    let small = instance(60, 12);
+    group.bench_function("exhaustive_12_candidates", |b| {
+        b.iter(|| black_box(solve_exhaustive(&small).unwrap()))
+    });
+    let large = instance(300, 40);
+    group.bench_function("double_greedy_det_40_candidates", |b| {
+        b.iter(|| black_box(double_greedy_deterministic(&large)))
+    });
+    group.bench_function("double_greedy_rand_40_candidates", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(3);
+            black_box(double_greedy_randomized(&large, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end engine benchmark: full Splicer and Spider runs on a small
+//! scenario (events/second of the simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcn_workload::{Scenario, ScenarioParams};
+use splicer_core::SystemBuilder;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut params = ScenarioParams::tiny();
+    params.nodes = 60;
+    params.candidate_count = 6;
+    params.arrivals_per_sec = 15.0;
+    params.duration = pcn_types::SimDuration::from_secs(10);
+    let scenario = Scenario::build(params);
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("splicer_60n_10s", |b| {
+        b.iter(|| {
+            let builder = SystemBuilder::new(scenario.clone());
+            black_box(builder.build_splicer().unwrap().run())
+        })
+    });
+    group.bench_function("spider_60n_10s", |b| {
+        b.iter(|| {
+            let builder = SystemBuilder::new(scenario.clone());
+            black_box(builder.build_spider().run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks for the LP/MILP solver behind small-scale placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milp::{Bounds, Cmp, Model, Sense};
+use std::hint::black_box;
+
+/// A transportation-style LP with `n` supplies and `n` demands.
+fn transportation_lp(n: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let mut x = vec![vec![]; n];
+    for (i, xi) in x.iter_mut().enumerate() {
+        for j in 0..n {
+            let cost = 1.0 + ((i * 7 + j * 13) % 10) as f64;
+            xi.push(m.add_var(format!("x{i}_{j}"), Bounds::non_negative(), cost));
+        }
+    }
+    for i in 0..n {
+        m.add_constraint((0..n).map(|j| (x[i][j], 1.0)).collect(), Cmp::Le, 20.0);
+        m.add_constraint((0..n).map(|j| (x[j][i], 1.0)).collect(), Cmp::Ge, 10.0);
+    }
+    m
+}
+
+/// A binary knapsack MILP with `n` items.
+fn knapsack_milp(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let xs: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), (1 + (i * 17) % 29) as f64))
+        .collect();
+    m.add_constraint(
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (1 + (i * 11) % 19) as f64))
+            .collect(),
+        Cmp::Le,
+        (3 * n) as f64,
+    );
+    m
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    group.sample_size(15);
+    group.bench_function("simplex_transportation_12x12", |b| {
+        let m = transportation_lp(12);
+        b.iter(|| black_box(m.solve_relaxation().unwrap()))
+    });
+    group.bench_function("branch_bound_knapsack_14", |b| {
+        let m = knapsack_milp(14);
+        b.iter(|| black_box(m.solve().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

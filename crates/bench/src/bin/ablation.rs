@@ -1,0 +1,62 @@
+//! Ablation study: which of Splicer's mechanisms buys what.
+//!
+//! Usage: `cargo run --release -p splicer-bench --bin ablation -- [--quick] [--seed N]`
+//!
+//! Starting from full Splicer, each row disables one mechanism:
+//! * no rate control (eq. 26 off — TUs blast immediately),
+//! * no congestion control (no queues/windows — Lightning-style instant
+//!   failure on empty channels),
+//! * stale knowledge (capacity-only path selection instead of the
+//!   epoch-fresh balance view),
+//! * single path (k = 1 instead of 5).
+
+use pcn_routing::paths::BalanceView;
+use pcn_workload::Scenario;
+use splicer_bench::{HarnessOpts, Scale};
+use splicer_core::SystemBuilder;
+
+fn main() {
+    let (opts, _) = HarnessOpts::from_args();
+    println!("# Ablation: Splicer minus one mechanism at a time");
+    println!("(small scale, capacity-stressed: channel scale 0.5)\n");
+    let mut params = opts.params(Scale::Small);
+    params.channel_scale = 0.5;
+    let scenario = Scenario::build(params);
+    let builder = SystemBuilder::new(scenario);
+
+    let variants: Vec<(&str, Box<dyn Fn(&mut pcn_routing::SchemeConfig)>)> = vec![
+        ("full Splicer", Box::new(|_| {})),
+        (
+            "− rate control",
+            Box::new(|s| s.rate_control = false),
+        ),
+        (
+            "− congestion control",
+            Box::new(|s| {
+                s.rate_control = false;
+                s.congestion_control = false;
+            }),
+        ),
+        (
+            "− fresh state (capacity view)",
+            Box::new(|s| s.balance_view = BalanceView::CapacityOnly),
+        ),
+        ("− multipath (k = 1)", Box::new(|s| s.num_paths = 1)),
+    ];
+
+    println!("| variant | TSR | throughput | latency (s) | aborted TUs |");
+    println!("|---|---|---|---|---|");
+    for (name, tweak) in variants {
+        let report = builder
+            .build_splicer_with(|s| tweak(s))
+            .expect("feasible placement")
+            .run();
+        println!(
+            "| {name} | {:.3} | {:.3} | {:.3} | {} |",
+            report.stats.tsr(),
+            report.stats.normalized_throughput(),
+            report.stats.avg_latency_secs(),
+            report.stats.aborted_tus,
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 7: small-scale (100 nodes) scheme comparison.
+//!
+//! Usage: `cargo run --release -p splicer-bench --bin fig7 -- [a|b|c|d|all] [--quick] [--seed N]`
+//!
+//! * `a` — TSR vs channel-size scale.
+//! * `b` — TSR vs mean transaction size.
+//! * `c` — TSR vs update time τ.
+//! * `d` — Normalized throughput vs update time τ.
+
+use splicer_bench::{figures, HarnessOpts, Scale};
+
+fn main() {
+    let (opts, rest) = HarnessOpts::from_args();
+    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    figures::run(Scale::Small, &opts, &which);
+}

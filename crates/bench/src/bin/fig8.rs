@@ -1,0 +1,14 @@
+//! Regenerates Fig. 8: large-scale scheme comparison.
+//!
+//! Usage: `cargo run --release -p splicer-bench --bin fig8 -- [a|b|c|d|all] [--quick] [--seed N]`
+//!
+//! Without `--quick` this runs the full-size network (minutes); `--quick`
+//! shrinks to 600 nodes for a fast shape check.
+
+use splicer_bench::{figures, HarnessOpts, Scale};
+
+fn main() {
+    let (opts, rest) = HarnessOpts::from_args();
+    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    figures::run(Scale::Large, &opts, &which);
+}

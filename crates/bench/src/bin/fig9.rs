@@ -1,0 +1,135 @@
+//! Regenerates Fig. 9: evaluation of smooth-node placement.
+//!
+//! Usage: `cargo run --release -p splicer-bench --bin fig9 -- [a|b|c|d|e|f|all] [--quick] [--seed N]`
+//!
+//! * `a` — average balance cost vs ω: approximation vs exhaustive optimum.
+//! * `b` — management-vs-synchronization cost tradeoff (annotated ω, hubs).
+//! * `c`/`d` — number of placed smooth nodes vs ω (small / large).
+//! * `e`/`f` — average transaction delay vs total traffic overhead, with
+//!   and without PCHs (small / large).
+
+use pcn_placement::PlacementSolver;
+use pcn_workload::Scenario;
+use splicer_bench::{HarnessOpts, Scale};
+use splicer_core::SystemBuilder;
+
+const OMEGAS: [f64; 7] = [0.01, 0.02, 0.04, 0.08, 0.2, 0.5, 1.0];
+
+fn main() {
+    let (opts, rest) = HarnessOpts::from_args();
+    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    let w = which.as_str();
+    println!("# Fig. 9: evaluation of smooth node placement");
+
+    if ["a", "b", "c", "all"].contains(&w) {
+        let scenario = Scenario::build(opts.params(Scale::Small));
+        if w == "a" || w == "all" {
+            println!("\n## (a) Balance cost vs ω (small scale)\n");
+            println!("| ω | optimal C_B | approx C_B (double greedy) | MILP-path? |");
+            println!("|---|---|---|---|");
+            for &omega in &OMEGAS {
+                let opt = SystemBuilder::new(scenario.clone())
+                    .omega(omega)
+                    .solver(PlacementSolver::Exhaustive)
+                    .solve_placement()
+                    .expect("feasible")
+                    .1;
+                let approx = SystemBuilder::new(scenario.clone())
+                    .omega(omega)
+                    .solver(PlacementSolver::DoubleGreedyRandomized)
+                    .solve_placement()
+                    .expect("feasible")
+                    .1;
+                println!(
+                    "| {omega} | {:.3} | {:.3} | exhaustive ground truth |",
+                    opt.balance_cost(),
+                    approx.balance_cost()
+                );
+            }
+        }
+        if w == "b" || w == "all" {
+            println!("\n## (b) Trade-off in costs (small scale)\n");
+            println!("| ω | hubs | C_M (management) | C_S (synchronization) |");
+            println!("|---|---|---|---|");
+            for &omega in &OMEGAS {
+                let plan = SystemBuilder::new(scenario.clone())
+                    .omega(omega)
+                    .solve_placement()
+                    .expect("feasible")
+                    .1;
+                println!(
+                    "| {omega} | {} | {:.3} | {:.3} |",
+                    plan.num_hubs(),
+                    plan.management_cost(),
+                    plan.synchronization_cost()
+                );
+            }
+        }
+        if w == "c" || w == "all" {
+            println!("\n## (c) Smooth nodes vs ω (small scale)\n");
+            println!("| ω | smooth nodes |");
+            println!("|---|---|");
+            for &omega in &OMEGAS {
+                let plan = SystemBuilder::new(scenario.clone())
+                    .omega(omega)
+                    .solve_placement()
+                    .expect("feasible")
+                    .1;
+                println!("| {omega} | {} |", plan.num_hubs());
+            }
+        }
+    }
+
+    if w == "d" || w == "all" {
+        let scenario = Scenario::build(opts.params(Scale::Large));
+        println!("\n## (d) Smooth nodes vs ω (large scale)\n");
+        println!("| ω | smooth nodes |");
+        println!("|---|---|");
+        for &omega in &OMEGAS {
+            let plan = SystemBuilder::new(scenario.clone())
+                .omega(omega)
+                .solve_placement()
+                .expect("feasible")
+                .1;
+            println!("| {omega} | {} |", plan.num_hubs());
+        }
+    }
+
+    for (panel, scale, title) in [
+        ("e", Scale::Small, "(e) Small-scale costs: delay vs overhead"),
+        ("f", Scale::Large, "(f) Large-scale costs: delay vs overhead"),
+    ] {
+        if w != panel && w != "all" {
+            continue;
+        }
+        let scenario = Scenario::build(opts.params(scale));
+        println!("\n## {title}\n");
+        println!("| configuration | avg tx delay (s) | total overhead (msgs) |");
+        println!("|---|---|---|");
+        // Without PCHs: source routing (Spider) — a single fixed point.
+        let spider = SystemBuilder::new(scenario.clone()).build_spider().run();
+        println!(
+            "| without PCHs (source routing) | {:.3} | {} |",
+            spider.stats.avg_latency_secs(),
+            spider.stats.overhead_msgs
+        );
+        let omegas: &[f64] = if opts.quick {
+            &[0.02, 0.2, 1.0]
+        } else {
+            &OMEGAS
+        };
+        for &omega in omegas {
+            let report = SystemBuilder::new(scenario.clone())
+                .omega(omega)
+                .build_splicer()
+                .expect("feasible")
+                .run();
+            println!(
+                "| Splicer ω={omega} ({} hubs) | {:.3} | {} |",
+                report.placement.as_ref().map(|p| p.hubs).unwrap_or(0),
+                report.stats.avg_latency_secs(),
+                report.stats.overhead_msgs
+            );
+        }
+    }
+}

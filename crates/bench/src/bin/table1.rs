@@ -1,0 +1,8 @@
+//! Regenerates Table I: the qualitative property matrix.
+//!
+//! Usage: `cargo run -p splicer-bench --bin table1`
+
+fn main() {
+    println!("# Table I: state-of-the-art PCN scalable schemes\n");
+    print!("{}", splicer_core::schemes::render_table1());
+}

@@ -1,0 +1,74 @@
+//! Regenerates Table II: the influence of routing choices on Splicer's TSR.
+//!
+//! Usage: `cargo run --release -p splicer-bench --bin table2 -- [--quick] [--seed N]`
+//!
+//! Three ablations at both scales: path type {KSP, Heuristic, EDW, EDS},
+//! path count {1, 3, 5, 7} and queue scheduler {FIFO, LIFO, SPF, EDF}.
+
+use pcn_routing::paths::PathSelect;
+use pcn_routing::scheduler::Discipline;
+use pcn_workload::Scenario;
+use splicer_bench::{HarnessOpts, Scale};
+use splicer_core::SystemBuilder;
+
+fn tsr_with<F>(builder: &SystemBuilder, tweak: F) -> f64
+where
+    F: FnOnce(&mut pcn_routing::SchemeConfig),
+{
+    builder
+        .build_splicer_with(tweak)
+        .expect("feasible placement")
+        .run()
+        .stats
+        .tsr()
+}
+
+fn main() {
+    let (opts, _) = HarnessOpts::from_args();
+    println!("# Table II: influence of routing choices on Splicer (TSR)");
+    println!("(capacity-stressed configuration: channel scale 0.5, lean hub");
+    println!("funding, ω = 0.01 — routing choices only differentiate when the");
+    println!("hub backbone itself is a bottleneck)");
+    for scale in [Scale::Small, Scale::Large] {
+        let name = match scale {
+            Scale::Small => "Small",
+            Scale::Large => "Large",
+        };
+        let mut params = opts.params(scale);
+        params.channel_scale = 0.5;
+        let scenario = Scenario::build(params);
+        let builder = SystemBuilder::new(scenario)
+            .omega(0.01)
+            .hub_fund_factor(3.0);
+
+        println!("\n## {name} scale — path type\n");
+        println!("| KSP | Heuristic | EDW | EDS |");
+        println!("|---|---|---|---|");
+        let mut row = String::from("|");
+        for ps in PathSelect::ALL {
+            let tsr = tsr_with(&builder, |s| s.path_select = ps);
+            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
+        }
+        println!("{row}");
+
+        println!("\n## {name} scale — path number (EDW)\n");
+        println!("| 1 | 3 | 5 | 7 |");
+        println!("|---|---|---|---|");
+        let mut row = String::from("|");
+        for k in [1usize, 3, 5, 7] {
+            let tsr = tsr_with(&builder, |s| s.num_paths = k);
+            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
+        }
+        println!("{row}");
+
+        println!("\n## {name} scale — scheduling algorithm\n");
+        println!("| FIFO | LIFO | SPF | EDF |");
+        println!("|---|---|---|---|");
+        let mut row = String::from("|");
+        for d in Discipline::ALL {
+            let tsr = tsr_with(&builder, |s| s.discipline = d);
+            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
+        }
+        println!("{row}");
+    }
+}

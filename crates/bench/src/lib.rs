@@ -1,0 +1,303 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every `fig*`/`table*` binary in `src/bin` drives the same machinery:
+//! build a [`Scenario`] at one of the paper's two scales, run the five
+//! schemes on the identical payment trace, and print the series the paper
+//! plots. Absolute numbers differ from the paper (different hardware, a
+//! simulator instead of LND); the *shapes* are the reproduction target —
+//! see EXPERIMENTS.md.
+
+use pcn_routing::EngineConfig;
+use pcn_types::SimDuration;
+use pcn_workload::{Scenario, ScenarioParams};
+use splicer_core::{RunReport, SystemBuilder};
+
+/// One measured point of a sweep.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Scheme name.
+    pub scheme: String,
+    /// Sweep x value.
+    pub x: f64,
+    /// Transaction success ratio.
+    pub tsr: f64,
+    /// Normalized throughput.
+    pub throughput: f64,
+    /// Mean completion latency (seconds).
+    pub latency: f64,
+    /// Overhead (messages × hops).
+    pub overhead: u64,
+    /// Drained channel directions at end (deadlock symptom).
+    pub drained: usize,
+}
+
+impl Point {
+    /// Builds a point from a run report.
+    pub fn from_report(x: f64, r: &RunReport) -> Point {
+        Point {
+            scheme: r.scheme.clone(),
+            x,
+            tsr: r.stats.tsr(),
+            throughput: r.stats.normalized_throughput(),
+            latency: r.stats.avg_latency_secs(),
+            overhead: r.stats.overhead_msgs,
+            drained: r.stats.drained_directions_end,
+        }
+    }
+}
+
+/// Which scale a figure runs at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 100-node network (Fig. 7).
+    Small,
+    /// 3000-node network (Fig. 8).
+    Large,
+}
+
+/// Harness-wide run options.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Reduce durations/sweep points for a fast smoke run (`--quick`).
+    pub quick: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl HarnessOpts {
+    /// Parses `--quick` and `--seed N` from the raw CLI args, returning
+    /// the remaining positional args.
+    pub fn from_args() -> (HarnessOpts, Vec<String>) {
+        let mut opts = HarnessOpts {
+            quick: false,
+            seed: 1,
+        };
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                _ => rest.push(a),
+            }
+        }
+        (opts, rest)
+    }
+
+    /// Scenario parameters for a scale under these options.
+    pub fn params(&self, scale: Scale) -> ScenarioParams {
+        let mut p = match scale {
+            Scale::Small => ScenarioParams::small(),
+            Scale::Large => ScenarioParams::large(),
+        };
+        p.seed = self.seed;
+        if self.quick {
+            p.duration = SimDuration::from_secs(15);
+            if scale == Scale::Large {
+                p.nodes = 600;
+                p.candidate_count = 20;
+                p.arrivals_per_sec = 40.0;
+            }
+        } else if scale == Scale::Large {
+            // Full large scale is expensive; keep the trace bounded.
+            p.duration = SimDuration::from_secs(30);
+            p.arrivals_per_sec = 60.0;
+        }
+        p
+    }
+}
+
+/// Runs the five compared schemes on a scenario and returns one point per
+/// scheme. `tweak_engine` lets sweeps adjust τ etc.
+pub fn run_all_schemes<F>(params: ScenarioParams, x: f64, tweak_engine: F) -> Vec<Point>
+where
+    F: Fn(&mut EngineConfig),
+{
+    let scenario = Scenario::build(params);
+    let mut cfg = EngineConfig::default();
+    tweak_engine(&mut cfg);
+    let builder = SystemBuilder::new(scenario).engine_config(cfg);
+    let runs = builder.build_all().expect("scenario should be feasible");
+    runs.into_iter()
+        .map(|r| Point::from_report(x, &r.run()))
+        .collect()
+}
+
+/// Prints a sweep as a markdown table, one row per x value, one column per
+/// scheme, using the selected metric.
+pub fn print_series(
+    title: &str,
+    xlabel: &str,
+    points: &[Point],
+    metric: fn(&Point) -> f64,
+    unit: &str,
+) {
+    println!("\n## {title}\n");
+    let mut schemes: Vec<String> = Vec::new();
+    for p in points {
+        if !schemes.contains(&p.scheme) {
+            schemes.push(p.scheme.clone());
+        }
+    }
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    print!("| {xlabel} |");
+    for s in &schemes {
+        print!(" {s} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in &schemes {
+        print!("---|");
+    }
+    println!();
+    for &x in &xs {
+        print!("| {x} |");
+        for s in &schemes {
+            let v = points
+                .iter()
+                .find(|p| p.x == x && &p.scheme == s)
+                .map(|p| metric(p))
+                .unwrap_or(f64::NAN);
+            print!(" {v:.3}{unit} |");
+        }
+        println!();
+    }
+}
+
+/// CSV dump for downstream plotting.
+pub fn print_csv(points: &[Point]) {
+    println!("\nscheme,x,tsr,throughput,latency_s,overhead_msgs,drained");
+    for p in points {
+        println!(
+            "{},{},{:.4},{:.4},{:.4},{},{}",
+            p.scheme, p.x, p.tsr, p.throughput, p.latency, p.overhead, p.drained
+        );
+    }
+}
+
+/// The Fig. 7/8 driver shared by the `fig7` and `fig8` binaries.
+pub mod figures {
+    use super::*;
+
+    /// Runs the requested panel(s) of Fig. 7 (small) or Fig. 8 (large).
+    pub fn run(scale: Scale, opts: &HarnessOpts, which: &str) {
+        let label = match scale {
+            Scale::Small => "Fig. 7 (small scale, 100 nodes)",
+            Scale::Large => "Fig. 8 (large scale)",
+        };
+        println!("# {label}");
+
+        if which == "a" || which == "all" {
+            let scales: &[f64] = if opts.quick {
+                &[0.5, 2.0, 8.0]
+            } else {
+                &[0.5, 1.0, 2.0, 4.0, 8.0]
+            };
+            let mut pts: Vec<Point> = Vec::new();
+            for &cs in scales {
+                let mut p = opts.params(scale);
+                p.channel_scale = cs;
+                pts.extend(run_all_schemes(p, cs, |_| {}));
+            }
+            print_series(
+                "(a) Influence of the channel size — TSR",
+                "channel scale",
+                &pts,
+                |p| p.tsr,
+                "",
+            );
+            print_csv(&pts);
+        }
+
+        if which == "b" || which == "all" {
+            let sizes: &[f64] = if opts.quick {
+                &[4.0, 12.0, 32.0]
+            } else {
+                &[4.0, 8.0, 12.0, 20.0, 32.0]
+            };
+            let mut pts: Vec<Point> = Vec::new();
+            for &mean in sizes {
+                let mut p = opts.params(scale);
+                p.mean_tx_tokens = mean;
+                pts.extend(run_all_schemes(p, mean, |_| {}));
+            }
+            print_series(
+                "(b) Influence of the transaction size — TSR",
+                "mean tx (tokens)",
+                &pts,
+                |p| p.tsr,
+                "",
+            );
+            print_csv(&pts);
+        }
+
+        if which == "c" || which == "d" || which == "all" {
+            let taus: &[u64] = if opts.quick {
+                &[100, 400, 800]
+            } else {
+                &[100, 200, 400, 600, 800]
+            };
+            let mut pts: Vec<Point> = Vec::new();
+            for &tau in taus {
+                let p = opts.params(scale);
+                pts.extend(run_all_schemes(p, tau as f64, |cfg| {
+                    cfg.update_interval = SimDuration::from_millis(tau);
+                }));
+            }
+            if which != "d" {
+                print_series(
+                    "(c) Influence of the update time — TSR",
+                    "τ (ms)",
+                    &pts,
+                    |p| p.tsr,
+                    "",
+                );
+            }
+            if which != "c" {
+                print_series(
+                    "(d) Normalized throughput",
+                    "τ (ms)",
+                    &pts,
+                    |p| p.throughput,
+                    "",
+                );
+            }
+            print_csv(&pts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_params_shrink_scale() {
+        let opts = HarnessOpts {
+            quick: true,
+            seed: 3,
+        };
+        let p = opts.params(Scale::Large);
+        assert!(p.nodes < 3000);
+        assert_eq!(p.seed, 3);
+        let p = opts.params(Scale::Small);
+        assert_eq!(p.nodes, 100);
+    }
+
+    #[test]
+    fn point_from_report_maps_metrics() {
+        let scenario = Scenario::build(ScenarioParams::tiny());
+        let report = SystemBuilder::new(scenario).build_spider().run();
+        let p = Point::from_report(2.5, &report);
+        assert_eq!(p.scheme, "Spider");
+        assert_eq!(p.x, 2.5);
+        assert!((p.tsr - report.stats.tsr()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! The bounded-synchronous epoch model (§III-B, Fig. 5).
+//!
+//! At the start of epoch `e+1` every PCH obtains and synchronizes the
+//! *final global information* of epoch `e` — topology, channel states,
+//! payment flow rates — and makes routing decisions on that snapshot plus
+//! its own clients' fresh requests. This module provides the epoch clock
+//! and the snapshot structure hubs exchange; the engine consumes the
+//! equivalent information through its live `BalanceView` (epoch-fresh for
+//! hubs) and counts the synchronization messages.
+
+use pcn_routing::channel::NetworkFunds;
+use pcn_types::{Amount, ChannelId, EpochId, NodeId, SimDuration, SimTime};
+
+/// Maps simulation time to epochs of fixed length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochClock {
+    interval: SimDuration,
+}
+
+impl EpochClock {
+    /// Creates a clock with the given epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval.
+    pub fn new(interval: SimDuration) -> EpochClock {
+        assert!(!interval.is_zero(), "epoch interval must be positive");
+        EpochClock { interval }
+    }
+
+    /// The epoch containing `t`.
+    pub fn epoch_of(&self, t: SimTime) -> EpochId {
+        EpochId::new((t.as_micros() / self.interval.as_micros()) as u32)
+    }
+
+    /// Start time of epoch `e`.
+    pub fn start_of(&self, e: EpochId) -> SimTime {
+        SimTime::from_micros(u64::from(e.raw()) * self.interval.as_micros())
+    }
+
+    /// The epoch length.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+}
+
+/// Per-channel state as shared between hubs at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Spendable balance on the `a` side.
+    pub balance_a: Amount,
+    /// Spendable balance on the `b` side.
+    pub balance_b: Amount,
+}
+
+/// The "final global information" of one epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalState {
+    /// Which epoch this snapshot finalizes.
+    pub epoch: EpochId,
+    /// Channel balances at the epoch boundary.
+    pub channels: Vec<ChannelSnapshot>,
+}
+
+impl GlobalState {
+    /// Captures the global state from live funds.
+    pub fn capture(epoch: EpochId, funds: &NetworkFunds, endpoints: &[(NodeId, NodeId)]) -> GlobalState {
+        let channels = endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let ch = ChannelId::from_index(i);
+                ChannelSnapshot {
+                    channel: ch,
+                    balance_a: funds.balance(ch, a),
+                    balance_b: funds.balance(ch, b),
+                }
+            })
+            .collect();
+        GlobalState { epoch, channels }
+    }
+
+    /// Total spendable liquidity in the snapshot.
+    pub fn total_spendable(&self) -> Amount {
+        self.channels
+            .iter()
+            .map(|c| c.balance_a + c.balance_b)
+            .sum()
+    }
+
+    /// Number of messages needed to disseminate this snapshot among
+    /// `hubs` PCHs (full pairwise exchange, as counted in the engine's
+    /// overhead metric).
+    pub fn sync_messages(hubs: usize) -> usize {
+        hubs.saturating_mul(hubs.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_graph::Graph;
+
+    #[test]
+    fn epoch_arithmetic() {
+        let clock = EpochClock::new(SimDuration::from_millis(200));
+        assert_eq!(clock.epoch_of(SimTime::ZERO), EpochId::new(0));
+        assert_eq!(
+            clock.epoch_of(SimTime::from_micros(199_999)),
+            EpochId::new(0)
+        );
+        assert_eq!(
+            clock.epoch_of(SimTime::from_micros(200_000)),
+            EpochId::new(1)
+        );
+        assert_eq!(clock.start_of(EpochId::new(3)), SimTime::from_micros(600_000));
+        assert_eq!(clock.interval(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_panics() {
+        EpochClock::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn capture_reflects_funds() {
+        let mut g = Graph::new(3);
+        let c0 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        let mut funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        funds.lock(c0, NodeId::new(0), Amount::from_tokens(4)).unwrap();
+        let endpoints = vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(1), NodeId::new(2)),
+        ];
+        let snap = GlobalState::capture(EpochId::new(2), &funds, &endpoints);
+        assert_eq!(snap.epoch, EpochId::new(2));
+        assert_eq!(snap.channels.len(), 2);
+        assert_eq!(snap.channels[0].balance_a, Amount::from_tokens(6));
+        assert_eq!(snap.channels[0].balance_b, Amount::from_tokens(10));
+        // Locked funds are absent from the snapshot (in flight).
+        assert_eq!(snap.total_spendable(), Amount::from_tokens(36));
+    }
+
+    #[test]
+    fn sync_message_count() {
+        assert_eq!(GlobalState::sync_messages(0), 0);
+        assert_eq!(GlobalState::sync_messages(1), 0);
+        assert_eq!(GlobalState::sync_messages(4), 12);
+    }
+}

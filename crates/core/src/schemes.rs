@@ -1,0 +1,242 @@
+//! Scheme capability metadata (Table I).
+//!
+//! The paper's Table I compares ten systems across six properties. The
+//! matrix below encodes the paper's claims so the `table1` harness can
+//! regenerate the table, and tests pin the rows the paper asserts.
+
+/// The six properties of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Improving throughput.
+    pub improving_throughput: bool,
+    /// Support large transactions.
+    pub large_transactions: bool,
+    /// Payment channel balance.
+    pub channel_balance: bool,
+    /// Deadlock-free routing.
+    pub deadlock_free: bool,
+    /// Transaction unlinkability.
+    pub unlinkability: bool,
+    /// Optimal hub placement.
+    pub optimal_placement: bool,
+}
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemeRow {
+    /// Scheme name as printed in the table.
+    pub name: &'static str,
+    /// Venue annotation from the paper (empty when none given).
+    pub venue: &'static str,
+    /// The capability column values.
+    pub caps: Capabilities,
+}
+
+/// The full Table I matrix, in the paper's column order.
+pub const TABLE1: [SchemeRow; 10] = [
+    SchemeRow {
+        name: "Lightning/Raiden",
+        venue: "",
+        caps: Capabilities {
+            improving_throughput: false,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Flare/Sprites",
+        venue: "FC '19",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "REVIVE",
+        venue: "CCS '17",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: false,
+            channel_balance: true,
+            deadlock_free: false,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Spider",
+        venue: "NSDI '20",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: true,
+            channel_balance: true,
+            deadlock_free: true,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Flash",
+        venue: "CoNEXT '19",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: true,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "TumbleBit",
+        venue: "NDSS '17",
+        caps: Capabilities {
+            improving_throughput: false,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: true,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "A2L",
+        venue: "S&P '21",
+        caps: Capabilities {
+            improving_throughput: false,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: true,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Perun",
+        venue: "S&P '19",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: false,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Commit-Chains",
+        venue: "",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: false,
+            channel_balance: false,
+            deadlock_free: false,
+            unlinkability: true,
+            optimal_placement: false,
+        },
+    },
+    SchemeRow {
+        name: "Splicer (this work)",
+        venue: "ICDCS '23",
+        caps: Capabilities {
+            improving_throughput: true,
+            large_transactions: true,
+            channel_balance: true,
+            deadlock_free: true,
+            unlinkability: true,
+            optimal_placement: true,
+        },
+    },
+];
+
+/// Renders Table I as markdown.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Scheme | Throughput | Large tx | Balance | Deadlock-free | Unlinkable | Placement |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for row in TABLE1 {
+        let mark = |b: bool| if b { "✓" } else { "–" };
+        out.push_str(&format!(
+            "| {} {} | {} | {} | {} | {} | {} | {} |\n",
+            row.name,
+            if row.venue.is_empty() {
+                String::new()
+            } else {
+                format!("({})", row.venue)
+            },
+            mark(row.caps.improving_throughput),
+            mark(row.caps.large_transactions),
+            mark(row.caps.channel_balance),
+            mark(row.caps.deadlock_free),
+            mark(row.caps.unlinkability),
+            mark(row.caps.optimal_placement),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> SchemeRow {
+        TABLE1
+            .iter()
+            .find(|r| r.name.starts_with(name))
+            .copied()
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    }
+
+    #[test]
+    fn splicer_claims_every_property() {
+        let s = row("Splicer").caps;
+        assert!(
+            s.improving_throughput
+                && s.large_transactions
+                && s.channel_balance
+                && s.deadlock_free
+                && s.unlinkability
+                && s.optimal_placement
+        );
+    }
+
+    #[test]
+    fn only_splicer_has_placement() {
+        let with_placement: Vec<&str> = TABLE1
+            .iter()
+            .filter(|r| r.caps.optimal_placement)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(with_placement, vec!["Splicer (this work)"]);
+    }
+
+    #[test]
+    fn spider_is_deadlock_free_but_not_unlinkable() {
+        let s = row("Spider").caps;
+        assert!(s.deadlock_free && !s.unlinkability);
+    }
+
+    #[test]
+    fn pch_schemes_are_unlinkable() {
+        for name in ["TumbleBit", "A2L", "Commit-Chains"] {
+            assert!(row(name).caps.unlinkability, "{name}");
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let md = render_table1();
+        assert_eq!(md.lines().count(), 2 + TABLE1.len());
+        assert!(md.contains("Splicer"));
+        assert!(md.contains("✓"));
+    }
+}

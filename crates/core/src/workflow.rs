@@ -1,0 +1,264 @@
+//! The encrypted payment workflow of §III-A.
+//!
+//! Implements the preparation/execution state machine verbatim:
+//!
+//! 1. **Preparation** — the sender's smooth node obtains a fresh
+//!    transaction id `tid` and key pair `(pk_tid, sk_tid)` from the KMG and
+//!    creates `state_tid = (tid, θ_tid = false)`.
+//! 2. **Execution step 1** — the sender computes `inp = Enc(pk_tid, D_tid)`
+//!    and ships it with the funds.
+//! 3. **Steps 2–3** — the smooth node decrypts, splits `D_tid` into K TUs,
+//!    each sealed to an *independent* key pair (unlinkability: no
+//!    intermediary can correlate TUs of one payment); the recipient-side
+//!    smooth node acknowledges each TU, flipping `θ_tuid`.
+//! 4. **Step 4** — once `θ_tid = ∧ θ_tuid`, the recipient is paid in one
+//!    shot and the final ACK travels back.
+//!
+//! Fund movement itself is the engine's job; this module carries the
+//! cryptographic and state-machine truth (and its costs), and is exercised
+//! per-payment by the system layer's workflow accounting.
+
+use pcn_crypto::envelope::Envelope;
+use pcn_crypto::{KeyManagementGroup, KeyPair};
+use pcn_types::{Amount, NodeId, PcnError, Result, TuId, TxId};
+
+/// A payment demand as serialized into the encrypted envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Demand {
+    /// Sender client P_s.
+    pub sender: NodeId,
+    /// Recipient client P_r.
+    pub recipient: NodeId,
+    /// Payment value val_tid.
+    pub value: Amount,
+}
+
+impl Demand {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend(self.sender.raw().to_le_bytes());
+        out.extend(self.recipient.raw().to_le_bytes());
+        out.extend(self.value.millitokens().to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Demand> {
+        if bytes.len() != 16 {
+            return Err(PcnError::CryptoFailure("demand payload size".into()));
+        }
+        let sender = NodeId::new(u32::from_le_bytes(bytes[0..4].try_into().expect("len")));
+        let recipient = NodeId::new(u32::from_le_bytes(bytes[4..8].try_into().expect("len")));
+        let value = Amount::from_millitokens(u64::from_le_bytes(
+            bytes[8..16].try_into().expect("len"),
+        ));
+        Ok(Demand {
+            sender,
+            recipient,
+            value,
+        })
+    }
+}
+
+/// Transcript of one executed payment workflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowTranscript {
+    /// The transaction id.
+    pub tid: TxId,
+    /// TU ids created by the split.
+    pub tuids: Vec<TuId>,
+    /// θ_tid — true iff every TU acknowledged.
+    pub theta: bool,
+    /// Total ciphertext bytes moved (overhead accounting).
+    pub wire_bytes: usize,
+}
+
+/// The smooth-node-side workflow executor holding the KMG handle.
+#[derive(Debug)]
+pub struct PaymentWorkflow {
+    kmg: KeyManagementGroup,
+    next_tid: u64,
+    next_tuid: u64,
+    min_tu: Amount,
+    max_tu: Amount,
+}
+
+impl PaymentWorkflow {
+    /// Creates a workflow executor over a KMG of `participants` smooth
+    /// nodes with reconstruction threshold ι.
+    pub fn new(participants: usize, threshold: usize, seed: u64) -> PaymentWorkflow {
+        PaymentWorkflow {
+            kmg: KeyManagementGroup::new(participants, threshold, seed),
+            next_tid: 0,
+            next_tuid: 0,
+            min_tu: pcn_types::constants::MIN_TU,
+            max_tu: pcn_types::constants::MAX_TU,
+        }
+    }
+
+    /// Overrides the TU bounds.
+    pub fn with_tu_bounds(mut self, min_tu: Amount, max_tu: Amount) -> PaymentWorkflow {
+        self.min_tu = min_tu;
+        self.max_tu = max_tu;
+        self
+    }
+
+    /// Runs payment preparation + execution for one demand and returns the
+    /// transcript.
+    ///
+    /// `drop_tu` injects the threat model: TUs whose index satisfies the
+    /// predicate are dropped in transit (adversarial message drop); the
+    /// workflow must then leave `θ_tid = false` and the payment is
+    /// withdrawn without loss (§III-B threat model).
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::InvalidDemand`] for zero-value or self-payments;
+    /// [`PcnError::CryptoFailure`] if an envelope fails to open.
+    pub fn execute<F>(&mut self, demand: Demand, mut drop_tu: F) -> Result<WorkflowTranscript>
+    where
+        F: FnMut(usize) -> bool,
+    {
+        if demand.value.is_zero() {
+            return Err(PcnError::InvalidDemand("zero value".into()));
+        }
+        if demand.sender == demand.recipient {
+            return Err(PcnError::InvalidDemand("self payment".into()));
+        }
+        // Preparation: fresh tid and (pk_tid, sk_tid) from the KMG.
+        let tid = TxId::new(self.next_tid);
+        self.next_tid += 1;
+        let tx_pair: KeyPair = self.kmg.issue_keypair();
+        // Execution (1): the sender seals D_tid to pk_tid.
+        let inp = Envelope::seal(&tx_pair.public, &demand.encode(), self.kmg.entropy());
+        let mut wire_bytes = inp.wire_size();
+        // (2): the sender's smooth node opens it.
+        let opened = Demand::decode(&inp.open(&tx_pair.secret)?)?;
+        debug_assert_eq!(opened, demand);
+        // Split into TUs; each TU gets an independent key pair so
+        // intermediaries cannot link them (unlinkability).
+        let parts = pcn_routing::tu::split_demand(opened.value, self.min_tu, self.max_tu);
+        let mut tuids = Vec::with_capacity(parts.len());
+        let mut theta_parts = Vec::with_capacity(parts.len());
+        for (idx, part) in parts.iter().enumerate() {
+            let tuid = TuId::new(self.next_tuid);
+            self.next_tuid += 1;
+            tuids.push(tuid);
+            let tu_pair = self.kmg.issue_keypair();
+            let tu_demand = Demand {
+                value: *part,
+                ..opened
+            };
+            let sealed = Envelope::seal(&tu_pair.public, &tu_demand.encode(), self.kmg.entropy());
+            wire_bytes += sealed.wire_size();
+            if drop_tu(idx) {
+                // Adversary dropped the TU: no ACK, θ_tuid stays false.
+                theta_parts.push(false);
+                continue;
+            }
+            // (3): recipient-side smooth node opens and ACKs.
+            let received = Demand::decode(&sealed.open(&tu_pair.secret)?)?;
+            theta_parts.push(received.value == *part);
+        }
+        // θ_tid = ∧ θ_tuid (eq. in §III-A step 2-3).
+        let theta = !theta_parts.is_empty() && theta_parts.iter().all(|&t| t);
+        Ok(WorkflowTranscript {
+            tid,
+            tuids,
+            theta,
+            wire_bytes,
+        })
+    }
+
+    /// Number of key pairs issued so far (one per tid + one per tuid).
+    pub fn keys_issued(&self) -> u64 {
+        self.kmg.issued_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(v: u64) -> Demand {
+        Demand {
+            sender: NodeId::new(1),
+            recipient: NodeId::new(2),
+            value: Amount::from_tokens(v),
+        }
+    }
+
+    #[test]
+    fn successful_payment_sets_theta() {
+        let mut wf = PaymentWorkflow::new(5, 3, 42);
+        let t = wf.execute(demand(10), |_| false).unwrap();
+        assert!(t.theta);
+        // 10 tokens with Max-TU 4 → 3 TUs.
+        assert_eq!(t.tuids.len(), 3);
+        assert!(t.wire_bytes > 0);
+        // tid pair + 3 TU pairs issued.
+        assert_eq!(wf.keys_issued(), 4);
+    }
+
+    #[test]
+    fn dropped_tu_leaves_theta_false() {
+        let mut wf = PaymentWorkflow::new(5, 3, 43);
+        let t = wf.execute(demand(10), |idx| idx == 1).unwrap();
+        assert!(!t.theta, "a dropped TU must block completion");
+        assert_eq!(t.tuids.len(), 3);
+    }
+
+    #[test]
+    fn tu_ids_and_tids_unique_across_payments() {
+        let mut wf = PaymentWorkflow::new(4, 2, 44);
+        let a = wf.execute(demand(8), |_| false).unwrap();
+        let b = wf.execute(demand(8), |_| false).unwrap();
+        assert_ne!(a.tid, b.tid);
+        let mut all: Vec<TuId> = a.tuids.iter().chain(b.tuids.iter()).copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), a.tuids.len() + b.tuids.len());
+    }
+
+    #[test]
+    fn invalid_demands_rejected() {
+        let mut wf = PaymentWorkflow::new(4, 2, 45);
+        assert!(matches!(
+            wf.execute(demand(0), |_| false),
+            Err(PcnError::InvalidDemand(_))
+        ));
+        let selfpay = Demand {
+            sender: NodeId::new(1),
+            recipient: NodeId::new(1),
+            value: Amount::from_tokens(1),
+        };
+        assert!(wf.execute(selfpay, |_| false).is_err());
+    }
+
+    #[test]
+    fn demand_roundtrip() {
+        let d = Demand {
+            sender: NodeId::new(7),
+            recipient: NodeId::new(9),
+            value: Amount::from_millitokens(123_456),
+        };
+        assert_eq!(Demand::decode(&d.encode()).unwrap(), d);
+        assert!(Demand::decode(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn custom_tu_bounds() {
+        let mut wf =
+            PaymentWorkflow::new(4, 2, 46).with_tu_bounds(Amount::from_tokens(1), Amount::from_tokens(2));
+        let t = wf.execute(demand(10), |_| false).unwrap();
+        assert_eq!(t.tuids.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PaymentWorkflow::new(4, 2, 47);
+        let mut b = PaymentWorkflow::new(4, 2, 47);
+        let ta = a.execute(demand(6), |_| false).unwrap();
+        let tb = b.execute(demand(6), |_| false).unwrap();
+        assert_eq!(ta.wire_bytes, tb.wire_bytes);
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulated distributed key generation for the key-management group.
+//!
+//! §III-A: "multiple smooth nodes form a key management group (KMG) to
+//! create or retrieve keys with any distributed key generate protocol
+//! \[14\]". We simulate a Joint-Feldman-style DKG: each of the ι participants
+//! contributes a random degree-(t−1) polynomial; the group secret is the
+//! sum of constant terms and every participant holds a Shamir share of it.
+//! Per-transaction key pairs are then derived from group entropy.
+//!
+//! All participants run in-process — the *protocol messages* are not
+//! simulated, only the resulting key material and its threshold property,
+//! which is what the payment workflow consumes.
+
+use crate::field::Fp;
+use crate::keys::KeyPair;
+use crate::rng64::SplitMix64;
+use crate::shamir::{self, Share};
+
+/// The KMG: ι participants holding a t-of-ι shared secret, issuing
+/// per-transaction key pairs (§III-A payment preparation).
+///
+/// # Examples
+///
+/// ```
+/// use pcn_crypto::KeyManagementGroup;
+///
+/// let mut kmg = KeyManagementGroup::new(5, 3, 1234);
+/// let pair_a = kmg.issue_keypair();
+/// let pair_b = kmg.issue_keypair();
+/// assert_ne!(pair_a.public, pair_b.public); // fresh pair per transaction
+/// assert!(kmg.verify_group_secret());
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyManagementGroup {
+    participants: usize,
+    threshold: usize,
+    group_secret: Fp,
+    shares: Vec<Share>,
+    entropy: SplitMix64,
+    issued: u64,
+}
+
+impl KeyManagementGroup {
+    /// Runs the simulated DKG among `participants` nodes with the given
+    /// reconstruction `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` or `threshold > participants`.
+    pub fn new(participants: usize, threshold: usize, seed: u64) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        assert!(
+            threshold <= participants,
+            "threshold cannot exceed participant count"
+        );
+        let mut rng = SplitMix64::new(seed);
+        // Each participant contributes a secret; shares add pointwise
+        // (Shamir linearity, tested in the shamir module).
+        let mut group_secret = Fp::ZERO;
+        let mut combined: Vec<Share> = Vec::new();
+        for p in 0..participants {
+            let contrib = Fp::new(rng.next_u64());
+            group_secret = group_secret + contrib;
+            let shares = shamir::split(contrib, threshold, participants, rng.next_u64());
+            if p == 0 {
+                combined = shares;
+            } else {
+                for (acc, s) in combined.iter_mut().zip(shares) {
+                    debug_assert_eq!(acc.x, s.x);
+                    acc.y = acc.y + s.y;
+                }
+            }
+        }
+        let entropy_seed = rng.next_u64() ^ group_secret.value();
+        KeyManagementGroup {
+            participants,
+            threshold,
+            group_secret,
+            shares: combined,
+            entropy: SplitMix64::new(entropy_seed),
+            issued: 0,
+        }
+    }
+
+    /// Number of participants ι.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Reconstruction threshold t.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Issues a fresh per-transaction key pair (`pk_tid`, `sk_tid`).
+    pub fn issue_keypair(&mut self) -> KeyPair {
+        self.issued += 1;
+        KeyPair::from_entropy(&mut self.entropy)
+    }
+
+    /// Number of key pairs issued so far.
+    pub fn issued_count(&self) -> u64 {
+        self.issued
+    }
+
+    /// Mutable access to group entropy (for sealing envelopes in tests and
+    /// the workflow simulation).
+    pub fn entropy(&mut self) -> &mut SplitMix64 {
+        &mut self.entropy
+    }
+
+    /// Checks that any `threshold` shares reconstruct the group secret —
+    /// the invariant the simulation relies on.
+    pub fn verify_group_secret(&self) -> bool {
+        shamir::reconstruct(&self.shares[..self.threshold]) == Some(self.group_secret)
+            && shamir::reconstruct(&self.shares[self.participants - self.threshold..])
+                == Some(self.group_secret)
+    }
+
+    /// The share held by participant `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= participants`.
+    pub fn share(&self, idx: usize) -> Share {
+        self.shares[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_secret_reconstructs() {
+        let kmg = KeyManagementGroup::new(7, 4, 11);
+        assert!(kmg.verify_group_secret());
+        assert_eq!(kmg.participants(), 7);
+        assert_eq!(kmg.threshold(), 4);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let kmg = KeyManagementGroup::new(5, 3, 12);
+        let partial: Vec<Share> = (0..2).map(|i| kmg.share(i)).collect();
+        let got = shamir::reconstruct(&partial).unwrap();
+        assert_ne!(got, kmg.group_secret);
+    }
+
+    #[test]
+    fn issues_fresh_pairs() {
+        let mut kmg = KeyManagementGroup::new(4, 2, 13);
+        let pairs: Vec<KeyPair> = (0..10).map(|_| kmg.issue_keypair()).collect();
+        assert_eq!(kmg.issued_count(), 10);
+        let mut pubs: Vec<u64> = pairs.iter().map(|p| p.public.element().value()).collect();
+        pubs.sort_unstable();
+        pubs.dedup();
+        assert_eq!(pubs.len(), 10, "issued keys must be unique");
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = KeyManagementGroup::new(4, 2, 99);
+        let mut b = KeyManagementGroup::new(4, 2, 99);
+        assert_eq!(a.issue_keypair(), b.issue_keypair());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_groups() {
+        let a = KeyManagementGroup::new(4, 2, 1);
+        let b = KeyManagementGroup::new(4, 2, 2);
+        assert_ne!(a.group_secret, b.group_secret);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold cannot exceed")]
+    fn bad_threshold_panics() {
+        KeyManagementGroup::new(3, 4, 0);
+    }
+
+    #[test]
+    fn end_to_end_with_envelope() {
+        use crate::envelope::Envelope;
+        let mut kmg = KeyManagementGroup::new(5, 3, 21);
+        let pair = kmg.issue_keypair();
+        let sealed = Envelope::seal(&pair.public, b"D_tid = (Ps, Pr, 17)", kmg.entropy());
+        assert_eq!(sealed.open(&pair.secret).unwrap(), b"D_tid = (Ps, Pr, 17)");
+    }
+}

@@ -1,0 +1,156 @@
+//! Hybrid public-key envelopes for payment demands.
+//!
+//! `Enc(pk, D)` in the workflow (§III-A step 1): an ElGamal key
+//! encapsulation over GF(2⁶¹ − 1) establishes a shared field element, a
+//! SHA-256-based stream cipher encrypts the payload, and a SHA-256 tag
+//! authenticates it. Intermediaries forwarding an envelope learn nothing
+//! about the payment demand — which is all the simulation needs.
+//!
+//! **Simulation only; see the crate-level security note.**
+
+use crate::field::Fp;
+use crate::keys::{PublicKey, SecretKey};
+use crate::rng64::SplitMix64;
+use crate::sha256::Sha256;
+
+/// A sealed payload (`c1`, ciphertext, tag).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Ephemeral ElGamal element `g^r`.
+    c1: Fp,
+    /// Stream-ciphered payload.
+    ciphertext: Vec<u8>,
+    /// SHA-256 authentication tag over key material and ciphertext.
+    tag: [u8; 32],
+}
+
+fn keystream_block(shared: Fp, counter: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"splicer-envelope-stream");
+    h.update(&shared.value().to_le_bytes());
+    h.update(&counter.to_le_bytes());
+    h.finalize()
+}
+
+fn xor_stream(shared: Fp, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for (i, chunk) in data.chunks(32).enumerate() {
+        let block = keystream_block(shared, i as u64);
+        out.extend(chunk.iter().zip(block.iter()).map(|(d, k)| d ^ k));
+    }
+    out
+}
+
+fn auth_tag(shared: Fp, c1: Fp, ciphertext: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"splicer-envelope-tag");
+    h.update(&shared.value().to_le_bytes());
+    h.update(&c1.value().to_le_bytes());
+    h.update(ciphertext);
+    h.finalize()
+}
+
+impl Envelope {
+    /// Seals `plaintext` to `pk` using entropy from `rng`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcn_crypto::{envelope::Envelope, keys::KeyPair, rng64::SplitMix64};
+    ///
+    /// let kp = KeyPair::from_seed(5);
+    /// let mut rng = SplitMix64::new(6);
+    /// let sealed = Envelope::seal(&kp.public, b"demand", &mut rng);
+    /// assert_eq!(sealed.open(&kp.secret).unwrap(), b"demand");
+    /// ```
+    pub fn seal(pk: &PublicKey, plaintext: &[u8], rng: &mut SplitMix64) -> Envelope {
+        let r = 1 + rng.next_below(crate::field::MODULUS - 2);
+        let c1 = Fp::GENERATOR.pow(r);
+        let shared = pk.element().pow(r);
+        let ciphertext = xor_stream(shared, plaintext);
+        let tag = auth_tag(shared, c1, &ciphertext);
+        Envelope {
+            c1,
+            ciphertext,
+            tag,
+        }
+    }
+
+    /// Opens the envelope with the matching secret key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pcn_types::PcnError::CryptoFailure`] when the key is wrong
+    /// or the ciphertext was tampered with.
+    pub fn open(&self, sk: &SecretKey) -> pcn_types::Result<Vec<u8>> {
+        let shared = self.c1.pow(sk.exponent());
+        let expect = auth_tag(shared, self.c1, &self.ciphertext);
+        if expect != self.tag {
+            return Err(pcn_types::PcnError::CryptoFailure(
+                "envelope authentication failed".into(),
+            ));
+        }
+        Ok(xor_stream(shared, &self.ciphertext))
+    }
+
+    /// Size of the sealed message in bytes (for overhead accounting).
+    pub fn wire_size(&self) -> usize {
+        8 + self.ciphertext.len() + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let kp = KeyPair::from_seed(1);
+        let mut rng = SplitMix64::new(2);
+        for len in [0usize, 1, 31, 32, 33, 100, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let sealed = Envelope::seal(&kp.public, &msg, &mut rng);
+            assert_eq!(sealed.open(&kp.secret).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp = KeyPair::from_seed(1);
+        let other = KeyPair::from_seed(2);
+        let mut rng = SplitMix64::new(3);
+        let sealed = Envelope::seal(&kp.public, b"secret demand", &mut rng);
+        let err = sealed.open(&other.secret).unwrap_err();
+        assert!(matches!(err, pcn_types::PcnError::CryptoFailure(_)));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let kp = KeyPair::from_seed(4);
+        let mut rng = SplitMix64::new(5);
+        let mut sealed = Envelope::seal(&kp.public, b"pay 10 to n3", &mut rng);
+        sealed.ciphertext[0] ^= 1;
+        assert!(sealed.open(&kp.secret).is_err());
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let kp = KeyPair::from_seed(6);
+        let mut rng = SplitMix64::new(7);
+        let msg = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        let sealed = Envelope::seal(&kp.public, msg, &mut rng);
+        assert_ne!(&sealed.ciphertext[..], &msg[..]);
+        // Two seals of the same message differ (fresh ephemeral keys).
+        let sealed2 = Envelope::seal(&kp.public, msg, &mut rng);
+        assert_ne!(sealed.ciphertext, sealed2.ciphertext);
+    }
+
+    #[test]
+    fn wire_size_accounts_overhead() {
+        let kp = KeyPair::from_seed(8);
+        let mut rng = SplitMix64::new(9);
+        let sealed = Envelope::seal(&kp.public, &[0u8; 10], &mut rng);
+        assert_eq!(sealed.wire_size(), 8 + 10 + 32);
+    }
+}

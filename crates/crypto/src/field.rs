@@ -1,0 +1,229 @@
+//! Arithmetic in GF(p) for the Mersenne prime p = 2⁶¹ − 1.
+//!
+//! Small enough that products fit in `u128`, large enough that random
+//! collisions never occur in simulation. Backs Shamir sharing, the DKG and
+//! the toy ElGamal scheme.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// The field modulus p = 2⁶¹ − 1 (a Mersenne prime).
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2⁶¹ − 1).
+///
+/// # Examples
+///
+/// ```
+/// use pcn_crypto::Fp;
+///
+/// let a = Fp::new(7);
+/// let b = a.inv().unwrap();
+/// assert_eq!(a * b, Fp::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+    /// A fixed multiplicative generator used as the ElGamal base.
+    /// (7 generates a large subgroup of GF(p)*; sufficient for simulation.)
+    pub const GENERATOR: Fp = Fp(7);
+
+    /// Creates an element, reducing mod p.
+    pub const fn new(v: u64) -> Fp {
+        Fp(v % MODULUS)
+    }
+
+    /// Raw canonical representative in `[0, p)`.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the zero element.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Modular exponentiation `self^e`.
+    pub fn pow(self, mut e: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns `None` for zero.
+    pub fn inv(self) -> Option<Fp> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+
+    fn add(self, rhs: Fp) -> Fp {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fp(if s >= MODULUS { s - MODULUS } else { s })
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+
+    fn sub(self, rhs: Fp) -> Fp {
+        Fp(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        })
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+
+    fn neg(self) -> Fp {
+        Fp::ZERO - self
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+
+    fn mul(self, rhs: Fp) -> Fp {
+        let prod = u128::from(self.0) * u128::from(rhs.0);
+        // Mersenne reduction: x = hi*2^61 + lo ≡ hi + lo (mod 2^61 - 1).
+        let lo = (prod & u128::from(MODULUS)) as u64;
+        let hi = (prod >> 61) as u64;
+        Fp::new(lo) + Fp::new(hi)
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inv().expect("division by zero in GF(p)")
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Fp {
+        Fp::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_is_mersenne() {
+        assert_eq!(MODULUS, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn add_sub_wraparound() {
+        let a = Fp::new(MODULUS - 1);
+        assert_eq!(a + Fp::ONE, Fp::ZERO);
+        assert_eq!(Fp::ZERO - Fp::ONE, a);
+        assert_eq!(-Fp::ONE, a);
+        assert_eq!(a + a, Fp::new(MODULUS - 2));
+    }
+
+    #[test]
+    fn mul_reduction() {
+        let a = Fp::new(MODULUS - 1); // ≡ -1
+        assert_eq!(a * a, Fp::ONE);
+        assert_eq!(Fp::new(1 << 60) * Fp::new(2), Fp::new((1 << 61) % MODULUS));
+        assert_eq!(Fp::ZERO * a, Fp::ZERO);
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        let g = Fp::GENERATOR;
+        assert_eq!(g.pow(0), Fp::ONE);
+        assert_eq!(g.pow(1), g);
+        assert_eq!(g.pow(3), g * g * g);
+        // Fermat: g^(p-1) = 1.
+        assert_eq!(g.pow(MODULUS - 1), Fp::ONE);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, 3, 7, 1_000_003, MODULUS - 2] {
+            let x = Fp::new(v);
+            assert_eq!(x * x.inv().unwrap(), Fp::ONE, "v={v}");
+            assert_eq!(x / x, Fp::ONE);
+        }
+        assert_eq!(Fp::ZERO.inv(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Fp::ONE / Fp::ZERO;
+    }
+
+    #[test]
+    fn field_axioms_sampled() {
+        // Distributivity and associativity over pseudo-random triples.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..200 {
+            let a = Fp::new(next());
+            let b = Fp::new(next());
+            let c = Fp::new(next());
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a - a, Fp::ZERO);
+        }
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Fp::from(MODULUS), Fp::ZERO);
+        assert_eq!(Fp::new(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Fp::new(42)), "Fp(42)");
+    }
+}

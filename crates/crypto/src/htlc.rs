@@ -1,0 +1,105 @@
+//! Hash time-locked contract (HTLC) primitives.
+//!
+//! §II-A: HTLCs guarantee an intermediary is paid on channel (A, C) only
+//! after paying on (C, B) within a bounded time. The simulation models the
+//! *funds* side of HTLCs in the routing crate; this module supplies the
+//! hash-lock objects so the workflow carries honest preimage/lock pairs.
+
+use crate::rng64::SplitMix64;
+use crate::sha256::Sha256;
+
+/// A 32-byte secret preimage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Preimage([u8; 32]);
+
+/// The SHA-256 lock of a preimage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HashLock([u8; 32]);
+
+impl Preimage {
+    /// Draws a fresh preimage from entropy.
+    pub fn random(rng: &mut SplitMix64) -> Preimage {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        Preimage(bytes)
+    }
+
+    /// Builds a preimage from raw bytes (e.g. for tests).
+    pub const fn from_bytes(bytes: [u8; 32]) -> Preimage {
+        Preimage(bytes)
+    }
+
+    /// Computes the lock `H(preimage)`.
+    pub fn lock(&self) -> HashLock {
+        HashLock(Sha256::digest(&self.0))
+    }
+}
+
+impl core::fmt::Debug for Preimage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Preimages unlock funds — never print them.
+        write!(f, "Preimage(<redacted>)")
+    }
+}
+
+impl HashLock {
+    /// Verifies that `candidate` opens this lock.
+    pub fn verify(&self, candidate: &Preimage) -> bool {
+        // Constant-time comparison is irrelevant in simulation, but cheap.
+        let got = Sha256::digest(&candidate.0);
+        let mut diff = 0u8;
+        for (a, b) in got.iter().zip(self.0.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_verifies_own_preimage() {
+        let mut rng = SplitMix64::new(1);
+        let p = Preimage::random(&mut rng);
+        let lock = p.lock();
+        assert!(lock.verify(&p));
+    }
+
+    #[test]
+    fn wrong_preimage_rejected() {
+        let mut rng = SplitMix64::new(2);
+        let p = Preimage::random(&mut rng);
+        let q = Preimage::random(&mut rng);
+        assert_ne!(p, q);
+        assert!(!p.lock().verify(&q));
+    }
+
+    #[test]
+    fn deterministic_lock() {
+        let p = Preimage::from_bytes([7u8; 32]);
+        assert_eq!(p.lock(), Preimage::from_bytes([7u8; 32]).lock());
+        assert_ne!(p.lock(), Preimage::from_bytes([8u8; 32]).lock());
+    }
+
+    #[test]
+    fn preimage_debug_redacted() {
+        let p = Preimage::from_bytes([1u8; 32]);
+        assert_eq!(format!("{p:?}"), "Preimage(<redacted>)");
+    }
+
+    #[test]
+    fn lock_exposes_digest() {
+        let p = Preimage::from_bytes([0u8; 32]);
+        assert_eq!(
+            crate::sha256::to_hex(p.lock().as_bytes()),
+            "66687aadf862bd776c8fc18b8e9f8e20089714856ee233b3902a591d0d5f2925"
+        );
+    }
+}

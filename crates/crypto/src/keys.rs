@@ -1,0 +1,99 @@
+//! Toy ElGamal-style key pairs over GF(2⁶¹ − 1).
+//!
+//! A secret key is a random exponent `sk`; the public key is `g^sk`. The
+//! KMG issues one pair per transaction/TU so intermediaries cannot link TUs
+//! of the same payment (§III-C, unlinkability). **Simulation only — a
+//! 61-bit group offers no real security.**
+
+use crate::field::{Fp, MODULUS};
+use crate::rng64::SplitMix64;
+
+/// A public key `g^sk`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub(crate) Fp);
+
+/// A secret exponent.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) u64);
+
+/// A matching key pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    /// The public half (safe to circulate).
+    pub public: PublicKey,
+    /// The secret half.
+    pub secret: SecretKey,
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print secret material, even in a simulation: downstream
+        // logging shouldn't leak workflow-correlatable values.
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from entropy.
+    pub fn from_entropy(rng: &mut SplitMix64) -> KeyPair {
+        // sk ∈ [1, p-1)
+        let sk = 1 + rng.next_below(MODULUS - 2);
+        KeyPair {
+            public: PublicKey(Fp::GENERATOR.pow(sk)),
+            secret: SecretKey(sk),
+        }
+    }
+
+    /// Convenience constructor from a raw seed.
+    pub fn from_seed(seed: u64) -> KeyPair {
+        KeyPair::from_entropy(&mut SplitMix64::new(seed))
+    }
+}
+
+impl PublicKey {
+    /// The group element (for envelope construction).
+    pub fn element(self) -> Fp {
+        self.0
+    }
+}
+
+impl SecretKey {
+    /// The secret exponent (crate-internal use by envelopes).
+    pub(crate) fn exponent(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = KeyPair::from_seed(42);
+        let b = KeyPair::from_seed(42);
+        assert_eq!(a, b);
+        assert_ne!(a.public, KeyPair::from_seed(43).public);
+    }
+
+    #[test]
+    fn public_matches_secret() {
+        let kp = KeyPair::from_seed(7);
+        assert_eq!(kp.public.element(), Fp::GENERATOR.pow(kp.secret.exponent()));
+    }
+
+    #[test]
+    fn secret_debug_redacted() {
+        let kp = KeyPair::from_seed(1);
+        assert_eq!(format!("{:?}", kp.secret), "SecretKey(<redacted>)");
+    }
+
+    #[test]
+    fn secret_exponent_in_range() {
+        for seed in 0..50 {
+            let kp = KeyPair::from_seed(seed);
+            let e = kp.secret.exponent();
+            assert!(e >= 1 && e < MODULUS - 1);
+        }
+    }
+}

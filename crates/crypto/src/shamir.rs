@@ -1,0 +1,165 @@
+//! Shamir secret sharing over GF(2⁶¹ − 1).
+//!
+//! The KMG (§III-A) holds its group secret in `t`-of-`n` shares; any `t`
+//! smooth nodes can reconstruct (or derive per-transaction keys), fewer
+//! learn nothing.
+
+use crate::field::Fp;
+use crate::rng64::SplitMix64;
+
+/// One share: the evaluation point `x` and value `y = f(x)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (non-zero).
+    pub x: Fp,
+    /// Polynomial value at `x`.
+    pub y: Fp,
+}
+
+/// Splits `secret` into `n` shares, any `threshold` of which reconstruct.
+///
+/// # Panics
+///
+/// Panics if `threshold == 0`, `n == 0` or `threshold > n`.
+///
+/// # Examples
+///
+/// ```
+/// use pcn_crypto::{shamir, Fp};
+///
+/// let shares = shamir::split(Fp::new(42), 3, 5, 7);
+/// let got = shamir::reconstruct(&shares[..3]).unwrap();
+/// assert_eq!(got, Fp::new(42));
+/// ```
+pub fn split(secret: Fp, threshold: usize, n: usize, seed: u64) -> Vec<Share> {
+    assert!(threshold >= 1, "threshold must be at least 1");
+    assert!(n >= threshold, "need at least `threshold` shares");
+    let mut rng = SplitMix64::new(seed);
+    // f(x) = secret + c1 x + … + c_{t-1} x^{t-1}
+    let coeffs: Vec<Fp> = core::iter::once(secret)
+        .chain((1..threshold).map(|_| Fp::new(rng.next_u64())))
+        .collect();
+    (1..=n as u64)
+        .map(|xi| {
+            let x = Fp::new(xi);
+            let mut y = Fp::ZERO;
+            // Horner evaluation.
+            for &c in coeffs.iter().rev() {
+                y = y * x + c;
+            }
+            Share { x, y }
+        })
+        .collect()
+}
+
+/// Reconstructs the secret from `shares` via Lagrange interpolation at 0.
+///
+/// Returns `None` when `shares` is empty or contains duplicate points.
+/// With fewer than `threshold` *valid* shares the result is simply a wrong
+/// field element — exactly the secrecy property.
+pub fn reconstruct(shares: &[Share]) -> Option<Fp> {
+    if shares.is_empty() {
+        return None;
+    }
+    // Duplicate x would divide by zero.
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return None;
+            }
+        }
+    }
+    let mut secret = Fp::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i != j {
+                num = num * (Fp::ZERO - sj.x);
+                den = den * (si.x - sj.x);
+            }
+        }
+        secret = secret + si.y * num * den.inv()?;
+    }
+    Some(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_threshold() {
+        let secret = Fp::new(0xdead_beef);
+        let shares = split(secret, 3, 5, 1);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3]), Some(secret));
+        assert_eq!(reconstruct(&shares[2..5]), Some(secret));
+        assert_eq!(reconstruct(&shares), Some(secret));
+    }
+
+    #[test]
+    fn below_threshold_is_wrong() {
+        let secret = Fp::new(777);
+        let shares = split(secret, 3, 5, 2);
+        // Two shares interpolate a line — almost surely not the secret.
+        let wrong = reconstruct(&shares[..2]).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn single_share_threshold_one() {
+        let secret = Fp::new(5);
+        let shares = split(secret, 1, 4, 3);
+        // Degree-0 polynomial: every share carries the secret.
+        for s in &shares {
+            assert_eq!(reconstruct(&[*s]), Some(secret));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let shares = split(Fp::new(9), 2, 3, 4);
+        let dup = vec![shares[0], shares[0]];
+        assert_eq!(reconstruct(&dup), None);
+        assert_eq!(reconstruct(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_parameters_panic() {
+        split(Fp::new(1), 4, 3, 0);
+    }
+
+    #[test]
+    fn share_points_are_distinct_and_nonzero() {
+        let shares = split(Fp::new(11), 2, 8, 5);
+        let mut xs: Vec<u64> = shares.iter().map(|s| s.x.value()).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert_eq!(xs.len(), 8);
+        assert!(xs.iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn linearity_of_shares() {
+        // Shamir is linear: sharing s1 and s2 with the same points then
+        // adding shares pointwise shares s1+s2 — the property the DKG uses.
+        let s1 = Fp::new(100);
+        let s2 = Fp::new(233);
+        let sh1 = split(s1, 3, 4, 6);
+        let sh2 = split(s2, 3, 4, 7);
+        let sum: Vec<Share> = sh1
+            .iter()
+            .zip(&sh2)
+            .map(|(a, b)| {
+                assert_eq!(a.x, b.x);
+                Share {
+                    x: a.x,
+                    y: a.y + b.y,
+                }
+            })
+            .collect();
+        assert_eq!(reconstruct(&sum[..3]), Some(s1 + s2));
+    }
+}

@@ -1,0 +1,326 @@
+//! Dijkstra shortest paths with closure-supplied directed edge costs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pcn_types::{ChannelId, NodeId};
+
+use crate::cost::Cost;
+use crate::{EdgeRef, Graph, Path};
+
+/// Result of a single-source Dijkstra run: distances and a parent forest.
+///
+/// Produced by [`Graph::shortest_path_tree`]; used by landmark routing and
+/// the placement cost model (all-clients-to-candidate hop counts).
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<(NodeId, ChannelId)>>,
+}
+
+impl ShortestPathTree {
+    /// The source this tree was grown from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `node`; `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        self.dist
+            .get(node.index())
+            .copied()
+            .filter(|d| d.is_finite())
+    }
+
+    /// Reconstructs the path from the source to `node`, if reachable.
+    pub fn path_to(&self, node: NodeId) -> Option<Path> {
+        self.distance(node)?;
+        let mut rev_nodes = vec![node];
+        let mut rev_chans = Vec::new();
+        let mut cur = node;
+        while let Some((prev, ch)) = self.parent.get(cur.index()).copied().flatten() {
+            rev_nodes.push(prev);
+            rev_chans.push(ch);
+            cur = prev;
+        }
+        if cur != self.source {
+            return None;
+        }
+        rev_nodes.reverse();
+        rev_chans.reverse();
+        Some(Path::new(rev_nodes, rev_chans))
+    }
+
+    /// Iterates over `(node, distance)` for every reachable node.
+    pub fn reachable(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, &d)| (NodeId::from_index(i), d))
+    }
+}
+
+fn usable(cost: Option<f64>) -> Option<f64> {
+    match cost {
+        Some(c) if c.is_finite() && c >= 0.0 => Some(c),
+        _ => None,
+    }
+}
+
+pub(crate) fn shortest_path_tree<F>(g: &Graph, from: NodeId, mut cost: F) -> ShortestPathTree
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    if from.index() < n {
+        dist[from.index()] = 0.0;
+        heap.push(Reverse((Cost(0.0), from)));
+    }
+    while let Some(Reverse((Cost(d), u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue; // stale entry
+        }
+        for e in g.out_edges(u) {
+            let Some(w) = usable(cost(e)) else { continue };
+            let nd = d + w;
+            if nd < dist[e.to.index()] {
+                dist[e.to.index()] = nd;
+                parent[e.to.index()] = Some((u, e.id));
+                heap.push(Reverse((Cost(nd), e.to)));
+            }
+        }
+    }
+    ShortestPathTree {
+        source: from,
+        dist,
+        parent,
+    }
+}
+
+pub(crate) fn shortest_path<F>(
+    g: &Graph,
+    from: NodeId,
+    to: NodeId,
+    mut cost: F,
+) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    // Early-exit Dijkstra: stop as soon as `to` is settled.
+    let n = g.node_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    if from == to {
+        return Some((0.0, Path::trivial(from)));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.index()] = 0.0;
+    heap.push(Reverse((Cost(0.0), from)));
+    while let Some(Reverse((Cost(d), u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == to {
+            break;
+        }
+        for e in g.out_edges(u) {
+            let Some(w) = usable(cost(e)) else { continue };
+            let nd = d + w;
+            if nd < dist[e.to.index()] {
+                dist[e.to.index()] = nd;
+                parent[e.to.index()] = Some((u, e.id));
+                heap.push(Reverse((Cost(nd), e.to)));
+            }
+        }
+    }
+    if !dist[to.index()].is_finite() {
+        return None;
+    }
+    let mut rev_nodes = vec![to];
+    let mut rev_chans = Vec::new();
+    let mut cur = to;
+    while let Some((prev, ch)) = parent[cur.index()] {
+        rev_nodes.push(prev);
+        rev_chans.push(ch);
+        cur = prev;
+    }
+    debug_assert_eq!(cur, from);
+    rev_nodes.reverse();
+    rev_chans.reverse();
+    Some((dist[to.index()], Path::new(rev_nodes, rev_chans)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Weighted diamond: 0-1 (1), 1-3 (1), 0-2 (1), 2-3 (5).
+    fn weighted_diamond() -> (Graph, Vec<f64>) {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(3));
+        (g, vec![1.0, 1.0, 1.0, 5.0])
+    }
+
+    #[test]
+    fn picks_cheaper_route() {
+        let (g, w) = weighted_diamond();
+        let (cost, path) = g
+            .shortest_path(n(0), n(3), |e| Some(w[e.id.index()]))
+            .unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(path.nodes(), &[n(0), n(1), n(3)]);
+        path.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn respects_unusable_edges() {
+        let (g, w) = weighted_diamond();
+        // Block channel 0 (0-1); forced over the expensive branch.
+        let (cost, path) = g
+            .shortest_path(n(0), n(3), |e| {
+                if e.id.index() == 0 {
+                    None
+                } else {
+                    Some(w[e.id.index()])
+                }
+            })
+            .unwrap();
+        assert_eq!(cost, 6.0);
+        assert_eq!(path.nodes(), &[n(0), n(2), n(3)]);
+    }
+
+    #[test]
+    fn directional_costs() {
+        // Cost depends on direction: 0→1 is cheap, 1→0 is unusable.
+        let mut g = Graph::new(2);
+        g.add_edge(n(0), n(1));
+        let fwd = g.shortest_path(n(0), n(1), |e| (e.from == n(0)).then_some(1.0));
+        let bwd = g.shortest_path(n(1), n(0), |e| (e.from == n(0)).then_some(1.0));
+        assert!(fwd.is_some());
+        assert!(bwd.is_none());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        assert!(g.shortest_path(n(0), n(2), |_| Some(1.0)).is_none());
+        assert!(g.shortest_path(n(0), n(9), |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let g = Graph::new(1);
+        let (c, p) = g.shortest_path(n(0), n(0), |_| Some(1.0)).unwrap();
+        assert_eq!(c, 0.0);
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn negative_and_nan_costs_are_unusable() {
+        let mut g = Graph::new(2);
+        g.add_edge(n(0), n(1));
+        assert!(g.shortest_path(n(0), n(1), |_| Some(-1.0)).is_none());
+        assert!(g.shortest_path(n(0), n(1), |_| Some(f64::NAN)).is_none());
+        assert!(g
+            .shortest_path(n(0), n(1), |_| Some(f64::INFINITY))
+            .is_none());
+    }
+
+    #[test]
+    fn tree_distances_and_paths() {
+        let (g, w) = weighted_diamond();
+        let tree = g.shortest_path_tree(n(0), |e| Some(w[e.id.index()]));
+        assert_eq!(tree.source(), n(0));
+        assert_eq!(tree.distance(n(0)), Some(0.0));
+        assert_eq!(tree.distance(n(3)), Some(2.0));
+        let p = tree.path_to(n(3)).unwrap();
+        assert_eq!(p.nodes(), &[n(0), n(1), n(3)]);
+        assert_eq!(tree.reachable().count(), 4);
+    }
+
+    #[test]
+    fn tree_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        let tree = g.shortest_path_tree(n(0), |_| Some(1.0));
+        assert_eq!(tree.distance(n(2)), None);
+        assert!(tree.path_to(n(2)).is_none());
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        // Exhaustive DFS comparison on small random weighted graphs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let nn = rng.random_range(2..7usize);
+            let mut g = Graph::new(nn);
+            let mut weights = Vec::new();
+            for a in 0..nn {
+                for b in (a + 1)..nn {
+                    if rng.random_bool(0.6) {
+                        g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+                        weights.push(rng.random_range(1..10) as f64);
+                    }
+                }
+            }
+            let from = NodeId::new(0);
+            let to = NodeId::from_index(nn - 1);
+            let dij = g
+                .shortest_path(from, to, |e| Some(weights[e.id.index()]))
+                .map(|(c, _)| c);
+            let brute = brute_force(&g, &weights, from, to);
+            match (dij, brute) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "dijkstra {a} vs brute {b}"),
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    fn brute_force(g: &Graph, w: &[f64], from: NodeId, to: NodeId) -> Option<f64> {
+        fn dfs(
+            g: &Graph,
+            w: &[f64],
+            cur: NodeId,
+            to: NodeId,
+            visited: &mut Vec<bool>,
+            acc: f64,
+            best: &mut Option<f64>,
+        ) {
+            if cur == to {
+                *best = Some(best.map_or(acc, |b: f64| b.min(acc)));
+                return;
+            }
+            for e in g.out_edges(cur) {
+                if !visited[e.to.index()] {
+                    visited[e.to.index()] = true;
+                    dfs(g, w, e.to, to, visited, acc + w[e.id.index()], best);
+                    visited[e.to.index()] = false;
+                }
+            }
+        }
+        let mut visited = vec![false; g.node_count()];
+        visited[from.index()] = true;
+        let mut best = None;
+        dfs(g, w, from, to, &mut visited, 0.0, &mut best);
+        best
+    }
+}

@@ -1,0 +1,344 @@
+//! Core undirected multigraph with directed edge views.
+
+use pcn_types::{ChannelId, NodeId, PcnError, Result};
+
+/// A directed view of an undirected channel, as seen by algorithms.
+///
+/// Each undirected channel `(a, b)` yields two `EdgeRef`s: `a → b` and
+/// `b → a`. Cost and capacity closures receive an `EdgeRef` so they can
+/// price the two directions differently (directed channel balances).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// The undirected channel this direction belongs to.
+    pub id: ChannelId,
+    /// Tail of the directed edge.
+    pub from: NodeId,
+    /// Head of the directed edge.
+    pub to: NodeId,
+}
+
+impl EdgeRef {
+    /// The same channel traversed in the opposite direction.
+    pub fn reversed(self) -> EdgeRef {
+        EdgeRef {
+            id: self.id,
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+/// An undirected multigraph over nodes `0..n`.
+///
+/// Nodes are dense indices ([`NodeId`]); channels are dense indices
+/// ([`ChannelId`]) in insertion order. Parallel channels between the same
+/// node pair are allowed (they are distinct channels with their own funds);
+/// self-loops are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use pcn_graph::Graph;
+/// use pcn_types::NodeId;
+///
+/// let mut g = Graph::new(3);
+/// let ch = g.add_edge(NodeId::new(0), NodeId::new(1));
+/// assert_eq!(g.edge_count(), 1);
+/// assert_eq!(g.endpoints(ch).unwrap(), (NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(g.degree(NodeId::new(1)), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// adjacency: for each node, (channel index, neighbour).
+    adj: Vec<Vec<(u32, NodeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected channels.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::from_index(self.adj.len() - 1)
+    }
+
+    /// Adds an undirected channel between `a` and `b` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or if `a == b` (self-loop).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> ChannelId {
+        assert!(a.index() < self.adj.len(), "node {a} out of range");
+        assert!(b.index() < self.adj.len(), "node {b} out of range");
+        assert_ne!(a, b, "self-loop channels are not allowed");
+        let id = u32::try_from(self.edges.len()).expect("too many edges");
+        self.edges.push(Edge { a, b });
+        self.adj[a.index()].push((id, b));
+        self.adj[b.index()].push((id, a));
+        ChannelId::new(id)
+    }
+
+    /// Returns the endpoints of channel `id` in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcnError::UnknownChannel`] if the channel does not exist.
+    pub fn endpoints(&self, id: ChannelId) -> Result<(NodeId, NodeId)> {
+        self.edges
+            .get(id.index())
+            .map(|e| (e.a, e.b))
+            .ok_or(PcnError::UnknownChannel(id))
+    }
+
+    /// Returns the endpoint of `id` opposite to `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcnError::UnknownChannel`] for a bad channel id and
+    /// [`PcnError::UnknownNode`] if `node` is not an endpoint.
+    pub fn other_endpoint(&self, id: ChannelId, node: NodeId) -> Result<NodeId> {
+        let (a, b) = self.endpoints(id)?;
+        if node == a {
+            Ok(b)
+        } else if node == b {
+            Ok(a)
+        } else {
+            Err(PcnError::UnknownNode(node))
+        }
+    }
+
+    /// Whether any channel directly connects `a` and `b`.
+    pub fn has_edge_between(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|l| l.iter().any(|&(_, nb)| nb == b))
+    }
+
+    /// Returns the first channel between `a` and `b`, if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
+        self.adj.get(a.index()).and_then(|l| {
+            l.iter()
+                .find(|&&(_, nb)| nb == b)
+                .map(|&(id, _)| ChannelId::new(id))
+        })
+    }
+
+    /// Degree (number of incident channels) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// Iterates over the directed edges leaving `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.adj
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(move |&(id, nb)| EdgeRef {
+                id: ChannelId::new(id),
+                from: node,
+                to: nb,
+            })
+    }
+
+    /// Iterates over the neighbours of `node` (with multiplicity).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(|&(_, nb)| nb)
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all channel ids.
+    pub fn edges(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.edges.len()).map(ChannelId::from_index)
+    }
+
+    /// Iterates over both directed views of every channel.
+    pub fn directed_edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.edges.iter().enumerate().flat_map(|(i, e)| {
+            let id = ChannelId::from_index(i);
+            [
+                EdgeRef {
+                    id,
+                    from: e.a,
+                    to: e.b,
+                },
+                EdgeRef {
+                    id,
+                    from: e.b,
+                    to: e.a,
+                },
+            ]
+        })
+    }
+
+    /// Shortest path by generalized edge cost (Dijkstra).
+    ///
+    /// `cost` returns the cost of traversing a directed edge, or `None` if
+    /// the edge is unusable in that direction. Non-finite or negative costs
+    /// are treated as unusable.
+    ///
+    /// Returns `None` when no path exists.
+    pub fn shortest_path<F>(&self, from: NodeId, to: NodeId, cost: F) -> Option<(f64, Path)>
+    where
+        F: FnMut(EdgeRef) -> Option<f64>,
+    {
+        crate::dijkstra::shortest_path(self, from, to, cost)
+    }
+
+    /// Dijkstra from a single source to all reachable nodes.
+    pub fn shortest_path_tree<F>(&self, from: NodeId, cost: F) -> crate::ShortestPathTree
+    where
+        F: FnMut(EdgeRef) -> Option<f64>,
+    {
+        crate::dijkstra::shortest_path_tree(self, from, cost)
+    }
+}
+
+pub use crate::path::Path;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 1-3, 0-2, 2-3
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(3));
+        g.add_edge(NodeId::new(0), NodeId::new(2));
+        g.add_edge(NodeId::new(2), NodeId::new(3));
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn add_node_extends() {
+        let mut g = diamond();
+        let n = g.add_node();
+        assert_eq!(n, NodeId::new(4));
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(n), 0);
+    }
+
+    #[test]
+    fn endpoints_and_other() {
+        let g = diamond();
+        let ch = ChannelId::new(0);
+        assert_eq!(g.endpoints(ch).unwrap(), (NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.other_endpoint(ch, NodeId::new(0)).unwrap(), NodeId::new(1));
+        assert_eq!(g.other_endpoint(ch, NodeId::new(1)).unwrap(), NodeId::new(0));
+        assert_eq!(
+            g.other_endpoint(ch, NodeId::new(2)),
+            Err(PcnError::UnknownNode(NodeId::new(2)))
+        );
+        assert_eq!(
+            g.endpoints(ChannelId::new(99)),
+            Err(PcnError::UnknownChannel(ChannelId::new(99)))
+        );
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = diamond();
+        assert!(g.has_edge_between(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge_between(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(
+            g.edge_between(NodeId::new(0), NodeId::new(2)),
+            Some(ChannelId::new(2))
+        );
+        assert_eq!(g.edge_between(NodeId::new(0), NodeId::new(3)), None);
+        let mut nb: Vec<_> = g.neighbors(NodeId::new(0)).collect();
+        nb.sort();
+        assert_eq!(nb, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn out_edges_directed() {
+        let g = diamond();
+        let outs: Vec<_> = g.out_edges(NodeId::new(3)).collect();
+        assert_eq!(outs.len(), 2);
+        for e in outs {
+            assert_eq!(e.from, NodeId::new(3));
+            assert!(e.to == NodeId::new(1) || e.to == NodeId::new(2));
+            assert_eq!(e.reversed().from, e.to);
+            assert_eq!(e.reversed().id, e.id);
+        }
+    }
+
+    #[test]
+    fn directed_edges_doubles() {
+        let g = diamond();
+        assert_eq!(g.directed_edges().count(), 8);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = Graph::new(2);
+        let c1 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        let c2 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        assert_ne!(c1, c2);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(5));
+    }
+
+    #[test]
+    fn empty_graph_iterators() {
+        let g = Graph::new(0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.degree(NodeId::new(0)), 0);
+        assert_eq!(g.out_edges(NodeId::new(0)).count(), 0);
+    }
+}

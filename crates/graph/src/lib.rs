@@ -1,0 +1,82 @@
+//! Graph substrate for payment channel networks.
+//!
+//! The paper's system depends on a stack of graph machinery: the PCN itself
+//! is a graph of payment channels; hub placement needs all-pairs hop counts;
+//! the routing protocol needs k-shortest (KSP), edge-disjoint shortest (EDS)
+//! and edge-disjoint widest (EDW) paths (Table II); the Flash baseline needs
+//! max-flow; the evaluation topology is a Watts–Strogatz small-world graph
+//! generated in the spirit of ROLL \[26\]. This crate implements all of it
+//! from scratch.
+//!
+//! The graph is an undirected multigraph of *channels*; algorithms see it
+//! through directed [`EdgeRef`]s so that per-direction costs/capacities
+//! (channel balances!) can differ. Costs are supplied by closures, which
+//! lets the routing layer price edges off live channel state without the
+//! graph crate knowing about balances.
+//!
+//! # Examples
+//!
+//! ```
+//! use pcn_graph::Graph;
+//! use pcn_types::NodeId;
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(NodeId::new(0), NodeId::new(1));
+//! g.add_edge(NodeId::new(1), NodeId::new(2));
+//! g.add_edge(NodeId::new(2), NodeId::new(3));
+//! g.add_edge(NodeId::new(0), NodeId::new(3));
+//!
+//! let (cost, path) = g
+//!     .shortest_path(NodeId::new(0), NodeId::new(2), |_| Some(1.0))
+//!     .expect("connected");
+//! assert_eq!(cost, 2.0);
+//! assert_eq!(path.hops(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfs;
+mod dijkstra;
+mod disjoint;
+mod generators;
+mod graph;
+mod maxflow;
+mod metrics;
+mod path;
+mod widest;
+mod yen;
+
+pub use bfs::{bfs_hops, connected_components, is_connected};
+pub use dijkstra::ShortestPathTree;
+pub use disjoint::{edge_disjoint_shortest_paths, edge_disjoint_widest_paths};
+pub use generators::{barabasi_albert, complete, erdos_renyi, ring, star, watts_strogatz};
+pub use graph::{EdgeRef, Graph};
+pub use maxflow::{max_flow, FlowPath, MaxFlowResult};
+pub use metrics::{average_degree, clustering_coefficient, degree_histogram, GraphMetrics};
+pub use path::Path;
+pub use widest::widest_path;
+pub use yen::k_shortest_paths;
+
+pub(crate) mod cost {
+    /// Total-order wrapper for `f64` costs inside priority queues.
+    ///
+    /// NaN costs are rejected at the call boundary (cost closures returning
+    /// NaN are treated as "edge unusable"), so `total_cmp` is safe here.
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    pub struct Cost(pub f64);
+
+    impl Eq for Cost {}
+
+    impl PartialOrd for Cost {
+        fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for Cost {
+        fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Structural graph metrics used to sanity-check generated topologies.
+
+use pcn_types::NodeId;
+
+use crate::{bfs_hops, Graph};
+
+/// Average node degree (`2E / V`); zero for an empty graph.
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Global clustering coefficient (average of local coefficients over nodes
+/// of degree ≥ 2). Small-world graphs score high here relative to random
+/// graphs of the same density.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in g.nodes() {
+        let nbrs: Vec<NodeId> = {
+            let mut u: Vec<NodeId> = g.neighbors(v).collect();
+            u.sort();
+            u.dedup();
+            u
+        };
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_edge_between(nbrs[i], nbrs[j]) {
+                    links += 1;
+                }
+            }
+        }
+        let possible = nbrs.len() * (nbrs.len() - 1) / 2;
+        total += links as f64 / possible as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Summary statistics for a topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Node count.
+    pub nodes: usize,
+    /// Channel count.
+    pub edges: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Global clustering coefficient.
+    pub clustering: f64,
+    /// Average shortest-path hops over sampled source nodes (connected
+    /// pairs only).
+    pub avg_path_hops: f64,
+    /// Largest hop distance seen from the sampled sources.
+    pub diameter_lower_bound: u32,
+}
+
+impl GraphMetrics {
+    /// Computes metrics, running BFS from up to `samples` evenly spaced
+    /// source nodes (full all-pairs when `samples >= nodes`).
+    pub fn compute(g: &Graph, samples: usize) -> GraphMetrics {
+        let n = g.node_count();
+        let sources: Vec<usize> = if samples >= n || n == 0 {
+            (0..n).collect()
+        } else {
+            let step = n / samples;
+            (0..samples).map(|i| i * step).collect()
+        };
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        let mut diameter = 0u32;
+        for &s in &sources {
+            let hops = bfs_hops(g, NodeId::from_index(s));
+            for (i, &h) in hops.iter().enumerate() {
+                if i != s && h != u32::MAX {
+                    sum += u64::from(h);
+                    pairs += 1;
+                    diameter = diameter.max(h);
+                }
+            }
+        }
+        GraphMetrics {
+            nodes: n,
+            edges: g.edge_count(),
+            avg_degree: average_degree(g),
+            clustering: clustering_coefficient(g),
+            avg_path_hops: if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 },
+            diameter_lower_bound: diameter,
+        }
+    }
+}
+
+impl core::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "nodes={} edges={} avg_degree={:.2} clustering={:.3} avg_hops={:.2} diam≥{}",
+            self.nodes,
+            self.edges,
+            self.avg_degree,
+            self.clustering,
+            self.avg_path_hops,
+            self.diameter_lower_bound
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{complete, ring, star, watts_strogatz};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_stats() {
+        let g = star(5);
+        assert_eq!(average_degree(&g), 2.0 * 4.0 / 5.0);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert_eq!(clustering_coefficient(&complete(5)), 1.0);
+        assert_eq!(clustering_coefficient(&star(6)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::new(3)), 0.0);
+    }
+
+    #[test]
+    fn ring_metrics() {
+        let m = GraphMetrics::compute(&ring(6), usize::MAX);
+        assert_eq!(m.nodes, 6);
+        assert_eq!(m.edges, 6);
+        assert_eq!(m.diameter_lower_bound, 3);
+        // ring of 6: distances 1,1,2,2,3 → avg 1.8
+        assert!((m.avg_path_hops - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_world_properties() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ws = watts_strogatz(200, 8, 0.1, &mut rng);
+        let m = GraphMetrics::compute(&ws, 50);
+        // Small world: high clustering, short paths.
+        assert!(m.clustering > 0.2, "clustering {}", m.clustering);
+        assert!(m.avg_path_hops < 6.0, "hops {}", m.avg_path_hops);
+        let shown = m.to_string();
+        assert!(shown.contains("nodes=200"));
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let m = GraphMetrics::compute(&Graph::new(0), 10);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.avg_path_hops, 0.0);
+    }
+}

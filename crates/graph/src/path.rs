@@ -1,0 +1,250 @@
+//! Node/channel path representation.
+
+use pcn_types::{ChannelId, NodeId};
+
+use crate::Graph;
+
+/// A walk through the graph: `nodes[i] → nodes[i+1]` over `channels[i]`.
+///
+/// Invariant: `nodes.len() == channels.len() + 1` and every channel connects
+/// the adjacent node pair (checked by [`Path::validate`] and in debug
+/// assertions at construction).
+///
+/// # Examples
+///
+/// ```
+/// use pcn_graph::{Graph, Path};
+/// use pcn_types::NodeId;
+///
+/// let mut g = Graph::new(3);
+/// let c0 = g.add_edge(NodeId::new(0), NodeId::new(1));
+/// let c1 = g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let p = Path::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], vec![c0, c1]);
+/// assert!(p.validate(&g).is_ok());
+/// assert_eq!(p.hops(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    channels: Vec<ChannelId>,
+}
+
+impl Path {
+    /// Builds a path from its node sequence and the channels between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != channels.len() + 1` or `nodes` is empty.
+    pub fn new(nodes: Vec<NodeId>, channels: Vec<ChannelId>) -> Self {
+        assert!(!nodes.is_empty(), "path must contain at least one node");
+        assert_eq!(
+            nodes.len(),
+            channels.len() + 1,
+            "node/channel length mismatch"
+        );
+        Path { nodes, channels }
+    }
+
+    /// A zero-hop path consisting of a single node.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            channels: Vec::new(),
+        }
+    }
+
+    /// First node of the path.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Number of hops (channels traversed).
+    pub fn hops(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Channel sequence.
+    pub fn channels(&self) -> &[ChannelId] {
+        &self.channels
+    }
+
+    /// Iterates over `(from, channel, to)` triples along the path.
+    pub fn hops_iter(&self) -> impl Iterator<Item = (NodeId, ChannelId, NodeId)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.nodes[i], c, self.nodes[i + 1]))
+    }
+
+    /// Whether the path visits any node twice.
+    pub fn has_node_cycle(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().any(|n| !seen.insert(*n))
+    }
+
+    /// Checks the path against a graph: every channel must exist and connect
+    /// the adjacent node pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying graph error for the first inconsistent hop.
+    pub fn validate(&self, g: &Graph) -> pcn_types::Result<()> {
+        for (from, ch, to) in self.hops_iter() {
+            let (a, b) = g.endpoints(ch)?;
+            if !((a == from && b == to) || (a == to && b == from)) {
+                return Err(pcn_types::PcnError::UnknownChannel(ch));
+            }
+        }
+        Ok(())
+    }
+
+    /// The prefix of this path ending at node index `i` (inclusive).
+    pub(crate) fn prefix(&self, i: usize) -> Path {
+        Path {
+            nodes: self.nodes[..=i].to_vec(),
+            channels: self.channels[..i].to_vec(),
+        }
+    }
+
+    /// Concatenates `self` with `other`, which must start where `self` ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.source() != self.target()`.
+    pub fn join(mut self, other: Path) -> Path {
+        assert_eq!(self.target(), other.source(), "paths do not meet");
+        self.nodes.extend_from_slice(&other.nodes[1..]);
+        self.channels.extend_from_slice(&other.channels);
+        self
+    }
+}
+
+impl core::fmt::Debug for Path {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Path[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -{}-> ", self.channels[i - 1])?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> (Graph, Vec<ChannelId>) {
+        let mut g = Graph::new(4);
+        let chans = (0..3)
+            .map(|i| g.add_edge(NodeId::new(i), NodeId::new(i + 1)))
+            .collect();
+        (g, chans)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let (_, ch) = line();
+        let p = Path::new(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            vec![ch[0], ch[1]],
+        );
+        assert_eq!(p.source(), NodeId::new(0));
+        assert_eq!(p.target(), NodeId::new(2));
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.nodes().len(), 3);
+        assert_eq!(p.channels().len(), 2);
+        assert!(!p.has_node_cycle());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId::new(7));
+        assert_eq!(p.source(), p.target());
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn hops_iter_order() {
+        let (_, ch) = line();
+        let p = Path::new(
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            vec![ch[1], ch[2]],
+        );
+        let hops: Vec<_> = p.hops_iter().collect();
+        assert_eq!(hops[0], (NodeId::new(1), ch[1], NodeId::new(2)));
+        assert_eq!(hops[1], (NodeId::new(2), ch[2], NodeId::new(3)));
+    }
+
+    #[test]
+    fn validate_detects_mismatch() {
+        let (g, ch) = line();
+        let good = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![ch[0]]);
+        assert!(good.validate(&g).is_ok());
+        // channel 2 connects 2-3, not 0-1
+        let bad = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![ch[2]]);
+        assert!(bad.validate(&g).is_err());
+    }
+
+    #[test]
+    fn join_paths() {
+        let (_, ch) = line();
+        let a = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![ch[0]]);
+        let b = Path::new(
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            vec![ch[1], ch[2]],
+        );
+        let joined = a.join(b);
+        assert_eq!(joined.hops(), 3);
+        assert_eq!(joined.source(), NodeId::new(0));
+        assert_eq!(joined.target(), NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "paths do not meet")]
+    fn join_mismatch_panics() {
+        let (_, ch) = line();
+        let a = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![ch[0]]);
+        let b = Path::new(vec![NodeId::new(2), NodeId::new(3)], vec![ch[2]]);
+        let _ = a.join(b);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Graph::new(3);
+        let c0 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        let c1 = g.add_edge(NodeId::new(1), NodeId::new(2));
+        let c2 = g.add_edge(NodeId::new(2), NodeId::new(0));
+        let p = Path::new(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(0)],
+            vec![c0, c1, c2],
+        );
+        assert!(p.has_node_cycle());
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn debug_format() {
+        let (_, ch) = line();
+        let p = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![ch[0]]);
+        assert_eq!(format!("{p:?}"), "Path[n0 -ch0-> n1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Best-first branch & bound over the simplex relaxation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pcn_types::{PcnError, Result};
+
+use crate::model::{Model, Sense};
+use crate::solution::Solution;
+use crate::INT_EPS;
+
+/// Branch & bound configuration.
+#[derive(Clone, Debug)]
+pub struct BranchBoundConfig {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent.
+    pub gap: f64,
+}
+
+impl Default for BranchBoundConfig {
+    fn default() -> Self {
+        BranchBoundConfig {
+            max_nodes: 200_000,
+            gap: 1e-7,
+        }
+    }
+}
+
+/// Ordered wrapper so the heap pops the best LP bound first.
+#[derive(PartialEq)]
+struct Bound(f64);
+
+impl Eq for Bound {}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Node {
+    /// (var index, lower, upper) overrides accumulated down the tree.
+    bounds: Vec<(usize, f64, f64)>,
+}
+
+pub(crate) fn solve(model: &Model, config: &BranchBoundConfig) -> Result<Solution> {
+    // We minimize internally; flip for maximization when comparing bounds.
+    let minimize = model.sense == Sense::Minimize;
+    let to_min = |obj: f64| if minimize { obj } else { -obj };
+
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.bounds.integer)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut heap: BinaryHeap<(Reverse<Bound>, usize)> = BinaryHeap::new();
+    let mut nodes: Vec<Node> = vec![Node { bounds: Vec::new() }];
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_min = f64::INFINITY;
+    let mut explored = 0usize;
+    let mut root_infeasible = true;
+
+    // Evaluate root.
+    match relax_with(model, &nodes[0].bounds) {
+        Ok(sol) => {
+            root_infeasible = false;
+            heap.push((Reverse(Bound(to_min(sol.objective()))), 0));
+        }
+        Err(PcnError::Infeasible(_)) => {}
+        Err(e) => return Err(e),
+    }
+
+    while let Some((Reverse(Bound(bound)), idx)) = heap.pop() {
+        explored += 1;
+        if explored > config.max_nodes {
+            return Err(PcnError::SolverBudgetExceeded(format!(
+                "branch & bound exceeded {} nodes",
+                config.max_nodes
+            )));
+        }
+        if bound >= incumbent_min - config.gap {
+            continue; // pruned by bound
+        }
+        // Re-solve (cheap at our scale; avoids storing tableaux per node).
+        let node_bounds = std::mem::take(&mut nodes[idx].bounds);
+        let sol = match relax_with(model, &node_bounds) {
+            Ok(s) => s,
+            Err(PcnError::Infeasible(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        let obj_min = to_min(sol.objective());
+        if obj_min >= incumbent_min - config.gap {
+            continue;
+        }
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = INT_EPS;
+        for &j in &int_vars {
+            let v = sol.value(crate::model::VarId(j));
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((j, v));
+            }
+        }
+        match branch {
+            None => {
+                // Integral — new incumbent (round off tolerance noise).
+                let mut values = sol.values().to_vec();
+                for &j in &int_vars {
+                    values[j] = values[j].round();
+                }
+                let objective = recompute_objective(model, &values);
+                let omin = to_min(objective);
+                if omin < incumbent_min - config.gap {
+                    incumbent_min = omin;
+                    incumbent = Some(Solution::new(values, objective));
+                }
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
+                    let base_lo = model.vars[j].bounds.lower;
+                    let base_hi = model.vars[j].bounds.upper;
+                    let new_lo = base_lo.max(lo);
+                    let new_hi = base_hi.min(hi);
+                    // Apply previous overrides for j too.
+                    let (mut cur_lo, mut cur_hi) = (new_lo, new_hi);
+                    for &(vj, l, h) in &node_bounds {
+                        if vj == j {
+                            cur_lo = cur_lo.max(l);
+                            cur_hi = cur_hi.min(h);
+                        }
+                    }
+                    if cur_lo > cur_hi {
+                        continue;
+                    }
+                    let mut child = node_bounds.clone();
+                    child.push((j, cur_lo, cur_hi));
+                    match relax_with(model, &child) {
+                        Ok(child_sol) => {
+                            let b = to_min(child_sol.objective());
+                            if b < incumbent_min - config.gap {
+                                nodes.push(Node { bounds: child });
+                                heap.push((Reverse(Bound(b)), nodes.len() - 1));
+                            }
+                        }
+                        Err(PcnError::Infeasible(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    incumbent.ok_or_else(|| {
+        if root_infeasible {
+            PcnError::Infeasible("LP relaxation infeasible".into())
+        } else {
+            PcnError::Infeasible("no integral solution in the feasible region".into())
+        }
+    })
+}
+
+fn relax_with(model: &Model, overrides: &[(usize, f64, f64)]) -> Result<Solution> {
+    if overrides.is_empty() {
+        return model.solve_relaxation();
+    }
+    let mut tightened = model.clone();
+    for &(j, lo, hi) in overrides {
+        let b = &mut tightened.vars[j].bounds;
+        b.lower = b.lower.max(lo);
+        b.upper = b.upper.min(hi);
+        if b.lower > b.upper {
+            return Err(PcnError::Infeasible("branch emptied a domain".into()));
+        }
+    }
+    tightened.solve_relaxation()
+}
+
+fn recompute_objective(model: &Model, values: &[f64]) -> f64 {
+    model
+        .vars
+        .iter()
+        .zip(values)
+        .map(|(v, &x)| v.objective * x)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bounds, Cmp, Model, Sense};
+    use pcn_types::PcnError;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // weights 12,2,1,1,4 values 4,2,2,1,10 cap 15 → best 15
+        let w = [12.0, 2.0, 1.0, 1.0, 4.0];
+        let v = [4.0, 2.0, 2.0, 1.0, 10.0];
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..5)
+            .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), v[i]))
+            .collect();
+        m.add_constraint(xs.iter().zip(w).map(|(&x, wi)| (x, wi)).collect(), Cmp::Le, 15.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 15.0);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp() {
+        // max x s.t. 2x <= 5; LP gives 2.5, MILP 2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::integer(0.0, 10.0), 1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 5.0);
+        let lp = m.solve_relaxation().unwrap();
+        approx(lp.objective(), 2.5);
+        let ip = m.solve().unwrap();
+        approx(ip.objective(), 2.0);
+        assert_eq!(ip.value_rounded(x), 2);
+    }
+
+    #[test]
+    fn assignment_problem_3x3() {
+        // cost matrix; optimal assignment cost = 5 (1+2+2).
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut x = vec![vec![]; 3];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for j in 0..3 {
+                xi.push(m.add_var(format!("x{i}{j}"), Bounds::binary(), cost[i][j]));
+            }
+        }
+        for i in 0..3 {
+            m.add_constraint((0..3).map(|j| (x[i][j], 1.0)).collect(), Cmp::Eq, 1.0);
+            m.add_constraint((0..3).map(|j| (x[j][i], 1.0)).collect(), Cmp::Eq, 1.0);
+        }
+        let s = m.solve().unwrap();
+        approx(s.objective(), 5.0);
+        // Check it is a permutation.
+        for i in 0..3 {
+            let row: i64 = (0..3).map(|j| s.value_rounded(x[i][j])).sum();
+            assert_eq!(row, 1);
+        }
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x = 3 has no integer solution (x integer in [0,5]).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::integer(0.0, 5.0), 1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Eq, 3.0);
+        assert!(matches!(m.solve(), Err(PcnError::Infeasible(_))));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y, x binary, y in [0, 1.5]; x + y <= 2 → x=1, y=1 → 3? y up
+        // to 1.5 allowed: x=1,y=1 (constraint x+y<=2 binds y<=1) obj 3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::binary(), 2.0);
+        let y = m.add_var("y", Bounds::range(0.0, 1.5), 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 2.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 3.0);
+        assert_eq!(s.value_rounded(x), 1);
+        approx(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        // A 12-item knapsack with a 1-node budget must bail out.
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..12)
+            .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), (i % 5 + 1) as f64))
+            .collect();
+        m.add_constraint(
+            xs.iter().enumerate().map(|(i, &x)| (x, (i % 7 + 1) as f64)).collect(),
+            Cmp::Le,
+            9.5,
+        );
+        let cfg = crate::BranchBoundConfig {
+            max_nodes: 1,
+            gap: 1e-7,
+        };
+        match m.solve_with(&cfg) {
+            Err(PcnError::SolverBudgetExceeded(_)) | Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn milp_matches_bruteforce_on_random_knapsacks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for round in 0..20 {
+            let n = rng.random_range(3..9usize);
+            let weights: Vec<f64> = (0..n).map(|_| rng.random_range(1..20) as f64).collect();
+            let values: Vec<f64> = (0..n).map(|_| rng.random_range(1..30) as f64).collect();
+            let cap = rng.random_range(10..40) as f64;
+            let mut m = Model::new(Sense::Maximize);
+            let xs: Vec<_> = (0..n)
+                .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), values[i]))
+                .collect();
+            m.add_constraint(
+                xs.iter().zip(&weights).map(|(&x, &w)| (x, w)).collect(),
+                Cmp::Le,
+                cap,
+            );
+            let milp = m.solve().unwrap().objective();
+            // brute force over 2^n subsets
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let (mut wsum, mut vsum) = (0.0, 0.0);
+                for i in 0..n {
+                    if mask & (1 << i) != 0 {
+                        wsum += weights[i];
+                        vsum += values[i];
+                    }
+                }
+                if wsum <= cap {
+                    best = best.max(vsum);
+                }
+            }
+            assert!((milp - best).abs() < 1e-6, "round {round}: {milp} vs {best}");
+        }
+    }
+}

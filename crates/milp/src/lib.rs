@@ -1,0 +1,44 @@
+//! A small mixed-integer linear programming (MILP) solver.
+//!
+//! §IV-C of the paper converts the PCH placement problem into a MILP and
+//! notes it "can be directly solved by existing commercial solvers" using
+//! "a combination of the branch and bound method and the cutting-plane
+//! method". This repository has no commercial solver, so this crate *is*
+//! the solver: a dense two-phase primal simplex for the LP relaxation and a
+//! best-first branch-and-bound for integrality. It is designed for the
+//! paper's instance sizes (tens of binaries, hundreds of constraints), not
+//! industrial scale.
+//!
+//! # Examples
+//!
+//! A tiny knapsack:
+//!
+//! ```
+//! use milp::{Bounds, Cmp, Model, Sense};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let a = m.add_var("a", Bounds::binary(), 60.0);
+//! let b = m.add_var("b", Bounds::binary(), 100.0);
+//! let c = m.add_var("c", Bounds::binary(), 120.0);
+//! m.add_constraint(vec![(a, 10.0), (b, 20.0), (c, 30.0)], Cmp::Le, 50.0);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.objective().round(), 220.0); // b + c
+//! assert_eq!(sol.value(a).round(), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod model;
+mod simplex;
+mod solution;
+
+pub use branch_bound::BranchBoundConfig;
+pub use model::{Bounds, Cmp, Model, Sense, VarId};
+pub use solution::Solution;
+
+/// Tolerance for feasibility/optimality comparisons.
+pub(crate) const EPS: f64 = 1e-7;
+/// Tolerance for declaring a relaxation value integral.
+pub(crate) const INT_EPS: f64 = 1e-6;

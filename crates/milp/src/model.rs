@@ -1,0 +1,282 @@
+//! Model builder: variables, bounds, constraints, objective.
+
+use pcn_types::{PcnError, Result};
+
+use crate::solution::Solution;
+
+/// Optimization direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// Handle to a model variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Variable domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bounds {
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) integer: bool,
+}
+
+impl Bounds {
+    /// Continuous variable in `[lower, upper]` (`upper` may be
+    /// `f64::INFINITY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` is not finite, or `lower > upper`.
+    pub fn range(lower: f64, upper: f64) -> Bounds {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(lower <= upper, "empty bound interval");
+        Bounds {
+            lower,
+            upper,
+            integer: false,
+        }
+    }
+
+    /// Continuous non-negative variable `[0, ∞)`.
+    pub fn non_negative() -> Bounds {
+        Bounds::range(0.0, f64::INFINITY)
+    }
+
+    /// Binary variable `{0, 1}`.
+    pub fn binary() -> Bounds {
+        Bounds {
+            lower: 0.0,
+            upper: 1.0,
+            integer: true,
+        }
+    }
+
+    /// Integer variable in `[lower, upper]`.
+    pub fn integer(lower: f64, upper: f64) -> Bounds {
+        let mut b = Bounds::range(lower, upper);
+        b.integer = true;
+        b
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) bounds: Bounds,
+    pub(crate) objective: f64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program / MILP under construction.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Clone, Debug)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization direction.
+    pub fn new(sense: Sense) -> Model {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with the given domain and objective coefficient.
+    pub fn add_var(&mut self, name: impl Into<String>, bounds: Bounds, objective: f64) -> VarId {
+        assert!(objective.is_finite(), "objective coefficient must be finite");
+        self.vars.push(Variable {
+            name: name.into(),
+            bounds,
+            objective,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds a linear constraint `Σ coeff·var  cmp  rhs`.
+    ///
+    /// Duplicate variable entries are summed. Zero-coefficient terms are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown variables or non-finite coefficients/rhs.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut dense: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for (v, c) in terms {
+            assert!(v.0 < self.vars.len(), "unknown variable in constraint");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+            *dense.entry(v.0).or_insert(0.0) += c;
+        }
+        let terms: Vec<(VarId, f64)> = dense
+            .into_iter()
+            .filter(|&(_, c)| c != 0.0)
+            .map(|(i, c)| (VarId(i), c))
+            .collect();
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Whether any variable is integer-constrained.
+    pub fn has_integers(&self) -> bool {
+        self.vars.iter().any(|v| v.bounds.integer)
+    }
+
+    /// Solves the model: plain simplex when continuous, branch & bound with
+    /// default configuration when integer variables are present.
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::Infeasible`] / [`PcnError::Unbounded`] as diagnosed, or
+    /// [`PcnError::SolverBudgetExceeded`] if branch & bound hits its node
+    /// limit.
+    pub fn solve(&self) -> Result<Solution> {
+        if self.has_integers() {
+            crate::branch_bound::solve(self, &crate::BranchBoundConfig::default())
+        } else {
+            self.solve_relaxation()
+        }
+    }
+
+    /// Solves with an explicit branch & bound configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with(&self, config: &crate::BranchBoundConfig) -> Result<Solution> {
+        if self.has_integers() {
+            crate::branch_bound::solve(self, config)
+        } else {
+            self.solve_relaxation()
+        }
+    }
+
+    /// Solves the LP relaxation (integrality dropped).
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::Infeasible`] or [`PcnError::Unbounded`].
+    pub fn solve_relaxation(&self) -> Result<Solution> {
+        if self.vars.is_empty() {
+            return if self.constraints.iter().all(|c| {
+                let lhs = 0.0;
+                match c.cmp {
+                    Cmp::Le => lhs <= c.rhs + crate::EPS,
+                    Cmp::Ge => lhs >= c.rhs - crate::EPS,
+                    Cmp::Eq => (lhs - c.rhs).abs() <= crate::EPS,
+                }
+            }) {
+                Ok(Solution::new(Vec::new(), 0.0))
+            } else {
+                Err(PcnError::Infeasible("empty model with unmet constant constraint".into()))
+            };
+        }
+        crate::simplex::solve_lp(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        let y = m.add_var("y", Bounds::range(0.0, 5.0), 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0), (x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var_name(x), "x");
+        // duplicate x terms summed
+        assert_eq!(m.constraints[0].terms, vec![(x, 2.0), (y, 1.0)]);
+        assert!(!m.has_integers());
+    }
+
+    #[test]
+    fn binary_marks_integer() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("b", Bounds::binary(), 1.0);
+        assert!(m.has_integers());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bound interval")]
+    fn inverted_bounds_panic() {
+        Bounds::range(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_panics() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let mut m2 = Model::new(Sense::Minimize);
+        let _ = m1.add_var("x", Bounds::non_negative(), 1.0);
+        let x1 = m1.add_var("y", Bounds::non_negative(), 1.0);
+        m2.add_constraint(vec![(x1, 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, 0.0)], Cmp::Le, 1.0);
+        assert!(m.constraints[0].terms.is_empty());
+    }
+
+    #[test]
+    fn empty_model_solves() {
+        let m = Model::new(Sense::Minimize);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn empty_model_infeasible_constant() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_constraint(vec![], Cmp::Ge, 1.0);
+        assert!(matches!(m.solve(), Err(PcnError::Infeasible(_))));
+    }
+}

@@ -1,0 +1,424 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook tableau implementation with Bland's anti-cycling rule. The
+//! model is first normalized: variables are shifted to lower bound zero,
+//! finite upper bounds become explicit rows, `≥`/`=` rows get artificial
+//! variables for phase 1. Designed for the small, dense placement MILP
+//! relaxations — clarity over speed.
+
+use pcn_types::{PcnError, Result};
+
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::Solution;
+use crate::EPS;
+
+/// Solves the LP relaxation of `model`.
+pub(crate) fn solve_lp(model: &Model) -> Result<Solution> {
+    let n = model.vars.len();
+    // Shift each variable by its lower bound: x = y + l, y >= 0.
+    let shifts: Vec<f64> = model.vars.iter().map(|v| v.bounds.lower).collect();
+
+    // Assemble rows: (coeffs over structural vars, cmp, rhs)
+    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+    for c in &model.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut rhs = c.rhs;
+        for &(v, a) in &c.terms {
+            coeffs[v.0] = a;
+            rhs -= a * shifts[v.0];
+        }
+        rows.push((coeffs, c.cmp, rhs));
+    }
+    // Finite upper bounds become y_j <= u_j - l_j rows.
+    for (j, v) in model.vars.iter().enumerate() {
+        if v.bounds.upper.is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            rows.push((coeffs, Cmp::Le, v.bounds.upper - v.bounds.lower));
+        }
+    }
+
+    // Objective in minimize form over shifted vars; constant from shifts.
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let obj: Vec<f64> = model.vars.iter().map(|v| sign * v.objective).collect();
+    let obj_const: f64 = model
+        .vars
+        .iter()
+        .zip(&shifts)
+        .map(|(v, &l)| sign * v.objective * l)
+        .sum();
+
+    // Normalize rhs >= 0.
+    for (coeffs, cmp, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            for a in coeffs.iter_mut() {
+                *a = -*a;
+            }
+            *rhs = -*rhs;
+            *cmp = match *cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural | slacks | artificials | rhs]
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    for (_, cmp, _) in &rows {
+        match cmp {
+            Cmp::Le => num_slack += 1,
+            Cmp::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Cmp::Eq => num_art += 1,
+        }
+    }
+    let total = n + num_slack + num_art;
+    let mut a = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut s_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut art_cols = Vec::new();
+    for (i, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+        a[i][..n].copy_from_slice(coeffs);
+        a[i][total] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                a[i][s_idx] = 1.0;
+                basis[i] = s_idx;
+                s_idx += 1;
+            }
+            Cmp::Ge => {
+                a[i][s_idx] = -1.0;
+                s_idx += 1;
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Cmp::Eq => {
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // ---- Phase 1: minimize sum of artificials ----
+    if num_art > 0 {
+        let mut cost = vec![0.0f64; total + 1];
+        for &c in &art_cols {
+            cost[c] = 1.0;
+        }
+        // Reduce cost row against the artificial basis.
+        for (i, &b) in basis.iter().enumerate() {
+            if cost[b] != 0.0 {
+                let f = cost[b];
+                for j in 0..=total {
+                    cost[j] -= f * a[i][j];
+                }
+            }
+        }
+        run_simplex(&mut a, &mut cost, &mut basis, total)?;
+        let phase1_obj = -cost[total];
+        if phase1_obj > 1e-6 {
+            return Err(PcnError::Infeasible(format!(
+                "phase-1 objective {phase1_obj:.3e} > 0"
+            )));
+        }
+        // Pivot artificials out of the basis where possible.
+        for i in 0..m {
+            if art_cols.contains(&basis[i]) {
+                // find a non-artificial column with nonzero entry
+                let pivot_col = (0..n + num_slack).find(|&j| a[i][j].abs() > EPS);
+                if let Some(j) = pivot_col {
+                    pivot(&mut a, &mut basis, i, j, total);
+                }
+                // else: redundant row; the artificial stays basic at 0,
+                // harmless for phase 2 because its column is now blocked.
+            }
+        }
+    }
+
+    // ---- Phase 2 ----
+    let mut cost = vec![0.0f64; total + 1];
+    cost[..n].copy_from_slice(&obj);
+    // Block artificial columns from re-entering.
+    // (run_simplex never selects columns in `blocked`.)
+    let blocked: Vec<bool> = {
+        let mut b = vec![false; total];
+        for &c in &art_cols {
+            b[c] = true;
+        }
+        b
+    };
+    // Reduce cost row against the current basis.
+    for (i, &b) in basis.iter().enumerate() {
+        if b != usize::MAX && cost[b].abs() > 0.0 {
+            let f = cost[b];
+            for j in 0..=total {
+                cost[j] -= f * a[i][j];
+            }
+        }
+    }
+    run_simplex_blocked(&mut a, &mut cost, &mut basis, total, &blocked)?;
+
+    // Extract solution.
+    let mut y = vec![0.0f64; total];
+    for (i, &b) in basis.iter().enumerate() {
+        if b != usize::MAX && b < total {
+            y[b] = a[i][total];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|j| y[j] + shifts[j]).collect();
+    let raw_obj = -cost[total]; // minimized shifted objective value
+    let objective = sign * (raw_obj + obj_const);
+    Ok(Solution::new(values, objective))
+}
+
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+) -> Result<()> {
+    let blocked = vec![false; total];
+    run_simplex_blocked(a, cost, basis, total, &blocked)
+}
+
+/// Primal simplex iterations with Bland's rule; `blocked` columns never
+/// enter the basis.
+fn run_simplex_blocked(
+    a: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    blocked: &[bool],
+) -> Result<()> {
+    let m = a.len();
+    let max_iters = 50_000 + 200 * (m + total);
+    for _ in 0..max_iters {
+        // Bland: entering = lowest-index column with negative reduced cost.
+        let entering = (0..total).find(|&j| !blocked[j] && cost[j] < -EPS);
+        let Some(e) = entering else {
+            return Ok(()); // optimal
+        };
+        // Ratio test: leaving = argmin rhs/a over positive a, Bland ties.
+        let mut leave: Option<(usize, f64)> = None;
+        for (i, row) in a.iter().enumerate() {
+            if row[e] > EPS {
+                let ratio = row[total] / row[e];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((l, _)) = leave else {
+            return Err(PcnError::Unbounded(
+                "no leaving row for entering column".into(),
+            ));
+        };
+        pivot_with_cost(a, cost, basis, l, e, total);
+    }
+    Err(PcnError::SolverBudgetExceeded(
+        "simplex iteration limit".into(),
+    ))
+}
+
+fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = a[row][col];
+    debug_assert!(p.abs() > EPS);
+    for j in 0..=total {
+        a[row][j] /= p;
+    }
+    for i in 0..a.len() {
+        if i != row && a[i][col].abs() > 0.0 {
+            let f = a[i][col];
+            for j in 0..=total {
+                a[i][j] -= f * a[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot_with_cost(
+    a: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    pivot(a, basis, row, col, total);
+    if cost[col].abs() > 0.0 {
+        let f = cost[col];
+        for j in 0..=total {
+            cost[j] -= f * a[row][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bounds, Cmp, Model, Sense};
+    use pcn_types::PcnError;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dantzig_example() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 → (2, 6), obj 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::non_negative(), 3.0);
+        let y = m.add_var("y", Bounds::non_negative(), 5.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 36.0);
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min 2x + 3y s.t. x+y >= 10, x >= 2 → (8, 2)? No: y cheaper to
+        // avoid; optimum puts everything on x: x=10,y=0 → 20? cost x=2 < 3,
+        // so x=10, y=0, obj 20 (x>=2 inactive).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 2.0);
+        let y = m.add_var("y", Bounds::non_negative(), 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 20.0);
+        approx(s.value(x), 10.0);
+        approx(s.value(y), 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 → x=2, y=1, obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        let y = m.add_var("y", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 1.0);
+        approx(s.objective(), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert!(matches!(m.solve(), Err(PcnError::Infeasible(_))));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, -1.0)], Cmp::Le, 5.0);
+        assert!(matches!(m.solve(), Err(PcnError::Unbounded(_))));
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + y with x in [1, 3], y in [0, 2].
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::range(1.0, 3.0), 1.0);
+        let y = m.add_var("y", Bounds::range(0.0, 2.0), 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 100.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 3.0);
+        approx(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x in [-5, 5], x >= -3 ⇒ x = -3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::range(-5.0, 5.0), 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, -3.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), -3.0);
+        approx(s.objective(), -3.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x + y >= -2 with x,y >= 0 is vacuous; min x+y = 0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        let y = m.add_var("y", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, -2.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_pivots_terminate() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        let y = m.add_var("y", Bounds::non_negative(), 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice (redundant row → artificial stuck at 0).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", Bounds::non_negative(), 1.0);
+        let y = m.add_var("y", Bounds::non_negative(), 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 4.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 2.0);
+        approx(s.objective(), 2.0);
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 plants (cap 20, 30) → 2 markets (demand 25, 25);
+        // costs: p1→m1 1, p1→m2 4, p2→m1 3, p2→m2 2.
+        // Optimum: p1→m1 20, p2→m1 5, p2→m2 25 ⇒ 20 + 15 + 50 = 85.
+        let mut m = Model::new(Sense::Minimize);
+        let x11 = m.add_var("x11", Bounds::non_negative(), 1.0);
+        let x12 = m.add_var("x12", Bounds::non_negative(), 4.0);
+        let x21 = m.add_var("x21", Bounds::non_negative(), 3.0);
+        let x22 = m.add_var("x22", Bounds::non_negative(), 2.0);
+        m.add_constraint(vec![(x11, 1.0), (x12, 1.0)], Cmp::Le, 20.0);
+        m.add_constraint(vec![(x21, 1.0), (x22, 1.0)], Cmp::Le, 30.0);
+        m.add_constraint(vec![(x11, 1.0), (x21, 1.0)], Cmp::Ge, 25.0);
+        m.add_constraint(vec![(x12, 1.0), (x22, 1.0)], Cmp::Ge, 25.0);
+        let s = m.solve().unwrap();
+        approx(s.objective(), 85.0);
+    }
+}

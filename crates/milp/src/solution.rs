@@ -1,0 +1,54 @@
+//! Solver output.
+
+use crate::model::VarId;
+
+/// A (locally) optimal assignment of model variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl Solution {
+    pub(crate) fn new(values: Vec<f64>, objective: f64) -> Solution {
+        Solution { values, objective }
+    }
+
+    /// Objective value at this solution (in the model's original sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// All variable values in declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of `v` rounded to the nearest integer (useful for binaries).
+    pub fn value_rounded(&self, v: VarId) -> i64 {
+        self.values[v.0].round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution::new(vec![0.0, 0.9999999, 2.5], 7.25);
+        assert_eq!(s.objective(), 7.25);
+        assert_eq!(s.value(VarId(2)), 2.5);
+        assert_eq!(s.value_rounded(VarId(1)), 1);
+        assert_eq!(s.values().len(), 3);
+    }
+}

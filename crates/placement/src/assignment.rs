@@ -1,0 +1,201 @@
+//! Lemma 1: the optimal client assignment for a fixed placement.
+//!
+//! Given placement `x`, client `m` goes to the placed candidate minimizing
+//! `ω·Σ_{l placed} δ_n'l + ζ_mn'` (eq. 11). The candidate-dependent first
+//! term is shared by all clients, so the assignment is computed in
+//! O(N² + M·N).
+
+use crate::PlacementInstance;
+
+/// Computes the optimal assignment (client index → candidate index) for
+/// `placed`. Ties break towards the lower candidate index, making the
+/// result deterministic.
+///
+/// Returns `None` when no candidate is placed.
+///
+/// # Examples
+///
+/// ```
+/// use pcn_placement::{assignment::optimal_assignment, PlacementInstance};
+/// use pcn_types::NodeId;
+///
+/// let inst = PlacementInstance::from_matrices(
+///     vec![NodeId::new(9)],
+///     vec![NodeId::new(0), NodeId::new(1)],
+///     vec![vec![5.0, 1.0]],
+///     vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+///     vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+///     1.0,
+/// ).unwrap();
+/// // Both placed: the client prefers candidate 1 (ζ = 1 < 5).
+/// assert_eq!(optimal_assignment(&inst, &[true, true]), Some(vec![1]));
+/// ```
+pub fn optimal_assignment(inst: &PlacementInstance, placed: &[bool]) -> Option<Vec<usize>> {
+    assert_eq!(
+        placed.len(),
+        inst.num_candidates(),
+        "placement vector has wrong length"
+    );
+    let n = inst.num_candidates();
+    let placed_idx: Vec<usize> = (0..n).filter(|&i| placed[i]).collect();
+    if placed_idx.is_empty() {
+        return None;
+    }
+    // Shared per-candidate term: ω Σ_{l placed} δ_nl.
+    let sync_term: Vec<f64> = placed_idx
+        .iter()
+        .map(|&cand| {
+            inst.omega()
+                * placed_idx
+                    .iter()
+                    .filter(|&&l| l != cand)
+                    .map(|&l| inst.delta(cand, l))
+                    .sum::<f64>()
+        })
+        .collect();
+    let assignment = (0..inst.num_clients())
+        .map(|m| {
+            let mut best = placed_idx[0];
+            let mut best_cost = sync_term[0] + inst.zeta(m, placed_idx[0]);
+            for (k, &cand) in placed_idx.iter().enumerate().skip(1) {
+                let c = sync_term[k] + inst.zeta(m, cand);
+                if c < best_cost {
+                    best_cost = c;
+                    best = cand;
+                }
+            }
+            best
+        })
+        .collect();
+    Some(assignment)
+}
+
+/// Balance cost of the *optimal* assignment for `placed` — the set
+/// function f(X) of eq. 14. Returns the instance's finite infeasibility
+/// sentinel when nothing is placed.
+pub fn balance_cost_for(inst: &PlacementInstance, placed: &[bool]) -> f64 {
+    match optimal_assignment(inst, placed) {
+        Some(asg) => inst.balance_cost(placed, &asg),
+        None => inst.infeasible_cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_types::NodeId;
+
+    fn instance(m: usize, n: usize, seed: u64) -> PlacementInstance {
+        // Deterministic pseudo-random costs.
+        let mut state = seed.wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0
+        };
+        let zeta = (0..m).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let mut delta = vec![vec![0.0; n]; n];
+        let mut eps = vec![vec![0.0; n]; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = next();
+                let e = next();
+                delta[a][b] = d;
+                delta[b][a] = d;
+                eps[a][b] = e;
+                eps[b][a] = e;
+            }
+        }
+        PlacementInstance::from_matrices(
+            (100..100 + m as u32).map(NodeId::new).collect(),
+            (0..n as u32).map(NodeId::new).collect(),
+            zeta,
+            delta,
+            eps,
+            0.7,
+        )
+        .unwrap()
+    }
+
+    /// Brute force over all N^M assignments restricted to placed candidates.
+    fn brute_best(inst: &PlacementInstance, placed: &[bool]) -> f64 {
+        let n = inst.num_candidates();
+        let m = inst.num_clients();
+        let placed_idx: Vec<usize> = (0..n).filter(|&i| placed[i]).collect();
+        let mut best = f64::INFINITY;
+        let k = placed_idx.len();
+        let total = k.pow(m as u32);
+        for code in 0..total {
+            let mut c = code;
+            let asg: Vec<usize> = (0..m)
+                .map(|_| {
+                    let v = placed_idx[c % k];
+                    c /= k;
+                    v
+                })
+                .collect();
+            best = best.min(inst.balance_cost(placed, &asg));
+        }
+        best
+    }
+
+    #[test]
+    fn lemma1_matches_bruteforce() {
+        for seed in 0..15 {
+            let inst = instance(4, 4, seed);
+            for mask in 1u32..(1 << 4) {
+                let placed: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+                let fast = balance_cost_for(&inst, &placed);
+                let brute = brute_best(&inst, &placed);
+                assert!(
+                    (fast - brute).abs() < 1e-9,
+                    "seed {seed} mask {mask:b}: {fast} vs {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_placement_is_sentinel() {
+        let inst = instance(3, 3, 1);
+        assert_eq!(optimal_assignment(&inst, &[false, false, false]), None);
+        assert_eq!(
+            balance_cost_for(&inst, &[false, false, false]),
+            inst.infeasible_cost()
+        );
+    }
+
+    #[test]
+    fn all_clients_assigned_to_placed() {
+        let inst = instance(6, 5, 2);
+        let placed = vec![false, true, false, true, false];
+        let asg = optimal_assignment(&inst, &placed).unwrap();
+        assert_eq!(asg.len(), 6);
+        for &a in &asg {
+            assert!(placed[a], "client assigned to unplaced candidate {a}");
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Identical costs: expect the lowest candidate index.
+        let inst = PlacementInstance::from_matrices(
+            vec![NodeId::new(5)],
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![vec![2.0, 2.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(optimal_assignment(&inst, &[true, true]), Some(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_placement_length_panics() {
+        let inst = instance(2, 3, 3);
+        let _ = optimal_assignment(&inst, &[true]);
+    }
+}

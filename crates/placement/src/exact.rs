@@ -1,0 +1,126 @@
+//! Exhaustive exact solver: ground truth for small candidate sets.
+
+use pcn_types::{PcnError, Result};
+
+use crate::assignment::balance_cost_for;
+use crate::{PlacementInstance, PlacementPlan};
+
+/// Largest candidate count accepted by the exhaustive solver (2^24 subsets
+/// is already ~17M cost evaluations).
+pub const MAX_EXHAUSTIVE_CANDIDATES: usize = 24;
+
+/// Enumerates every non-empty placement subset and returns the optimum.
+///
+/// # Errors
+///
+/// [`PcnError::InvalidConfig`] when the candidate set exceeds
+/// [`MAX_EXHAUSTIVE_CANDIDATES`].
+///
+/// # Examples
+///
+/// ```
+/// use pcn_placement::{exact::solve_exhaustive, CostParams, PlacementInstance};
+/// use pcn_types::NodeId;
+///
+/// let g = pcn_graph::ring(8);
+/// let inst = PlacementInstance::from_graph(
+///     &g,
+///     (3..8).map(NodeId::from_index).collect(),
+///     (0..3).map(NodeId::from_index).collect(),
+///     CostParams::paper(0.2),
+/// );
+/// let plan = solve_exhaustive(&inst).unwrap();
+/// assert!(plan.balance_cost() > 0.0);
+/// ```
+pub fn solve_exhaustive(inst: &PlacementInstance) -> Result<PlacementPlan> {
+    let n = inst.num_candidates();
+    if n > MAX_EXHAUSTIVE_CANDIDATES {
+        return Err(PcnError::InvalidConfig(format!(
+            "{n} candidates exceed the exhaustive solver limit of {MAX_EXHAUSTIVE_CANDIDATES}"
+        )));
+    }
+    let mut best_cost = f64::INFINITY;
+    let mut best_mask = 0u32;
+    for mask in 1u32..(1u32 << n) {
+        let placed: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let cost = balance_cost_for(inst, &placed);
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    let placed: Vec<bool> = (0..n).map(|i| best_mask & (1 << i) != 0).collect();
+    PlacementPlan::from_placement(inst, &placed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostParams;
+    use pcn_types::NodeId;
+
+    #[test]
+    fn high_omega_prefers_fewer_hubs() {
+        // With a huge ω, sync costs dominate: one hub is optimal.
+        let g = pcn_graph::ring(10);
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (4..10).map(NodeId::from_index).collect(),
+            (0..4).map(NodeId::from_index).collect(),
+            CostParams::paper(1000.0),
+        );
+        let plan = solve_exhaustive(&inst).unwrap();
+        assert_eq!(plan.hubs().len(), 1);
+    }
+
+    #[test]
+    fn zero_omega_achieves_minimum_management_cost() {
+        // ω = 0: sync is free, so the optimum gives every client its
+        // globally closest candidate (extra hubs are only weakly better,
+        // so hub count may be below the full candidate set).
+        let g = pcn_graph::ring(10);
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (4..10).map(NodeId::from_index).collect(),
+            (0..4).map(NodeId::from_index).collect(),
+            CostParams::paper(0.0),
+        );
+        let plan = solve_exhaustive(&inst).unwrap();
+        let min_management: f64 = (0..inst.num_clients())
+            .map(|m| {
+                (0..inst.num_candidates())
+                    .map(|n| inst.zeta(m, n))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        assert!((plan.balance_cost() - min_management).abs() < 1e-9);
+        assert!((plan.management_cost() - min_management).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_candidates_rejected() {
+        let g = pcn_graph::ring(30);
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (25..30).map(NodeId::from_index).collect(),
+            (0..25).map(NodeId::from_index).collect(),
+            CostParams::paper(1.0),
+        );
+        assert!(solve_exhaustive(&inst).is_err());
+    }
+
+    #[test]
+    fn plan_is_internally_consistent() {
+        let g = pcn_graph::ring(9);
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (3..9).map(NodeId::from_index).collect(),
+            (0..3).map(NodeId::from_index).collect(),
+            CostParams::paper(0.5),
+        );
+        let plan = solve_exhaustive(&inst).unwrap();
+        // Cost decomposition must match CB = CM + ω CS.
+        let recomputed = plan.management_cost() + inst.omega() * plan.synchronization_cost();
+        assert!((plan.balance_cost() - recomputed).abs() < 1e-9);
+    }
+}

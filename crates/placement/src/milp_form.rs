@@ -1,0 +1,235 @@
+//! The small-scale optimal solution: MILP linearization (§IV-C).
+//!
+//! Standard McCormick linearization of the cubic/quadratic balance cost:
+//! auxiliary vectors ϑ (eq. 6) and φ (eq. 7) with the constraint families
+//! (8) and (9) replace the products `x_n·x_l` and `x_n·x_l·y_mn`, giving
+//! the linear objective `C_M(y) + ω·Ĉ_S(ϑ, φ)` (eq. 10).
+//!
+//! Only `x` needs integrality: for binary `x`, constraint family (8) pins
+//! ϑ to the product and (9) pins φ, and the remaining LP over `y` is a
+//! transportation polytope whose vertices are integral — so branch & bound
+//! over `x` alone returns the true optimum. The final plan is extracted
+//! with the Lemma-1 assignment (provably optimal for the chosen `x`).
+
+use milp::{Bounds, Cmp, Model, Sense, VarId};
+use pcn_types::{PcnError, Result};
+
+use crate::{PlacementInstance, PlacementPlan};
+
+/// Guard on candidate count: the dense simplex underneath scales as
+/// O((N²M)²) per pivot-sequence; beyond this, use the double greedy.
+pub const MAX_MILP_CANDIDATES: usize = 8;
+/// Guard on client count for the same reason.
+pub const MAX_MILP_CLIENTS: usize = 24;
+
+/// Builds and solves the linearized placement MILP.
+///
+/// # Errors
+///
+/// [`PcnError::InvalidConfig`] if the instance exceeds the size guards;
+/// solver errors are propagated.
+///
+/// # Examples
+///
+/// ```
+/// use pcn_placement::{exact::solve_exhaustive, milp_form::solve_milp};
+/// use pcn_placement::{CostParams, PlacementInstance};
+/// use pcn_types::NodeId;
+///
+/// let g = pcn_graph::ring(8);
+/// let inst = PlacementInstance::from_graph(
+///     &g,
+///     (3..8).map(NodeId::from_index).collect(),
+///     (0..3).map(NodeId::from_index).collect(),
+///     CostParams::paper(0.3),
+/// );
+/// let milp = solve_milp(&inst).unwrap();
+/// let exact = solve_exhaustive(&inst).unwrap();
+/// assert!((milp.balance_cost() - exact.balance_cost()).abs() < 1e-6);
+/// ```
+pub fn solve_milp(inst: &PlacementInstance) -> Result<PlacementPlan> {
+    let n = inst.num_candidates();
+    let m = inst.num_clients();
+    if n > MAX_MILP_CANDIDATES || m > MAX_MILP_CLIENTS {
+        return Err(PcnError::InvalidConfig(format!(
+            "instance {n}×{m} exceeds MILP guards ({MAX_MILP_CANDIDATES} candidates, \
+             {MAX_MILP_CLIENTS} clients); use the supermodular approximation"
+        )));
+    }
+    let omega = inst.omega();
+    let mut model = Model::new(Sense::Minimize);
+
+    // x_n ∈ {0,1}
+    let x: Vec<VarId> = (0..n)
+        .map(|i| model.add_var(format!("x{i}"), Bounds::binary(), 0.0))
+        .collect();
+    // y_mn ∈ [0,1] with objective ζ_mn
+    let y: Vec<Vec<VarId>> = (0..m)
+        .map(|mi| {
+            (0..n)
+                .map(|ni| {
+                    model.add_var(
+                        format!("y{mi}_{ni}"),
+                        Bounds::range(0.0, 1.0),
+                        inst.zeta(mi, ni),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    // ϑ_nl for ordered pairs n≠l, objective ω·ε_nl
+    let mut theta = vec![vec![None; n]; n];
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                theta[a][b] = Some(model.add_var(
+                    format!("th{a}_{b}"),
+                    Bounds::range(0.0, 1.0),
+                    omega * inst.eps(a, b),
+                ));
+            }
+        }
+    }
+    // φ_nlm, objective ω·δ_nl
+    let mut phi = vec![vec![vec![None; m]; n]; n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for mi in 0..m {
+                phi[a][b][mi] = Some(model.add_var(
+                    format!("ph{a}_{b}_{mi}"),
+                    Bounds::range(0.0, 1.0),
+                    omega * inst.delta(a, b),
+                ));
+            }
+        }
+    }
+
+    // Σ_n y_mn = 1
+    for mi in 0..m {
+        model.add_constraint((0..n).map(|ni| (y[mi][ni], 1.0)).collect(), Cmp::Eq, 1.0);
+    }
+    // y_mn ≤ x_n
+    for mi in 0..m {
+        for ni in 0..n {
+            model.add_constraint(vec![(y[mi][ni], 1.0), (x[ni], -1.0)], Cmp::Le, 0.0);
+        }
+    }
+    // Constraint family (8): ϑ_nl ≤ x_n, ϑ_nl ≤ x_l, ϑ_nl ≥ x_n + x_l − 1
+    for a in 0..n {
+        for b in 0..n {
+            let Some(th) = theta[a][b] else { continue };
+            model.add_constraint(vec![(th, 1.0), (x[a], -1.0)], Cmp::Le, 0.0);
+            model.add_constraint(vec![(th, 1.0), (x[b], -1.0)], Cmp::Le, 0.0);
+            model.add_constraint(vec![(th, 1.0), (x[a], -1.0), (x[b], -1.0)], Cmp::Ge, -1.0);
+        }
+    }
+    // Constraint family (9): φ ≤ ϑ, φ ≤ y_mn, φ ≥ ϑ + y_mn − 1
+    for a in 0..n {
+        for b in 0..n {
+            let Some(th) = theta[a][b] else { continue };
+            for mi in 0..m {
+                let ph = phi[a][b][mi].expect("phi exists when theta does");
+                model.add_constraint(vec![(ph, 1.0), (th, -1.0)], Cmp::Le, 0.0);
+                model.add_constraint(vec![(ph, 1.0), (y[mi][a], -1.0)], Cmp::Le, 0.0);
+                model.add_constraint(
+                    vec![(ph, 1.0), (th, -1.0), (y[mi][a], -1.0)],
+                    Cmp::Ge,
+                    -1.0,
+                );
+            }
+        }
+    }
+    // At least one hub must be placed (clients need an assignment).
+    model.add_constraint((0..n).map(|ni| (x[ni], 1.0)).collect(), Cmp::Ge, 1.0);
+
+    let sol = model.solve()?;
+    let placed: Vec<bool> = (0..n).map(|ni| sol.value(x[ni]) > 0.5).collect();
+    let plan = PlacementPlan::from_placement(inst, &placed)?;
+    debug_assert!(
+        (plan.balance_cost() - sol.objective()).abs() < 1e-4,
+        "MILP objective {} disagrees with plan cost {}",
+        sol.objective(),
+        plan.balance_cost()
+    );
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exhaustive;
+    use crate::CostParams;
+    use pcn_sim::SimRng;
+    use pcn_types::NodeId;
+
+    fn random_instance(rng: &mut SimRng, n: usize, m: usize, omega: f64) -> PlacementInstance {
+        let zeta = (0..m)
+            .map(|_| (0..n).map(|_| rng.f64() * 2.0).collect())
+            .collect();
+        let mut delta = vec![vec![0.0; n]; n];
+        let mut eps = vec![vec![0.0; n]; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = rng.f64();
+                let e = rng.f64() * 0.5;
+                delta[a][b] = d;
+                delta[b][a] = d;
+                eps[a][b] = e;
+                eps[b][a] = e;
+            }
+        }
+        PlacementInstance::from_matrices(
+            (100..100 + m as u32).map(NodeId::new).collect(),
+            (0..n as u32).map(NodeId::new).collect(),
+            zeta,
+            delta,
+            eps,
+            omega,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn milp_matches_exhaustive_on_random_instances() {
+        let mut rng = SimRng::seed(17);
+        for round in 0..6 {
+            let omega = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0][round];
+            let inst = random_instance(&mut rng, 3, 5, omega);
+            let milp = solve_milp(&inst).unwrap();
+            let exact = solve_exhaustive(&inst).unwrap();
+            assert!(
+                (milp.balance_cost() - exact.balance_cost()).abs() < 1e-6,
+                "round {round}: milp {} vs exact {}",
+                milp.balance_cost(),
+                exact.balance_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn milp_on_graph_instance() {
+        let g = pcn_graph::ring(10);
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (4..10).map(NodeId::from_index).collect(),
+            (0..4).map(NodeId::from_index).collect(),
+            CostParams::paper(0.5),
+        );
+        let milp = solve_milp(&inst).unwrap();
+        let exact = solve_exhaustive(&inst).unwrap();
+        assert!((milp.balance_cost() - exact.balance_cost()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn size_guard_enforced() {
+        let mut rng = SimRng::seed(1);
+        let inst = random_instance(&mut rng, MAX_MILP_CANDIDATES + 1, 3, 1.0);
+        assert!(matches!(
+            solve_milp(&inst),
+            Err(PcnError::InvalidConfig(_))
+        ));
+    }
+}

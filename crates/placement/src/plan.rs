@@ -1,0 +1,159 @@
+//! Placement plans: the solver output consumed by the system builder.
+
+use pcn_types::{NodeId, PcnError, Result};
+
+use crate::assignment::optimal_assignment;
+use crate::PlacementInstance;
+
+/// A concrete placement decision: which candidates become hubs and which
+/// hub each client is assigned to, with the cost breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementPlan {
+    /// Indices into the instance's candidate list.
+    hub_indices: Vec<usize>,
+    /// Hub node ids (parallel to `hub_indices`).
+    hub_nodes: Vec<NodeId>,
+    /// Per-client candidate index.
+    assignment: Vec<usize>,
+    management: f64,
+    synchronization: f64,
+    balance: f64,
+}
+
+impl PlacementPlan {
+    /// Builds a plan from a placement vector using the Lemma-1 assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::Infeasible`] when `placed` selects no candidate.
+    pub fn from_placement(inst: &PlacementInstance, placed: &[bool]) -> Result<PlacementPlan> {
+        let assignment = optimal_assignment(inst, placed)
+            .ok_or_else(|| PcnError::Infeasible("no candidate placed".into()))?;
+        let hub_indices: Vec<usize> = (0..inst.num_candidates()).filter(|&i| placed[i]).collect();
+        let hub_nodes = hub_indices
+            .iter()
+            .map(|&i| inst.candidates()[i])
+            .collect();
+        let management = inst.management_cost(&assignment);
+        let synchronization = inst.synchronization_cost(placed, &assignment);
+        let balance = management + inst.omega() * synchronization;
+        Ok(PlacementPlan {
+            hub_indices,
+            hub_nodes,
+            assignment,
+            management,
+            synchronization,
+            balance,
+        })
+    }
+
+    /// Candidate indices chosen as hubs.
+    pub fn hub_indices(&self) -> &[usize] {
+        &self.hub_indices
+    }
+
+    /// Hub node ids in the PCN graph.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hub_nodes
+    }
+
+    /// Per-client assignment (candidate *index*, parallel to the
+    /// instance's client list).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The hub node a given client (by position in the instance's client
+    /// list) is assigned to.
+    pub fn hub_of_client(&self, inst: &PlacementInstance, client_pos: usize) -> NodeId {
+        inst.candidates()[self.assignment[client_pos]]
+    }
+
+    /// Management cost C_M.
+    pub fn management_cost(&self) -> f64 {
+        self.management
+    }
+
+    /// Synchronization cost C_S.
+    pub fn synchronization_cost(&self) -> f64 {
+        self.synchronization
+    }
+
+    /// Balance cost C_B = C_M + ω·C_S.
+    pub fn balance_cost(&self) -> f64 {
+        self.balance
+    }
+
+    /// Number of placed hubs.
+    pub fn num_hubs(&self) -> usize {
+        self.hub_indices.len()
+    }
+}
+
+impl core::fmt::Display for PlacementPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} hubs, C_M={:.3} C_S={:.3} C_B={:.3}",
+            self.num_hubs(),
+            self.management,
+            self.synchronization,
+            self.balance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostParams;
+
+    fn inst() -> PlacementInstance {
+        let g = pcn_graph::ring(8);
+        PlacementInstance::from_graph(
+            &g,
+            (3..8).map(NodeId::from_index).collect(),
+            (0..3).map(NodeId::from_index).collect(),
+            CostParams::paper(0.4),
+        )
+    }
+
+    #[test]
+    fn from_placement_builds_consistent_plan() {
+        let inst = inst();
+        let plan = PlacementPlan::from_placement(&inst, &[true, false, true]).unwrap();
+        assert_eq!(plan.num_hubs(), 2);
+        assert_eq!(plan.hub_indices(), &[0, 2]);
+        assert_eq!(plan.hubs(), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(plan.assignment().len(), 5);
+        for &a in plan.assignment() {
+            assert!(a == 0 || a == 2);
+        }
+        let recomputed = plan.management_cost() + inst.omega() * plan.synchronization_cost();
+        assert!((plan.balance_cost() - recomputed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_placement_fails() {
+        let inst = inst();
+        assert!(PlacementPlan::from_placement(&inst, &[false, false, false]).is_err());
+    }
+
+    #[test]
+    fn hub_of_client_resolves_node_ids() {
+        let inst = inst();
+        let plan = PlacementPlan::from_placement(&inst, &[false, true, false]).unwrap();
+        for pos in 0..inst.num_clients() {
+            assert_eq!(plan.hub_of_client(&inst, pos), NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn display_summary() {
+        let inst = inst();
+        let plan = PlacementPlan::from_placement(&inst, &[true, true, true]).unwrap();
+        let s = plan.to_string();
+        assert!(s.starts_with("3 hubs"));
+        assert!(s.contains("C_B="));
+    }
+}

@@ -1,0 +1,240 @@
+//! Large-scale approximation: supermodular minimization by double greedy.
+//!
+//! §IV-C: the balance cost as a set function `f(X) = C_B(x_X, y(x_X))`
+//! (eq. 14) is supermodular for uniform δ (Lemma 2, proved in \[18\]).
+//! Minimizing a supermodular `f` equals maximizing the submodular
+//! `f̂(X) = f_ub − f(X)`; the Buchbinder–Feldman–Naor–Schwartz double
+//! greedy (the paper's Algorithm 1) achieves a ½-approximation in
+//! expectation (randomized) or ⅓ deterministically, in a single pass over
+//! the candidates.
+
+use pcn_sim::SimRng;
+
+use crate::assignment::balance_cost_for;
+use crate::PlacementInstance;
+
+/// Evaluates the set function f(X) of eq. 14 for a candidate subset given
+/// as a membership mask.
+pub fn f_of(inst: &PlacementInstance, members: &[bool]) -> f64 {
+    balance_cost_for(inst, members)
+}
+
+/// An upper bound `f_ub ≥ max_X f(X)`, used to build the submodular
+/// mirror `f̂ = f_ub − f`.
+pub fn f_upper_bound(inst: &PlacementInstance) -> f64 {
+    inst.infeasible_cost()
+}
+
+/// Checks Definition 2 on sampled chains: for random `A ⊆ B` and
+/// `i ∉ B`, `f(A∪i) − f(A) ≤ f(B∪i) − f(B)`. Returns the number of
+/// violations over `samples` trials (0 for genuinely supermodular
+/// instances, e.g. uniform δ — Lemma 2).
+pub fn count_supermodularity_violations(
+    inst: &PlacementInstance,
+    samples: usize,
+    rng: &mut SimRng,
+) -> usize {
+    let n = inst.num_candidates();
+    if n < 2 {
+        return 0;
+    }
+    let mut violations = 0;
+    for _ in 0..samples {
+        // Sample B, then A ⊆ B, then i outside B.
+        let mut b = vec![false; n];
+        for bit in b.iter_mut() {
+            *bit = rng.chance(0.5);
+        }
+        let outside: Vec<usize> = (0..n).filter(|&i| !b[i]).collect();
+        let Some(&i) = rng.pick(&outside) else {
+            continue;
+        };
+        let mut a = b.clone();
+        for bit in a.iter_mut() {
+            if *bit {
+                *bit = rng.chance(0.6);
+            }
+        }
+        let fa = f_of(inst, &a);
+        let fb = f_of(inst, &b);
+        let mut ai = a.clone();
+        ai[i] = true;
+        let mut bi = b.clone();
+        bi[i] = true;
+        let lhs = f_of(inst, &ai) - fa;
+        let rhs = f_of(inst, &bi) - fb;
+        if lhs > rhs + 1e-9 {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Result of a double-greedy run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoubleGreedyOutcome {
+    /// Final membership mask (X_z = Y_z).
+    pub members: Vec<bool>,
+    /// f(X_z) — the achieved balance cost.
+    pub cost: f64,
+}
+
+/// Algorithm 1, deterministic variant: at step i, add `u_i` to X if the
+/// add-gain `a_i` is at least the remove-gain `b_i`, else remove it from Y.
+/// Guarantees f̂(result) ≥ ⅓·f̂(opt).
+pub fn double_greedy_deterministic(inst: &PlacementInstance) -> DoubleGreedyOutcome {
+    double_greedy_impl(inst, |a, b, _| a >= b, &mut SimRng::seed(0))
+}
+
+/// Algorithm 1 as printed (randomized): add with probability
+/// `a'/(a'+b')` (and 1 when both are zero — line 10). Guarantees
+/// E[f̂] ≥ ½·f̂(opt).
+pub fn double_greedy_randomized(
+    inst: &PlacementInstance,
+    rng: &mut SimRng,
+) -> DoubleGreedyOutcome {
+    double_greedy_impl(inst, |a, b, rng| {
+        if a == 0.0 && b == 0.0 {
+            true // line 10: a'/(a'+b') defined as 1
+        } else {
+            rng.chance(a / (a + b))
+        }
+    }, rng)
+}
+
+fn double_greedy_impl<F>(
+    inst: &PlacementInstance,
+    mut choose_add: F,
+    rng: &mut SimRng,
+) -> DoubleGreedyOutcome
+where
+    F: FnMut(f64, f64, &mut SimRng) -> bool,
+{
+    let n = inst.num_candidates();
+    // X starts empty, Y starts full (S); maintain f̂ via f evaluations.
+    let mut x = vec![false; n];
+    let mut y = vec![true; n];
+    let mut f_x = f_of(inst, &x);
+    let mut f_y = f_of(inst, &y);
+    for u in 0..n {
+        // a_i = f̂(X∪u) − f̂(X) = f(X) − f(X∪u)
+        let mut xu = x.clone();
+        xu[u] = true;
+        let f_xu = f_of(inst, &xu);
+        let a = f_x - f_xu;
+        // b_i = f̂(Y\u) − f̂(Y) = f(Y) − f(Y\u)
+        let mut yu = y.clone();
+        yu[u] = false;
+        let f_yu = f_of(inst, &yu);
+        let b = f_y - f_yu;
+        let a_pos = a.max(0.0);
+        let b_pos = b.max(0.0);
+        if choose_add(a_pos, b_pos, rng) {
+            x[u] = true;
+            f_x = f_xu;
+        } else {
+            y[u] = false;
+            f_y = f_yu;
+        }
+    }
+    debug_assert_eq!(x, y, "double greedy solutions must coincide");
+    DoubleGreedyOutcome {
+        cost: f_x,
+        members: x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exhaustive;
+    use crate::{CostParams, PlacementInstance};
+    use pcn_types::NodeId;
+
+    fn ring_instance(nodes: usize, cands: usize, omega: f64) -> PlacementInstance {
+        let g = pcn_graph::ring(nodes);
+        PlacementInstance::from_graph(
+            &g,
+            (cands..nodes).map(NodeId::from_index).collect(),
+            (0..cands).map(NodeId::from_index).collect(),
+            CostParams::paper(omega),
+        )
+    }
+
+    #[test]
+    fn uniform_delta_is_supermodular() {
+        let inst = ring_instance(14, 6, 0.8).with_uniform_delta(0.05);
+        let mut rng = SimRng::seed(3);
+        assert_eq!(count_supermodularity_violations(&inst, 300, &mut rng), 0);
+    }
+
+    #[test]
+    fn deterministic_greedy_hits_its_bound() {
+        for omega in [0.0, 0.05, 0.3, 1.0, 5.0] {
+            let inst = ring_instance(16, 8, omega).with_uniform_delta(0.02);
+            let opt = solve_exhaustive(&inst).unwrap().balance_cost();
+            let got = double_greedy_deterministic(&inst).cost;
+            let fub = f_upper_bound(&inst);
+            // f̂ guarantee: fub − got ≥ (fub − opt)/3.
+            assert!(
+                fub - got >= (fub - opt) / 3.0 - 1e-9,
+                "omega {omega}: got {got}, opt {opt}, fub {fub}"
+            );
+            // And in absolute terms the approximation should not be absurd.
+            assert!(got <= inst.infeasible_cost());
+        }
+    }
+
+    #[test]
+    fn randomized_greedy_usually_matches_deterministic_quality() {
+        let inst = ring_instance(16, 8, 0.4).with_uniform_delta(0.02);
+        let opt = solve_exhaustive(&inst).unwrap().balance_cost();
+        let fub = f_upper_bound(&inst);
+        let mut total_fhat = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = SimRng::seed(seed);
+            let got = double_greedy_randomized(&inst, &mut rng);
+            assert_eq!(
+                got.members.iter().filter(|&&b| b).count() > 0,
+                got.cost < inst.infeasible_cost(),
+                "nonempty ⇔ feasible cost"
+            );
+            total_fhat += fub - got.cost;
+        }
+        let mean_fhat = total_fhat / trials as f64;
+        // Expectation guarantee is ½·f̂(opt); allow slack for sampling.
+        assert!(
+            mean_fhat >= 0.45 * (fub - opt),
+            "mean f̂ {mean_fhat} vs opt f̂ {}",
+            fub - opt
+        );
+    }
+
+    #[test]
+    fn greedy_matches_optimum_on_easy_instances() {
+        // ω = 0 means "place everything" — greedy must find exactly that.
+        let inst = ring_instance(12, 5, 0.0);
+        let out = double_greedy_deterministic(&inst);
+        assert_eq!(out.members, vec![true; 5]);
+        let opt = solve_exhaustive(&inst).unwrap();
+        assert!((out.cost - opt.balance_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_deterministic_same_when_forced() {
+        // With a huge ω, marginals are decisive; both variants agree.
+        let inst = ring_instance(12, 5, 100.0).with_uniform_delta(0.5);
+        let det = double_greedy_deterministic(&inst);
+        let mut rng = SimRng::seed(7);
+        let rnd = double_greedy_randomized(&inst, &mut rng);
+        assert_eq!(det.members.iter().filter(|&&b| b).count(), 1);
+        assert_eq!(rnd.members.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn f_of_empty_is_upper_bound() {
+        let inst = ring_instance(10, 4, 0.3);
+        assert_eq!(f_of(&inst, &[false; 4]), f_upper_bound(&inst));
+    }
+}

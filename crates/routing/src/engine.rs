@@ -1,0 +1,1205 @@
+//! The discrete-event PCN engine.
+//!
+//! One general machine executes every scheme: payment arrivals pass
+//! through a route-computation service queue (source device or hub), the
+//! resulting path plan feeds a per-transaction flow (TU backlog + rate
+//! controller + windows for rate-controlled schemes, or an immediate
+//! multi-path blast for the others), TUs traverse hops with per-hop
+//! delay, lock funds HTLC-style, queue when a channel direction lacks
+//! funds (congestion-controlled schemes only), get marked when queueing
+//! exceeds the threshold T, and settle hop-by-hop as the acknowledgement
+//! travels back. Prices tick every τ (eqs. 21–26).
+//!
+//! Simplifications vs. a production deployment, documented per DESIGN.md:
+//! channel processing rate `r_process` is unbounded (congestion arises
+//! from funds, queues and windows); failure unwinding refunds instantly
+//! (the refund messages are counted in overhead but not delayed).
+
+use std::collections::{HashMap, VecDeque};
+
+use pcn_graph::{max_flow, Graph, Path};
+use pcn_sim::{EventQueue, SimRng};
+use pcn_types::{
+    Amount, ChannelId, NodeId, SimDuration, SimTime, TuId, TxId,
+};
+
+use crate::channel::NetworkFunds;
+use crate::paths::{select_paths, BalanceView, PathSelect};
+use crate::prices::PriceTable;
+use crate::rate::RateController;
+use crate::scheduler::WaitQueue;
+use crate::scheme::{RouteVia, SchemeConfig};
+use crate::stats::RunStats;
+use crate::tu::{split_demand, Payment, TransactionUnit};
+use crate::window::WindowController;
+
+/// Engine tuning knobs (protocol constants of §V-A plus controller gains).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// One-way per-hop message delay.
+    pub hop_delay: SimDuration,
+    /// Price/probe update interval τ (paper: 200 ms).
+    pub update_interval: SimDuration,
+    /// Transaction timeout (paper: 3 s).
+    pub tx_timeout: SimDuration,
+    /// Queueing-delay marking threshold T (paper: 400 ms).
+    pub queue_delay_threshold: SimDuration,
+    /// Per-queue value bound (paper: 8000 tokens).
+    pub queue_capacity: Amount,
+    /// Min TU value (paper: 1 token).
+    pub min_tu: Amount,
+    /// Max TU value (paper: 4 tokens).
+    pub max_tu: Amount,
+    /// Capacity-price gain κ (eq. 21).
+    pub kappa: f64,
+    /// Imbalance-price gain η (eq. 22).
+    pub eta: f64,
+    /// Rate-update gain α (eq. 26).
+    pub alpha: f64,
+    /// Fee threshold T_fee (eq. 24).
+    pub t_fee: f64,
+    /// Window decrease β (eq. 27; paper: 10).
+    pub beta: f64,
+    /// Window increase γ (eq. 28; paper: 0.1).
+    pub gamma: f64,
+    /// Rate floor (tokens/sec).
+    pub min_rate: f64,
+    /// Rate ceiling (tokens/sec).
+    pub max_rate: f64,
+    /// Starting per-path rate (tokens/sec).
+    pub initial_rate: f64,
+    /// Starting per-path window (TUs).
+    pub initial_window: f64,
+    /// TU retry budget after a failed attempt (Flash uses 1).
+    pub max_retries: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            hop_delay: SimDuration::from_millis(40),
+            update_interval: pcn_types::constants::UPDATE_INTERVAL,
+            tx_timeout: pcn_types::constants::TX_TIMEOUT,
+            queue_delay_threshold: pcn_types::constants::QUEUE_DELAY_THRESHOLD,
+            queue_capacity: pcn_types::constants::QUEUE_CAPACITY,
+            min_tu: pcn_types::constants::MIN_TU,
+            max_tu: pcn_types::constants::MAX_TU,
+            kappa: 0.002,
+            eta: 0.01,
+            alpha: 0.4,
+            t_fee: 0.1,
+            beta: pcn_types::constants::WINDOW_BETA,
+            gamma: pcn_types::constants::WINDOW_GAMMA,
+            min_rate: 1.0,
+            max_rate: 500.0,
+            initial_rate: 50.0,
+            initial_window: 20.0,
+            max_retries: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    ComputeDone(TxId),
+    Inject(TxId, usize),
+    HopArrive(TuId),
+    SettleHop(TuId, usize),
+    AckComplete(TuId),
+    PriceTick,
+    Deadline(TxId),
+    QueueDrain(u32, bool),
+}
+
+struct FlowState {
+    paths: Vec<Path>,
+    rates: Option<RateController>,
+    windows: WindowController,
+    outstanding: Vec<usize>,
+}
+
+struct TxState {
+    payment: Payment,
+    flow: Option<FlowState>,
+    backlog: VecDeque<Amount>,
+    delivered: Amount,
+    resolved: bool,
+    next_path: usize,
+}
+
+/// The simulation engine for one (topology, funds, scheme, workload) run.
+pub struct Engine {
+    cfg: EngineConfig,
+    scheme: SchemeConfig,
+    graph: Graph,
+    funds: NetworkFunds,
+    prices: PriceTable,
+    /// Per channel: (queue a→b, queue b→a).
+    queues: Vec<(WaitQueue, WaitQueue)>,
+    endpoints: Vec<(NodeId, NodeId)>,
+    txs: HashMap<TxId, TxState>,
+    active: Vec<TxId>,
+    tus: HashMap<TuId, TransactionUnit>,
+    retries: HashMap<TuId, u32>,
+    node_busy: Vec<SimTime>,
+    events: EventQueue<Ev>,
+    stats: RunStats,
+    rng: SimRng,
+    next_tu: u64,
+    payments: VecDeque<Payment>,
+    horizon: SimTime,
+    mice_cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    hub_count: usize,
+}
+
+impl Engine {
+    /// Creates an engine over a topology, its channel funds, a scheme and
+    /// the config.
+    pub fn new(
+        graph: Graph,
+        funds: NetworkFunds,
+        scheme: SchemeConfig,
+        cfg: EngineConfig,
+        rng: SimRng,
+    ) -> Engine {
+        let endpoints: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .map(|c| graph.endpoints(c).expect("dense edge ids"))
+            .collect();
+        let queues = endpoints
+            .iter()
+            .map(|_| {
+                (
+                    WaitQueue::new(scheme.discipline, cfg.queue_capacity),
+                    WaitQueue::new(scheme.discipline, cfg.queue_capacity),
+                )
+            })
+            .collect();
+        let prices = PriceTable::new(endpoints.clone());
+        let node_busy = vec![SimTime::ZERO; graph.node_count()];
+        let hub_count = match &scheme.route_via {
+            RouteVia::Hubs { assignment } => {
+                let mut hubs: Vec<NodeId> = assignment.values().copied().collect();
+                hubs.sort();
+                hubs.dedup();
+                hubs.len()
+            }
+            RouteVia::SingleHub { .. } => 1,
+            _ => 0,
+        };
+        Engine {
+            cfg,
+            scheme,
+            graph,
+            funds,
+            prices,
+            queues,
+            endpoints,
+            txs: HashMap::new(),
+            active: Vec::new(),
+            tus: HashMap::new(),
+            retries: HashMap::new(),
+            node_busy,
+            events: EventQueue::new(),
+            stats: RunStats::default(),
+            rng,
+            next_tu: 0,
+            payments: VecDeque::new(),
+            horizon: SimTime::ZERO,
+            mice_cache: HashMap::new(),
+            hub_count,
+        }
+    }
+
+    /// Runs the engine over a pre-generated payment list (must be sorted
+    /// by arrival time) and returns the statistics.
+    pub fn run(mut self, payments: Vec<Payment>) -> RunStats {
+        debug_assert!(payments.windows(2).all(|w| w[0].created <= w[1].created));
+        self.horizon = payments
+            .last()
+            .map(|p| p.deadline + self.cfg.update_interval)
+            .unwrap_or(SimTime::ZERO);
+        self.payments = payments.into();
+        if let Some(first) = self.payments.front() {
+            let at = first.created;
+            self.events.schedule_at(at, Ev::Arrival);
+        }
+        self.events
+            .schedule_after(self.cfg.update_interval, Ev::PriceTick);
+        while let Some((now, ev)) = self.events.pop() {
+            self.handle(now, ev);
+        }
+        self.stats.drained_directions_end = self.funds.drained_directions();
+        debug_assert!(self.funds.verify_conservation());
+        debug_assert!(self.stats.is_consistent());
+        self.stats
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival => self.on_arrival(now),
+            Ev::ComputeDone(tx) => self.on_compute_done(now, tx),
+            Ev::Inject(tx, path_i) => self.on_inject(now, tx, path_i),
+            Ev::HopArrive(tu) => self.on_hop_arrive(now, tu),
+            Ev::SettleHop(tu, hop) => self.on_settle_hop(tu, hop),
+            Ev::AckComplete(tu) => self.on_ack_complete(now, tu),
+            Ev::PriceTick => self.on_price_tick(now),
+            Ev::Deadline(tx) => self.on_deadline(tx),
+            Ev::QueueDrain(ch, dir) => self.drain_queue(now, ChannelId::new(ch), dir),
+        }
+    }
+
+    // ---- arrival & route computation -------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime) {
+        let payment = self.payments.pop_front().expect("arrival without payment");
+        debug_assert_eq!(payment.created, now);
+        if let Some(next) = self.payments.front() {
+            self.events.schedule_at(next.created, Ev::Arrival);
+        }
+        self.stats.generated += 1;
+        self.stats.generated_value += payment.value;
+        let tx = payment.id;
+        // Route computation is serviced at the source (source routing) or
+        // at the responsible hub, modelled as a FIFO per-node CPU.
+        let compute_node = self.compute_node(&payment);
+        let per_edge = if self.scheme.compute_at_source {
+            self.scheme.compute.client_secs_per_edge
+        } else {
+            self.scheme.compute.hub_secs_per_edge
+        };
+        let service = SimDuration::from_secs_f64(per_edge * self.graph.edge_count() as f64)
+            + self.scheme.compute.crypto_overhead;
+        let start = self.node_busy[compute_node.index()].max(now);
+        let done = start + service;
+        self.node_busy[compute_node.index()] = done;
+        self.events.schedule_at(done, Ev::ComputeDone(tx));
+        self.events.schedule_at(payment.deadline, Ev::Deadline(tx));
+        self.txs.insert(
+            tx,
+            TxState {
+                payment,
+                flow: None,
+                backlog: VecDeque::new(),
+                delivered: Amount::ZERO,
+                resolved: false,
+                next_path: 0,
+            },
+        );
+        self.active.push(tx);
+    }
+
+    fn compute_node(&self, p: &Payment) -> NodeId {
+        match &self.scheme.route_via {
+            RouteVia::Hubs { assignment } => assignment.get(&p.source).copied().unwrap_or(p.source),
+            RouteVia::SingleHub { hub } => *hub,
+            _ => p.source,
+        }
+    }
+
+    fn on_compute_done(&mut self, now: SimTime, tx: TxId) {
+        let Some(state) = self.txs.get(&tx) else { return };
+        if state.resolved {
+            return;
+        }
+        let payment = state.payment.clone();
+        let paths = self.plan_paths(&payment);
+        if paths.is_empty() {
+            self.stats.unroutable += 1;
+            self.fail_tx(tx);
+            return;
+        }
+        let k = paths.len();
+        let rates = self.scheme.rate_control.then(|| {
+            RateController::new(
+                k,
+                self.cfg.initial_rate,
+                self.cfg.min_rate,
+                self.cfg.max_rate,
+                self.cfg.alpha,
+            )
+        });
+        let windows = WindowController::new(k, self.cfg.initial_window, self.cfg.beta, self.cfg.gamma);
+        let backlog: VecDeque<Amount> =
+            split_demand(payment.value, self.cfg.min_tu, self.cfg.max_tu).into();
+        let state = self.txs.get_mut(&tx).expect("checked above");
+        state.flow = Some(FlowState {
+            outstanding: vec![0; k],
+            paths,
+            rates,
+            windows,
+        });
+        state.backlog = backlog;
+        if self.scheme.rate_control {
+            for i in 0..k {
+                self.events.schedule_at(now, Ev::Inject(tx, i));
+            }
+        } else {
+            // Blast every TU immediately, round-robin over the paths.
+            while self.send_next_tu(now, tx, None) {}
+        }
+    }
+
+    fn plan_paths(&mut self, p: &Payment) -> Vec<Path> {
+        let k = self.scheme.num_paths.max(1);
+        let strategy = self.scheme.path_select;
+        let view = self.scheme.balance_view;
+        let min_w = self.cfg.min_tu;
+        match &self.scheme.route_via {
+            RouteVia::Direct => {
+                select_paths(&self.graph, &self.funds, p.source, p.dest, k, strategy, view, min_w)
+            }
+            RouteVia::Hubs { assignment } => {
+                let Some(&hub_s) = assignment.get(&p.source) else {
+                    return Vec::new();
+                };
+                let Some(&hub_r) = assignment.get(&p.dest) else {
+                    return Vec::new();
+                };
+                let Some(first) = self.graph.edge_between(p.source, hub_s) else {
+                    return Vec::new();
+                };
+                let Some(last) = self.graph.edge_between(hub_r, p.dest) else {
+                    return Vec::new();
+                };
+                let head = Path::new(vec![p.source, hub_s], vec![first]);
+                let tail = Path::new(vec![hub_r, p.dest], vec![last]);
+                if hub_s == hub_r {
+                    return vec![head.join(tail)];
+                }
+                let middles = select_paths(
+                    &self.graph,
+                    &self.funds,
+                    hub_s,
+                    hub_r,
+                    k,
+                    strategy,
+                    view,
+                    min_w,
+                );
+                middles
+                    .into_iter()
+                    .filter(|m| {
+                        // A middle path must not route through either client.
+                        m.nodes()[1..m.nodes().len() - 1]
+                            .iter()
+                            .all(|&n| n != p.source && n != p.dest)
+                    })
+                    .map(|m| head.clone().join(m).join(tail.clone()))
+                    .collect()
+            }
+            RouteVia::Landmarks { landmarks } => {
+                let mut out = Vec::new();
+                for &lm in landmarks.iter().take(k) {
+                    if lm == p.source || lm == p.dest {
+                        continue;
+                    }
+                    let up = self
+                        .graph
+                        .shortest_path(p.source, lm, |e| {
+                            (self.funds.total(e.id) > Amount::ZERO).then_some(1.0)
+                        })
+                        .map(|(_, path)| path);
+                    let down = self
+                        .graph
+                        .shortest_path(lm, p.dest, |e| {
+                            (self.funds.total(e.id) > Amount::ZERO).then_some(1.0)
+                        })
+                        .map(|(_, path)| path);
+                    if let (Some(u), Some(d)) = (up, down) {
+                        // Loops through the landmark are allowed by the
+                        // scheme but a hop may not revisit the same channel.
+                        let joined = u.join(d);
+                        let mut chans: Vec<_> = joined.channels().to_vec();
+                        chans.sort();
+                        chans.dedup();
+                        if chans.len() == joined.channels().len() {
+                            out.push(joined);
+                        }
+                    }
+                }
+                out.dedup_by(|a, b| a.nodes() == b.nodes());
+                out
+            }
+            RouteVia::SingleHub { hub } => {
+                let Some(first) = self.graph.edge_between(p.source, *hub) else {
+                    return Vec::new();
+                };
+                let Some(second) = self.graph.edge_between(*hub, p.dest) else {
+                    return Vec::new();
+                };
+                vec![Path::new(vec![p.source, *hub, p.dest], vec![first, second])]
+            }
+            RouteVia::FlashMaxFlow { elephant_threshold } => {
+                if p.value > *elephant_threshold {
+                    let res = max_flow(&self.graph, p.source, p.dest, |e| {
+                        Some(self.funds.total(e.id).millitokens())
+                    });
+                    let mut paths: Vec<(u64, Path)> = res
+                        .paths
+                        .into_iter()
+                        .map(|fp| (fp.amount, fp.path))
+                        .collect();
+                    paths.sort_by(|a, b| b.0.cmp(&a.0));
+                    paths.into_iter().take(k).map(|(_, p)| p).collect()
+                } else {
+                    let key = (p.source, p.dest);
+                    if !self.mice_cache.contains_key(&key) {
+                        let precomputed = select_paths(
+                            &self.graph,
+                            &self.funds,
+                            p.source,
+                            p.dest,
+                            k,
+                            PathSelect::Ksp,
+                            BalanceView::CapacityOnly,
+                            min_w,
+                        );
+                        self.mice_cache.insert(key, precomputed);
+                    }
+                    let pool = &self.mice_cache[&key];
+                    if pool.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![pool[self.rng.index(pool.len())].clone()]
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- TU sending ------------------------------------------------------
+
+    /// Sends the next backlog TU. With `path_override` the TU goes on the
+    /// given path (rate-controlled injection); otherwise round-robin.
+    /// Returns false when the backlog is empty or the window is closed.
+    fn send_next_tu(&mut self, now: SimTime, tx: TxId, path_override: Option<usize>) -> bool {
+        let Some(state) = self.txs.get_mut(&tx) else {
+            return false;
+        };
+        if state.resolved || state.backlog.is_empty() {
+            return false;
+        }
+        let Some(flow) = state.flow.as_mut() else {
+            return false;
+        };
+        let path_i = match path_override {
+            Some(i) => i,
+            None => {
+                let i = state.next_path % flow.paths.len();
+                state.next_path += 1;
+                i
+            }
+        };
+        if !flow.windows.admits(path_i, flow.outstanding[path_i]) {
+            return false;
+        }
+        let amount = state.backlog.pop_front().expect("backlog non-empty");
+        flow.outstanding[path_i] += 1;
+        let path = flow.paths[path_i].clone();
+        let deadline = state.payment.deadline;
+        let id = TuId::new(self.next_tu);
+        self.next_tu += 1;
+        self.tus.insert(
+            id,
+            TransactionUnit {
+                id,
+                tx,
+                amount,
+                path,
+                next_hop: 0,
+                locked_hops: 0,
+                marked: false,
+                deadline,
+                enqueued_at: None,
+                flow_path: path_i,
+            },
+        );
+        self.events.schedule_at(now, Ev::HopArrive(id));
+        true
+    }
+
+    fn on_inject(&mut self, now: SimTime, tx: TxId, path_i: usize) {
+        let Some(state) = self.txs.get(&tx) else { return };
+        if state.resolved {
+            return;
+        }
+        let Some(flow) = state.flow.as_ref() else {
+            return;
+        };
+        let rate = flow
+            .rates
+            .as_ref()
+            .map(|r| r.rate(path_i))
+            .unwrap_or(self.cfg.max_rate);
+        let tu_tokens = self.cfg.max_tu.to_tokens_f64();
+        let sent = self.send_next_tu(now, tx, Some(path_i));
+        let gap = if sent {
+            SimDuration::from_secs_f64(tu_tokens / rate.max(self.cfg.min_rate))
+        } else {
+            // Window closed or backlog empty: poll again shortly.
+            self.cfg.update_interval.div(4).max(SimDuration::from_millis(10))
+        };
+        // Keep injecting while the transaction can still make its deadline.
+        let state = self.txs.get(&tx).expect("still present");
+        if !state.resolved && now + gap <= state.payment.deadline {
+            self.events.schedule_after(gap, Ev::Inject(tx, path_i));
+        }
+    }
+
+    // ---- hop machinery ----------------------------------------------------
+
+    fn on_hop_arrive(&mut self, now: SimTime, tu_id: TuId) {
+        let Some(tu) = self.tus.get(&tu_id) else { return };
+        if tu.next_hop == tu.path.hops() {
+            self.deliver(now, tu_id);
+            return;
+        }
+        if now >= tu.deadline {
+            self.abort_tu(now, tu_id, false);
+            return;
+        }
+        let hop = tu.next_hop;
+        let (from, ch, _to) = nth_hop(&tu.path, hop);
+        let amount = tu.amount;
+        match self.funds.lock(ch, from, amount) {
+            Ok(()) => {
+                self.prices
+                    .record_arrival(ch, from, amount.to_tokens_f64());
+                self.stats.overhead_msgs += 1;
+                let tu = self.tus.get_mut(&tu_id).expect("present");
+                tu.next_hop += 1;
+                tu.locked_hops += 1;
+                tu.enqueued_at = None;
+                self.events
+                    .schedule_after(self.cfg.hop_delay, Ev::HopArrive(tu_id));
+            }
+            Err(_) => {
+                if self.scheme.congestion_control {
+                    let dir = self.dir_of(ch, from);
+                    let deadline = self.tus[&tu_id].deadline;
+                    let q = self.queue_mut(ch, dir);
+                    if q.push(tu_id, amount, deadline, now) {
+                        self.tus.get_mut(&tu_id).expect("present").enqueued_at = Some(now);
+                    } else {
+                        // Queue overflow (Algorithm 2's capacity bound).
+                        self.abort_tu(now, tu_id, false);
+                    }
+                } else {
+                    self.abort_tu(now, tu_id, false);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, tu_id: TuId) {
+        let tu = self.tus.get(&tu_id).expect("delivering a live TU");
+        let hops = tu.path.hops();
+        self.stats.delivered_tus += 1;
+        // The acknowledgement walks back: the hop nearest the recipient
+        // settles first.
+        for i in (0..hops).rev() {
+            let delay = self.cfg.hop_delay.saturating_mul((hops - 1 - i) as u64);
+            self.events
+                .schedule_at(now + delay, Ev::SettleHop(tu_id, i));
+        }
+        self.stats.overhead_msgs += hops as u64; // ack messages
+        let total_delay = self.cfg.hop_delay.saturating_mul(hops as u64);
+        self.events
+            .schedule_at(now + total_delay, Ev::AckComplete(tu_id));
+    }
+
+    fn on_settle_hop(&mut self, tu_id: TuId, hop: usize) {
+        let Some(tu) = self.tus.get(&tu_id) else { return };
+        let (from, ch, to) = nth_hop(&tu.path, hop);
+        let amount = tu.amount;
+        self.funds
+            .settle(ch, from, amount)
+            .expect("settling a locked hop");
+        // Settling credits the reverse direction; queued reverse TUs may
+        // now proceed.
+        let rev_dir = self.dir_of(ch, to);
+        self.events
+            .schedule_at(self.events.now(), Ev::QueueDrain(ch.raw(), rev_dir));
+    }
+
+    fn on_ack_complete(&mut self, now: SimTime, tu_id: TuId) {
+        let Some(tu) = self.tus.remove(&tu_id) else { return };
+        self.retries.remove(&tu_id);
+        let Some(state) = self.txs.get_mut(&tu.tx) else {
+            return;
+        };
+        state.delivered += tu.amount;
+        if let Some(flow) = state.flow.as_mut() {
+            flow.outstanding[tu.flow_path] = flow.outstanding[tu.flow_path].saturating_sub(1);
+            if !tu.marked {
+                flow.windows.on_unmarked_success(tu.flow_path);
+            }
+        }
+        if !state.resolved && state.delivered >= state.payment.value {
+            state.resolved = true;
+            self.stats.completed += 1;
+            self.stats.completed_value += state.payment.value;
+            self.stats
+                .latency
+                .record(now.saturating_since(state.payment.created).as_secs_f64());
+        }
+    }
+
+    /// Aborts a TU: removes it from any queue, refunds locked hops and
+    /// either retries, re-queues the value (rate-controlled schemes), or
+    /// abandons it.
+    fn abort_tu(&mut self, now: SimTime, tu_id: TuId, already_dequeued: bool) {
+        let Some(tu) = self.tus.remove(&tu_id) else { return };
+        self.stats.aborted_tus += 1;
+        if tu.enqueued_at.is_some() && !already_dequeued {
+            let (from, ch, _) = nth_hop(&tu.path, tu.next_hop);
+            let dir = self.dir_of(ch, from);
+            self.queue_mut(ch, dir).remove(tu_id);
+        }
+        // Refund every locked hop (instant unwinding).
+        for i in 0..tu.locked_hops {
+            let (from, ch, _) = nth_hop(&tu.path, i);
+            self.funds
+                .refund(ch, from, tu.amount)
+                .expect("refunding a locked hop");
+            self.stats.overhead_msgs += 1;
+            let dir = self.dir_of(ch, from);
+            self.events
+                .schedule_at(self.events.now(), Ev::QueueDrain(ch.raw(), dir));
+        }
+        let Some(state) = self.txs.get_mut(&tu.tx) else {
+            return;
+        };
+        if let Some(flow) = state.flow.as_mut() {
+            flow.outstanding[tu.flow_path] = flow.outstanding[tu.flow_path].saturating_sub(1);
+            if tu.marked {
+                flow.windows.on_marked_abort(tu.flow_path);
+            }
+        }
+        if state.resolved {
+            return;
+        }
+        if now >= state.payment.deadline {
+            return; // The Deadline event settles the outcome.
+        }
+        if self.scheme.rate_control {
+            // Value returns to the backlog; the injectors retry it.
+            state.backlog.push_back(tu.amount);
+        } else {
+            let retries_used = self.retries.get(&tu_id).copied().unwrap_or(0);
+            let flow_len = state.flow.as_ref().map(|f| f.paths.len()).unwrap_or(0);
+            if retries_used < self.cfg.max_retries && flow_len > 1 {
+                // Retry on the next path (Flash's alternate-path retry).
+                let next_path = (tu.flow_path + 1) % flow_len;
+                let flow = state.flow.as_mut().expect("flow_len > 0");
+                flow.outstanding[next_path] += 1;
+                let id = TuId::new(self.next_tu);
+                self.next_tu += 1;
+                let path = flow.paths[next_path].clone();
+                self.tus.insert(
+                    id,
+                    TransactionUnit {
+                        id,
+                        tx: tu.tx,
+                        amount: tu.amount,
+                        path,
+                        next_hop: 0,
+                        locked_hops: 0,
+                        marked: false,
+                        deadline: tu.deadline,
+                        enqueued_at: None,
+                        flow_path: next_path,
+                    },
+                );
+                self.retries.insert(id, retries_used + 1);
+                self.events.schedule_at(now, Ev::HopArrive(id));
+            } else {
+                // Without rate control a lost TU sinks the transaction.
+                self.fail_tx(tu.tx);
+            }
+        }
+    }
+
+    fn fail_tx(&mut self, tx: TxId) {
+        if let Some(state) = self.txs.get_mut(&tx) {
+            if !state.resolved {
+                state.resolved = true;
+                self.stats.failed += 1;
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, tx: TxId) {
+        self.fail_tx(tx);
+    }
+
+    // ---- queues ------------------------------------------------------------
+
+    fn dir_of(&self, ch: ChannelId, from: NodeId) -> bool {
+        self.endpoints[ch.index()].0 == from
+    }
+
+    fn queue_mut(&mut self, ch: ChannelId, dir_from_a: bool) -> &mut WaitQueue {
+        let pair = &mut self.queues[ch.index()];
+        if dir_from_a {
+            &mut pair.0
+        } else {
+            &mut pair.1
+        }
+    }
+
+    fn drain_queue(&mut self, now: SimTime, ch: ChannelId, dir_from_a: bool) {
+        loop {
+            let from = if dir_from_a {
+                self.endpoints[ch.index()].0
+            } else {
+                self.endpoints[ch.index()].1
+            };
+            let available = self.funds.balance(ch, from);
+            let Some(entry) = self.queue_mut(ch, dir_from_a).pop_eligible(available) else {
+                break;
+            };
+            let tu_id = entry.tu;
+            let Some(tu) = self.tus.get_mut(&tu_id) else {
+                continue;
+            };
+            let waited = now.saturating_since(entry.enqueued_at);
+            if waited > self.cfg.queue_delay_threshold && !tu.marked {
+                tu.marked = true;
+                self.stats.marked_tus += 1;
+            }
+            if now >= tu.deadline {
+                self.abort_tu(now, tu_id, true);
+                continue;
+            }
+            tu.enqueued_at = None;
+            self.funds
+                .lock(ch, from, entry.amount)
+                .expect("pop_eligible guarantees funds");
+            self.prices
+                .record_arrival(ch, from, entry.amount.to_tokens_f64());
+            self.stats.overhead_msgs += 1;
+            let tu = self.tus.get_mut(&tu_id).expect("present");
+            tu.next_hop += 1;
+            tu.locked_hops += 1;
+            self.events
+                .schedule_after(self.cfg.hop_delay, Ev::HopArrive(tu_id));
+        }
+    }
+
+    // ---- price tick ---------------------------------------------------------
+
+    fn on_price_tick(&mut self, now: SimTime) {
+        // Eqs. 21–22 per channel: n = locked + queued value per direction.
+        let funds = &self.funds;
+        let queues = &self.queues;
+        let endpoints = &self.endpoints;
+        self.prices.tick(
+            self.cfg.kappa,
+            self.cfg.eta,
+            |ch| {
+                let (a, b) = endpoints[ch.index()];
+                let q = &queues[ch.index()];
+                let n_a = funds.locked(ch, a).to_tokens_f64() + q.0.queued_value().to_tokens_f64();
+                let n_b = funds.locked(ch, b).to_tokens_f64() + q.1.queued_value().to_tokens_f64();
+                (n_a, n_b)
+            },
+            |ch| funds.total(ch).to_tokens_f64(),
+        );
+        // Expire queued TUs whose transactions are past deadline, and mark
+        // the ones waiting longer than T.
+        let mut expired_tus = Vec::new();
+        let mut to_mark = Vec::new();
+        for pair in self.queues.iter_mut() {
+            for q in [&mut pair.0, &mut pair.1] {
+                for e in q.drain_expired(now) {
+                    expired_tus.push(e.tu);
+                }
+                to_mark.extend(q.over_delay(now, self.cfg.queue_delay_threshold));
+            }
+        }
+        for tu in expired_tus {
+            self.abort_tu(now, tu, true);
+        }
+        for tu_id in to_mark {
+            if let Some(tu) = self.tus.get_mut(&tu_id) {
+                if !tu.marked {
+                    tu.marked = true;
+                    self.stats.marked_tus += 1;
+                }
+            }
+        }
+        // Rate updates from freshly probed path prices (eq. 26), plus
+        // probe overhead accounting.
+        if self.scheme.rate_control {
+            let mut prune = false;
+            for &tx in &self.active {
+                let Some(state) = self.txs.get_mut(&tx) else {
+                    prune = true;
+                    continue;
+                };
+                if state.resolved {
+                    prune = true;
+                    continue;
+                }
+                let Some(flow) = state.flow.as_mut() else {
+                    continue;
+                };
+                let Some(rates) = flow.rates.as_mut() else {
+                    continue;
+                };
+                let prices: Vec<f64> = flow
+                    .paths
+                    .iter()
+                    .map(|p| self.prices.path_price(p, self.cfg.t_fee))
+                    .collect();
+                rates.update(&prices);
+                self.stats.overhead_msgs +=
+                    flow.paths.iter().map(|p| p.hops() as u64).sum::<u64>();
+            }
+            if prune {
+                let txs = &self.txs;
+                self.active
+                    .retain(|tx| txs.get(tx).is_some_and(|s| !s.resolved));
+            }
+        }
+        // Hub state synchronization (epoch exchange, §III-B).
+        if self.hub_count > 1 {
+            self.stats.overhead_msgs += (self.hub_count * (self.hub_count - 1)) as u64;
+        }
+        if now + self.cfg.update_interval <= self.horizon {
+            self.events
+                .schedule_after(self.cfg.update_interval, Ev::PriceTick);
+        }
+    }
+
+    /// Immutable view of the funds (post-run inspection in tests).
+    pub fn funds(&self) -> &NetworkFunds {
+        &self.funds
+    }
+}
+
+fn nth_hop(path: &Path, i: usize) -> (NodeId, ChannelId, NodeId) {
+    let from = path.nodes()[i];
+    let to = path.nodes()[i + 1];
+    (from, path.channels()[i], to)
+}
+
+/// Builds a payment list from `(time_ms, src, dst, tokens)` tuples — a
+/// convenience for tests and examples.
+pub fn payments_from_tuples(
+    tuples: &[(u64, u32, u32, u64)],
+    timeout: SimDuration,
+) -> Vec<Payment> {
+    tuples
+        .iter()
+        .enumerate()
+        .map(|(i, &(ms, s, d, v))| {
+            let created = SimTime::from_micros(ms * 1000);
+            Payment {
+                id: TxId::new(i as u64),
+                source: NodeId::new(s),
+                dest: NodeId::new(d),
+                value: Amount::from_tokens(v),
+                created,
+                deadline: created + timeout,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeConfig;
+    use std::collections::HashMap;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Line topology 0-1-2-3 with healthy funds.
+    fn line_setup() -> (Graph, NetworkFunds) {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+        }
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        (g, funds)
+    }
+
+    fn run_scheme(scheme: SchemeConfig, payments: Vec<Payment>) -> RunStats {
+        let (g, funds) = line_setup();
+        let engine = Engine::new(g, funds, scheme, EngineConfig::default(), SimRng::seed(1));
+        engine.run(payments)
+    }
+
+    #[test]
+    fn single_payment_completes_spider() {
+        let payments = payments_from_tuples(&[(0, 0, 3, 5)], SimDuration::from_secs(3));
+        let stats = run_scheme(SchemeConfig::spider(), payments);
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.completed, 1, "{stats}");
+        assert_eq!(stats.completed_value, Amount::from_tokens(5));
+        assert!(stats.avg_latency_secs() > 0.0);
+        assert_eq!(stats.tsr(), 1.0);
+    }
+
+    #[test]
+    fn single_payment_completes_shortest_path() {
+        let payments = payments_from_tuples(&[(0, 0, 3, 5)], SimDuration::from_secs(3));
+        let stats = run_scheme(SchemeConfig::shortest_path(), payments);
+        assert_eq!(stats.completed, 1, "{stats}");
+    }
+
+    #[test]
+    fn oversized_payment_fails_without_control() {
+        // 300 tokens through 100-token channels: single-path schemes die.
+        let payments = payments_from_tuples(&[(0, 0, 3, 300)], SimDuration::from_secs(3));
+        let stats = run_scheme(SchemeConfig::shortest_path(), payments);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn funds_conserved_after_run() {
+        let (g, funds) = line_setup();
+        let grand = funds.grand_total();
+        let payments = payments_from_tuples(
+            &[(0, 0, 3, 5), (100, 3, 0, 4), (200, 1, 3, 6)],
+            SimDuration::from_secs(3),
+        );
+        let engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(2),
+        );
+        // run consumes the engine; conservation is debug-asserted inside,
+        // and we re-check via stats consistency.
+        let stats = engine.run(payments);
+        assert!(stats.is_consistent());
+        let _ = grand;
+    }
+
+    #[test]
+    fn unroutable_payment_counted() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1)); // node 2 isolated
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        let payments = payments_from_tuples(&[(0, 0, 2, 1)], SimDuration::from_secs(3));
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(3),
+        )
+        .run(payments);
+        assert_eq!(stats.unroutable, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn splicer_hub_routing_on_multi_star() {
+        // clients 0,1 → hub 4; clients 2,3 → hub 5; hubs linked.
+        let mut g = Graph::new(6);
+        g.add_edge(n(0), n(4));
+        g.add_edge(n(1), n(4));
+        g.add_edge(n(2), n(5));
+        g.add_edge(n(3), n(5));
+        g.add_edge(n(4), n(5));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let assignment: HashMap<NodeId, NodeId> = [
+            (n(0), n(4)),
+            (n(1), n(4)),
+            (n(2), n(5)),
+            (n(3), n(5)),
+        ]
+        .into_iter()
+        .collect();
+        let payments = payments_from_tuples(
+            &[(0, 0, 2, 5), (50, 1, 3, 3), (100, 0, 1, 2)],
+            SimDuration::from_secs(3),
+        );
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::splicer(assignment),
+            EngineConfig::default(),
+            SimRng::seed(4),
+        )
+        .run(payments);
+        assert_eq!(stats.completed, 3, "{stats}");
+    }
+
+    #[test]
+    fn a2l_star_routes_through_hub() {
+        let g = pcn_graph::star(5); // hub 0
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(50));
+        let payments = payments_from_tuples(
+            &[(0, 1, 2, 5), (10, 3, 4, 5)],
+            SimDuration::from_secs(3),
+        );
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::a2l(n(0), SimDuration::from_millis(5)),
+            EngineConfig::default(),
+            SimRng::seed(5),
+        )
+        .run(payments);
+        assert_eq!(stats.completed, 2, "{stats}");
+    }
+
+    #[test]
+    fn a2l_hub_compute_queue_delays_under_load() {
+        // Many simultaneous payments through one hub with heavy crypto:
+        // the hub CPU serializes them past their deadlines.
+        let g = pcn_graph::star(30);
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(1_000));
+        let tuples: Vec<(u64, u32, u32, u64)> =
+            (0..60).map(|i| (i, 1 + (i as u32 % 29), 1 + ((i as u32 + 1) % 29), 2)).collect();
+        let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::a2l(n(0), SimDuration::from_millis(200)),
+            EngineConfig::default(),
+            SimRng::seed(6),
+        )
+        .run(payments);
+        assert!(stats.failed > 0, "hub saturation must fail some: {stats}");
+    }
+
+    #[test]
+    fn landmark_routing_works() {
+        let (g, funds) = line_setup();
+        let payments = payments_from_tuples(&[(0, 0, 3, 4)], SimDuration::from_secs(3));
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::landmark(vec![n(1), n(2)]),
+            EngineConfig::default(),
+            SimRng::seed(7),
+        )
+        .run(payments);
+        assert_eq!(stats.completed, 1, "{stats}");
+    }
+
+    #[test]
+    fn flash_elephant_and_mouse() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(3));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(50));
+        let payments = payments_from_tuples(
+            &[(0, 0, 3, 60), (500, 0, 3, 2)],
+            SimDuration::from_secs(3),
+        );
+        let mut cfg = EngineConfig::default();
+        cfg.max_retries = 1;
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::flash(Amount::from_tokens(20)),
+            cfg,
+            SimRng::seed(8),
+        )
+        .run(payments);
+        // The 60-token elephant splits over both 50-token routes; the
+        // mouse follows a precomputed path.
+        assert_eq!(stats.completed, 2, "{stats}");
+    }
+
+    #[test]
+    fn deadlock_demo_naive_vs_rate_control() {
+        // Fig. 1: A=0, C=2, B=1. A→B and C→B flows plus B→A, with C's
+        // outbound funds tiny: naive routing drains C and collapses.
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(2)); // A-C
+        g.add_edge(n(2), n(1)); // C-B
+        let funds = NetworkFunds::from_graph(&g, |_, _| Amount::from_tokens(10));
+        let mut tuples = Vec::new();
+        // Heavy one-directional load A→B (via C) for 20 seconds.
+        for i in 0..40u64 {
+            tuples.push((i * 250, 0u32, 1u32, 2u64));
+        }
+        let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+        let naive = Engine::new(
+            g.clone(),
+            funds.clone(),
+            SchemeConfig::shortest_path(),
+            EngineConfig::default(),
+            SimRng::seed(9),
+        )
+        .run(payments.clone());
+        // One-way flow must exhaust the C→B direction under naive routing.
+        assert!(naive.failed > 0, "naive should deadlock: {naive}");
+        assert!(naive.drained_directions_end > 0);
+        // Rate-controlled Spider queues and paces instead of failing
+        // everything, completing at least as much.
+        let spider = Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(9),
+        )
+        .run(payments);
+        assert!(
+            spider.completed >= naive.completed,
+            "spider {spider} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let payments = payments_from_tuples(
+            &[(0, 0, 3, 5), (100, 3, 0, 4), (150, 1, 2, 7)],
+            SimDuration::from_secs(3),
+        );
+        let run = |seed| {
+            let (g, funds) = line_setup();
+            Engine::new(
+                g,
+                funds,
+                SchemeConfig::spider(),
+                EngineConfig::default(),
+                SimRng::seed(seed),
+            )
+            .run(payments.clone())
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.overhead_msgs, b.overhead_msgs);
+        assert_eq!(a.aborted_tus, b.aborted_tus);
+    }
+
+    #[test]
+    fn marked_tus_counted_under_congestion() {
+        // Narrow channel, many payments: queues build up past T.
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(6));
+        let tuples: Vec<(u64, u32, u32, u64)> = (0..30).map(|i| (i * 20, 0, 2, 4)).collect();
+        let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+        let stats = Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(10),
+        )
+        .run(payments);
+        assert!(stats.marked_tus > 0, "{stats}");
+        assert!(stats.is_consistent());
+    }
+}

@@ -1,0 +1,249 @@
+//! Path selection strategies (Table II: KSP, Heuristic, EDW, EDS).
+
+use pcn_graph::{
+    edge_disjoint_shortest_paths, edge_disjoint_widest_paths, k_shortest_paths, Graph, Path,
+};
+use pcn_types::{Amount, NodeId};
+
+use crate::channel::NetworkFunds;
+
+/// Which path type a scheme routes over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PathSelect {
+    /// k-shortest paths (Yen).
+    Ksp,
+    /// Heuristic: k loopless paths ranked by channel funds (the paper's
+    /// "picks 5 feasible paths with the highest channel funds").
+    Heuristic,
+    /// Edge-disjoint widest paths (Splicer's default and Table II winner).
+    #[default]
+    Edw,
+    /// Edge-disjoint shortest paths.
+    Eds,
+}
+
+impl PathSelect {
+    /// All variants, for Table II sweeps.
+    pub const ALL: [PathSelect; 4] = [
+        PathSelect::Ksp,
+        PathSelect::Heuristic,
+        PathSelect::Edw,
+        PathSelect::Eds,
+    ];
+
+    /// Name as printed in Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathSelect::Ksp => "KSP",
+            PathSelect::Heuristic => "Heuristic",
+            PathSelect::Edw => "EDW",
+            PathSelect::Eds => "EDS",
+        }
+    }
+}
+
+/// How much knowledge of channel state the path computation has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceView {
+    /// Live per-direction balances (hub routers with epoch-fresh state).
+    Live,
+    /// Only static channel totals (source routers: remote balances are
+    /// unobservable in a real PCN).
+    CapacityOnly,
+}
+
+/// Computes up to `k` paths from `src` to `dst` under the given strategy.
+///
+/// Widths come from channel funds: live directional balance or static
+/// total depending on `view`. Paths that cannot carry at least
+/// `min_width` are filtered out for the width-based strategies.
+pub fn select_paths(
+    g: &Graph,
+    funds: &NetworkFunds,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    strategy: PathSelect,
+    view: BalanceView,
+    min_width: Amount,
+) -> Vec<Path> {
+    let width = |e: pcn_graph::EdgeRef| -> Option<f64> {
+        let tokens = match view {
+            BalanceView::Live => funds.balance(e.id, e.from).to_tokens_f64(),
+            BalanceView::CapacityOnly => funds.total(e.id).to_tokens_f64(),
+        };
+        (tokens > 0.0).then_some(tokens)
+    };
+    let min_w = min_width.to_tokens_f64();
+    match strategy {
+        PathSelect::Ksp => k_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
+        PathSelect::Eds => edge_disjoint_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
+        PathSelect::Edw => edge_disjoint_widest_paths(g, src, dst, k, |e| {
+            width(e).filter(|w| *w >= min_w)
+        }),
+        PathSelect::Heuristic => {
+            // Rank a KSP candidate pool by bottleneck funds, keep the top k.
+            let pool = k_shortest_paths(g, src, dst, 3 * k, |e| width(e).map(|_| 1.0));
+            let mut scored: Vec<(f64, Path)> = pool
+                .into_iter()
+                .map(|p| {
+                    let bottleneck = p
+                        .hops_iter()
+                        .map(|(from, ch, _)| {
+                            let e = pcn_graph::EdgeRef { id: ch, from, to: from };
+                            width(e).unwrap_or(0.0)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    (bottleneck, p)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+            scored.into_iter().take(k).map(|(_, p)| p).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_types::Amount;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Diamond with one fat route (0-2-3) and one thin route (0-1-3).
+    fn setup() -> (Graph, NetworkFunds) {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1)); // ch0 thin
+        g.add_edge(n(1), n(3)); // ch1 thin
+        g.add_edge(n(0), n(2)); // ch2 fat
+        g.add_edge(n(2), n(3)); // ch3 fat
+        let funds = NetworkFunds::from_graph(&g, |id, _| {
+            if id.index() < 2 {
+                Amount::from_tokens(2)
+            } else {
+                Amount::from_tokens(50)
+            }
+        });
+        (g, funds)
+    }
+
+    #[test]
+    fn edw_prefers_fat_route_first() {
+        let (g, funds) = setup();
+        let paths = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            5,
+            PathSelect::Edw,
+            BalanceView::Live,
+            Amount::from_tokens(1),
+        );
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].nodes()[1], n(2), "fat route first");
+    }
+
+    #[test]
+    fn edw_min_width_filters_thin_paths() {
+        let (g, funds) = setup();
+        let paths = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            5,
+            PathSelect::Edw,
+            BalanceView::Live,
+            Amount::from_tokens(10),
+        );
+        assert_eq!(paths.len(), 1, "thin route excluded");
+    }
+
+    #[test]
+    fn all_strategies_return_valid_paths() {
+        let (g, funds) = setup();
+        for strategy in PathSelect::ALL {
+            for view in [BalanceView::Live, BalanceView::CapacityOnly] {
+                let paths = select_paths(
+                    &g,
+                    &funds,
+                    n(0),
+                    n(3),
+                    4,
+                    strategy,
+                    view,
+                    Amount::from_millitokens(1),
+                );
+                assert!(!paths.is_empty(), "{strategy:?}/{view:?}");
+                for p in &paths {
+                    p.validate(&g).unwrap();
+                    assert_eq!(p.source(), n(0));
+                    assert_eq!(p.target(), n(3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_ranks_by_bottleneck() {
+        let (g, funds) = setup();
+        let paths = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            1,
+            PathSelect::Heuristic,
+            BalanceView::Live,
+            Amount::from_millitokens(1),
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes()[1], n(2));
+    }
+
+    #[test]
+    fn capacity_view_ignores_drained_balances() {
+        let (g, mut funds) = setup();
+        // Drain the fat route's live balances in the forward direction.
+        let fat0 = pcn_types::ChannelId::new(2);
+        funds.lock(fat0, n(0), Amount::from_tokens(50)).unwrap();
+        funds.settle(fat0, n(0), Amount::from_tokens(50)).unwrap();
+        let live = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            5,
+            PathSelect::Edw,
+            BalanceView::Live,
+            Amount::from_tokens(1),
+        );
+        // Live view: fat route unusable forward, only thin remains.
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].nodes()[1], n(1));
+        // Capacity view still "sees" the fat route (stale knowledge).
+        let stale = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            5,
+            PathSelect::Edw,
+            BalanceView::CapacityOnly,
+            Amount::from_tokens(1),
+        );
+        assert_eq!(stale.len(), 2);
+        assert_eq!(stale[0].nodes()[1], n(2));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PathSelect::Ksp.name(), "KSP");
+        assert_eq!(PathSelect::Heuristic.name(), "Heuristic");
+        assert_eq!(PathSelect::Edw.name(), "EDW");
+        assert_eq!(PathSelect::Eds.name(), "EDS");
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-path sending-rate control (eq. 26).
+//!
+//! For a path set `{p_i}` serving one source–destination demand with
+//! log-utility `U(r) = log Σ r_p`, the primal-dual update is
+//! `r_p ← r_p + α(U′(r) − ϱ_p)`: paths cheaper than the marginal utility
+//! speed up, expensive paths slow down, and at the fixed point the active
+//! paths all carry price `U′(r)` — the waterfilling optimum of problem
+//! (16)–(20).
+
+/// Rate controller for one demand's path set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateController {
+    rates: Vec<f64>,
+    alpha: f64,
+    min_rate: f64,
+    max_rate: f64,
+}
+
+impl RateController {
+    /// Creates a controller for `paths` paths, all starting at
+    /// `initial_rate` (tokens/sec).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_rate ≤ initial_rate ≤ max_rate` and
+    /// `alpha > 0`.
+    pub fn new(paths: usize, initial_rate: f64, min_rate: f64, max_rate: f64, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(
+            0.0 < min_rate && min_rate <= initial_rate && initial_rate <= max_rate,
+            "need 0 < min ≤ initial ≤ max"
+        );
+        RateController {
+            rates: vec![initial_rate; paths],
+            alpha,
+            min_rate,
+            max_rate,
+        }
+    }
+
+    /// Number of controlled paths.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the controller has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Rate of path `i` in tokens/sec.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.rates[i]
+    }
+
+    /// Total rate across the path set.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Eq. 26 update for every path given its latest probed price ϱ_p.
+    /// `U′(r) = 1 / Σ r` for log utility.
+    pub fn update(&mut self, path_prices: &[f64]) {
+        assert_eq!(path_prices.len(), self.rates.len(), "price/path mismatch");
+        let marginal = 1.0 / self.total_rate().max(self.min_rate);
+        for (r, &rho) in self.rates.iter_mut().zip(path_prices) {
+            *r = (*r + self.alpha * (marginal - rho)).clamp(self.min_rate, self.max_rate);
+        }
+    }
+
+    /// Seconds between TU injections of size `tu_tokens` on path `i`.
+    pub fn injection_gap_secs(&self, i: usize, tu_tokens: f64) -> f64 {
+        tu_tokens / self.rates[i].max(self.min_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_fall_under_high_prices_and_rise_when_free() {
+        let mut rc = RateController::new(2, 1.0, 0.01, 100.0, 0.5);
+        for _ in 0..50 {
+            rc.update(&[10.0, 0.0]); // path 0 expensive, path 1 free
+        }
+        assert!(rc.rate(0) <= 0.02, "expensive path throttled: {}", rc.rate(0));
+        assert!(rc.rate(1) > 1.0, "free path accelerated: {}", rc.rate(1));
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        let mut rc = RateController::new(1, 1.0, 0.5, 2.0, 10.0);
+        rc.update(&[100.0]);
+        assert_eq!(rc.rate(0), 0.5);
+        for _ in 0..100 {
+            rc.update(&[0.0]);
+        }
+        assert_eq!(rc.rate(0), 2.0);
+    }
+
+    #[test]
+    fn equilibrium_at_marginal_utility() {
+        // One path, constant price ρ: fixed point where 1/r = ρ → r = 1/ρ.
+        let mut rc = RateController::new(1, 1.0, 0.001, 100.0, 0.05);
+        for _ in 0..3000 {
+            rc.update(&[4.0]);
+        }
+        assert!((rc.rate(0) - 0.25).abs() < 0.05, "rate {}", rc.rate(0));
+    }
+
+    #[test]
+    fn injection_gap_inversely_proportional_to_rate() {
+        let rc = RateController::new(1, 2.0, 0.1, 10.0, 0.1);
+        assert!((rc.injection_gap_secs(0, 4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_rate_sums() {
+        let rc = RateController::new(3, 1.5, 0.1, 10.0, 0.1);
+        assert!((rc.total_rate() - 4.5).abs() < 1e-12);
+        assert_eq!(rc.len(), 3);
+        assert!(!rc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "price/path mismatch")]
+    fn wrong_price_count_panics() {
+        let mut rc = RateController::new(2, 1.0, 0.1, 10.0, 0.1);
+        rc.update(&[1.0]);
+    }
+}

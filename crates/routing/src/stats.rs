@@ -1,0 +1,122 @@
+//! Run statistics: the measurements behind every figure.
+
+use pcn_sim::metrics::Histogram;
+use pcn_types::Amount;
+
+/// Aggregated outcome of one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Transactions generated.
+    pub generated: u64,
+    /// Total value generated.
+    pub generated_value: Amount,
+    /// Transactions fully completed before their deadline.
+    pub completed: u64,
+    /// Total value of completed transactions.
+    pub completed_value: Amount,
+    /// Transactions that failed (timeout or unroutable).
+    pub failed: u64,
+    /// Completion latency of successful transactions (seconds).
+    pub latency: Histogram,
+    /// Messages × hops: TU forwards + acks + probes + state sync.
+    pub overhead_msgs: u64,
+    /// TUs that were congestion-marked.
+    pub marked_tus: u64,
+    /// TUs aborted (timeout, queue overflow, dead channel).
+    pub aborted_tus: u64,
+    /// TUs delivered.
+    pub delivered_tus: u64,
+    /// Directed channel sides fully drained at the end (deadlock symptom).
+    pub drained_directions_end: usize,
+    /// Payments that found no path at all.
+    pub unroutable: u64,
+}
+
+impl RunStats {
+    /// Transaction success ratio: completed / generated (§V-B).
+    pub fn tsr(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.generated as f64
+        }
+    }
+
+    /// Normalized throughput: completed value / generated value (§V-B).
+    pub fn normalized_throughput(&self) -> f64 {
+        self.completed_value.ratio(self.generated_value)
+    }
+
+    /// Mean completion latency in seconds (0 when nothing completed).
+    pub fn avg_latency_secs(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Whether the bookkeeping is internally consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.completed + self.failed <= self.generated
+            && self.completed_value <= self.generated_value
+    }
+}
+
+impl core::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} drained={}",
+            self.tsr(),
+            self.normalized_throughput(),
+            self.avg_latency_secs(),
+            self.generated,
+            self.completed,
+            self.failed,
+            self.overhead_msgs,
+            self.drained_directions_end,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = RunStats {
+            generated: 10,
+            completed: 7,
+            failed: 3,
+            generated_value: Amount::from_tokens(100),
+            completed_value: Amount::from_tokens(60),
+            ..Default::default()
+        };
+        s.latency.record(1.0);
+        s.latency.record(3.0);
+        assert!((s.tsr() - 0.7).abs() < 1e-12);
+        assert!((s.normalized_throughput() - 0.6).abs() < 1e-12);
+        assert_eq!(s.avg_latency_secs(), 2.0);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.tsr(), 0.0);
+        assert_eq!(s.normalized_throughput(), 0.0);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = RunStats {
+            generated: 5,
+            completed: 5,
+            generated_value: Amount::from_tokens(10),
+            completed_value: Amount::from_tokens(10),
+            ..Default::default()
+        };
+        let shown = s.to_string();
+        assert!(shown.contains("tsr=1.000"));
+        assert!(shown.contains("gen=5"));
+    }
+}

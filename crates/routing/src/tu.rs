@@ -1,0 +1,165 @@
+//! Payments and transaction units (TUs).
+
+use pcn_graph::Path;
+use pcn_types::{Amount, NodeId, SimTime, TuId, TxId};
+
+/// A payment demand `D_tid = (P_s, P_r, val_tid)` (§III-A).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Payment {
+    /// Transaction id.
+    pub id: TxId,
+    /// Sender client.
+    pub source: NodeId,
+    /// Recipient client.
+    pub dest: NodeId,
+    /// Payment value.
+    pub value: Amount,
+    /// Arrival (creation) time.
+    pub created: SimTime,
+    /// Hard completion deadline (`created + timeout`).
+    pub deadline: SimTime,
+}
+
+/// One in-flight transaction unit.
+#[derive(Clone, Debug)]
+pub struct TransactionUnit {
+    /// TU id (unique per run).
+    pub id: TuId,
+    /// Parent transaction.
+    pub tx: TxId,
+    /// Value carried.
+    pub amount: Amount,
+    /// The full path this TU travels.
+    pub path: Path,
+    /// Index of the next hop to traverse (0 = at the source).
+    pub next_hop: usize,
+    /// Number of hops currently holding a lock for this TU.
+    pub locked_hops: usize,
+    /// Congestion mark (queueing delay exceeded the threshold T).
+    pub marked: bool,
+    /// Deadline inherited from the transaction.
+    pub deadline: SimTime,
+    /// When this TU entered the current queue (None when not queued).
+    pub enqueued_at: Option<SimTime>,
+    /// Which path index of the parent flow this TU used.
+    pub flow_path: usize,
+}
+
+/// Splits a demand value into TU amounts within `[min_tu, max_tu]`
+/// (§IV-D: "we limit Min-TU ≤ |d_i| ≤ Max-TU to control the number of
+/// split TUs").
+///
+/// Values below `min_tu` travel as a single undersized TU (a payment
+/// smaller than Min-TU must still be routable); the final chunk merges
+/// into its predecessor when it would fall below `min_tu`.
+///
+/// The returned amounts always sum to `value`.
+///
+/// # Panics
+///
+/// Panics if `min_tu` or `max_tu` is zero or `min_tu > max_tu`.
+///
+/// # Examples
+///
+/// ```
+/// use pcn_routing::tu::split_demand;
+/// use pcn_types::Amount;
+///
+/// let parts = split_demand(
+///     Amount::from_tokens(10),
+///     Amount::from_tokens(1),
+///     Amount::from_tokens(4),
+/// );
+/// assert_eq!(parts.iter().copied().sum::<Amount>(), Amount::from_tokens(10));
+/// assert!(parts.iter().all(|p| *p <= Amount::from_tokens(4)));
+/// ```
+pub fn split_demand(value: Amount, min_tu: Amount, max_tu: Amount) -> Vec<Amount> {
+    assert!(!min_tu.is_zero() && !max_tu.is_zero(), "TU bounds must be positive");
+    assert!(min_tu <= max_tu, "Min-TU must not exceed Max-TU");
+    if value.is_zero() {
+        return Vec::new();
+    }
+    if value <= max_tu {
+        return vec![value];
+    }
+    let mut parts = Vec::new();
+    let mut remaining = value;
+    while remaining > max_tu {
+        let next_rem = remaining - max_tu;
+        if next_rem < min_tu {
+            // Prefer two near-equal halves when both can stay ≥ Min-TU;
+            // otherwise accept one undersized tail (unavoidable when
+            // Min-TU and Max-TU pinch, e.g. Min = Max).
+            let half = Amount::from_millitokens(remaining.millitokens() / 2);
+            if half >= min_tu && (remaining - half) <= max_tu {
+                parts.push(half);
+                parts.push(remaining - half);
+                remaining = Amount::ZERO;
+                break;
+            }
+        }
+        parts.push(max_tu);
+        remaining = next_rem;
+    }
+    if !remaining.is_zero() {
+        parts.push(remaining);
+    }
+    debug_assert_eq!(parts.iter().copied().sum::<Amount>(), value);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Amount {
+        Amount::from_tokens(v)
+    }
+
+    #[test]
+    fn small_values_single_tu() {
+        assert_eq!(split_demand(t(3), t(1), t(4)), vec![t(3)]);
+        assert_eq!(
+            split_demand(Amount::from_millitokens(500), t(1), t(4)),
+            vec![Amount::from_millitokens(500)]
+        );
+        assert!(split_demand(Amount::ZERO, t(1), t(4)).is_empty());
+    }
+
+    #[test]
+    fn exact_multiples() {
+        let parts = split_demand(t(12), t(1), t(4));
+        assert_eq!(parts, vec![t(4), t(4), t(4)]);
+    }
+
+    #[test]
+    fn tail_merge_keeps_bounds() {
+        // 9.5 tokens with max 4, min 1: 4 + 4 + 1.5 → fine.
+        let parts = split_demand(Amount::from_millitokens(9_500), t(1), t(4));
+        assert_eq!(parts.iter().copied().sum::<Amount>(), Amount::from_millitokens(9_500));
+        for p in &parts {
+            assert!(*p >= t(1) || parts.len() == 1);
+            assert!(*p <= t(4));
+        }
+        // 8.5: 4 + 4 + 0.5 would violate min → merge: 4 + 2.25 + 2.25.
+        let parts = split_demand(Amount::from_millitokens(8_500), t(1), t(4));
+        assert_eq!(parts.iter().copied().sum::<Amount>(), Amount::from_millitokens(8_500));
+        assert!(parts.iter().all(|p| *p >= t(1) && *p <= t(4)));
+    }
+
+    #[test]
+    fn sum_is_exact_over_many_values() {
+        for millis in (100..30_000).step_by(517) {
+            let v = Amount::from_millitokens(millis);
+            let parts = split_demand(v, t(1), t(4));
+            assert_eq!(parts.iter().copied().sum::<Amount>(), v, "value {millis}");
+            assert!(parts.iter().all(|p| *p <= t(4)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Min-TU must not exceed Max-TU")]
+    fn inverted_bounds_panic() {
+        split_demand(t(10), t(5), t(4));
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-path congestion windows (eqs. 27–28).
+//!
+//! The window `w_p` bounds the number of unfinished TUs on path `p`.
+//! A marked TU that gets aborted shrinks the window additively by β
+//! (eq. 27); an unmarked transmitted TU grows every window by
+//! `γ / Σ w_p'` (eq. 28) — multiplicative-decrease / shared additive-
+//! increase in the CUBIC spirit the paper cites.
+
+/// Window state for one demand's path set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowController {
+    windows: Vec<f64>,
+    beta: f64,
+    gamma: f64,
+    min_window: f64,
+    max_window: f64,
+}
+
+impl WindowController {
+    /// Creates windows of `initial` TUs for `paths` paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial ≥ 1`, `beta ≥ 0`, `gamma ≥ 0`.
+    pub fn new(paths: usize, initial: f64, beta: f64, gamma: f64) -> Self {
+        assert!(initial >= 1.0, "windows start at one TU or more");
+        assert!(beta >= 0.0 && gamma >= 0.0, "factors must be non-negative");
+        WindowController {
+            windows: vec![initial; paths],
+            beta,
+            gamma,
+            min_window: 1.0,
+            max_window: 10_000.0,
+        }
+    }
+
+    /// Window of path `i` (in TUs).
+    pub fn window(&self, i: usize) -> f64 {
+        self.windows[i]
+    }
+
+    /// Whether path `i` may admit another TU given `outstanding` unfinished
+    /// TUs on it.
+    pub fn admits(&self, i: usize, outstanding: usize) -> bool {
+        (outstanding as f64) < self.windows[i]
+    }
+
+    /// Eq. 27: a marked TU on path `i` was aborted.
+    pub fn on_marked_abort(&mut self, i: usize) {
+        self.windows[i] = (self.windows[i] - self.beta).max(self.min_window);
+    }
+
+    /// Eq. 28: an unmarked TU on path `i` was transmitted successfully.
+    pub fn on_unmarked_success(&mut self, i: usize) {
+        let total: f64 = self.windows.iter().sum();
+        self.windows[i] = (self.windows[i] + self.gamma / total.max(1.0)).min(self.max_window);
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the controller has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_shrinks_success_grows() {
+        let mut w = WindowController::new(2, 20.0, 10.0, 0.1);
+        w.on_marked_abort(0);
+        assert_eq!(w.window(0), 10.0);
+        w.on_marked_abort(0);
+        assert_eq!(w.window(0), 1.0); // floored
+        let before = w.window(1);
+        w.on_unmarked_success(1);
+        assert!(w.window(1) > before);
+    }
+
+    #[test]
+    fn admits_respects_window() {
+        let w = WindowController::new(1, 2.0, 10.0, 0.1);
+        assert!(w.admits(0, 0));
+        assert!(w.admits(0, 1));
+        assert!(!w.admits(0, 2));
+    }
+
+    #[test]
+    fn growth_shared_across_paths() {
+        // eq. 28 divides by the total window mass: growth slows as windows
+        // grow.
+        let mut w = WindowController::new(2, 1.0, 10.0, 1.0);
+        w.on_unmarked_success(0);
+        let first_step = w.window(0) - 1.0;
+        for _ in 0..100 {
+            w.on_unmarked_success(0);
+        }
+        let before = w.window(0);
+        w.on_unmarked_success(0);
+        let late_step = w.window(0) - before;
+        assert!(late_step < first_step, "{late_step} < {first_step}");
+    }
+
+    #[test]
+    fn paper_constants_shape() {
+        // β = 10, γ = 0.1 (§V-A): one abort wipes out many successes.
+        let mut w = WindowController::new(1, 15.0, 10.0, 0.1);
+        for _ in 0..10 {
+            w.on_unmarked_success(0);
+        }
+        let grown = w.window(0);
+        w.on_marked_abort(0);
+        assert!(w.window(0) < grown - 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "windows start at one")]
+    fn zero_initial_panics() {
+        WindowController::new(1, 0.5, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pcn_types::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event queue over event type `E`.
+///
+/// Events scheduled for the same instant pop in scheduling order (FIFO), so
+/// simulation runs are bit-reproducible regardless of heap internals.
+/// Popping advances the queue's clock; scheduling into the past is a bug
+/// and panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("schedule time overflowed");
+        self.schedule_at(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Drains events up to and including `until`, calling `f` for each.
+    /// The clock ends at `until` (or the last event time if later events
+    /// remain).
+    pub fn run_until<F>(&mut self, until: SimTime, mut f: F)
+    where
+        F: FnMut(SimTime, E, &mut Self),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            let (time, ev) = self.pop().expect("peeked");
+            f(time, ev, self);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(30), "c");
+        q.schedule_at(SimTime::from_micros(10), "a");
+        q.schedule_at(SimTime::from_micros(20), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_millis(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(3_000));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn run_until_drains_prefix() {
+        let mut q = EventQueue::new();
+        for i in 1..=5u64 {
+            q.schedule_at(SimTime::from_micros(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        q.run_until(SimTime::from_micros(30), |_, e, _| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn run_until_handler_can_reschedule() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(1), 0u64);
+        let mut count = 0;
+        q.run_until(SimTime::from_micros(100), |t, _, q| {
+            count += 1;
+            if count < 5 {
+                q.schedule_at(t + SimDuration::from_micros(1), count);
+            }
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.run_until(SimTime::from_micros(77), |_, _, _| {});
+        assert_eq!(q.now(), SimTime::from_micros(77));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,220 @@
+//! Measurement primitives for experiment runs.
+
+use pcn_types::SimTime;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A streaming histogram over non-negative `f64` values.
+///
+/// Values are recorded exactly (stored); quantiles sort lazily. The
+/// evaluation records at most a few hundred thousand values per run, so
+/// exact storage beats bucketing error.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records a value (NaN is ignored).
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Quantile `q ∈ [0, 1]` (nearest-rank); 0.0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.values.len() - 1) as f64 * q).round() as usize;
+        self.values[idx]
+    }
+
+    /// Maximum recorded value (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A `(time, value)` series, recorded in nondecreasing time order.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded time.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be recorded in order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of values recorded at or after `from`.
+    pub fn mean_since(&self, from: SimTime) -> f64 {
+        let (sum, n) = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from)
+            .fold((0.0, 0usize), |(s, n), (_, v)| (s + v, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Last value (None when empty).
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_nan() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_after_more_records() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        assert_eq!(h.quantile(1.0), 1.0);
+        h.record(10.0);
+        assert_eq!(h.quantile(1.0), 10.0); // re-sorts after new data
+    }
+
+    #[test]
+    fn timeseries_order_and_queries() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.record(SimTime::from_micros(1), 10.0);
+        ts.record(SimTime::from_micros(5), 20.0);
+        ts.record(SimTime::from_micros(9), 30.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last(), Some(30.0));
+        assert_eq!(ts.mean_since(SimTime::from_micros(5)), 25.0);
+        assert_eq!(ts.mean_since(SimTime::from_micros(100)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded in order")]
+    fn timeseries_out_of_order_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_micros(5), 1.0);
+        ts.record(SimTime::from_micros(1), 2.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workspace-wide error type.
+
+use core::fmt;
+
+use crate::{Amount, ChannelId, NodeId, TuId, TxId};
+
+/// Convenient result alias using [`PcnError`].
+pub type Result<T> = core::result::Result<T, PcnError>;
+
+/// Errors produced by the PCN crates.
+///
+/// A single enum (rather than per-crate error types) keeps cross-crate
+/// plumbing simple: the simulator, routers and system builders all speak the
+/// same failure language, and integration tests can assert on precise
+/// variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PcnError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A channel id referenced a channel that does not exist.
+    UnknownChannel(ChannelId),
+    /// Two nodes are not connected by any path.
+    NoPath {
+        /// Payment source.
+        from: NodeId,
+        /// Payment destination.
+        to: NodeId,
+    },
+    /// A directed channel balance was too low for the requested transfer.
+    InsufficientFunds {
+        /// The channel that lacked funds.
+        channel: ChannelId,
+        /// Funds requested.
+        requested: Amount,
+        /// Funds available.
+        available: Amount,
+    },
+    /// A transaction unit was not found (double settle/fail, stale ack).
+    UnknownTu(TuId),
+    /// A transaction was not found.
+    UnknownTx(TxId),
+    /// A payment demand violated protocol limits (zero value, self-payment…).
+    InvalidDemand(String),
+    /// The optimization model was infeasible.
+    Infeasible(String),
+    /// The optimization model was unbounded.
+    Unbounded(String),
+    /// A solver hit its iteration or node budget before converging.
+    SolverBudgetExceeded(String),
+    /// Configuration values were inconsistent or out of range.
+    InvalidConfig(String),
+    /// A cryptographic envelope failed to open (wrong key, tampered data).
+    CryptoFailure(String),
+}
+
+impl fmt::Display for PcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcnError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PcnError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            PcnError::NoPath { from, to } => write!(f, "no path from {from} to {to}"),
+            PcnError::InsufficientFunds {
+                channel,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient funds on {channel}: requested {requested}, available {available}"
+            ),
+            PcnError::UnknownTu(id) => write!(f, "unknown transaction unit {id}"),
+            PcnError::UnknownTx(id) => write!(f, "unknown transaction {id}"),
+            PcnError::InvalidDemand(msg) => write!(f, "invalid payment demand: {msg}"),
+            PcnError::Infeasible(msg) => write!(f, "model infeasible: {msg}"),
+            PcnError::Unbounded(msg) => write!(f, "model unbounded: {msg}"),
+            PcnError::SolverBudgetExceeded(msg) => write!(f, "solver budget exceeded: {msg}"),
+            PcnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PcnError::CryptoFailure(msg) => write!(f, "crypto failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PcnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<PcnError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PcnError::UnknownNode(NodeId::new(3)).to_string(),
+            "unknown node n3"
+        );
+        assert_eq!(
+            PcnError::NoPath {
+                from: NodeId::new(1),
+                to: NodeId::new(2)
+            }
+            .to_string(),
+            "no path from n1 to n2"
+        );
+        let e = PcnError::InsufficientFunds {
+            channel: ChannelId::new(9),
+            requested: Amount::from_tokens(4),
+            available: Amount::from_tokens(1),
+        };
+        assert_eq!(
+            e.to_string(),
+            "insufficient funds on ch9: requested 4, available 1"
+        );
+    }
+
+    #[test]
+    fn works_with_question_mark() {
+        fn inner() -> Result<()> {
+            Err(PcnError::InvalidDemand("zero value".into()))
+        }
+        fn outer() -> Result<()> {
+            inner()?;
+            Ok(())
+        }
+        assert!(outer().is_err());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PcnError::UnknownTx(TxId::new(7)));
+        assert_eq!(e.to_string(), "unknown transaction tx7");
+    }
+}

@@ -1,0 +1,110 @@
+//! Channel fund sampling (Lightning channel-size distribution).
+
+use pcn_sim::dist::LogNormal;
+use pcn_sim::SimRng;
+use pcn_types::{constants, Amount};
+
+/// Sampler for per-side channel funds.
+///
+/// Log-normal fitted to the real dataset's median (152 tokens) and mean
+/// (403 tokens), clamped below at the dataset minimum (10 tokens), then
+/// multiplied by an experiment-level `scale` (the x-axis of Fig. 7(a) /
+/// 8(a)).
+#[derive(Clone, Debug)]
+pub struct ChannelFunds {
+    dist: LogNormal,
+    min: Amount,
+    scale: f64,
+}
+
+impl ChannelFunds {
+    /// The paper's fitted distribution at scale 1.0.
+    pub fn lightning() -> ChannelFunds {
+        ChannelFunds {
+            dist: LogNormal::fit_median_mean(
+                constants::MEDIAN_CHANNEL_TOKENS as f64,
+                constants::MEAN_CHANNEL_TOKENS as f64,
+            ),
+            min: Amount::from_tokens(constants::MIN_CHANNEL_TOKENS),
+            scale: 1.0,
+        }
+    }
+
+    /// Returns a copy with all samples scaled by `scale` (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn scaled(mut self, scale: f64) -> ChannelFunds {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Draws one side's funds.
+    pub fn sample(&self, rng: &mut SimRng) -> Amount {
+        let raw = self.dist.sample(rng).max(self.min.to_tokens_f64());
+        Amount::from_tokens_f64(raw * self.scale)
+    }
+
+    /// The configured scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_minimum() {
+        let f = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..5000 {
+            assert!(f.sample(&mut rng) >= Amount::from_tokens(10));
+        }
+    }
+
+    #[test]
+    fn statistics_near_dataset() {
+        let f = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(2);
+        let mut samples: Vec<f64> = (0..100_000)
+            .map(|_| f.sample(&mut rng).to_tokens_f64())
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((median - 152.0).abs() / 152.0 < 0.06, "median {median}");
+        assert!((mean - 403.0).abs() / 403.0 < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let f = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(3);
+        let big = (0..50_000)
+            .map(|_| f.sample(&mut rng).to_tokens_f64())
+            .filter(|&v| v > 2_000.0)
+            .count();
+        assert!(big > 50, "tail too light: {big}");
+    }
+
+    #[test]
+    fn scaling_multiplies() {
+        let base = ChannelFunds::lightning();
+        let scaled = ChannelFunds::lightning().scaled(4.0);
+        let a = base.sample(&mut SimRng::seed(7));
+        let b = scaled.sample(&mut SimRng::seed(7));
+        // Millitoken rounding allows a hair of slack.
+        assert!((b.to_tokens_f64() / a.to_tokens_f64() - 4.0).abs() < 1e-4);
+        assert_eq!(scaled.scale(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn bad_scale_panics() {
+        let _ = ChannelFunds::lightning().scaled(0.0);
+    }
+}

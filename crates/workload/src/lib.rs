@@ -1,0 +1,31 @@
+//! Evaluation workloads (§V-A).
+//!
+//! Three generators reproduce the paper's experiment inputs:
+//!
+//! * [`funds`] — channel sizes following the heavy-tailed Lightning
+//!   distribution \[27\] (min 10 / median 152 / mean 403 tokens), fitted as
+//!   a clamped log-normal.
+//! * [`topology`] — Watts–Strogatz small-world channel graphs (generated
+//!   "by ROLL based on the Watts–Strogatz model" in the paper) and the
+//!   multi-star rewiring that turns a placement plan into Splicer's
+//!   topology (Fig. 2b), plus the single-hub star of A2L (Fig. 2a).
+//! * [`transactions`] — Poisson payment arrivals with log-normal values
+//!   (credit-card-shaped \[28\]), Zipf-skewed recipients, and explicit
+//!   one-directional circulation flows that "are guaranteed to cause some
+//!   local deadlocks".
+//!
+//! [`scenario`] bundles them into the two evaluation scales: small
+//! (100 nodes) and large (3000 nodes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod funds;
+pub mod scenario;
+pub mod topology;
+pub mod transactions;
+
+pub use funds::ChannelFunds;
+pub use scenario::{Scenario, ScenarioParams};
+pub use topology::PcnTopology;
+pub use transactions::TxWorkload;

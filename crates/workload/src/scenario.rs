@@ -1,0 +1,199 @@
+//! Scenario presets: the paper's two evaluation scales.
+
+use pcn_routing::tu::Payment;
+use pcn_sim::SimRng;
+use pcn_types::{NodeId, SimDuration};
+
+use crate::funds::ChannelFunds;
+use crate::topology::PcnTopology;
+use crate::transactions::TxWorkload;
+
+/// Knobs describing one experiment's world.
+#[derive(Clone, Debug)]
+pub struct ScenarioParams {
+    /// Node count (100 small / 3000 large in the paper).
+    pub nodes: usize,
+    /// Watts–Strogatz mean degree.
+    pub degree: usize,
+    /// Watts–Strogatz rewiring probability.
+    pub beta: f64,
+    /// Number of smooth-node candidates (|VSNC|).
+    pub candidate_count: usize,
+    /// Workload duration.
+    pub duration: SimDuration,
+    /// Channel-size scale factor (Fig. 7(a)/8(a) x-axis).
+    pub channel_scale: f64,
+    /// Mean transaction value in tokens (Fig. 7(b)/8(b) x-axis).
+    pub mean_tx_tokens: f64,
+    /// Aggregate transaction arrival rate (tx/sec).
+    pub arrivals_per_sec: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl ScenarioParams {
+    /// The paper's small-scale setting (100 nodes).
+    pub fn small() -> ScenarioParams {
+        ScenarioParams {
+            nodes: 100,
+            degree: 8,
+            beta: 0.3,
+            candidate_count: 10,
+            duration: SimDuration::from_secs(60),
+            channel_scale: 1.0,
+            mean_tx_tokens: 12.0,
+            arrivals_per_sec: 25.0,
+            seed: 1,
+        }
+    }
+
+    /// The paper's large-scale setting (3000 nodes).
+    pub fn large() -> ScenarioParams {
+        ScenarioParams {
+            nodes: 3000,
+            degree: 8,
+            beta: 0.3,
+            candidate_count: 40,
+            duration: SimDuration::from_secs(60),
+            channel_scale: 1.0,
+            mean_tx_tokens: 12.0,
+            arrivals_per_sec: 120.0,
+            seed: 1,
+        }
+    }
+
+    /// A miniature setting for unit/integration tests (fast in debug).
+    pub fn tiny() -> ScenarioParams {
+        ScenarioParams {
+            nodes: 24,
+            degree: 4,
+            beta: 0.3,
+            candidate_count: 4,
+            duration: SimDuration::from_secs(10),
+            channel_scale: 1.0,
+            mean_tx_tokens: 8.0,
+            arrivals_per_sec: 6.0,
+            seed: 1,
+        }
+    }
+}
+
+/// A fully materialized world: flat topology, candidate/client split, and
+/// the payment trace every scheme replays.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The parameters that built this scenario.
+    pub params: ScenarioParams,
+    /// Flat (pre-rewiring) topology used by source-routing schemes.
+    pub flat: PcnTopology,
+    /// Client nodes (senders/recipients).
+    pub clients: Vec<NodeId>,
+    /// Candidate smooth nodes (VSNC) — the best-connected nodes, as the
+    /// multiwinner vote of §III-B would elect.
+    pub candidates: Vec<NodeId>,
+    /// The payment trace (sorted by arrival).
+    pub payments: Vec<Payment>,
+    /// The funds sampler (for rewirings that must stay comparable).
+    pub sampler: ChannelFunds,
+}
+
+impl Scenario {
+    /// Builds the world from parameters. Deterministic per seed.
+    pub fn build(params: ScenarioParams) -> Scenario {
+        let rng = SimRng::seed(params.seed);
+        let sampler = ChannelFunds::lightning().scaled(params.channel_scale);
+        let flat = PcnTopology::small_world(
+            params.nodes,
+            params.degree,
+            params.beta,
+            &sampler,
+            &mut rng.fork("topology"),
+        );
+        // Candidates: the highest-degree nodes (ties by id) — a structural
+        // stand-in for the excellence criterion of the multiwinner vote.
+        let mut by_degree: Vec<NodeId> = flat.graph.nodes().collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(flat.graph.degree(v)), v));
+        let candidates: Vec<NodeId> =
+            by_degree.iter().copied().take(params.candidate_count).collect();
+        let clients: Vec<NodeId> = flat
+            .graph
+            .nodes()
+            .filter(|v| !candidates.contains(v))
+            .collect();
+        let mut workload = TxWorkload::new(clients.clone());
+        workload.mean_value_tokens = params.mean_tx_tokens;
+        workload.arrivals_per_sec = params.arrivals_per_sec;
+        let payments = workload.generate(params.duration, &mut rng.fork("workload"));
+        Scenario {
+            params,
+            flat,
+            clients,
+            candidates,
+            payments,
+            sampler,
+        }
+    }
+
+    /// Total generated value (for normalization checks).
+    pub fn generated_value(&self) -> pcn_types::Amount {
+        self.payments.iter().map(|p| p.value).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scenario_builds() {
+        let s = Scenario::build(ScenarioParams::tiny());
+        assert_eq!(s.flat.graph.node_count(), 24);
+        assert_eq!(s.candidates.len(), 4);
+        assert_eq!(s.clients.len(), 20);
+        assert!(!s.payments.is_empty());
+        // Candidates are disjoint from clients.
+        for c in &s.candidates {
+            assert!(!s.clients.contains(c));
+        }
+        // All payment endpoints are clients.
+        for p in &s.payments {
+            assert!(s.clients.contains(&p.source));
+            assert!(s.clients.contains(&p.dest));
+        }
+    }
+
+    #[test]
+    fn candidates_are_high_degree() {
+        let s = Scenario::build(ScenarioParams::tiny());
+        let min_candidate_degree = s
+            .candidates
+            .iter()
+            .map(|&c| s.flat.graph.degree(c))
+            .min()
+            .unwrap();
+        let max_client_degree = s
+            .clients
+            .iter()
+            .map(|&c| s.flat.graph.degree(c))
+            .max()
+            .unwrap();
+        assert!(min_candidate_degree >= max_client_degree.saturating_sub(1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Scenario::build(ScenarioParams::tiny());
+        let b = Scenario::build(ScenarioParams::tiny());
+        assert_eq!(a.payments.len(), b.payments.len());
+        assert_eq!(a.generated_value(), b.generated_value());
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn small_preset_matches_paper_scale() {
+        let p = ScenarioParams::small();
+        assert_eq!(p.nodes, 100);
+        let p = ScenarioParams::large();
+        assert_eq!(p.nodes, 3000);
+    }
+}

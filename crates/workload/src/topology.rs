@@ -1,0 +1,219 @@
+//! PCN topologies: flat small-world graphs and hub rewirings.
+
+use std::collections::HashMap;
+
+use pcn_graph::{watts_strogatz, Graph};
+use pcn_routing::channel::NetworkFunds;
+use pcn_sim::SimRng;
+use pcn_types::{Amount, NodeId};
+
+use crate::funds::ChannelFunds;
+
+/// A topology plus its channel funding.
+#[derive(Clone, Debug)]
+pub struct PcnTopology {
+    /// The channel graph.
+    pub graph: Graph,
+    /// Channel funds.
+    pub funds: NetworkFunds,
+}
+
+impl PcnTopology {
+    /// Flat Watts–Strogatz PCN: `n` nodes, mean degree `k`, rewiring
+    /// probability `beta`, per-side funds from `sampler`.
+    pub fn small_world(
+        n: usize,
+        k: usize,
+        beta: f64,
+        sampler: &ChannelFunds,
+        rng: &mut SimRng,
+    ) -> PcnTopology {
+        let graph = watts_strogatz(n, k, beta, rng.as_rand());
+        let mut fund_rng = rng.fork("channel-funds");
+        let funds = NetworkFunds::from_graph(&graph, |_, _| sampler.sample(&mut fund_rng));
+        PcnTopology { graph, funds }
+    }
+
+    /// Splicer's multi-star rewiring (Fig. 2b): every client gets exactly
+    /// one channel to its assigned hub; hubs are pairwise connected with
+    /// well-capitalized channels (`hub_fund_factor` × a distribution
+    /// sample, reflecting that "hubs perform many routes, have larger
+    /// capital").
+    ///
+    /// Node ids are preserved from the flat topology, so the same payment
+    /// workload replays unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client's assigned hub is not in `hubs`.
+    pub fn multi_star(
+        n: usize,
+        hubs: &[NodeId],
+        assignment: &HashMap<NodeId, NodeId>,
+        sampler: &ChannelFunds,
+        hub_fund_factor: f64,
+        rng: &mut SimRng,
+    ) -> PcnTopology {
+        // Default: a complete hub backbone.
+        let mut mesh = Vec::new();
+        for (i, &a) in hubs.iter().enumerate() {
+            for &b in hubs.iter().skip(i + 1) {
+                mesh.push((a, b));
+            }
+        }
+        PcnTopology::multi_star_with_mesh(n, hubs, &mesh, assignment, sampler, hub_fund_factor, rng)
+    }
+
+    /// Multi-star rewiring with an explicit hub backbone `mesh` (pairs of
+    /// hubs to connect). Use when the hub backbone should inherit the flat
+    /// topology's sparsity instead of being a clique — path selection
+    /// between hubs only matters on a non-trivial backbone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mesh edge references a node outside `hubs`, or a
+    /// client's assigned hub is not in `hubs`.
+    pub fn multi_star_with_mesh(
+        n: usize,
+        hubs: &[NodeId],
+        mesh: &[(NodeId, NodeId)],
+        assignment: &HashMap<NodeId, NodeId>,
+        sampler: &ChannelFunds,
+        hub_fund_factor: f64,
+        rng: &mut SimRng,
+    ) -> PcnTopology {
+        let mut graph = Graph::new(n);
+        let mut fund_rng = rng.fork("rewire-funds");
+        let mut sides: Vec<(Amount, Amount)> = Vec::new();
+        // Hub backbone.
+        for &(a, b) in mesh {
+            assert!(
+                hubs.contains(&a) && hubs.contains(&b),
+                "mesh edge references a non-hub"
+            );
+            graph.add_edge(a, b);
+            let f_a = sampler.sample(&mut fund_rng).scale_f64(hub_fund_factor);
+            let f_b = sampler.sample(&mut fund_rng).scale_f64(hub_fund_factor);
+            sides.push((f_a, f_b));
+        }
+        // Client spokes. The hub side of a client channel is also
+        // hub-capitalized (it routes many clients' traffic).
+        let mut clients: Vec<(&NodeId, &NodeId)> = assignment.iter().collect();
+        clients.sort();
+        for (&client, &hub) in clients {
+            assert!(hubs.contains(&hub), "assignment references unknown hub");
+            graph.add_edge(client, hub);
+            let f_client = sampler.sample(&mut fund_rng);
+            let f_hub = sampler.sample(&mut fund_rng).scale_f64(hub_fund_factor);
+            sides.push((f_client, f_hub));
+        }
+        let funds = NetworkFunds::from_graph(&graph, |ch, side| {
+            let (a, _) = graph.endpoints(ch).expect("dense ids");
+            let (f_a, f_b) = sides[ch.index()];
+            if side == a {
+                f_a
+            } else {
+                f_b
+            }
+        });
+        PcnTopology { graph, funds }
+    }
+
+    /// A2L's single-hub star (Fig. 2a): every client connects to `hub`.
+    pub fn single_star(
+        n: usize,
+        hub: NodeId,
+        clients: &[NodeId],
+        sampler: &ChannelFunds,
+        hub_fund_factor: f64,
+        rng: &mut SimRng,
+    ) -> PcnTopology {
+        let assignment: HashMap<NodeId, NodeId> =
+            clients.iter().map(|&c| (c, hub)).collect();
+        PcnTopology::multi_star(n, &[hub], &assignment, sampler, hub_fund_factor, rng)
+    }
+
+    /// Total liquidity in the network.
+    pub fn total_liquidity(&self) -> Amount {
+        self.funds.grand_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn small_world_topology_funded() {
+        let mut rng = SimRng::seed(1);
+        let sampler = ChannelFunds::lightning();
+        let topo = PcnTopology::small_world(100, 8, 0.3, &sampler, &mut rng);
+        assert_eq!(topo.graph.node_count(), 100);
+        assert!(pcn_graph::is_connected(&topo.graph));
+        assert_eq!(topo.funds.len(), topo.graph.edge_count());
+        assert!(topo.total_liquidity() > Amount::from_tokens(10_000));
+        // Funds differ per side (sampled independently).
+        let ch = pcn_types::ChannelId::new(0);
+        let (a, b) = topo.graph.endpoints(ch).unwrap();
+        assert_ne!(topo.funds.balance(ch, a), topo.funds.balance(ch, b));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sampler = ChannelFunds::lightning();
+        let t1 = PcnTopology::small_world(50, 4, 0.2, &sampler, &mut SimRng::seed(9));
+        let t2 = PcnTopology::small_world(50, 4, 0.2, &sampler, &mut SimRng::seed(9));
+        assert_eq!(t1.graph.edge_count(), t2.graph.edge_count());
+        assert_eq!(t1.total_liquidity(), t2.total_liquidity());
+    }
+
+    #[test]
+    fn multi_star_structure() {
+        let hubs = vec![n(0), n(1)];
+        let assignment: HashMap<NodeId, NodeId> = [
+            (n(2), n(0)),
+            (n(3), n(0)),
+            (n(4), n(1)),
+            (n(5), n(1)),
+        ]
+        .into_iter()
+        .collect();
+        let sampler = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(2);
+        let topo = PcnTopology::multi_star(6, &hubs, &assignment, &sampler, 20.0, &mut rng);
+        // 1 hub-hub channel + 4 spokes.
+        assert_eq!(topo.graph.edge_count(), 5);
+        // Clients have degree 1, hubs have degree 1 (mesh) + 2 clients.
+        assert_eq!(topo.graph.degree(n(2)), 1);
+        assert_eq!(topo.graph.degree(n(0)), 3);
+        assert!(pcn_graph::is_connected(&topo.graph));
+        // Hub sides are much richer than client sides on spokes.
+        let spoke = topo.graph.edge_between(n(2), n(0)).unwrap();
+        let client_side = topo.funds.balance(spoke, n(2));
+        let hub_side = topo.funds.balance(spoke, n(0));
+        assert!(hub_side > client_side, "{hub_side} vs {client_side}");
+    }
+
+    #[test]
+    fn single_star_is_a2l_shape() {
+        let sampler = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(3);
+        let clients: Vec<NodeId> = (1..10).map(n).collect();
+        let topo = PcnTopology::single_star(10, n(0), &clients, &sampler, 20.0, &mut rng);
+        assert_eq!(topo.graph.edge_count(), 9);
+        assert_eq!(topo.graph.degree(n(0)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hub")]
+    fn bad_assignment_panics() {
+        let sampler = ChannelFunds::lightning();
+        let mut rng = SimRng::seed(4);
+        let assignment: HashMap<NodeId, NodeId> = [(n(2), n(9))].into_iter().collect();
+        let _ = PcnTopology::multi_star(10, &[n(0)], &assignment, &sampler, 10.0, &mut rng);
+    }
+}

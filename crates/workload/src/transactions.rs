@@ -1,0 +1,234 @@
+//! Transaction workload generation.
+//!
+//! §V-A: "The directional distribution of each transaction is generated on
+//! our processed Lightning Network real-world dataset, and the transaction
+//! value is generated in the same credit card dataset adopted by Spider.
+//! Notice that we have confirmed that these transactions are guaranteed to
+//! cause some local deadlocks and contain large-value transactions that
+//! the Lightning Network cannot handle."
+//!
+//! We synthesize the same properties: Poisson arrivals, log-normal values
+//! with a heavy tail (plus occasional "large-value" outliers above typical
+//! channel capacity), Zipf-skewed recipient popularity, and a configurable
+//! fraction of *circulation* traffic — fixed one-directional sender→
+//! receiver pairs that drain relay channels exactly like Fig. 1.
+
+use pcn_routing::tu::Payment;
+use pcn_sim::dist::{Exponential, LogNormal, Zipf};
+use pcn_sim::SimRng;
+use pcn_types::{Amount, NodeId, SimDuration, SimTime, TxId};
+
+/// Transaction generator parameters.
+#[derive(Clone, Debug)]
+pub struct TxWorkload {
+    /// Clients that can send/receive.
+    pub clients: Vec<NodeId>,
+    /// Aggregate arrival rate (transactions/second across the network).
+    pub arrivals_per_sec: f64,
+    /// Mean transaction value in tokens (x-axis of Fig. 7(b)/8(b)).
+    pub mean_value_tokens: f64,
+    /// Transaction timeout (3 s in the paper).
+    pub timeout: SimDuration,
+    /// Fraction of transactions drawn from fixed circulation *cycles*
+    /// (deadlock pressure). Traffic flows around each cycle with
+    /// asymmetric per-edge rates — exactly the Fig. 1 motif: the
+    /// circulation keeps endpoints refilled, but the rate imbalance drains
+    /// relay channels under naive routing.
+    pub circulation_fraction: f64,
+    /// Number of circulation cycles (each of length 3).
+    pub circulation_pairs: usize,
+    /// Fraction of transactions that are "large-value" (5–20× the mean;
+    /// the payments "the Lightning Network cannot handle").
+    pub large_value_fraction: f64,
+    /// Zipf exponent for recipient popularity.
+    pub zipf_exponent: f64,
+}
+
+impl TxWorkload {
+    /// Paper-flavoured defaults for a client set.
+    pub fn new(clients: Vec<NodeId>) -> TxWorkload {
+        TxWorkload {
+            clients,
+            arrivals_per_sec: 20.0,
+            mean_value_tokens: 12.0,
+            timeout: pcn_types::constants::TX_TIMEOUT,
+            circulation_fraction: 0.35,
+            circulation_pairs: 6,
+            large_value_fraction: 0.05,
+            zipf_exponent: 0.9,
+        }
+    }
+
+    /// Generates the payment list for `duration`, sorted by arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two clients are supplied.
+    pub fn generate(&self, duration: SimDuration, rng: &mut SimRng) -> Vec<Payment> {
+        assert!(self.clients.len() >= 2, "need at least two clients");
+        let mut arrival_rng = rng.fork("tx-arrivals");
+        let mut pair_rng = rng.fork("tx-pairs");
+        let mut value_rng = rng.fork("tx-values");
+
+        // Heavy-tailed values: log-normal with σ = 1.0 scaled to the mean.
+        let sigma = 1.0f64;
+        let mu = self.mean_value_tokens.ln() - sigma * sigma / 2.0;
+        let value_dist = LogNormal::new(mu, sigma);
+        let gap = Exponential::new(self.arrivals_per_sec);
+        let zipf = Zipf::new(self.clients.len(), self.zipf_exponent);
+
+        // Fixed circulation cycles a→b→c→a with asymmetric edge rates
+        // (weights 3:2:1, like Fig. 1's 1/2/2 tokens-per-second example):
+        // endpoints are refilled by the cycle, but relays see persistent
+        // directional imbalance.
+        let cycles: Vec<[NodeId; 3]> = (0..self.circulation_pairs)
+            .map(|_| {
+                let mut trio = [NodeId::new(0); 3];
+                trio[0] = self.clients[pair_rng.index(self.clients.len())];
+                for i in 1..3 {
+                    loop {
+                        let c = self.clients[pair_rng.index(self.clients.len())];
+                        if !trio[..i].contains(&c) {
+                            trio[i] = c;
+                            break;
+                        }
+                    }
+                }
+                trio
+            })
+            .collect();
+        // Cumulative edge weights 3:2:1 over the three cycle edges.
+        let edge_cdf = [0.5, 0.8333333333333333, 1.0];
+
+        let mut payments = Vec::new();
+        let mut now = SimTime::ZERO;
+        let end = SimTime::ZERO + duration;
+        let mut id = 0u64;
+        loop {
+            now = now + SimDuration::from_secs_f64(gap.sample(&mut arrival_rng));
+            if now > end {
+                break;
+            }
+            let (source, dest) = if !cycles.is_empty()
+                && pair_rng.chance(self.circulation_fraction)
+            {
+                let cycle = cycles[pair_rng.index(cycles.len())];
+                let u = pair_rng.f64();
+                let edge = edge_cdf.iter().position(|&c| u <= c).unwrap_or(2);
+                (cycle[edge], cycle[(edge + 1) % 3])
+            } else {
+                let source = self.clients[pair_rng.index(self.clients.len())];
+                let mut dest = self.clients[zipf.sample(&mut pair_rng)];
+                while dest == source {
+                    dest = self.clients[zipf.sample(&mut pair_rng)];
+                }
+                (source, dest)
+            };
+            let tokens = if value_rng.chance(self.large_value_fraction) {
+                self.mean_value_tokens * (5.0 + 15.0 * value_rng.f64())
+            } else {
+                value_dist.sample(&mut value_rng).max(0.1)
+            };
+            payments.push(Payment {
+                id: TxId::new(id),
+                source,
+                dest,
+                value: Amount::from_tokens_f64(tokens),
+                created: now,
+                deadline: now + self.timeout,
+            });
+            id += 1;
+        }
+        payments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clients(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn arrivals_sorted_and_rate_correct() {
+        let w = TxWorkload::new(clients(20));
+        let mut rng = SimRng::seed(1);
+        let payments = w.generate(SimDuration::from_secs(100), &mut rng);
+        assert!(payments.windows(2).all(|p| p[0].created <= p[1].created));
+        // ~20/s over 100 s → ~2000 transactions.
+        assert!(
+            (payments.len() as f64 - 2000.0).abs() < 250.0,
+            "{} arrivals",
+            payments.len()
+        );
+        for p in &payments {
+            assert_ne!(p.source, p.dest);
+            assert!(p.value > Amount::ZERO);
+            assert_eq!(p.deadline, p.created + w.timeout);
+        }
+    }
+
+    #[test]
+    fn mean_value_tracks_parameter() {
+        let mut w = TxWorkload::new(clients(10));
+        w.mean_value_tokens = 30.0;
+        w.large_value_fraction = 0.0;
+        w.circulation_fraction = 0.0;
+        let mut rng = SimRng::seed(2);
+        let payments = w.generate(SimDuration::from_secs(400), &mut rng);
+        let mean = payments
+            .iter()
+            .map(|p| p.value.to_tokens_f64())
+            .sum::<f64>()
+            / payments.len() as f64;
+        assert!((mean - 30.0).abs() / 30.0 < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn circulation_pairs_repeat() {
+        let mut w = TxWorkload::new(clients(50));
+        w.circulation_fraction = 1.0;
+        w.circulation_pairs = 3;
+        let mut rng = SimRng::seed(3);
+        let payments = w.generate(SimDuration::from_secs(50), &mut rng);
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            payments.iter().map(|p| (p.source, p.dest)).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert!(pairs.len() <= 9, "{} distinct pairs", pairs.len());
+    }
+
+    #[test]
+    fn large_values_present() {
+        let mut w = TxWorkload::new(clients(10));
+        w.large_value_fraction = 0.2;
+        let mut rng = SimRng::seed(4);
+        let payments = w.generate(SimDuration::from_secs(100), &mut rng);
+        let huge = payments
+            .iter()
+            .filter(|p| p.value.to_tokens_f64() > 5.0 * w.mean_value_tokens)
+            .count();
+        assert!(huge > payments.len() / 20, "{huge} large-value payments");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = TxWorkload::new(clients(10));
+        let a = w.generate(SimDuration::from_secs(10), &mut SimRng::seed(5));
+        let b = w.generate(SimDuration::from_secs(10), &mut SimRng::seed(5));
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.source == y.source && x.value == y.value));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clients")]
+    fn one_client_panics() {
+        let w = TxWorkload::new(clients(1));
+        w.generate(SimDuration::from_secs(1), &mut SimRng::seed(6));
+    }
+}

@@ -1,0 +1,73 @@
+//! Hub-placement deep dive: the ω tradeoff, solver agreement, and the
+//! supermodular structure (the machinery behind Fig. 9).
+//!
+//! Run with: `cargo run --release --example placement_analysis`
+
+use pcn_placement::supermodular::{
+    count_supermodularity_violations, double_greedy_deterministic, double_greedy_randomized,
+};
+use pcn_placement::{exact::solve_exhaustive, milp_form, CostParams, PlacementInstance};
+use pcn_sim::SimRng;
+use pcn_types::NodeId;
+use pcn_workload::{Scenario, ScenarioParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(ScenarioParams::small());
+
+    println!("ω sweep on the 100-node network ({} candidates):", scenario.candidates.len());
+    println!("{:>8} {:>6} {:>10} {:>10} {:>10}", "ω", "hubs", "C_M", "C_S", "C_B");
+    for omega in [0.01, 0.02, 0.04, 0.08, 0.2, 0.5, 1.0] {
+        let inst = PlacementInstance::from_graph(
+            &scenario.flat.graph,
+            scenario.clients.clone(),
+            scenario.candidates.clone(),
+            CostParams::paper(omega),
+        );
+        let plan = solve_exhaustive(&inst)?;
+        println!(
+            "{omega:>8} {:>6} {:>10.3} {:>10.3} {:>10.3}",
+            plan.num_hubs(),
+            plan.management_cost(),
+            plan.synchronization_cost(),
+            plan.balance_cost()
+        );
+    }
+
+    // Solver agreement on a MILP-sized sub-instance.
+    let g = pcn_graph::ring(12);
+    let small = PlacementInstance::from_graph(
+        &g,
+        (4..12).map(NodeId::from_index).collect(),
+        (0..4).map(NodeId::from_index).collect(),
+        CostParams::paper(0.1),
+    );
+    let exact = solve_exhaustive(&small)?;
+    let milp = milp_form::solve_milp(&small)?;
+    println!(
+        "\nsolver agreement (12-node ring): exhaustive C_B = {:.4}, MILP C_B = {:.4}",
+        exact.balance_cost(),
+        milp.balance_cost()
+    );
+
+    // Approximation quality + supermodularity of the uniform-δ case.
+    let inst = PlacementInstance::from_graph(
+        &scenario.flat.graph,
+        scenario.clients.clone(),
+        scenario.candidates.clone(),
+        CostParams::paper(0.04),
+    )
+    .with_uniform_delta(0.02);
+    let mut rng = SimRng::seed(9);
+    let violations = count_supermodularity_violations(&inst, 400, &mut rng);
+    println!("\nuniform-δ supermodularity violations over 400 sampled chains: {violations}");
+    let opt = solve_exhaustive(&inst)?;
+    let det = double_greedy_deterministic(&inst);
+    let rnd = double_greedy_randomized(&inst, &mut rng);
+    println!(
+        "optimal C_B = {:.3} | deterministic double-greedy = {:.3} | randomized = {:.3}",
+        opt.balance_cost(),
+        det.cost,
+        rnd.cost
+    );
+    Ok(())
+}

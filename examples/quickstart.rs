@@ -1,0 +1,51 @@
+//! Quickstart: build a small PCN world, run Splicer and the four
+//! baselines on the same payment trace, and print the comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pcn_workload::{Scenario, ScenarioParams};
+use splicer_core::SystemBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 100-node small-world PCN with Lightning-like channel funds and a
+    // 60-second Poisson payment trace (the paper's small-scale setting).
+    let mut params = ScenarioParams::small();
+    params.duration = pcn_types::SimDuration::from_secs(30);
+    let scenario = Scenario::build(params);
+    println!(
+        "world: {} nodes, {} channels, {} payments, {} tokens total demand",
+        scenario.flat.graph.node_count(),
+        scenario.flat.graph.edge_count(),
+        scenario.payments.len(),
+        scenario.generated_value()
+    );
+
+    let builder = SystemBuilder::new(scenario);
+
+    // The Splicer pipeline: multiwinner candidates → placement → rewiring
+    // → deadlock-free rate-based routing.
+    let splicer = builder.build_splicer()?;
+    println!(
+        "Splicer rewired topology: {} channels (multi-star)",
+        splicer.topology().graph.edge_count()
+    );
+
+    println!("\n{:<12} {:>6} {:>11} {:>9}", "scheme", "TSR", "throughput", "latency");
+    for run in builder.build_all()? {
+        let report = run.run();
+        println!(
+            "{:<12} {:>6.3} {:>11.3} {:>8.3}s",
+            report.scheme,
+            report.stats.tsr(),
+            report.stats.normalized_throughput(),
+            report.stats.avg_latency_secs(),
+        );
+        if let Some(p) = &report.placement {
+            println!(
+                "             └─ {} hubs placed (ω={}, C_B={:.3})",
+                p.hubs, p.omega, p.balance_cost
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Reproduction of Splicer (ICDCS 2023). The root crate re-exports the
+//! public API; see README.md and the `examples/` directory.
+pub use splicer_core::*;

@@ -1,0 +1,79 @@
+//! Cross-crate integration: the full Splicer pipeline against baselines on
+//! shared worlds.
+
+use pcn_workload::{Scenario, ScenarioParams};
+use splicer_core::SystemBuilder;
+
+fn tiny() -> Scenario {
+    Scenario::build(ScenarioParams::tiny())
+}
+
+#[test]
+fn five_schemes_replay_identical_traces() {
+    let builder = SystemBuilder::new(tiny());
+    let expected = builder.scenario().payments.len() as u64;
+    for run in builder.build_all().unwrap() {
+        let name = run.name().to_string();
+        let report = run.run();
+        assert_eq!(report.stats.generated, expected, "{name}");
+        assert!(report.stats.is_consistent(), "{name}");
+        assert!(
+            report.stats.completed + report.stats.failed <= report.stats.generated,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn splicer_beats_baseline_average_on_tiny_world() {
+    let builder = SystemBuilder::new(tiny());
+    let mut splicer = 0.0;
+    let mut others = Vec::new();
+    for run in builder.build_all().unwrap() {
+        let report = run.run();
+        if report.scheme == "Splicer" {
+            splicer = report.stats.tsr();
+        } else {
+            others.push(report.stats.tsr());
+        }
+    }
+    let avg = others.iter().sum::<f64>() / others.len() as f64;
+    assert!(
+        splicer > avg,
+        "Splicer TSR {splicer:.3} should beat the baseline average {avg:.3}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = SystemBuilder::new(tiny()).build_splicer().unwrap().run();
+    let b = SystemBuilder::new(tiny()).build_splicer().unwrap().run();
+    assert_eq!(a.stats.completed, b.stats.completed);
+    assert_eq!(a.stats.overhead_msgs, b.stats.overhead_msgs);
+    assert_eq!(a.stats.generated_value, b.stats.generated_value);
+}
+
+#[test]
+fn different_seeds_change_the_world() {
+    let mut p = ScenarioParams::tiny();
+    p.seed = 99;
+    let a = Scenario::build(p);
+    let b = tiny();
+    assert_ne!(a.generated_value(), b.generated_value());
+}
+
+#[test]
+fn update_interval_sweep_runs() {
+    use pcn_routing::EngineConfig;
+    use pcn_types::SimDuration;
+    for tau in [100u64, 400, 800] {
+        let mut cfg = EngineConfig::default();
+        cfg.update_interval = SimDuration::from_millis(tau);
+        let report = SystemBuilder::new(tiny())
+            .engine_config(cfg)
+            .build_splicer()
+            .unwrap()
+            .run();
+        assert!(report.stats.tsr() > 0.0, "τ={tau}");
+    }
+}

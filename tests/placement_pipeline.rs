@@ -1,0 +1,95 @@
+//! Integration: placement solvers against each other on real topologies.
+
+use pcn_placement::{CostParams, PlacementInstance, PlacementSolver};
+use pcn_sim::SimRng;
+use pcn_types::NodeId;
+use pcn_workload::{Scenario, ScenarioParams};
+
+#[test]
+fn exhaustive_and_milp_agree_on_graph_instances() {
+    // Build a real small-world instance trimmed to MILP size.
+    let mut rng = SimRng::seed(5);
+    let g = pcn_graph::watts_strogatz(20, 4, 0.3, rng.as_rand());
+    for omega in [0.02, 0.1, 0.5] {
+        let inst = PlacementInstance::from_graph(
+            &g,
+            (4..20).map(NodeId::from_index).collect(),
+            (0..4).map(NodeId::from_index).collect(),
+            CostParams::paper(omega),
+        );
+        let exact = PlacementSolver::Exhaustive
+            .solve(&inst, &mut rng)
+            .unwrap();
+        let milp = PlacementSolver::Milp.solve(&inst, &mut rng).unwrap();
+        assert!(
+            (exact.balance_cost() - milp.balance_cost()).abs() < 1e-6,
+            "ω={omega}: exhaustive {} vs MILP {}",
+            exact.balance_cost(),
+            milp.balance_cost()
+        );
+    }
+}
+
+#[test]
+fn hub_count_monotone_in_omega_on_scenario() {
+    let scenario = Scenario::build(ScenarioParams::tiny());
+    let mut rng = SimRng::seed(1);
+    let mut last_hubs = usize::MAX;
+    for omega in [0.0, 0.05, 0.5, 5.0] {
+        let inst = PlacementInstance::from_graph(
+            &scenario.flat.graph,
+            scenario.clients.clone(),
+            scenario.candidates.clone(),
+            CostParams::paper(omega),
+        );
+        let plan = PlacementSolver::Exhaustive.solve(&inst, &mut rng).unwrap();
+        assert!(
+            plan.num_hubs() <= last_hubs,
+            "hub count should not grow with ω"
+        );
+        last_hubs = plan.num_hubs();
+    }
+    assert_eq!(last_hubs, 1, "huge ω collapses to a single hub");
+}
+
+#[test]
+fn greedy_stays_within_bound_of_exact() {
+    let scenario = Scenario::build(ScenarioParams::tiny());
+    let mut rng = SimRng::seed(2);
+    let inst = PlacementInstance::from_graph(
+        &scenario.flat.graph,
+        scenario.clients.clone(),
+        scenario.candidates.clone(),
+        CostParams::paper(0.04),
+    )
+    .with_uniform_delta(0.02);
+    let exact = PlacementSolver::Exhaustive.solve(&inst, &mut rng).unwrap();
+    let greedy = PlacementSolver::DoubleGreedyDeterministic
+        .solve(&inst, &mut rng)
+        .unwrap();
+    // Must be feasible and within the f̂ 1/3-approximation guarantee.
+    let fub = inst.infeasible_cost();
+    assert!(
+        fub - greedy.balance_cost() >= (fub - exact.balance_cost()) / 3.0 - 1e-9,
+        "greedy {} vs exact {}",
+        greedy.balance_cost(),
+        exact.balance_cost()
+    );
+}
+
+#[test]
+fn assignment_targets_are_placed_hubs() {
+    let scenario = Scenario::build(ScenarioParams::tiny());
+    let mut rng = SimRng::seed(3);
+    let inst = PlacementInstance::from_graph(
+        &scenario.flat.graph,
+        scenario.clients.clone(),
+        scenario.candidates.clone(),
+        CostParams::paper(0.1),
+    );
+    let plan = PlacementSolver::Auto.solve(&inst, &mut rng).unwrap();
+    for pos in 0..inst.num_clients() {
+        let hub = plan.hub_of_client(&inst, pos);
+        assert!(plan.hubs().contains(&hub));
+    }
+}

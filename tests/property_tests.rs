@@ -1,0 +1,123 @@
+//! Property-based tests (proptest) over the core invariants, spanning
+//! crates: channel conservation, TU splitting, Shamir round trips, path
+//! algorithm sanity and Lemma-1 optimality.
+
+use pcn_crypto::{shamir, Fp};
+use pcn_graph::{edge_disjoint_widest_paths, Graph};
+use pcn_placement::assignment::{balance_cost_for, optimal_assignment};
+use pcn_placement::PlacementInstance;
+use pcn_routing::channel::NetworkFunds;
+use pcn_routing::tu::split_demand;
+use pcn_types::{Amount, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn split_demand_partitions_exactly(millis in 1u64..5_000_000, max_mult in 1u64..10) {
+        let value = Amount::from_millitokens(millis);
+        let min_tu = Amount::from_tokens(1);
+        let max_tu = Amount::from_tokens(max_mult.max(1));
+        let parts = split_demand(value, min_tu, max_tu);
+        prop_assert_eq!(parts.iter().copied().sum::<Amount>(), value);
+        for p in &parts {
+            prop_assert!(*p <= max_tu);
+        }
+        // At most one undersized part (the unavoidable tail).
+        let undersized = parts.iter().filter(|p| **p < min_tu).count();
+        prop_assert!(undersized <= 1, "{undersized} undersized parts");
+    }
+
+    #[test]
+    fn channel_ops_conserve_funds(ops in prop::collection::vec((0u8..3, 0u64..5_000), 1..200)) {
+        let mut g = Graph::new(2);
+        let ch = g.add_edge(NodeId::new(0), NodeId::new(1));
+        let mut funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        let total = funds.grand_total();
+        for (op, amt) in ops {
+            let amt = Amount::from_millitokens(amt);
+            let side = NodeId::new((amt.millitokens() % 2) as u32);
+            match op {
+                0 => { let _ = funds.lock(ch, side, amt); }
+                1 => { let locked = funds.locked(ch, side); let _ = funds.settle(ch, side, amt.min(locked)); }
+                _ => { let locked = funds.locked(ch, side); let _ = funds.refund(ch, side, amt.min(locked)); }
+            }
+            prop_assert!(funds.verify_conservation());
+            prop_assert_eq!(funds.grand_total(), total);
+        }
+    }
+
+    #[test]
+    fn shamir_roundtrip(secret in 0u64..u64::MAX, threshold in 1usize..6, extra in 0usize..4, seed in 0u64..u64::MAX) {
+        let n = threshold + extra;
+        let shares = shamir::split(Fp::new(secret), threshold, n, seed);
+        let got = shamir::reconstruct(&shares[..threshold]).unwrap();
+        prop_assert_eq!(got, Fp::new(secret));
+    }
+
+    #[test]
+    fn edw_paths_are_disjoint_and_valid(seed in 0u64..1_000, n in 4usize..20, k in 1usize..6) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = pcn_graph::watts_strogatz(n, 2, 0.3, &mut rng);
+        let paths = edge_disjoint_widest_paths(
+            &g,
+            NodeId::new(0),
+            NodeId::from_index(n - 1),
+            k,
+            |e| Some(1.0 + (e.id.index() % 13) as f64),
+        );
+        prop_assert!(paths.len() <= k);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            prop_assert!(p.validate(&g).is_ok());
+            for c in p.channels() {
+                prop_assert!(seen.insert(*c), "channel reused");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_no_single_client_improvement(seed in 0u64..500) {
+        // Moving any single client off its Lemma-1 hub cannot reduce C_B.
+        let mut state = seed.wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 997) as f64 / 100.0
+        };
+        let m = 4;
+        let n = 4;
+        let zeta: Vec<Vec<f64>> = (0..m).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let mut delta = vec![vec![0.0; n]; n];
+        let mut eps = vec![vec![0.0; n]; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = next();
+                let e = next();
+                delta[a][b] = d;
+                delta[b][a] = d;
+                eps[a][b] = e;
+                eps[b][a] = e;
+            }
+        }
+        let inst = PlacementInstance::from_matrices(
+            (10..10 + m as u32).map(NodeId::new).collect(),
+            (0..n as u32).map(NodeId::new).collect(),
+            zeta, delta, eps, 0.3,
+        ).unwrap();
+        let placed = vec![true; n];
+        let asg = optimal_assignment(&inst, &placed).unwrap();
+        let best = balance_cost_for(&inst, &placed);
+        for client in 0..m {
+            for hub in 0..n {
+                if hub == asg[client] { continue; }
+                let mut alt = asg.clone();
+                alt[client] = hub;
+                let cost = inst.balance_cost(&placed, &alt);
+                prop_assert!(cost >= best - 1e-9,
+                    "client {client} → hub {hub} improved: {cost} < {best}");
+            }
+        }
+    }
+}
