@@ -2,9 +2,7 @@
 //! computations that dominate router cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pcn_graph::{
-    edge_disjoint_widest_paths, k_shortest_paths, max_flow, watts_strogatz, Graph,
-};
+use pcn_graph::{edge_disjoint_widest_paths, k_shortest_paths, max_flow, watts_strogatz, Graph};
 use pcn_types::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

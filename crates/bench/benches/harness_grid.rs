@@ -1,0 +1,35 @@
+//! Parallel-speedup baseline for the experiment grid: the same 10-cell
+//! grid (2 sweep points × 5 schemes) at 1/2/4/8 workers. The JSON
+//! baseline lands in `BENCH_harness_grid.json`; wall-clock per grid run
+//! should shrink roughly with the worker count until cells run out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcn_harness::ExperimentGrid;
+use pcn_workload::{ScenarioParams, SchemeChoice};
+use std::hint::black_box;
+
+fn grid() -> ExperimentGrid {
+    let mut params = ScenarioParams::tiny();
+    params.nodes = 60;
+    params.candidate_count = 6;
+    params.arrivals_per_sec = 15.0;
+    params.duration = pcn_types::SimDuration::from_secs(10);
+    ExperimentGrid::new(params)
+        .schemes(SchemeChoice::COMPARED)
+        .sweep_channel_scale(&[0.5, 2.0])
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let grid = grid();
+    let mut group = c.benchmark_group("harness_grid");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("grid_10cells_{workers}w"), |b| {
+            b.iter(|| black_box(grid.run(workers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

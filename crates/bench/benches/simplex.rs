@@ -5,6 +5,7 @@ use milp::{Bounds, Cmp, Model, Sense};
 use std::hint::black_box;
 
 /// A transportation-style LP with `n` supplies and `n` demands.
+#[allow(clippy::needless_range_loop)] // (i, j) mirror the LP's index notation
 fn transportation_lp(n: usize) -> Model {
     let mut m = Model::new(Sense::Minimize);
     let mut x = vec![vec![]; n];
@@ -25,7 +26,13 @@ fn transportation_lp(n: usize) -> Model {
 fn knapsack_milp(n: usize) -> Model {
     let mut m = Model::new(Sense::Maximize);
     let xs: Vec<_> = (0..n)
-        .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), (1 + (i * 17) % 29) as f64))
+        .map(|i| {
+            m.add_var(
+                format!("x{i}"),
+                Bounds::binary(),
+                (1 + (i * 17) % 29) as f64,
+            )
+        })
         .collect();
     m.add_constraint(
         xs.iter()

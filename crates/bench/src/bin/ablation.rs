@@ -1,6 +1,6 @@
 //! Ablation study: which of Splicer's mechanisms buys what.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin ablation -- [--quick] [--seed N]`
+//! Usage: `cargo run --release -p splicer-bench --bin ablation -- [--quick] [--seed N] [--workers N]`
 //!
 //! Starting from full Splicer, each row disables one mechanism:
 //! * no rate control (eq. 26 off — TUs blast immediately),
@@ -9,11 +9,13 @@
 //! * stale knowledge (capacity-only path selection instead of the
 //!   epoch-fresh balance view),
 //! * single path (k = 1 instead of 5).
+//!
+//! The five variants form one grid and run in parallel.
 
+use pcn_harness::{ExperimentGrid, Overrides, SchemeTuning};
 use pcn_routing::paths::BalanceView;
-use pcn_workload::Scenario;
+use pcn_workload::SchemeChoice;
 use splicer_bench::{HarnessOpts, Scale};
-use splicer_core::SystemBuilder;
 
 fn main() {
     let (opts, _) = HarnessOpts::from_args();
@@ -21,42 +23,63 @@ fn main() {
     println!("(small scale, capacity-stressed: channel scale 0.5)\n");
     let mut params = opts.params(Scale::Small);
     params.channel_scale = 0.5;
-    let scenario = Scenario::build(params);
-    let builder = SystemBuilder::new(scenario);
 
-    let variants: Vec<(&str, Box<dyn Fn(&mut pcn_routing::SchemeConfig)>)> = vec![
-        ("full Splicer", Box::new(|_| {})),
+    let variants: [(&str, SchemeTuning); 5] = [
+        ("full Splicer", SchemeTuning::default()),
         (
             "− rate control",
-            Box::new(|s| s.rate_control = false),
+            SchemeTuning {
+                rate_control: Some(false),
+                ..SchemeTuning::default()
+            },
         ),
         (
             "− congestion control",
-            Box::new(|s| {
-                s.rate_control = false;
-                s.congestion_control = false;
-            }),
+            SchemeTuning {
+                rate_control: Some(false),
+                congestion_control: Some(false),
+                ..SchemeTuning::default()
+            },
         ),
         (
             "− fresh state (capacity view)",
-            Box::new(|s| s.balance_view = BalanceView::CapacityOnly),
+            SchemeTuning {
+                balance_view: Some(BalanceView::CapacityOnly),
+                ..SchemeTuning::default()
+            },
         ),
-        ("− multipath (k = 1)", Box::new(|s| s.num_paths = 1)),
+        (
+            "− multipath (k = 1)",
+            SchemeTuning {
+                num_paths: Some(1),
+                ..SchemeTuning::default()
+            },
+        ),
     ];
+
+    let mut grid = ExperimentGrid::new(params).schemes([SchemeChoice::Splicer]);
+    for (name, tuning) in &variants {
+        grid = grid.variant(
+            *name,
+            0.0,
+            Overrides {
+                scheme: *tuning,
+                ..Overrides::default()
+            },
+        );
+    }
+    let results = grid.run(opts.workers);
 
     println!("| variant | TSR | throughput | latency (s) | aborted TUs |");
     println!("|---|---|---|---|---|");
-    for (name, tweak) in variants {
-        let report = builder
-            .build_splicer_with(|s| tweak(s))
-            .expect("feasible placement")
-            .run();
+    for r in &results {
         println!(
-            "| {name} | {:.3} | {:.3} | {:.3} | {} |",
-            report.stats.tsr(),
-            report.stats.normalized_throughput(),
-            report.stats.avg_latency_secs(),
-            report.stats.aborted_tus,
+            "| {} | {:.3} | {:.3} | {:.3} | {} |",
+            r.label,
+            r.stats.tsr(),
+            r.stats.normalized_throughput(),
+            r.stats.avg_latency_secs(),
+            r.stats.aborted_tus,
         );
     }
 }

@@ -1,16 +1,23 @@
 //! Regenerates Fig. 7: small-scale (100 nodes) scheme comparison.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin fig7 -- [a|b|c|d|all] [--quick] [--seed N]`
+//! Usage: `cargo run --release -p splicer-bench --bin fig7 -- [a|b|c|d|all] [--quick] [--seed N] [--workers N]`
 //!
 //! * `a` — TSR vs channel-size scale.
 //! * `b` — TSR vs mean transaction size.
 //! * `c` — TSR vs update time τ.
 //! * `d` — Normalized throughput vs update time τ.
+//!
+//! Each panel is one experiment grid (sweep × 5 schemes) fanned across
+//! worker threads; results are identical for any `--workers` value.
 
 use splicer_bench::{figures, HarnessOpts, Scale};
 
 fn main() {
     let (opts, rest) = HarnessOpts::from_args();
-    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    let which = rest
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
     figures::run(Scale::Small, &opts, &which);
 }

@@ -1,14 +1,19 @@
 //! Regenerates Fig. 8: large-scale scheme comparison.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin fig8 -- [a|b|c|d|all] [--quick] [--seed N]`
+//! Usage: `cargo run --release -p splicer-bench --bin fig8 -- [a|b|c|d|all] [--quick] [--seed N] [--workers N]`
 //!
 //! Without `--quick` this runs the full-size network (minutes); `--quick`
-//! shrinks to 600 nodes for a fast shape check.
+//! shrinks to 600 nodes for a fast shape check. Panels run as parallel
+//! experiment grids; results are identical for any `--workers` value.
 
 use splicer_bench::{figures, HarnessOpts, Scale};
 
 fn main() {
     let (opts, rest) = HarnessOpts::from_args();
-    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    let which = rest
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
     figures::run(Scale::Large, &opts, &which);
 }

@@ -1,15 +1,17 @@
 //! Regenerates Fig. 9: evaluation of smooth-node placement.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin fig9 -- [a|b|c|d|e|f|all] [--quick] [--seed N]`
+//! Usage: `cargo run --release -p splicer-bench --bin fig9 -- [a|b|c|d|e|f|all] [--quick] [--seed N] [--workers N]`
 //!
 //! * `a` — average balance cost vs ω: approximation vs exhaustive optimum.
 //! * `b` — management-vs-synchronization cost tradeoff (annotated ω, hubs).
 //! * `c`/`d` — number of placed smooth nodes vs ω (small / large).
 //! * `e`/`f` — average transaction delay vs total traffic overhead, with
-//!   and without PCHs (small / large).
+//!   and without PCHs (small / large) — each an experiment grid over ω,
+//!   run in parallel.
 
+use pcn_harness::{ExperimentGrid, Overrides, RunTuning};
 use pcn_placement::PlacementSolver;
-use pcn_workload::Scenario;
+use pcn_workload::{Scenario, SchemeChoice};
 use splicer_bench::{HarnessOpts, Scale};
 use splicer_core::SystemBuilder;
 
@@ -17,7 +19,11 @@ const OMEGAS: [f64; 7] = [0.01, 0.02, 0.04, 0.08, 0.2, 0.5, 1.0];
 
 fn main() {
     let (opts, rest) = HarnessOpts::from_args();
-    let which = rest.first().map(String::as_str).unwrap_or("all").to_string();
+    let which = rest
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
     let w = which.as_str();
     println!("# Fig. 9: evaluation of smooth node placement");
 
@@ -96,39 +102,60 @@ fn main() {
     }
 
     for (panel, scale, title) in [
-        ("e", Scale::Small, "(e) Small-scale costs: delay vs overhead"),
-        ("f", Scale::Large, "(f) Large-scale costs: delay vs overhead"),
+        (
+            "e",
+            Scale::Small,
+            "(e) Small-scale costs: delay vs overhead",
+        ),
+        (
+            "f",
+            Scale::Large,
+            "(f) Large-scale costs: delay vs overhead",
+        ),
     ] {
         if w != panel && w != "all" {
             continue;
         }
-        let scenario = Scenario::build(opts.params(scale));
         println!("\n## {title}\n");
         println!("| configuration | avg tx delay (s) | total overhead (msgs) |");
         println!("|---|---|---|");
+        let params = opts.params(scale);
         // Without PCHs: source routing (Spider) — a single fixed point.
-        let spider = SystemBuilder::new(scenario.clone()).build_spider().run();
+        let spider = ExperimentGrid::new(params.clone())
+            .schemes([SchemeChoice::Spider])
+            .variant("without PCHs", 0.0, Overrides::default())
+            .run(opts.workers);
         println!(
             "| without PCHs (source routing) | {:.3} | {} |",
-            spider.stats.avg_latency_secs(),
-            spider.stats.overhead_msgs
+            spider[0].stats.avg_latency_secs(),
+            spider[0].stats.overhead_msgs
         );
         let omegas: &[f64] = if opts.quick {
             &[0.02, 0.2, 1.0]
         } else {
             &OMEGAS
         };
+        let mut grid = ExperimentGrid::new(params).schemes([SchemeChoice::Splicer]);
         for &omega in omegas {
-            let report = SystemBuilder::new(scenario.clone())
-                .omega(omega)
-                .build_splicer()
-                .expect("feasible")
-                .run();
+            grid = grid.variant(
+                format!("Splicer ω={omega}"),
+                omega,
+                Overrides {
+                    tuning: RunTuning {
+                        omega: Some(omega),
+                        ..RunTuning::default()
+                    },
+                    ..Overrides::default()
+                },
+            );
+        }
+        for r in grid.run(opts.workers) {
             println!(
-                "| Splicer ω={omega} ({} hubs) | {:.3} | {} |",
-                report.placement.as_ref().map(|p| p.hubs).unwrap_or(0),
-                report.stats.avg_latency_secs(),
-                report.stats.overhead_msgs
+                "| {} ({} hubs) | {:.3} | {} |",
+                r.label,
+                r.placement_hubs.unwrap_or(0),
+                r.stats.avg_latency_secs(),
+                r.stats.overhead_msgs
             );
         }
     }

@@ -1,25 +1,22 @@
 //! Diagnostic: full stats breakdown per scheme on one configuration.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin probe -- [channel_scale]`
+//! Usage: `cargo run --release -p splicer-bench --bin probe -- [channel_scale] [--workers N]`
 
-use pcn_workload::Scenario;
+use pcn_harness::ExperimentGrid;
 use splicer_bench::{HarnessOpts, Scale};
-use splicer_core::SystemBuilder;
 
 fn main() {
     let (opts, rest) = HarnessOpts::from_args();
     let scale: f64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let mut p = opts.params(Scale::Small);
     p.channel_scale = scale;
-    let scenario = Scenario::build(p);
-    let builder = SystemBuilder::new(scenario);
-    for run in builder.build_all().expect("feasible") {
-        let name = run.name().to_string();
-        let r = run.run();
+    let grid = ExperimentGrid::new(p).sweep_channel_scale(&[scale]);
+    for r in grid.run(opts.workers) {
         let s = &r.stats;
         println!(
-            "{name:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
+            "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
              tus: del={} abort={} marked={} drained={} hubs={:?}",
+            r.scheme,
             s.tsr(),
             s.normalized_throughput(),
             s.avg_latency_secs(),
@@ -31,7 +28,7 @@ fn main() {
             s.aborted_tus,
             s.marked_tus,
             s.drained_directions_end,
-            r.placement.map(|p| p.hubs),
+            r.placement_hubs,
         );
     }
 }

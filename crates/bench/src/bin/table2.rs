@@ -1,27 +1,17 @@
 //! Regenerates Table II: the influence of routing choices on Splicer's TSR.
 //!
-//! Usage: `cargo run --release -p splicer-bench --bin table2 -- [--quick] [--seed N]`
+//! Usage: `cargo run --release -p splicer-bench --bin table2 -- [--quick] [--seed N] [--workers N]`
 //!
 //! Three ablations at both scales: path type {KSP, Heuristic, EDW, EDS},
 //! path count {1, 3, 5, 7} and queue scheduler {FIFO, LIFO, SPF, EDF}.
+//! All twelve rows per scale form one experiment grid and run in
+//! parallel.
 
+use pcn_harness::{ExperimentGrid, Overrides, RunTuning, SchemeTuning};
 use pcn_routing::paths::PathSelect;
 use pcn_routing::scheduler::Discipline;
-use pcn_workload::Scenario;
+use pcn_workload::SchemeChoice;
 use splicer_bench::{HarnessOpts, Scale};
-use splicer_core::SystemBuilder;
-
-fn tsr_with<F>(builder: &SystemBuilder, tweak: F) -> f64
-where
-    F: FnOnce(&mut pcn_routing::SchemeConfig),
-{
-    builder
-        .build_splicer_with(tweak)
-        .expect("feasible placement")
-        .run()
-        .stats
-        .tsr()
-}
 
 fn main() {
     let (opts, _) = HarnessOpts::from_args();
@@ -36,39 +26,79 @@ fn main() {
         };
         let mut params = opts.params(scale);
         params.channel_scale = 0.5;
-        let scenario = Scenario::build(params);
-        let builder = SystemBuilder::new(scenario)
-            .omega(0.01)
-            .hub_fund_factor(3.0);
+        let base = Overrides {
+            tuning: RunTuning {
+                omega: Some(0.01),
+                hub_fund_factor: Some(3.0),
+                ..RunTuning::default()
+            },
+            ..Overrides::default()
+        };
+        let mut grid = ExperimentGrid::new(params)
+            .schemes([SchemeChoice::Splicer])
+            .base_overrides(base);
+        // Rows 0–3: path type; 4–7: path count (EDW); 8–11: scheduler.
+        for ps in PathSelect::ALL {
+            grid = grid.variant(
+                format!("path:{ps:?}"),
+                0.0,
+                Overrides {
+                    scheme: SchemeTuning {
+                        path_select: Some(ps),
+                        ..SchemeTuning::default()
+                    },
+                    ..Overrides::default()
+                },
+            );
+        }
+        for k in [1usize, 3, 5, 7] {
+            grid = grid.variant(
+                format!("k:{k}"),
+                k as f64,
+                Overrides {
+                    scheme: SchemeTuning {
+                        num_paths: Some(k),
+                        ..SchemeTuning::default()
+                    },
+                    ..Overrides::default()
+                },
+            );
+        }
+        for d in Discipline::ALL {
+            grid = grid.variant(
+                format!("sched:{d:?}"),
+                0.0,
+                Overrides {
+                    scheme: SchemeTuning {
+                        discipline: Some(d),
+                        ..SchemeTuning::default()
+                    },
+                    ..Overrides::default()
+                },
+            );
+        }
+        let results = grid.run(opts.workers);
+        let tsr_row = |range: std::ops::Range<usize>| {
+            let mut row = String::from("|");
+            for r in &results[range] {
+                row.push_str(&format!(" {:.2}% |", r.stats.tsr() * 100.0));
+            }
+            row
+        };
 
         println!("\n## {name} scale — path type\n");
         println!("| KSP | Heuristic | EDW | EDS |");
         println!("|---|---|---|---|");
-        let mut row = String::from("|");
-        for ps in PathSelect::ALL {
-            let tsr = tsr_with(&builder, |s| s.path_select = ps);
-            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
-        }
-        println!("{row}");
+        println!("{}", tsr_row(0..4));
 
         println!("\n## {name} scale — path number (EDW)\n");
         println!("| 1 | 3 | 5 | 7 |");
         println!("|---|---|---|---|");
-        let mut row = String::from("|");
-        for k in [1usize, 3, 5, 7] {
-            let tsr = tsr_with(&builder, |s| s.num_paths = k);
-            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
-        }
-        println!("{row}");
+        println!("{}", tsr_row(4..8));
 
         println!("\n## {name} scale — scheduling algorithm\n");
         println!("| FIFO | LIFO | SPF | EDF |");
         println!("|---|---|---|---|");
-        let mut row = String::from("|");
-        for d in Discipline::ALL {
-            let tsr = tsr_with(&builder, |s| s.discipline = d);
-            row.push_str(&format!(" {:.2}% |", tsr * 100.0));
-        }
-        println!("{row}");
+        println!("{}", tsr_row(8..12));
     }
 }

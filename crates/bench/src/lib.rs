@@ -1,16 +1,17 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
 //! Every `fig*`/`table*` binary in `src/bin` drives the same machinery:
-//! build a [`Scenario`] at one of the paper's two scales, run the five
-//! schemes on the identical payment trace, and print the series the paper
-//! plots. Absolute numbers differ from the paper (different hardware, a
-//! simulator instead of LND); the *shapes* are the reproduction target —
-//! see EXPERIMENTS.md.
+//! describe the sweep as a `pcn-harness` [`ExperimentGrid`], fan the
+//! cells across worker threads, and print the series the paper plots.
+//! All schemes within a sweep point replay the identical payment trace
+//! (the grid's `Shared` seed policy), so the comparison stays
+//! apples-to-apples while cells run in parallel. Absolute numbers differ
+//! from the paper (different hardware, a simulator instead of LND); the
+//! *shapes* are the reproduction target — see EXPERIMENTS.md.
 
-use pcn_routing::EngineConfig;
+use pcn_harness::{CellResult, ExperimentGrid};
 use pcn_types::SimDuration;
-use pcn_workload::{Scenario, ScenarioParams};
-use splicer_core::{RunReport, SystemBuilder};
+use pcn_workload::ScenarioParams;
 
 /// One measured point of a sweep.
 #[derive(Clone, Debug)]
@@ -32,16 +33,16 @@ pub struct Point {
 }
 
 impl Point {
-    /// Builds a point from a run report.
-    pub fn from_report(x: f64, r: &RunReport) -> Point {
+    /// Builds a point from a grid cell result.
+    pub fn from_cell(c: &CellResult) -> Point {
         Point {
-            scheme: r.scheme.clone(),
-            x,
-            tsr: r.stats.tsr(),
-            throughput: r.stats.normalized_throughput(),
-            latency: r.stats.avg_latency_secs(),
-            overhead: r.stats.overhead_msgs,
-            drained: r.stats.drained_directions_end,
+            scheme: c.scheme.clone(),
+            x: c.x,
+            tsr: c.stats.tsr(),
+            throughput: c.stats.normalized_throughput(),
+            latency: c.stats.avg_latency_secs(),
+            overhead: c.stats.overhead_msgs,
+            drained: c.stats.drained_directions_end,
         }
     }
 }
@@ -62,15 +63,18 @@ pub struct HarnessOpts {
     pub quick: bool,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for grid execution (`--workers N`).
+    pub workers: usize,
 }
 
 impl HarnessOpts {
-    /// Parses `--quick` and `--seed N` from the raw CLI args, returning
-    /// the remaining positional args.
+    /// Parses `--quick`, `--seed N` and `--workers N` from the raw CLI
+    /// args, returning the remaining positional args.
     pub fn from_args() -> (HarnessOpts, Vec<String>) {
         let mut opts = HarnessOpts {
             quick: false,
             seed: 1,
+            workers: default_workers(),
         };
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
@@ -82,6 +86,13 @@ impl HarnessOpts {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs a number");
+                }
+                "--workers" => {
+                    opts.workers = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w| w > 0)
+                        .expect("--workers needs a positive number");
                 }
                 _ => rest.push(a),
             }
@@ -112,20 +123,16 @@ impl HarnessOpts {
     }
 }
 
-/// Runs the five compared schemes on a scenario and returns one point per
-/// scheme. `tweak_engine` lets sweeps adjust τ etc.
-pub fn run_all_schemes<F>(params: ScenarioParams, x: f64, tweak_engine: F) -> Vec<Point>
-where
-    F: Fn(&mut EngineConfig),
-{
-    let scenario = Scenario::build(params);
-    let mut cfg = EngineConfig::default();
-    tweak_engine(&mut cfg);
-    let builder = SystemBuilder::new(scenario).engine_config(cfg);
-    let runs = builder.build_all().expect("scenario should be feasible");
-    runs.into_iter()
-        .map(|r| Point::from_report(x, &r.run()))
-        .collect()
+/// Worker-thread default: the machine's parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs a grid and maps its cells to plot points.
+pub fn run_grid(grid: &ExperimentGrid, workers: usize) -> Vec<Point> {
+    grid.run(workers).iter().map(Point::from_cell).collect()
 }
 
 /// Prints a sweep as a markdown table, one row per x value, one column per
@@ -163,7 +170,7 @@ pub fn print_series(
             let v = points
                 .iter()
                 .find(|p| p.x == x && &p.scheme == s)
-                .map(|p| metric(p))
+                .map(&metric)
                 .unwrap_or(f64::NAN);
             print!(" {v:.3}{unit} |");
         }
@@ -200,12 +207,8 @@ pub mod figures {
             } else {
                 &[0.5, 1.0, 2.0, 4.0, 8.0]
             };
-            let mut pts: Vec<Point> = Vec::new();
-            for &cs in scales {
-                let mut p = opts.params(scale);
-                p.channel_scale = cs;
-                pts.extend(run_all_schemes(p, cs, |_| {}));
-            }
+            let grid = ExperimentGrid::new(opts.params(scale)).sweep_channel_scale(scales);
+            let pts = run_grid(&grid, opts.workers);
             print_series(
                 "(a) Influence of the channel size — TSR",
                 "channel scale",
@@ -222,12 +225,8 @@ pub mod figures {
             } else {
                 &[4.0, 8.0, 12.0, 20.0, 32.0]
             };
-            let mut pts: Vec<Point> = Vec::new();
-            for &mean in sizes {
-                let mut p = opts.params(scale);
-                p.mean_tx_tokens = mean;
-                pts.extend(run_all_schemes(p, mean, |_| {}));
-            }
+            let grid = ExperimentGrid::new(opts.params(scale)).sweep_mean_tx(sizes);
+            let pts = run_grid(&grid, opts.workers);
             print_series(
                 "(b) Influence of the transaction size — TSR",
                 "mean tx (tokens)",
@@ -244,13 +243,8 @@ pub mod figures {
             } else {
                 &[100, 200, 400, 600, 800]
             };
-            let mut pts: Vec<Point> = Vec::new();
-            for &tau in taus {
-                let p = opts.params(scale);
-                pts.extend(run_all_schemes(p, tau as f64, |cfg| {
-                    cfg.update_interval = SimDuration::from_millis(tau);
-                }));
-            }
+            let grid = ExperimentGrid::new(opts.params(scale)).sweep_tau_ms(taus);
+            let pts = run_grid(&grid, opts.workers);
             if which != "d" {
                 print_series(
                     "(c) Influence of the update time — TSR",
@@ -277,12 +271,14 @@ pub mod figures {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcn_workload::SchemeChoice;
 
     #[test]
     fn quick_params_shrink_scale() {
         let opts = HarnessOpts {
             quick: true,
             seed: 3,
+            workers: 1,
         };
         let p = opts.params(Scale::Large);
         assert!(p.nodes < 3000);
@@ -292,12 +288,14 @@ mod tests {
     }
 
     #[test]
-    fn point_from_report_maps_metrics() {
-        let scenario = Scenario::build(ScenarioParams::tiny());
-        let report = SystemBuilder::new(scenario).build_spider().run();
-        let p = Point::from_report(2.5, &report);
+    fn point_from_cell_maps_metrics() {
+        let grid = ExperimentGrid::new(ScenarioParams::tiny())
+            .schemes([SchemeChoice::Spider])
+            .sweep_channel_scale(&[2.5]);
+        let cells = grid.run(1);
+        let p = Point::from_cell(&cells[0]);
         assert_eq!(p.scheme, "Spider");
         assert_eq!(p.x, 2.5);
-        assert!((p.tsr - report.stats.tsr()).abs() < 1e-12);
+        assert!((p.tsr - cells[0].stats.tsr()).abs() < 1e-12);
     }
 }

@@ -66,7 +66,11 @@ pub struct GlobalState {
 
 impl GlobalState {
     /// Captures the global state from live funds.
-    pub fn capture(epoch: EpochId, funds: &NetworkFunds, endpoints: &[(NodeId, NodeId)]) -> GlobalState {
+    pub fn capture(
+        epoch: EpochId,
+        funds: &NetworkFunds,
+        endpoints: &[(NodeId, NodeId)],
+    ) -> GlobalState {
         let channels = endpoints
             .iter()
             .enumerate()
@@ -115,7 +119,10 @@ mod tests {
             clock.epoch_of(SimTime::from_micros(200_000)),
             EpochId::new(1)
         );
-        assert_eq!(clock.start_of(EpochId::new(3)), SimTime::from_micros(600_000));
+        assert_eq!(
+            clock.start_of(EpochId::new(3)),
+            SimTime::from_micros(600_000)
+        );
         assert_eq!(clock.interval(), SimDuration::from_millis(200));
     }
 
@@ -131,7 +138,9 @@ mod tests {
         let c0 = g.add_edge(NodeId::new(0), NodeId::new(1));
         g.add_edge(NodeId::new(1), NodeId::new(2));
         let mut funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
-        funds.lock(c0, NodeId::new(0), Amount::from_tokens(4)).unwrap();
+        funds
+            .lock(c0, NodeId::new(0), Amount::from_tokens(4))
+            .unwrap();
         let endpoints = vec![
             (NodeId::new(0), NodeId::new(1)),
             (NodeId::new(1), NodeId::new(2)),

@@ -191,6 +191,7 @@ impl SystemBuilder {
     /// keeps the backbone connected but *sparse*, so Splicer's path
     /// selection between hubs is non-trivial (the paper's hubs are
     /// "connected directly or indirectly", not a clique).
+    #[allow(clippy::needless_range_loop)] // pairwise matrix walks read clearer indexed
     fn hub_mesh(&self, hubs: &[NodeId]) -> Vec<(NodeId, NodeId)> {
         let g = &self.scenario.flat.graph;
         let h = hubs.len();
@@ -237,10 +238,7 @@ impl SystemBuilder {
                 edges.insert((i.min(j), i.max(j)));
             }
         }
-        edges
-            .into_iter()
-            .map(|(i, j)| (hubs[i], hubs[j]))
-            .collect()
+        edges.into_iter().map(|(i, j)| (hubs[i], hubs[j])).collect()
     }
 
     /// Builds the Splicer run: placement → multi-star rewiring → hub

@@ -124,9 +124,7 @@ pub fn elect_candidates(
                     };
                     excellence[i] + weights.diversity * div
                 };
-                score(a)
-                    .total_cmp(&score(b))
-                    .then(b.cmp(&a)) // lower id wins ties
+                score(a).total_cmp(&score(b)).then(b.cmp(&a)) // lower id wins ties
             });
         let Some(winner) = best else { break };
         let w = NodeId::from_index(winner);

@@ -48,9 +48,8 @@ impl Demand {
         }
         let sender = NodeId::new(u32::from_le_bytes(bytes[0..4].try_into().expect("len")));
         let recipient = NodeId::new(u32::from_le_bytes(bytes[4..8].try_into().expect("len")));
-        let value = Amount::from_millitokens(u64::from_le_bytes(
-            bytes[8..16].try_into().expect("len"),
-        ));
+        let value =
+            Amount::from_millitokens(u64::from_le_bytes(bytes[8..16].try_into().expect("len")));
         Ok(Demand {
             sender,
             recipient,
@@ -247,8 +246,8 @@ mod tests {
 
     #[test]
     fn custom_tu_bounds() {
-        let mut wf =
-            PaymentWorkflow::new(4, 2, 46).with_tu_bounds(Amount::from_tokens(1), Amount::from_tokens(2));
+        let mut wf = PaymentWorkflow::new(4, 2, 46)
+            .with_tu_bounds(Amount::from_tokens(1), Amount::from_tokens(2));
         let t = wf.execute(demand(10), |_| false).unwrap();
         assert_eq!(t.tuids.len(), 5);
     }

@@ -121,6 +121,7 @@ impl Div for Fp {
     /// # Panics
     ///
     /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the inverse
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inv().expect("division by zero in GF(p)")
     }

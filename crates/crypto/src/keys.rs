@@ -93,7 +93,7 @@ mod tests {
         for seed in 0..50 {
             let kp = KeyPair::from_seed(seed);
             let e = kp.secret.exponent();
-            assert!(e >= 1 && e < MODULUS - 1);
+            assert!((1..MODULUS - 1).contains(&e));
         }
     }
 }

@@ -44,13 +44,17 @@ where
     let mut used: HashSet<ChannelId> = HashSet::new();
     let mut paths = Vec::new();
     for _ in 0..k {
-        let found = g.shortest_path(from, to, |e| {
-            if used.contains(&e.id) {
-                None
-            } else {
-                cost(e)
-            }
-        });
+        let found = g.shortest_path(
+            from,
+            to,
+            |e| {
+                if used.contains(&e.id) {
+                    None
+                } else {
+                    cost(e)
+                }
+            },
+        );
         let Some((_, path)) = found else { break };
         used.extend(path.channels().iter().copied());
         paths.push(path);

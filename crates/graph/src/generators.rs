@@ -42,7 +42,7 @@ use crate::{bfs::connected_components, Graph};
 /// ```
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
     assert!(n >= 2, "need at least two nodes");
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut g = Graph::new(n);
@@ -171,6 +171,7 @@ pub fn complete(n: usize) -> Graph {
 
 /// Patches a possibly-disconnected graph by wiring each secondary component
 /// to a random node of the main component.
+#[allow(clippy::needless_range_loop)] // i is a node id, not just an index
 fn connect<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) {
     if g.node_count() < 2 {
         return;
@@ -209,7 +210,11 @@ mod tests {
         assert!(is_connected(&g));
         // Ring lattice has n*k/2 edges; rewiring preserves the count, the
         // connectivity patch may add a few.
-        assert!(g.edge_count() >= 295 && g.edge_count() <= 310, "{}", g.edge_count());
+        assert!(
+            g.edge_count() >= 295 && g.edge_count() <= 310,
+            "{}",
+            g.edge_count()
+        );
         assert!((average_degree(&g) - 6.0).abs() < 0.5);
     }
 

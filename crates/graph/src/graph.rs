@@ -264,8 +264,14 @@ mod tests {
         let g = diamond();
         let ch = ChannelId::new(0);
         assert_eq!(g.endpoints(ch).unwrap(), (NodeId::new(0), NodeId::new(1)));
-        assert_eq!(g.other_endpoint(ch, NodeId::new(0)).unwrap(), NodeId::new(1));
-        assert_eq!(g.other_endpoint(ch, NodeId::new(1)).unwrap(), NodeId::new(0));
+        assert_eq!(
+            g.other_endpoint(ch, NodeId::new(0)).unwrap(),
+            NodeId::new(1)
+        );
+        assert_eq!(
+            g.other_endpoint(ch, NodeId::new(1)).unwrap(),
+            NodeId::new(0)
+        );
         assert_eq!(
             g.other_endpoint(ch, NodeId::new(2)),
             Err(PcnError::UnknownNode(NodeId::new(2)))

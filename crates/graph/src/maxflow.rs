@@ -128,7 +128,16 @@ where
         iter.iter_mut().for_each(|i| *i = 0);
         // DFS blocking flow.
         loop {
-            let pushed = dfs(&mut arcs, &mut flow, &head, &level, &mut iter, s, t, u64::MAX);
+            let pushed = dfs(
+                &mut arcs,
+                &mut flow,
+                &head,
+                &level,
+                &mut iter,
+                s,
+                t,
+                u64::MAX,
+            );
             if pushed == 0 {
                 break;
             }

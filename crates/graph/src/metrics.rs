@@ -105,7 +105,11 @@ impl GraphMetrics {
             edges: g.edge_count(),
             avg_degree: average_degree(g),
             clustering: clustering_coefficient(g),
-            avg_path_hops: if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 },
+            avg_path_hops: if pairs == 0 {
+                0.0
+            } else {
+                sum as f64 / pairs as f64
+            },
             diameter_lower_bound: diameter,
         }
     }

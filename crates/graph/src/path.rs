@@ -228,7 +228,12 @@ mod tests {
         let c1 = g.add_edge(NodeId::new(1), NodeId::new(2));
         let c2 = g.add_edge(NodeId::new(2), NodeId::new(0));
         let p = Path::new(
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(0)],
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(0),
+            ],
             vec![c0, c1, c2],
         );
         assert!(p.has_node_cycle());

@@ -1,0 +1,39 @@
+//! The parallel scenario harness: the third layer of the experiment
+//! stack.
+//!
+//! The stack separates *what a world looks like* from *what to run on
+//! it* from *how to execute at scale*:
+//!
+//! 1. `pcn-workload` — the [`ScenarioBuilder`](pcn_workload::ScenarioBuilder)
+//!    DSL produces pure-data [`ScenarioSpec`](pcn_workload::ScenarioSpec)s.
+//! 2. `splicer-core` — `SystemBuilder` turns a materialized scenario into
+//!    prepared scheme runs.
+//! 3. this crate — [`run_spec`] executes one spec and checks its
+//!    expectations; [`ExperimentGrid`] cartesian-expands parameter axes ×
+//!    schemes into cells and fans them across worker threads.
+//!
+//! Every cell is described by pure data ([`CellSpec`]), so results are
+//! independent of worker count and scheduling: a 4-worker grid run, a
+//! serial run, and a standalone [`ExperimentGrid::run_cell`] all produce
+//! bit-identical [`RunStats`](pcn_routing::RunStats) for the same cell.
+//!
+//! ```
+//! use pcn_harness::ExperimentGrid;
+//! use pcn_workload::{ScenarioParams, SchemeChoice};
+//!
+//! let grid = ExperimentGrid::new(ScenarioParams::tiny())
+//!     .schemes([SchemeChoice::Spider])
+//!     .sweep_channel_scale(&[1.0, 2.0]);
+//! let results = grid.run(2);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.stats.generated > 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod run;
+
+pub use grid::{derive_seed, CellResult, CellSpec, ExperimentGrid, Overrides, SeedPolicy, Variant};
+pub use run::{run_spec, run_spec_tuned, RunTuning, SchemeTuning, SpecOutcome};

@@ -1,0 +1,203 @@
+//! Executing a single [`ScenarioSpec`]: scheme dispatch and expectation
+//! checking.
+
+use pcn_workload::{Scenario, ScenarioSpec, SchemeChoice};
+use splicer_core::{RunReport, SystemBuilder};
+
+/// Tunables applied on top of a spec when the grid sweeps dimensions the
+/// spec itself does not carry (placement weight, hub funding, τ).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunTuning {
+    /// Placement tradeoff weight ω (None = builder default).
+    pub omega: Option<f64>,
+    /// Hub capitalization multiplier (None = builder default).
+    pub hub_fund_factor: Option<f64>,
+    /// Price/probe update interval τ in milliseconds (None = default).
+    pub update_interval_ms: Option<u64>,
+}
+
+/// Scheme-level overrides, applied to Splicer runs only (the paper's
+/// Table II and ablation rows tweak Splicer's routing choices).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchemeTuning {
+    /// Path-selection strategy override.
+    pub path_select: Option<pcn_routing::paths::PathSelect>,
+    /// Path count override.
+    pub num_paths: Option<usize>,
+    /// Queue discipline override.
+    pub discipline: Option<pcn_routing::scheduler::Discipline>,
+    /// Balance-view override (stale-knowledge ablation).
+    pub balance_view: Option<pcn_routing::paths::BalanceView>,
+    /// Rate-control toggle (eq. 26 off in the ablation).
+    pub rate_control: Option<bool>,
+    /// Congestion-control toggle (queues/windows off in the ablation).
+    pub congestion_control: Option<bool>,
+}
+
+impl SchemeTuning {
+    fn apply(&self, s: &mut pcn_routing::SchemeConfig) {
+        if let Some(ps) = self.path_select {
+            s.path_select = ps;
+        }
+        if let Some(k) = self.num_paths {
+            s.num_paths = k;
+        }
+        if let Some(d) = self.discipline {
+            s.discipline = d;
+        }
+        if let Some(v) = self.balance_view {
+            s.balance_view = v;
+        }
+        if let Some(rc) = self.rate_control {
+            s.rate_control = rc;
+        }
+        if let Some(cc) = self.congestion_control {
+            s.congestion_control = cc;
+        }
+    }
+
+    fn is_noop(&self) -> bool {
+        *self == SchemeTuning::default()
+    }
+}
+
+/// Outcome of one spec execution: the report plus expectation violations.
+#[derive(Clone, Debug)]
+pub struct SpecOutcome {
+    /// The engine run report.
+    pub report: RunReport,
+    /// Human-readable expectation violations (empty = all met).
+    pub violations: Vec<String>,
+}
+
+impl SpecOutcome {
+    /// Whether every expectation held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs a spec with default tuning.
+///
+/// # Panics
+///
+/// Panics when the Splicer placement problem is infeasible for the
+/// spec's world (a configuration error, not a runtime condition).
+pub fn run_spec(spec: &ScenarioSpec) -> SpecOutcome {
+    run_spec_tuned(spec, &RunTuning::default(), &SchemeTuning::default())
+}
+
+/// Runs a spec with explicit tuning.
+///
+/// # Panics
+///
+/// Panics when the Splicer placement problem is infeasible.
+pub fn run_spec_tuned(
+    spec: &ScenarioSpec,
+    tuning: &RunTuning,
+    scheme_tuning: &SchemeTuning,
+) -> SpecOutcome {
+    run_on_scenario(spec.scenario(), spec, tuning, scheme_tuning)
+}
+
+/// Runs a spec against an already-materialized world (the grid's entry
+/// point — lets one `Scenario` build serve every scheme of a variant).
+/// `scenario` must be the materialization of `spec.params`.
+///
+/// # Panics
+///
+/// Panics when the Splicer placement problem is infeasible.
+pub fn run_on_scenario(
+    scenario: Scenario,
+    spec: &ScenarioSpec,
+    tuning: &RunTuning,
+    scheme_tuning: &SchemeTuning,
+) -> SpecOutcome {
+    debug_assert_eq!(scenario.params.seed, spec.params.seed);
+    let mut builder = SystemBuilder::new(scenario);
+    if let Some(omega) = tuning.omega {
+        builder = builder.omega(omega);
+    }
+    if let Some(factor) = tuning.hub_fund_factor {
+        builder = builder.hub_fund_factor(factor);
+    }
+    if let Some(tau_ms) = tuning.update_interval_ms {
+        builder = builder.engine_config(pcn_routing::EngineConfig {
+            update_interval: pcn_types::SimDuration::from_millis(tau_ms),
+            ..Default::default()
+        });
+    }
+    let prepared = match spec.scheme {
+        SchemeChoice::Splicer => {
+            if scheme_tuning.is_noop() {
+                builder.build_splicer().expect("feasible placement")
+            } else {
+                builder
+                    .build_splicer_with(|s| scheme_tuning.apply(s))
+                    .expect("feasible placement")
+            }
+        }
+        SchemeChoice::Spider => builder.build_spider(),
+        SchemeChoice::Flash => builder.build_flash(),
+        SchemeChoice::Landmark => builder.build_landmark(),
+        SchemeChoice::A2L => builder.build_a2l(),
+        SchemeChoice::ShortestPath => builder.build_shortest_path(),
+    };
+    let report = prepared.run();
+    let violations = check_expectations(spec, &report);
+    SpecOutcome { report, violations }
+}
+
+fn check_expectations(spec: &ScenarioSpec, report: &RunReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if spec.expect.no_deadlock && report.stats.drained_directions_end > 0 {
+        violations.push(format!(
+            "expected no deadlock, but {} channel directions ended drained",
+            report.stats.drained_directions_end
+        ));
+    }
+    if let Some(min_tsr) = spec.expect.min_tsr {
+        let tsr = report.stats.tsr();
+        if tsr < min_tsr {
+            violations.push(format!("expected TSR ≥ {min_tsr:.3}, got {tsr:.3}"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_workload::ScenarioBuilder;
+
+    #[test]
+    fn runs_a_tiny_spider_spec() {
+        let spec = ScenarioBuilder::tiny().scheme(SchemeChoice::Spider).build();
+        let outcome = run_spec(&spec);
+        assert_eq!(outcome.report.scheme, "Spider");
+        assert!(outcome.report.stats.generated > 0);
+    }
+
+    #[test]
+    fn expectation_violation_reported() {
+        // A starved world with a min-TSR of 1.0 must report a violation.
+        let spec = ScenarioBuilder::tiny()
+            .overload(10.0)
+            .scheme(SchemeChoice::ShortestPath)
+            .expect_min_tsr(1.0)
+            .build();
+        let outcome = run_spec(&spec);
+        assert!(!outcome.passed(), "overload cannot reach TSR 1.0");
+    }
+
+    #[test]
+    fn tuning_overrides_tau() {
+        let spec = ScenarioBuilder::tiny().scheme(SchemeChoice::Spider).build();
+        let tuning = RunTuning {
+            update_interval_ms: Some(400),
+            ..RunTuning::default()
+        };
+        let outcome = run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        assert!(outcome.report.stats.generated > 0);
+    }
+}

@@ -216,7 +216,11 @@ mod tests {
         let xs: Vec<_> = (0..5)
             .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), v[i]))
             .collect();
-        m.add_constraint(xs.iter().zip(w).map(|(&x, wi)| (x, wi)).collect(), Cmp::Le, 15.0);
+        m.add_constraint(
+            xs.iter().zip(w).map(|(&x, wi)| (x, wi)).collect(),
+            Cmp::Le,
+            15.0,
+        );
         let s = m.solve().unwrap();
         approx(s.objective(), 15.0);
     }
@@ -235,6 +239,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) mirror the assignment matrix
     fn assignment_problem_3x3() {
         // cost matrix; optimal assignment cost = 5 (1+2+2).
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
@@ -289,7 +294,10 @@ mod tests {
             .map(|i| m.add_var(format!("x{i}"), Bounds::binary(), (i % 5 + 1) as f64))
             .collect();
         m.add_constraint(
-            xs.iter().enumerate().map(|(i, &x)| (x, (i % 7 + 1) as f64)).collect(),
+            xs.iter()
+                .enumerate()
+                .map(|(i, &x)| (x, (i % 7 + 1) as f64))
+                .collect(),
             Cmp::Le,
             9.5,
         );
@@ -337,7 +345,10 @@ mod tests {
                     best = best.max(vsum);
                 }
             }
-            assert!((milp - best).abs() < 1e-6, "round {round}: {milp} vs {best}");
+            assert!(
+                (milp - best).abs() < 1e-6,
+                "round {round}: {milp} vs {best}"
+            );
         }
     }
 }

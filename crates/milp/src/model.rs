@@ -111,7 +111,10 @@ impl Model {
 
     /// Adds a variable with the given domain and objective coefficient.
     pub fn add_var(&mut self, name: impl Into<String>, bounds: Bounds, objective: f64) -> VarId {
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         self.vars.push(Variable {
             name: name.into(),
             bounds,
@@ -210,7 +213,9 @@ impl Model {
             }) {
                 Ok(Solution::new(Vec::new(), 0.0))
             } else {
-                Err(PcnError::Infeasible("empty model with unmet constant constraint".into()))
+                Err(PcnError::Infeasible(
+                    "empty model with unmet constant constraint".into(),
+                ))
             };
         }
         crate::simplex::solve_lp(self)

@@ -238,6 +238,7 @@ fn run_simplex_blocked(
     ))
 }
 
+#[allow(clippy::needless_range_loop)] // tableau rows/cols mirror the textbook notation
 fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
     let p = a[row][col];
     debug_assert!(p.abs() > EPS);

@@ -214,6 +214,7 @@ impl PlacementInstance {
 
     /// Synchronization cost C_S(x, y) of eq. 4 for a placement set and an
     /// assignment.
+    #[allow(clippy::needless_range_loop)] // (a, b) mirror eq. 4's hub pair indices
     pub fn synchronization_cost(&self, placed: &[bool], assignment: &[usize]) -> f64 {
         let n = self.num_candidates();
         // count of clients per candidate (Σ_m y_mn)
@@ -237,17 +238,14 @@ impl PlacementInstance {
 
     /// Balance cost C_B = C_M + ω·C_S (eq. 5).
     pub fn balance_cost(&self, placed: &[bool], assignment: &[usize]) -> f64 {
-        self.management_cost(assignment) + self.omega * self.synchronization_cost(placed, assignment)
+        self.management_cost(assignment)
+            + self.omega * self.synchronization_cost(placed, assignment)
     }
 
     /// A finite "infeasible" sentinel larger than any achievable balance
     /// cost, used as f(∅) so the double-greedy stays in finite arithmetic.
     pub fn infeasible_cost(&self) -> f64 {
-        let zeta_max: f64 = self
-            .zeta
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let zeta_max: f64 = self.zeta.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
         let sync_max: f64 = self
             .delta
             .iter()

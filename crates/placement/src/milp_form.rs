@@ -47,6 +47,7 @@ pub const MAX_MILP_CLIENTS: usize = 24;
 /// let exact = solve_exhaustive(&inst).unwrap();
 /// assert!((milp.balance_cost() - exact.balance_cost()).abs() < 1e-6);
 /// ```
+#[allow(clippy::needless_range_loop)] // variable grids mirror eqs. 6-10's index notation
 pub fn solve_milp(inst: &PlacementInstance) -> Result<PlacementPlan> {
     let n = inst.num_candidates();
     let m = inst.num_clients();
@@ -134,11 +135,7 @@ pub fn solve_milp(inst: &PlacementInstance) -> Result<PlacementPlan> {
                 let ph = phi[a][b][mi].expect("phi exists when theta does");
                 model.add_constraint(vec![(ph, 1.0), (th, -1.0)], Cmp::Le, 0.0);
                 model.add_constraint(vec![(ph, 1.0), (y[mi][a], -1.0)], Cmp::Le, 0.0);
-                model.add_constraint(
-                    vec![(ph, 1.0), (th, -1.0), (y[mi][a], -1.0)],
-                    Cmp::Ge,
-                    -1.0,
-                );
+                model.add_constraint(vec![(ph, 1.0), (th, -1.0), (y[mi][a], -1.0)], Cmp::Ge, -1.0);
             }
         }
     }
@@ -227,9 +224,6 @@ mod tests {
     fn size_guard_enforced() {
         let mut rng = SimRng::seed(1);
         let inst = random_instance(&mut rng, MAX_MILP_CANDIDATES + 1, 3, 1.0);
-        assert!(matches!(
-            solve_milp(&inst),
-            Err(PcnError::InvalidConfig(_))
-        ));
+        assert!(matches!(solve_milp(&inst), Err(PcnError::InvalidConfig(_))));
     }
 }

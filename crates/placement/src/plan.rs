@@ -30,10 +30,7 @@ impl PlacementPlan {
         let assignment = optimal_assignment(inst, placed)
             .ok_or_else(|| PcnError::Infeasible("no candidate placed".into()))?;
         let hub_indices: Vec<usize> = (0..inst.num_candidates()).filter(|&i| placed[i]).collect();
-        let hub_nodes = hub_indices
-            .iter()
-            .map(|&i| inst.candidates()[i])
-            .collect();
+        let hub_nodes = hub_indices.iter().map(|&i| inst.candidates()[i]).collect();
         let management = inst.management_cost(&assignment);
         let synchronization = inst.synchronization_cost(placed, &assignment);
         let balance = management + inst.omega() * synchronization;

@@ -89,17 +89,18 @@ pub fn double_greedy_deterministic(inst: &PlacementInstance) -> DoubleGreedyOutc
 /// Algorithm 1 as printed (randomized): add with probability
 /// `a'/(a'+b')` (and 1 when both are zero — line 10). Guarantees
 /// E[f̂] ≥ ½·f̂(opt).
-pub fn double_greedy_randomized(
-    inst: &PlacementInstance,
-    rng: &mut SimRng,
-) -> DoubleGreedyOutcome {
-    double_greedy_impl(inst, |a, b, rng| {
-        if a == 0.0 && b == 0.0 {
-            true // line 10: a'/(a'+b') defined as 1
-        } else {
-            rng.chance(a / (a + b))
-        }
-    }, rng)
+pub fn double_greedy_randomized(inst: &PlacementInstance, rng: &mut SimRng) -> DoubleGreedyOutcome {
+    double_greedy_impl(
+        inst,
+        |a, b, rng| {
+            if a == 0.0 && b == 0.0 {
+                true // line 10: a'/(a'+b') defined as 1
+            } else {
+                rng.chance(a / (a + b))
+            }
+        },
+        rng,
+    )
 }
 
 fn double_greedy_impl<F>(

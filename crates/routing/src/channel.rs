@@ -106,7 +106,7 @@ impl ChannelState {
         match bal.checked_sub(amount) {
             Some(rest) => {
                 *bal = rest;
-                *locked = *locked + amount;
+                *locked += amount;
                 self.check();
                 Ok(())
             }
@@ -133,7 +133,7 @@ impl ChannelState {
         match locked.checked_sub(amount) {
             Some(rest) => {
                 *locked = rest;
-                *other_bal = *other_bal + amount;
+                *other_bal += amount;
                 self.check();
                 Ok(())
             }
@@ -158,7 +158,7 @@ impl ChannelState {
         match locked.checked_sub(amount) {
             Some(rest) => {
                 *locked = rest;
-                *bal = *bal + amount;
+                *bal += amount;
                 self.check();
                 Ok(())
             }
@@ -291,9 +291,9 @@ impl NetworkFunds {
 
     /// Verifies the conservation invariant on every channel.
     pub fn verify_conservation(&self) -> bool {
-        self.channels.iter().all(|c| {
-            c.bal_ab + c.bal_ba + c.locked_ab + c.locked_ba == c.total
-        })
+        self.channels
+            .iter()
+            .all(|c| c.bal_ab + c.bal_ba + c.locked_ab + c.locked_ba == c.total)
     }
 
     /// Sum of all channel totals (for sanity checks).

@@ -1,0 +1,298 @@
+//! The discrete-event PCN engine.
+//!
+//! One general machine executes every scheme: payment arrivals pass
+//! through a route-computation service queue (source device or hub), the
+//! resulting path plan feeds a per-transaction flow (TU backlog + rate
+//! controller + windows for rate-controlled schemes, or an immediate
+//! multi-path blast for the others), TUs traverse hops with per-hop
+//! delay, lock funds HTLC-style, queue when a channel direction lacks
+//! funds (congestion-controlled schemes only), get marked when queueing
+//! exceeds the threshold T, and settle hop-by-hop as the acknowledgement
+//! travels back. Prices tick every τ (eqs. 21–26).
+//!
+//! The module is layered by lifecycle stage:
+//!
+//! * [`mod@self`] — the [`Engine`] state, its event vocabulary and the
+//!   dispatch loop.
+//! * `arrivals` — payment admission, route-computation service queues
+//!   and path planning per scheme (`RouteVia`).
+//! * `lifecycle` — TU injection, hop traversal, settlement,
+//!   acknowledgement and the abort/refund/retry paths.
+//! * `control` — the periodic control plane: price ticks, queue expiry
+//!   and marking, rate updates, hub state synchronization.
+//!
+//! Simplifications vs. a production deployment, documented per DESIGN.md:
+//! channel processing rate `r_process` is unbounded (congestion arises
+//! from funds, queues and windows); failure unwinding refunds instantly
+//! (the refund messages are counted in overhead but not delayed).
+
+mod arrivals;
+mod control;
+mod lifecycle;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{HashMap, VecDeque};
+
+use pcn_graph::{Graph, Path};
+use pcn_sim::{EventQueue, SimRng};
+use pcn_types::{Amount, ChannelId, NodeId, SimDuration, SimTime, TuId, TxId};
+
+use crate::channel::NetworkFunds;
+use crate::prices::PriceTable;
+use crate::rate::RateController;
+use crate::scheduler::WaitQueue;
+use crate::scheme::{RouteVia, SchemeConfig};
+use crate::stats::RunStats;
+use crate::tu::{Payment, TransactionUnit};
+use crate::window::WindowController;
+
+/// Engine tuning knobs (protocol constants of §V-A plus controller gains).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// One-way per-hop message delay.
+    pub hop_delay: SimDuration,
+    /// Price/probe update interval τ (paper: 200 ms).
+    pub update_interval: SimDuration,
+    /// Transaction timeout (paper: 3 s).
+    pub tx_timeout: SimDuration,
+    /// Queueing-delay marking threshold T (paper: 400 ms).
+    pub queue_delay_threshold: SimDuration,
+    /// Per-queue value bound (paper: 8000 tokens).
+    pub queue_capacity: Amount,
+    /// Min TU value (paper: 1 token).
+    pub min_tu: Amount,
+    /// Max TU value (paper: 4 tokens).
+    pub max_tu: Amount,
+    /// Capacity-price gain κ (eq. 21).
+    pub kappa: f64,
+    /// Imbalance-price gain η (eq. 22).
+    pub eta: f64,
+    /// Rate-update gain α (eq. 26).
+    pub alpha: f64,
+    /// Fee threshold T_fee (eq. 24).
+    pub t_fee: f64,
+    /// Window decrease β (eq. 27; paper: 10).
+    pub beta: f64,
+    /// Window increase γ (eq. 28; paper: 0.1).
+    pub gamma: f64,
+    /// Rate floor (tokens/sec).
+    pub min_rate: f64,
+    /// Rate ceiling (tokens/sec).
+    pub max_rate: f64,
+    /// Starting per-path rate (tokens/sec).
+    pub initial_rate: f64,
+    /// Starting per-path window (TUs).
+    pub initial_window: f64,
+    /// TU retry budget after a failed attempt (Flash uses 1).
+    pub max_retries: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            hop_delay: SimDuration::from_millis(40),
+            update_interval: pcn_types::constants::UPDATE_INTERVAL,
+            tx_timeout: pcn_types::constants::TX_TIMEOUT,
+            queue_delay_threshold: pcn_types::constants::QUEUE_DELAY_THRESHOLD,
+            queue_capacity: pcn_types::constants::QUEUE_CAPACITY,
+            min_tu: pcn_types::constants::MIN_TU,
+            max_tu: pcn_types::constants::MAX_TU,
+            kappa: 0.002,
+            eta: 0.01,
+            alpha: 0.4,
+            t_fee: 0.1,
+            beta: pcn_types::constants::WINDOW_BETA,
+            gamma: pcn_types::constants::WINDOW_GAMMA,
+            min_rate: 1.0,
+            max_rate: 500.0,
+            initial_rate: 50.0,
+            initial_window: 20.0,
+            max_retries: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(super) enum Ev {
+    Arrival,
+    ComputeDone(TxId),
+    Inject(TxId, usize),
+    HopArrive(TuId),
+    SettleHop(TuId, usize),
+    AckComplete(TuId),
+    PriceTick,
+    Deadline(TxId),
+    QueueDrain(u32, bool),
+}
+
+pub(super) struct FlowState {
+    pub(super) paths: Vec<Path>,
+    pub(super) rates: Option<RateController>,
+    pub(super) windows: WindowController,
+    pub(super) outstanding: Vec<usize>,
+}
+
+pub(super) struct TxState {
+    pub(super) payment: Payment,
+    pub(super) flow: Option<FlowState>,
+    pub(super) backlog: VecDeque<Amount>,
+    pub(super) delivered: Amount,
+    pub(super) resolved: bool,
+    pub(super) next_path: usize,
+}
+
+/// The simulation engine for one (topology, funds, scheme, workload) run.
+pub struct Engine {
+    pub(super) cfg: EngineConfig,
+    pub(super) scheme: SchemeConfig,
+    pub(super) graph: Graph,
+    pub(super) funds: NetworkFunds,
+    pub(super) prices: PriceTable,
+    /// Per channel: (queue a→b, queue b→a).
+    pub(super) queues: Vec<(WaitQueue, WaitQueue)>,
+    pub(super) endpoints: Vec<(NodeId, NodeId)>,
+    pub(super) txs: HashMap<TxId, TxState>,
+    pub(super) active: Vec<TxId>,
+    pub(super) tus: HashMap<TuId, TransactionUnit>,
+    pub(super) retries: HashMap<TuId, u32>,
+    pub(super) node_busy: Vec<SimTime>,
+    pub(super) events: EventQueue<Ev>,
+    pub(super) stats: RunStats,
+    pub(super) rng: SimRng,
+    pub(super) next_tu: u64,
+    pub(super) payments: VecDeque<Payment>,
+    pub(super) horizon: SimTime,
+    pub(super) mice_cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    pub(super) hub_count: usize,
+}
+
+impl Engine {
+    /// Creates an engine over a topology, its channel funds, a scheme and
+    /// the config.
+    pub fn new(
+        graph: Graph,
+        funds: NetworkFunds,
+        scheme: SchemeConfig,
+        cfg: EngineConfig,
+        rng: SimRng,
+    ) -> Engine {
+        let endpoints: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .map(|c| graph.endpoints(c).expect("dense edge ids"))
+            .collect();
+        let queues = endpoints
+            .iter()
+            .map(|_| {
+                (
+                    WaitQueue::new(scheme.discipline, cfg.queue_capacity),
+                    WaitQueue::new(scheme.discipline, cfg.queue_capacity),
+                )
+            })
+            .collect();
+        let prices = PriceTable::new(endpoints.clone());
+        let node_busy = vec![SimTime::ZERO; graph.node_count()];
+        let hub_count = match &scheme.route_via {
+            RouteVia::Hubs { assignment } => {
+                let mut hubs: Vec<NodeId> = assignment.values().copied().collect();
+                hubs.sort();
+                hubs.dedup();
+                hubs.len()
+            }
+            RouteVia::SingleHub { .. } => 1,
+            _ => 0,
+        };
+        Engine {
+            cfg,
+            scheme,
+            graph,
+            funds,
+            prices,
+            queues,
+            endpoints,
+            txs: HashMap::new(),
+            active: Vec::new(),
+            tus: HashMap::new(),
+            retries: HashMap::new(),
+            node_busy,
+            events: EventQueue::new(),
+            stats: RunStats::default(),
+            rng,
+            next_tu: 0,
+            payments: VecDeque::new(),
+            horizon: SimTime::ZERO,
+            mice_cache: HashMap::new(),
+            hub_count,
+        }
+    }
+
+    /// Runs the engine over a pre-generated payment list (must be sorted
+    /// by arrival time) and returns the statistics.
+    pub fn run(mut self, payments: Vec<Payment>) -> RunStats {
+        debug_assert!(payments.windows(2).all(|w| w[0].created <= w[1].created));
+        self.horizon = payments
+            .last()
+            .map(|p| p.deadline + self.cfg.update_interval)
+            .unwrap_or(SimTime::ZERO);
+        self.payments = payments.into();
+        if let Some(first) = self.payments.front() {
+            let at = first.created;
+            self.events.schedule_at(at, Ev::Arrival);
+        }
+        self.events
+            .schedule_after(self.cfg.update_interval, Ev::PriceTick);
+        while let Some((now, ev)) = self.events.pop() {
+            self.handle(now, ev);
+        }
+        self.stats.drained_directions_end = self.funds.drained_directions();
+        debug_assert!(self.funds.verify_conservation());
+        debug_assert!(self.stats.is_consistent());
+        self.stats
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival => self.on_arrival(now),
+            Ev::ComputeDone(tx) => self.on_compute_done(now, tx),
+            Ev::Inject(tx, path_i) => self.on_inject(now, tx, path_i),
+            Ev::HopArrive(tu) => self.on_hop_arrive(now, tu),
+            Ev::SettleHop(tu, hop) => self.on_settle_hop(tu, hop),
+            Ev::AckComplete(tu) => self.on_ack_complete(now, tu),
+            Ev::PriceTick => self.on_price_tick(now),
+            Ev::Deadline(tx) => self.on_deadline(tx),
+            Ev::QueueDrain(ch, dir) => self.drain_queue(now, ChannelId::new(ch), dir),
+        }
+    }
+
+    /// Immutable view of the funds (post-run inspection in tests).
+    pub fn funds(&self) -> &NetworkFunds {
+        &self.funds
+    }
+}
+
+pub(super) fn nth_hop(path: &Path, i: usize) -> (NodeId, ChannelId, NodeId) {
+    let from = path.nodes()[i];
+    let to = path.nodes()[i + 1];
+    (from, path.channels()[i], to)
+}
+
+/// Builds a payment list from `(time_ms, src, dst, tokens)` tuples — a
+/// convenience for tests and examples.
+pub fn payments_from_tuples(tuples: &[(u64, u32, u32, u64)], timeout: SimDuration) -> Vec<Payment> {
+    tuples
+        .iter()
+        .enumerate()
+        .map(|(i, &(ms, s, d, v))| {
+            let created = SimTime::from_micros(ms * 1000);
+            Payment {
+                id: TxId::new(i as u64),
+                source: NodeId::new(s),
+                dest: NodeId::new(d),
+                value: Amount::from_tokens(v),
+                created,
+                deadline: created + timeout,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,288 @@
+//! Whole-engine behavioural tests: every scheme end to end on small
+//! topologies. Submodule-level unit tests live next to their layer
+//! (`arrivals`, `lifecycle`, `control`).
+
+use super::*;
+use crate::scheme::SchemeConfig;
+use std::collections::HashMap;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Line topology 0-1-2-3 with healthy funds.
+fn line_setup() -> (Graph, NetworkFunds) {
+    let mut g = Graph::new(4);
+    for i in 0..3 {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+    }
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+    (g, funds)
+}
+
+fn run_scheme(scheme: SchemeConfig, payments: Vec<Payment>) -> RunStats {
+    let (g, funds) = line_setup();
+    let engine = Engine::new(g, funds, scheme, EngineConfig::default(), SimRng::seed(1));
+    engine.run(payments)
+}
+
+#[test]
+fn single_payment_completes_spider() {
+    let payments = payments_from_tuples(&[(0, 0, 3, 5)], SimDuration::from_secs(3));
+    let stats = run_scheme(SchemeConfig::spider(), payments);
+    assert_eq!(stats.generated, 1);
+    assert_eq!(stats.completed, 1, "{stats}");
+    assert_eq!(stats.completed_value, Amount::from_tokens(5));
+    assert!(stats.avg_latency_secs() > 0.0);
+    assert_eq!(stats.tsr(), 1.0);
+}
+
+#[test]
+fn single_payment_completes_shortest_path() {
+    let payments = payments_from_tuples(&[(0, 0, 3, 5)], SimDuration::from_secs(3));
+    let stats = run_scheme(SchemeConfig::shortest_path(), payments);
+    assert_eq!(stats.completed, 1, "{stats}");
+}
+
+#[test]
+fn oversized_payment_fails_without_control() {
+    // 300 tokens through 100-token channels: single-path schemes die.
+    let payments = payments_from_tuples(&[(0, 0, 3, 300)], SimDuration::from_secs(3));
+    let stats = run_scheme(SchemeConfig::shortest_path(), payments);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn funds_conserved_after_run() {
+    let (g, funds) = line_setup();
+    let grand = funds.grand_total();
+    let payments = payments_from_tuples(
+        &[(0, 0, 3, 5), (100, 3, 0, 4), (200, 1, 3, 6)],
+        SimDuration::from_secs(3),
+    );
+    let engine = Engine::new(
+        g,
+        funds,
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(2),
+    );
+    // run consumes the engine; conservation is debug-asserted inside,
+    // and we re-check via stats consistency.
+    let stats = engine.run(payments);
+    assert!(stats.is_consistent());
+    let _ = grand;
+}
+
+#[test]
+fn unroutable_payment_counted() {
+    let mut g = Graph::new(3);
+    g.add_edge(n(0), n(1)); // node 2 isolated
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+    let payments = payments_from_tuples(&[(0, 0, 2, 1)], SimDuration::from_secs(3));
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(3),
+    )
+    .run(payments);
+    assert_eq!(stats.unroutable, 1);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn splicer_hub_routing_on_multi_star() {
+    // clients 0,1 → hub 4; clients 2,3 → hub 5; hubs linked.
+    let mut g = Graph::new(6);
+    g.add_edge(n(0), n(4));
+    g.add_edge(n(1), n(4));
+    g.add_edge(n(2), n(5));
+    g.add_edge(n(3), n(5));
+    g.add_edge(n(4), n(5));
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+    let assignment: HashMap<NodeId, NodeId> =
+        [(n(0), n(4)), (n(1), n(4)), (n(2), n(5)), (n(3), n(5))]
+            .into_iter()
+            .collect();
+    let payments = payments_from_tuples(
+        &[(0, 0, 2, 5), (50, 1, 3, 3), (100, 0, 1, 2)],
+        SimDuration::from_secs(3),
+    );
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::splicer(assignment),
+        EngineConfig::default(),
+        SimRng::seed(4),
+    )
+    .run(payments);
+    assert_eq!(stats.completed, 3, "{stats}");
+}
+
+#[test]
+fn a2l_star_routes_through_hub() {
+    let g = pcn_graph::star(5); // hub 0
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(50));
+    let payments = payments_from_tuples(&[(0, 1, 2, 5), (10, 3, 4, 5)], SimDuration::from_secs(3));
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::a2l(n(0), SimDuration::from_millis(5)),
+        EngineConfig::default(),
+        SimRng::seed(5),
+    )
+    .run(payments);
+    assert_eq!(stats.completed, 2, "{stats}");
+}
+
+#[test]
+fn a2l_hub_compute_queue_delays_under_load() {
+    // Many simultaneous payments through one hub with heavy crypto:
+    // the hub CPU serializes them past their deadlines.
+    let g = pcn_graph::star(30);
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(1_000));
+    let tuples: Vec<(u64, u32, u32, u64)> = (0..60)
+        .map(|i| (i, 1 + (i as u32 % 29), 1 + ((i as u32 + 1) % 29), 2))
+        .collect();
+    let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::a2l(n(0), SimDuration::from_millis(200)),
+        EngineConfig::default(),
+        SimRng::seed(6),
+    )
+    .run(payments);
+    assert!(stats.failed > 0, "hub saturation must fail some: {stats}");
+}
+
+#[test]
+fn landmark_routing_works() {
+    let (g, funds) = line_setup();
+    let payments = payments_from_tuples(&[(0, 0, 3, 4)], SimDuration::from_secs(3));
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::landmark(vec![n(1), n(2)]),
+        EngineConfig::default(),
+        SimRng::seed(7),
+    )
+    .run(payments);
+    assert_eq!(stats.completed, 1, "{stats}");
+}
+
+#[test]
+fn flash_elephant_and_mouse() {
+    let mut g = Graph::new(4);
+    g.add_edge(n(0), n(1));
+    g.add_edge(n(1), n(3));
+    g.add_edge(n(0), n(2));
+    g.add_edge(n(2), n(3));
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(50));
+    let payments =
+        payments_from_tuples(&[(0, 0, 3, 60), (500, 0, 3, 2)], SimDuration::from_secs(3));
+    let cfg = EngineConfig {
+        max_retries: 1,
+        ..Default::default()
+    };
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::flash(Amount::from_tokens(20)),
+        cfg,
+        SimRng::seed(8),
+    )
+    .run(payments);
+    // The 60-token elephant splits over both 50-token routes; the
+    // mouse follows a precomputed path.
+    assert_eq!(stats.completed, 2, "{stats}");
+}
+
+#[test]
+fn deadlock_demo_naive_vs_rate_control() {
+    // Fig. 1: A=0, C=2, B=1. A→B and C→B flows plus B→A, with C's
+    // outbound funds tiny: naive routing drains C and collapses.
+    let mut g = Graph::new(3);
+    g.add_edge(n(0), n(2)); // A-C
+    g.add_edge(n(2), n(1)); // C-B
+    let funds = NetworkFunds::from_graph(&g, |_, _| Amount::from_tokens(10));
+    let mut tuples = Vec::new();
+    // Heavy one-directional load A→B (via C) for 20 seconds.
+    for i in 0..40u64 {
+        tuples.push((i * 250, 0u32, 1u32, 2u64));
+    }
+    let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+    let naive = Engine::new(
+        g.clone(),
+        funds.clone(),
+        SchemeConfig::shortest_path(),
+        EngineConfig::default(),
+        SimRng::seed(9),
+    )
+    .run(payments.clone());
+    // One-way flow must exhaust the C→B direction under naive routing.
+    assert!(naive.failed > 0, "naive should deadlock: {naive}");
+    assert!(naive.drained_directions_end > 0);
+    // Rate-controlled Spider queues and paces instead of failing
+    // everything, completing at least as much.
+    let spider = Engine::new(
+        g,
+        funds,
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(9),
+    )
+    .run(payments);
+    assert!(
+        spider.completed >= naive.completed,
+        "spider {spider} vs naive {naive}"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let payments = payments_from_tuples(
+        &[(0, 0, 3, 5), (100, 3, 0, 4), (150, 1, 2, 7)],
+        SimDuration::from_secs(3),
+    );
+    let run = |seed| {
+        let (g, funds) = line_setup();
+        Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(seed),
+        )
+        .run(payments.clone())
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.overhead_msgs, b.overhead_msgs);
+    assert_eq!(a.aborted_tus, b.aborted_tus);
+}
+
+#[test]
+fn marked_tus_counted_under_congestion() {
+    // Narrow channel, many payments: queues build up past T.
+    let mut g = Graph::new(3);
+    g.add_edge(n(0), n(1));
+    g.add_edge(n(1), n(2));
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(6));
+    let tuples: Vec<(u64, u32, u32, u64)> = (0..30).map(|i| (i * 20, 0, 2, 4)).collect();
+    let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
+    let stats = Engine::new(
+        g,
+        funds,
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(10),
+    )
+    .run(payments);
+    assert!(stats.marked_tus > 0, "{stats}");
+    assert!(stats.is_consistent());
+}

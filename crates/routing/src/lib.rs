@@ -18,9 +18,13 @@
 //!   EDW, EDS).
 //! * [`scheme`] — declarative scheme descriptions: **Splicer**, **Spider**
 //!   \[9\], **Flash** \[10\], **Landmark** \[6,29,30\] and **A2L** \[4\].
-//! * [`engine`] — the event loop binding everything: payment arrivals,
-//!   route-computation service queues, TU forwarding with per-hop delays,
-//!   queue marking, acknowledgements, settlement, timeouts, price ticks.
+//! * [`engine`] — the event loop binding everything, decomposed by
+//!   lifecycle stage: `engine::arrivals` (payment admission,
+//!   route-computation service queues, per-scheme path planning),
+//!   `engine::lifecycle` (TU injection, hop traversal, settlement,
+//!   abort/refund/retry), and `engine::control` (price ticks, queue
+//!   expiry and marking, rate updates, hub synchronization), dispatched
+//!   from `engine::mod`.
 //!
 //! # Example: Fig. 1's local deadlock, then Splicer avoiding it
 //!

@@ -57,6 +57,7 @@ pub enum BalanceView {
 /// Widths come from channel funds: live directional balance or static
 /// total depending on `view`. Paths that cannot carry at least
 /// `min_width` are filtered out for the width-based strategies.
+#[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
 pub fn select_paths(
     g: &Graph,
     funds: &NetworkFunds,
@@ -78,9 +79,9 @@ pub fn select_paths(
     match strategy {
         PathSelect::Ksp => k_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
         PathSelect::Eds => edge_disjoint_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
-        PathSelect::Edw => edge_disjoint_widest_paths(g, src, dst, k, |e| {
-            width(e).filter(|w| *w >= min_w)
-        }),
+        PathSelect::Edw => {
+            edge_disjoint_widest_paths(g, src, dst, k, |e| width(e).filter(|w| *w >= min_w))
+        }
         PathSelect::Heuristic => {
             // Rank a KSP candidate pool by bottleneck funds, keep the top k.
             let pool = k_shortest_paths(g, src, dst, 3 * k, |e| width(e).map(|_| 1.0));
@@ -90,7 +91,11 @@ pub fn select_paths(
                     let bottleneck = p
                         .hops_iter()
                         .map(|(from, ch, _)| {
-                            let e = pcn_graph::EdgeRef { id: ch, from, to: from };
+                            let e = pcn_graph::EdgeRef {
+                                id: ch,
+                                from,
+                                to: from,
+                            };
                             width(e).unwrap_or(0.0)
                         })
                         .fold(f64::INFINITY, f64::min);

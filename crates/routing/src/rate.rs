@@ -84,7 +84,11 @@ mod tests {
         for _ in 0..50 {
             rc.update(&[10.0, 0.0]); // path 0 expensive, path 1 free
         }
-        assert!(rc.rate(0) <= 0.02, "expensive path throttled: {}", rc.rate(0));
+        assert!(
+            rc.rate(0) <= 0.02,
+            "expensive path throttled: {}",
+            rc.rate(0)
+        );
         assert!(rc.rate(1) > 1.0, "free path accelerated: {}", rc.rate(1));
     }
 

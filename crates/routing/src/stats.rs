@@ -4,7 +4,7 @@ use pcn_sim::metrics::Histogram;
 use pcn_types::Amount;
 
 /// Aggregated outcome of one engine run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     /// Transactions generated.
     pub generated: u64,

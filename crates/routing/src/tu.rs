@@ -74,7 +74,10 @@ pub struct TransactionUnit {
 /// assert!(parts.iter().all(|p| *p <= Amount::from_tokens(4)));
 /// ```
 pub fn split_demand(value: Amount, min_tu: Amount, max_tu: Amount) -> Vec<Amount> {
-    assert!(!min_tu.is_zero() && !max_tu.is_zero(), "TU bounds must be positive");
+    assert!(
+        !min_tu.is_zero() && !max_tu.is_zero(),
+        "TU bounds must be positive"
+    );
     assert!(min_tu <= max_tu, "Min-TU must not exceed Max-TU");
     if value.is_zero() {
         return Vec::new();
@@ -136,14 +139,20 @@ mod tests {
     fn tail_merge_keeps_bounds() {
         // 9.5 tokens with max 4, min 1: 4 + 4 + 1.5 → fine.
         let parts = split_demand(Amount::from_millitokens(9_500), t(1), t(4));
-        assert_eq!(parts.iter().copied().sum::<Amount>(), Amount::from_millitokens(9_500));
+        assert_eq!(
+            parts.iter().copied().sum::<Amount>(),
+            Amount::from_millitokens(9_500)
+        );
         for p in &parts {
             assert!(*p >= t(1) || parts.len() == 1);
             assert!(*p <= t(4));
         }
         // 8.5: 4 + 4 + 0.5 would violate min → merge: 4 + 2.25 + 2.25.
         let parts = split_demand(Amount::from_millitokens(8_500), t(1), t(4));
-        assert_eq!(parts.iter().copied().sum::<Amount>(), Amount::from_millitokens(8_500));
+        assert_eq!(
+            parts.iter().copied().sum::<Amount>(),
+            Amount::from_millitokens(8_500)
+        );
         assert!(parts.iter().all(|p| *p >= t(1) && *p <= t(4)));
     }
 

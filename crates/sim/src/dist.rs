@@ -290,7 +290,10 @@ mod tests {
             s.sort_by(f64::total_cmp);
             s[s.len() / 2]
         };
-        assert!((sample_median - 152.0).abs() / 152.0 < 0.05, "{sample_median}");
+        assert!(
+            (sample_median - 152.0).abs() / 152.0 < 0.05,
+            "{sample_median}"
+        );
         let sample_mean = mean_of(&xs);
         assert!((sample_mean - 403.0).abs() / 403.0 < 0.1, "{sample_mean}");
     }
@@ -313,10 +316,7 @@ mod tests {
             let d = Poisson::new(mean);
             let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng) as f64).collect();
             let m = mean_of(&xs);
-            assert!(
-                (m - mean).abs() / mean < 0.08,
-                "mean {mean}: sampled {m}"
-            );
+            assert!((m - mean).abs() / mean < 0.08, "mean {mean}: sampled {m}");
         }
     }
 
@@ -324,7 +324,7 @@ mod tests {
     fn zipf_rank_ordering() {
         let mut rng = SimRng::seed(6);
         let d = Zipf::new(20, 1.2);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..100_000 {
             counts[d.sample(&mut rng)] += 1;
         }
@@ -353,7 +353,7 @@ mod tests {
     fn weighted_index_proportions() {
         let mut rng = SimRng::seed(8);
         let d = WeightedIndex::new(&[1.0, 0.0, 3.0]);
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for _ in 0..40_000 {
             counts[d.sample(&mut rng)] += 1;
         }

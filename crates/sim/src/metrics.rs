@@ -39,6 +39,14 @@ pub struct Histogram {
     sorted: bool,
 }
 
+impl PartialEq for Histogram {
+    /// Histograms compare by recorded values only — the lazy `sorted`
+    /// flag is an internal cache, not observable state.
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Histogram {

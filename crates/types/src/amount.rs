@@ -166,9 +166,7 @@ impl Amount {
         let n64 = n as u64;
         let base = self.0 / n64;
         let rem = (self.0 % n64) as usize;
-        (0..n)
-            .map(|i| Amount(base + u64::from(i < rem)))
-            .collect()
+        (0..n).map(|i| Amount(base + u64::from(i < rem))).collect()
     }
 
     /// Integer ratio `self / other` as a float; `other == 0` yields 0.0.
@@ -375,7 +373,10 @@ mod tests {
     #[test]
     fn rate_basics() {
         let r = Rate::per_second(4.0);
-        assert_eq!(r.amount_over(SimDuration::from_millis(250)).to_tokens_f64(), 1.0);
+        assert_eq!(
+            r.amount_over(SimDuration::from_millis(250)).to_tokens_f64(),
+            1.0
+        );
         assert_eq!(Rate::per_second(-3.0), Rate::ZERO);
         assert_eq!(Rate::per_second(f64::NAN), Rate::ZERO);
         assert_eq!(r.adjusted(-10.0), Rate::ZERO);

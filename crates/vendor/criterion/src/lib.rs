@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds hermetically (no crates.io), so the subset of
+//! criterion's API the benches use is vendored here: [`Criterion`],
+//! benchmark groups, [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is simple but honest: each
+//! bench is warmed up, then timed over enough iterations to fill a
+//! target window, and per-iteration wall-clock statistics are printed.
+//!
+//! Results are additionally appended to `BENCH_<group>.json` in the
+//! invocation directory (override with `BENCH_OUTPUT_DIR`), giving the
+//! repo a committed machine-readable baseline without external deps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark (bytes or elements per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+struct Measurement {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver. Collects measurements and writes one JSON
+/// baseline file per group on [`BenchmarkGroup::finish`].
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring criterion.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Runs a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        let name = name.into();
+        {
+            let mut group = self.benchmark_group(name.clone());
+            group.bench_function(name, f);
+            group.finish();
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<Measurement>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        // Warmup + calibration: one iteration to estimate cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let est = b.elapsed.max(Duration::from_nanos(1));
+        // Aim each sample at ~20ms, capped to keep slow benches bounded.
+        let per_sample = (Duration::from_millis(20).as_nanos() / est.as_nanos()).max(1);
+        let iters = per_sample.min(1_000_000) as u64;
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            ns_per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        ns_per_iter.sort_by(f64::total_cmp);
+        let median = ns_per_iter[ns_per_iter.len() / 2];
+        let mean = ns_per_iter.iter().sum::<f64>() / ns_per_iter.len() as f64;
+        let m = Measurement {
+            name: format!("{}/{}", self.name, name),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: ns_per_iter[0],
+            max_ns: *ns_per_iter.last().expect("non-empty"),
+            samples: ns_per_iter.len(),
+            throughput: self.throughput,
+        };
+        report(&m);
+        self.results.push(m);
+        self
+    }
+
+    /// Flushes the group's JSON baseline.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        write_json(&self.name, &self.results);
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(m: &Measurement) {
+    let mut line = format!(
+        "{:<44} median {:>12}  (mean {}, {} samples)",
+        m.name,
+        human(m.median_ns),
+        human(m.mean_ns),
+        m.samples
+    );
+    if let Some(Throughput::Bytes(bytes)) = m.throughput {
+        let gib = bytes as f64 / m.median_ns; // bytes/ns == GB/s
+        line.push_str(&format!("  {gib:.3} GB/s"));
+    }
+    println!("{line}");
+}
+
+fn write_json(group: &str, results: &[Measurement]) {
+    if results.is_empty() {
+        return;
+    }
+    let dir = std::env::var("BENCH_OUTPUT_DIR").unwrap_or_else(|_| ".".into());
+    let safe: String = group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{safe}.json"));
+    let mut body = String::from("{\n  \"group\": \"");
+    body.push_str(group);
+    body.push_str("\",\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            m.name,
+            m.median_ns,
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.samples,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(body.as_bytes());
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], mirroring criterion's export.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("BENCH_OUTPUT_DIR", std::env::temp_dir());
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(group.results.len(), 1);
+        assert!(group.results[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(2e9).ends_with(" s"));
+    }
+}

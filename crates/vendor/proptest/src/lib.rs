@@ -1,0 +1,215 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the [`proptest!`] macro over range / tuple / `prop::collection`
+//! strategies, plus `prop_assert!`-style assertions.
+//!
+//! Differences from real proptest, deliberately accepted for hermetic
+//! builds: no shrinking (a failing case reports its inputs but is not
+//! minimized), and cases are drawn from a fixed deterministic seed so
+//! every run exercises the identical sample set. Case count defaults to
+//! 64 and can be raised with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the deterministic generator for a named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a of the test name: stable per test, independent of order.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// A value generator. Mirrors proptest's `Strategy` in spirit: anything
+/// that can produce a random `Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// `prop::…` helper namespace, mirroring proptest's layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with lengths in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.0.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let strategies = ($($strat,)*);
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..$crate::case_count() {
+                #[allow(unused_variables)]
+                let ($($arg,)*) = $crate::Strategy::generate(&strategies, &mut rng);
+                // Bodies may consume their inputs; describe the case first.
+                let described = format!("{:?}", ($(&$arg,)*));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case} of {} failed with inputs: {described}",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 1u64..100, b in 0u8..3) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec((0u8..3, 0u64..5_000), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (op, amt) in v {
+                prop_assert!(op < 3);
+                prop_assert!(amt < 5_000);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

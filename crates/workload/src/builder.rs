@@ -1,0 +1,322 @@
+//! The scenario DSL: a chainable builder over every experiment knob.
+//!
+//! [`ScenarioBuilder`] subsumes the raw [`ScenarioParams`] presets and the
+//! ad-hoc failure-injection tweaks tests used to apply by hand. A chain
+//! produces a [`ScenarioSpec`] — pure data describing *what* to run
+//! (world parameters, scheme, expectations) without running it; the
+//! harness layer (`pcn-harness`) turns specs into engine runs and checks
+//! the expectations.
+//!
+//! ```
+//! use pcn_workload::{ScenarioBuilder, SchemeChoice};
+//!
+//! let spec = ScenarioBuilder::new()
+//!     .nodes(120)
+//!     .degree(8)
+//!     .channel_scale(2.0)
+//!     .scheme(SchemeChoice::Splicer)
+//!     .arrivals_per_sec(20.0)
+//!     .seed(7)
+//!     .expect_no_deadlock()
+//!     .build();
+//! assert_eq!(spec.params.nodes, 120);
+//! assert!(spec.expect.no_deadlock);
+//! // The world itself materializes on demand, deterministically:
+//! let scenario = spec.scenario();
+//! assert_eq!(scenario.flat.graph.node_count(), 120);
+//! ```
+
+use pcn_types::SimDuration;
+
+use crate::scenario::{Scenario, ScenarioParams};
+
+/// Which routing scheme a spec runs (mapped to a concrete system by the
+/// harness layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeChoice {
+    /// The paper's system: placement + multi-star rewiring + deadlock-free
+    /// rate-based hub routing.
+    Splicer,
+    /// Spider \[9\]: source routing with rate/congestion control on the
+    /// flat topology.
+    Spider,
+    /// Flash \[10\]: max-flow elephants, cached-path mice.
+    Flash,
+    /// Landmark routing \[6,29,30\].
+    Landmark,
+    /// A2L \[4\]: a single-hub star with cryptographic service cost.
+    A2L,
+    /// Naive shortest-path strawman (deadlock demos).
+    ShortestPath,
+}
+
+impl SchemeChoice {
+    /// The five schemes compared in Figs. 7–8, in the paper's order.
+    pub const COMPARED: [SchemeChoice; 5] = [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+    ];
+
+    /// Display name matching the run reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeChoice::Splicer => "Splicer",
+            SchemeChoice::Spider => "Spider",
+            SchemeChoice::Flash => "Flash",
+            SchemeChoice::Landmark => "Landmark",
+            SchemeChoice::A2L => "A2L",
+            SchemeChoice::ShortestPath => "ShortestPath",
+        }
+    }
+}
+
+/// Post-run expectations attached to a spec (checked by the harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Expectations {
+    /// No channel direction may end the run fully drained (the paper's
+    /// deadlock symptom, Fig. 1).
+    pub no_deadlock: bool,
+    /// Minimum transaction success ratio, if any.
+    pub min_tsr: Option<f64>,
+}
+
+/// A complete experiment description: world + scheme + expectations.
+///
+/// Pure data — building a spec runs nothing. Two identical specs always
+/// materialize identical worlds and (through the harness) identical runs.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// World parameters (topology, funds, traffic, seed).
+    pub params: ScenarioParams,
+    /// The scheme to execute.
+    pub scheme: SchemeChoice,
+    /// Post-run expectations.
+    pub expect: Expectations,
+}
+
+impl ScenarioSpec {
+    /// Materializes the world. Deterministic per `params.seed`.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::build(self.params.clone())
+    }
+}
+
+/// Chainable builder over [`ScenarioParams`], scheme and expectations.
+///
+/// `new()` starts from the paper's small-scale defaults; [`Self::tiny`] /
+/// [`Self::small`] / [`Self::large`] select the presets explicitly.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    params: ScenarioParams,
+    scheme: SchemeChoice,
+    expect: Expectations,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts from the small-scale (100 node) preset and Splicer.
+    pub fn new() -> ScenarioBuilder {
+        ScenarioBuilder {
+            params: ScenarioParams::small(),
+            scheme: SchemeChoice::Splicer,
+            expect: Expectations::default(),
+        }
+    }
+
+    /// Starts from the miniature test preset (24 nodes, 10 s).
+    pub fn tiny() -> ScenarioBuilder {
+        ScenarioBuilder {
+            params: ScenarioParams::tiny(),
+            ..ScenarioBuilder::new()
+        }
+    }
+
+    /// Starts from the paper's small scale (100 nodes).
+    pub fn small() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// Starts from the paper's large scale (3000 nodes).
+    pub fn large() -> ScenarioBuilder {
+        ScenarioBuilder {
+            params: ScenarioParams::large(),
+            ..ScenarioBuilder::new()
+        }
+    }
+
+    /// Starts from explicit parameters (migration path for existing code).
+    pub fn from_params(params: ScenarioParams) -> ScenarioBuilder {
+        ScenarioBuilder {
+            params,
+            ..ScenarioBuilder::new()
+        }
+    }
+
+    /// Node count.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.params.nodes = n;
+        self
+    }
+
+    /// Watts–Strogatz mean degree.
+    pub fn degree(mut self, k: usize) -> Self {
+        self.params.degree = k;
+        self
+    }
+
+    /// Watts–Strogatz rewiring probability.
+    pub fn rewire_beta(mut self, beta: f64) -> Self {
+        self.params.beta = beta;
+        self
+    }
+
+    /// Number of smooth-node candidates (|VSNC|).
+    pub fn candidates(mut self, count: usize) -> Self {
+        self.params.candidate_count = count;
+        self
+    }
+
+    /// Workload duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.params.duration = d;
+        self
+    }
+
+    /// Workload duration in whole seconds.
+    pub fn duration_secs(self, secs: u64) -> Self {
+        self.duration(SimDuration::from_secs(secs))
+    }
+
+    /// Channel-size scale factor (Fig. 7(a)/8(a) x-axis).
+    pub fn channel_scale(mut self, scale: f64) -> Self {
+        self.params.channel_scale = scale;
+        self
+    }
+
+    /// Mean transaction value in tokens (Fig. 7(b)/8(b) x-axis).
+    pub fn mean_tx_tokens(mut self, tokens: f64) -> Self {
+        self.params.mean_tx_tokens = tokens;
+        self
+    }
+
+    /// Aggregate transaction arrival rate (tx/sec).
+    pub fn arrivals_per_sec(mut self, rate: f64) -> Self {
+        self.params.arrivals_per_sec = rate;
+        self
+    }
+
+    /// Root seed: every random decision in the run derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Scheme to execute.
+    pub fn scheme(mut self, scheme: SchemeChoice) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Failure injection: multiply the arrival rate and mean value to
+    /// overload the network (the threat-model tests' starvation knob).
+    pub fn overload(mut self, factor: f64) -> Self {
+        self.params.arrivals_per_sec *= factor;
+        self.params.mean_tx_tokens *= factor.max(1.0).sqrt();
+        self
+    }
+
+    /// Expect the run to end with zero fully-drained channel directions.
+    pub fn expect_no_deadlock(mut self) -> Self {
+        self.expect.no_deadlock = true;
+        self
+    }
+
+    /// Expect a minimum transaction success ratio.
+    pub fn expect_min_tsr(mut self, tsr: f64) -> Self {
+        self.expect.min_tsr = Some(tsr);
+        self
+    }
+
+    /// Finishes the chain into a pure-data spec.
+    pub fn build(self) -> ScenarioSpec {
+        ScenarioSpec {
+            params: self.params,
+            scheme: self.scheme,
+            expect: self.expect,
+        }
+    }
+
+    /// Shortcut: build the spec and materialize its world immediately.
+    pub fn build_scenario(self) -> Scenario {
+        self.build().scenario()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_small_preset() {
+        let spec = ScenarioBuilder::new().build();
+        assert_eq!(spec.params.nodes, ScenarioParams::small().nodes);
+        assert_eq!(spec.scheme, SchemeChoice::Splicer);
+        assert!(!spec.expect.no_deadlock);
+    }
+
+    #[test]
+    fn chain_overrides_apply() {
+        let spec = ScenarioBuilder::large()
+            .nodes(3000)
+            .degree(8)
+            .channel_scale(2.0)
+            .scheme(SchemeChoice::Spider)
+            .arrivals_per_sec(120.0)
+            .seed(7)
+            .expect_no_deadlock()
+            .build();
+        assert_eq!(spec.params.nodes, 3000);
+        assert_eq!(spec.params.channel_scale, 2.0);
+        assert_eq!(spec.params.arrivals_per_sec, 120.0);
+        assert_eq!(spec.params.seed, 7);
+        assert_eq!(spec.scheme, SchemeChoice::Spider);
+        assert!(spec.expect.no_deadlock);
+    }
+
+    #[test]
+    fn tiny_builds_tiny_world() {
+        let scenario = ScenarioBuilder::tiny().build_scenario();
+        assert_eq!(scenario.flat.graph.node_count(), 24);
+    }
+
+    #[test]
+    fn overload_scales_traffic() {
+        let base = ScenarioBuilder::tiny().build();
+        let hot = ScenarioBuilder::tiny().overload(10.0).build();
+        assert!(hot.params.arrivals_per_sec > base.params.arrivals_per_sec * 9.0);
+        assert!(hot.params.mean_tx_tokens > base.params.mean_tx_tokens);
+    }
+
+    #[test]
+    fn specs_are_reproducible() {
+        let a = ScenarioBuilder::tiny().seed(5).build().scenario();
+        let b = ScenarioBuilder::tiny().seed(5).build().scenario();
+        assert_eq!(a.payments.len(), b.payments.len());
+        assert_eq!(a.generated_value(), b.generated_value());
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn compared_schemes_have_stable_names() {
+        let names: Vec<&str> = SchemeChoice::COMPARED.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["Splicer", "Spider", "Flash", "Landmark", "A2L"]);
+    }
+}

@@ -15,16 +15,35 @@
 //!   local deadlocks".
 //!
 //! [`scenario`] bundles them into the two evaluation scales: small
-//! (100 nodes) and large (3000 nodes).
+//! (100 nodes) and large (3000 nodes), and [`builder`] wraps every knob
+//! in the chainable [`ScenarioBuilder`] DSL:
+//!
+//! ```
+//! use pcn_workload::{ScenarioBuilder, SchemeChoice};
+//!
+//! let spec = ScenarioBuilder::tiny()
+//!     .channel_scale(2.0)
+//!     .scheme(SchemeChoice::Spider)
+//!     .seed(7)
+//!     .expect_no_deadlock()
+//!     .build();
+//! let world = spec.scenario(); // deterministic per seed
+//! assert!(!world.payments.is_empty());
+//! ```
+//!
+//! A spec is pure data: the `pcn-harness` crate executes specs (alone or
+//! as parallel experiment grids) and checks their expectations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod funds;
 pub mod scenario;
 pub mod topology;
 pub mod transactions;
 
+pub use builder::{Expectations, ScenarioBuilder, ScenarioSpec, SchemeChoice};
 pub use funds::ChannelFunds;
 pub use scenario::{Scenario, ScenarioParams};
 pub use topology::PcnTopology;

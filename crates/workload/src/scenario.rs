@@ -113,8 +113,11 @@ impl Scenario {
         // stand-in for the excellence criterion of the multiwinner vote.
         let mut by_degree: Vec<NodeId> = flat.graph.nodes().collect();
         by_degree.sort_by_key(|&v| (std::cmp::Reverse(flat.graph.degree(v)), v));
-        let candidates: Vec<NodeId> =
-            by_degree.iter().copied().take(params.candidate_count).collect();
+        let candidates: Vec<NodeId> = by_degree
+            .iter()
+            .copied()
+            .take(params.candidate_count)
+            .collect();
         let clients: Vec<NodeId> = flat
             .graph
             .nodes()

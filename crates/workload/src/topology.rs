@@ -128,8 +128,7 @@ impl PcnTopology {
         hub_fund_factor: f64,
         rng: &mut SimRng,
     ) -> PcnTopology {
-        let assignment: HashMap<NodeId, NodeId> =
-            clients.iter().map(|&c| (c, hub)).collect();
+        let assignment: HashMap<NodeId, NodeId> = clients.iter().map(|&c| (c, hub)).collect();
         PcnTopology::multi_star(n, &[hub], &assignment, sampler, hub_fund_factor, rng)
     }
 
@@ -174,14 +173,10 @@ mod tests {
     #[test]
     fn multi_star_structure() {
         let hubs = vec![n(0), n(1)];
-        let assignment: HashMap<NodeId, NodeId> = [
-            (n(2), n(0)),
-            (n(3), n(0)),
-            (n(4), n(1)),
-            (n(5), n(1)),
-        ]
-        .into_iter()
-        .collect();
+        let assignment: HashMap<NodeId, NodeId> =
+            [(n(2), n(0)), (n(3), n(0)), (n(4), n(1)), (n(5), n(1))]
+                .into_iter()
+                .collect();
         let sampler = ChannelFunds::lightning();
         let mut rng = SimRng::seed(2);
         let topo = PcnTopology::multi_star(6, &hubs, &assignment, &sampler, 20.0, &mut rng);

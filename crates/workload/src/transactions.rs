@@ -105,12 +105,11 @@ impl TxWorkload {
         let end = SimTime::ZERO + duration;
         let mut id = 0u64;
         loop {
-            now = now + SimDuration::from_secs_f64(gap.sample(&mut arrival_rng));
+            now += SimDuration::from_secs_f64(gap.sample(&mut arrival_rng));
             if now > end {
                 break;
             }
-            let (source, dest) = if !cycles.is_empty()
-                && pair_rng.chance(self.circulation_fraction)
+            let (source, dest) = if !cycles.is_empty() && pair_rng.chance(self.circulation_fraction)
             {
                 let cycle = cycles[pair_rng.index(cycles.len())];
                 let u = pair_rng.f64();

@@ -14,8 +14,14 @@ use pcn_workload::{Scenario, ScenarioParams};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::build(ScenarioParams::small());
 
-    println!("ω sweep on the 100-node network ({} candidates):", scenario.candidates.len());
-    println!("{:>8} {:>6} {:>10} {:>10} {:>10}", "ω", "hubs", "C_M", "C_S", "C_B");
+    println!(
+        "ω sweep on the 100-node network ({} candidates):",
+        scenario.candidates.len()
+    );
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>10}",
+        "ω", "hubs", "C_M", "C_S", "C_B"
+    );
     for omega in [0.01, 0.02, 0.04, 0.08, 0.2, 0.5, 1.0] {
         let inst = PlacementInstance::from_graph(
             &scenario.flat.graph,

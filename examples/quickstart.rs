@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         splicer.topology().graph.edge_count()
     );
 
-    println!("\n{:<12} {:>6} {:>11} {:>9}", "scheme", "TSR", "throughput", "latency");
+    println!(
+        "\n{:<12} {:>6} {:>11} {:>9}",
+        "scheme", "TSR", "throughput", "latency"
+    );
     for run in builder.build_all()? {
         let report = run.run();
         println!(

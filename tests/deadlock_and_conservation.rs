@@ -70,7 +70,7 @@ fn no_funds_are_created_or_destroyed() {
     }
     let funds = NetworkFunds::uniform(&g, Amount::from_tokens(30));
     let tuples: Vec<(u64, u32, u32, u64)> = (0..120)
-        .map(|i| (i * 80, (i % 6) as u32, ((i + 3) % 6) as u32, 1 + (i % 5) as u64))
+        .map(|i| (i * 80, (i % 6) as u32, ((i + 3) % 6) as u32, 1 + (i % 5)))
         .collect();
     let payments = payments_from_tuples(&tuples, SimDuration::from_secs(3));
     let stats = Engine::new(

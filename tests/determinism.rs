@@ -1,0 +1,79 @@
+//! Determinism regression: the same `ScenarioBuilder` spec must produce
+//! identical `RunStats` run twice, and the parallel harness must be
+//! bit-identical to a single-threaded run of the same grid.
+
+use pcn_harness::{run_spec, ExperimentGrid, SeedPolicy};
+use pcn_workload::{ScenarioBuilder, ScenarioParams, SchemeChoice};
+
+fn tiny_spec(scheme: SchemeChoice) -> pcn_workload::ScenarioSpec {
+    ScenarioBuilder::tiny().scheme(scheme).seed(11).build()
+}
+
+#[test]
+fn same_spec_runs_identically_twice() {
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+    ] {
+        let a = run_spec(&tiny_spec(scheme));
+        let b = run_spec(&tiny_spec(scheme));
+        assert_eq!(
+            a.report.stats,
+            b.report.stats,
+            "{} diverged across identical runs",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn four_worker_grid_matches_single_threaded_bit_for_bit() {
+    let grid = ExperimentGrid::new(ScenarioParams::tiny())
+        .schemes(SchemeChoice::COMPARED)
+        .sweep_channel_scale(&[0.5, 2.0]);
+    let serial = grid.run(1);
+    let parallel = grid.run(4);
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), 10, "2 sweep points × 5 schemes");
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.scheme, p.scheme);
+        assert_eq!(s.label, p.label);
+        assert_eq!(
+            s.stats, p.stats,
+            "cell {} ({} / {}) diverged between 1 and 4 workers",
+            s.index, s.label, s.scheme
+        );
+    }
+}
+
+#[test]
+fn spec_runs_match_grid_cells() {
+    // A spec run on its own equals the same world inside a grid.
+    let grid = ExperimentGrid::new(ScenarioParams::tiny())
+        .schemes([SchemeChoice::Spider])
+        .sweep_channel_scale(&[1.0]);
+    let from_grid = &grid.run(2)[0];
+    let spec = ScenarioBuilder::tiny()
+        .channel_scale(1.0)
+        .scheme(SchemeChoice::Spider)
+        .build();
+    let lone = run_spec(&spec);
+    assert_eq!(lone.report.stats, from_grid.stats);
+}
+
+#[test]
+fn per_variant_seed_policy_is_reproducible() {
+    let grid = ExperimentGrid::new(ScenarioParams::tiny())
+        .schemes([SchemeChoice::Spider])
+        .seed_policy(SeedPolicy::PerVariant)
+        .sweep_mean_tx(&[4.0, 8.0]);
+    let a = grid.run(4);
+    let b = grid.run(2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.stats, y.stats);
+    }
+    // Distinct variants draw distinct worlds under PerVariant.
+    assert_ne!(a[0].stats.generated_value, a[1].stats.generated_value);
+}

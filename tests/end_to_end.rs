@@ -67,8 +67,10 @@ fn update_interval_sweep_runs() {
     use pcn_routing::EngineConfig;
     use pcn_types::SimDuration;
     for tau in [100u64, 400, 800] {
-        let mut cfg = EngineConfig::default();
-        cfg.update_interval = SimDuration::from_millis(tau);
+        let cfg = EngineConfig {
+            update_interval: SimDuration::from_millis(tau),
+            ..Default::default()
+        };
         let report = SystemBuilder::new(tiny())
             .engine_config(cfg)
             .build_splicer()

@@ -2,10 +2,10 @@
 //! gracefully — failed transactions are withdrawn, funds stay safe, and
 //! honest traffic keeps flowing.
 
+use pcn_harness::run_spec;
 use pcn_types::{Amount, NodeId};
-use pcn_workload::{Scenario, ScenarioParams};
+use pcn_workload::ScenarioBuilder;
 use splicer_core::workflow::{Demand, PaymentWorkflow};
-use splicer_core::SystemBuilder;
 
 #[test]
 fn dropped_tus_never_complete_a_payment() {
@@ -27,16 +27,18 @@ fn dropped_tus_never_complete_a_payment() {
 
 #[test]
 fn overload_fails_transactions_but_not_invariants() {
-    // Starve the network: 10× the arrival rate on a tiny world.
-    let mut params = ScenarioParams::tiny();
-    params.arrivals_per_sec = 60.0;
-    params.mean_tx_tokens = 30.0;
-    let scenario = Scenario::build(params);
-    let report = SystemBuilder::new(scenario).build_splicer().unwrap().run();
-    assert!(report.stats.failed > 0, "overload must fail transactions");
-    assert!(report.stats.is_consistent());
+    // Starve the network: 10× the arrival rate on a tiny world, expressed
+    // through the scenario DSL's failure-injection knobs.
+    let spec = ScenarioBuilder::tiny()
+        .arrivals_per_sec(60.0)
+        .mean_tx_tokens(30.0)
+        .build();
+    let outcome = run_spec(&spec);
+    let stats = &outcome.report.stats;
+    assert!(stats.failed > 0, "overload must fail transactions");
+    assert!(stats.is_consistent());
     // Failures are withdrawn: completed value never exceeds generated.
-    assert!(report.stats.completed_value <= report.stats.generated_value);
+    assert!(stats.completed_value <= stats.generated_value);
 }
 
 #[test]

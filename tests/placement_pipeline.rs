@@ -17,9 +17,7 @@ fn exhaustive_and_milp_agree_on_graph_instances() {
             (0..4).map(NodeId::from_index).collect(),
             CostParams::paper(omega),
         );
-        let exact = PlacementSolver::Exhaustive
-            .solve(&inst, &mut rng)
-            .unwrap();
+        let exact = PlacementSolver::Exhaustive.solve(&inst, &mut rng).unwrap();
         let milp = PlacementSolver::Milp.solve(&inst, &mut rng).unwrap();
         assert!(
             (exact.balance_cost() - milp.balance_cost()).abs() < 1e-6,
