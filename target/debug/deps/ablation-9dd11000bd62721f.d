@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9dd11000bd62721f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9dd11000bd62721f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deadlock_and_conservation-24124e514046691f.d: tests/deadlock_and_conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeadlock_and_conservation-24124e514046691f.rmeta: tests/deadlock_and_conservation.rs Cargo.toml
+
+tests/deadlock_and_conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deadlock_and_conservation-feea9050edb15ff3.d: tests/deadlock_and_conservation.rs
+
+/root/repo/target/debug/deps/deadlock_and_conservation-feea9050edb15ff3: tests/deadlock_and_conservation.rs
+
+tests/deadlock_and_conservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e7ca130f2e107501.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e7ca130f2e107501: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-b3754e7d9bf54f77.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-b3754e7d9bf54f77: tests/failure_injection.rs
+
+tests/failure_injection.rs:

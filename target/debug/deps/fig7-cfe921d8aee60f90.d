@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cfe921d8aee60f90.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cfe921d8aee60f90: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

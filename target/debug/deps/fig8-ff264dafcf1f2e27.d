@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ff264dafcf1f2e27.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ff264dafcf1f2e27: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

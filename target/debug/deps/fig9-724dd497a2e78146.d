@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-724dd497a2e78146.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-724dd497a2e78146: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

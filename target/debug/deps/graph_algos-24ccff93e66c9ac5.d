@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_algos-24ccff93e66c9ac5.d: crates/bench/benches/graph_algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_algos-24ccff93e66c9ac5.rmeta: crates/bench/benches/graph_algos.rs Cargo.toml
+
+crates/bench/benches/graph_algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

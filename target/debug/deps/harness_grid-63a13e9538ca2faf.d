@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness_grid-63a13e9538ca2faf.d: crates/bench/benches/harness_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness_grid-63a13e9538ca2faf.rmeta: crates/bench/benches/harness_grid.rs Cargo.toml
+
+crates/bench/benches/harness_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/milp-1bc584beb7fe001b.d: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmilp-1bc584beb7fe001b.rmeta: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs Cargo.toml
+
+crates/milp/src/lib.rs:
+crates/milp/src/branch_bound.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/milp-6b350a113bc3a3a6.d: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+/root/repo/target/debug/deps/milp-6b350a113bc3a3a6: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/branch_bound.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solution.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/milp-883c628f021d5857.d: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmilp-883c628f021d5857.rmeta: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs Cargo.toml
+
+crates/milp/src/lib.rs:
+crates/milp/src/branch_bound.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

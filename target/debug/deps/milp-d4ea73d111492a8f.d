@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/milp-d4ea73d111492a8f.d: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+/root/repo/target/debug/deps/libmilp-d4ea73d111492a8f.rlib: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+/root/repo/target/debug/deps/libmilp-d4ea73d111492a8f.rmeta: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/branch_bound.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solution.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pcn_crypto-778268dd246cc148.d: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_crypto-778268dd246cc148.rmeta: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/htlc.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/rng64.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

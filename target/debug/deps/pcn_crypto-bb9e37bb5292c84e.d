@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcn_crypto-bb9e37bb5292c84e.d: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/libpcn_crypto-bb9e37bb5292c84e.rlib: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/libpcn_crypto-bb9e37bb5292c84e.rmeta: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/htlc.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/rng64.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

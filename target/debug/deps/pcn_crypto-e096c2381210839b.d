@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcn_crypto-e096c2381210839b.d: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/debug/deps/libpcn_crypto-e096c2381210839b.rmeta: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/htlc.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/rng64.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

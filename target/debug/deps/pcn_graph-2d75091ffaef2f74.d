@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pcn_graph-2d75091ffaef2f74.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_graph-2d75091ffaef2f74.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/disjoint.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/path.rs:
+crates/graph/src/widest.rs:
+crates/graph/src/yen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcn_graph-36c5fa730e1bc4d1.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+/root/repo/target/debug/deps/libpcn_graph-36c5fa730e1bc4d1.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/disjoint.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/path.rs:
+crates/graph/src/widest.rs:
+crates/graph/src/yen.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pcn_graph-3e8e2a8de17d362f.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+/root/repo/target/debug/deps/libpcn_graph-3e8e2a8de17d362f.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+/root/repo/target/debug/deps/libpcn_graph-3e8e2a8de17d362f.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/disjoint.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/path.rs:
+crates/graph/src/widest.rs:
+crates/graph/src/yen.rs:

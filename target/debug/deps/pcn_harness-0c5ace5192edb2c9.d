@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcn_harness-0c5ace5192edb2c9.d: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_harness-0c5ace5192edb2c9.rmeta: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/grid.rs:
+crates/harness/src/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcn_harness-4c004fed7d005993.d: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+/root/repo/target/debug/deps/libpcn_harness-4c004fed7d005993.rlib: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+/root/repo/target/debug/deps/libpcn_harness-4c004fed7d005993.rmeta: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/grid.rs:
+crates/harness/src/run.rs:

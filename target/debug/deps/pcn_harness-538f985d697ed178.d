@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcn_harness-538f985d697ed178.d: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+/root/repo/target/debug/deps/pcn_harness-538f985d697ed178: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/grid.rs:
+crates/harness/src/run.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcn_placement-129d94cb9427c92f.d: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/debug/deps/libpcn_placement-129d94cb9427c92f.rlib: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/debug/deps/libpcn_placement-129d94cb9427c92f.rmeta: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/assignment.rs:
+crates/placement/src/exact.rs:
+crates/placement/src/instance.rs:
+crates/placement/src/milp_form.rs:
+crates/placement/src/plan.rs:
+crates/placement/src/solver.rs:
+crates/placement/src/supermodular.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcn_placement-14cf0a5b493ac48d.d: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_placement-14cf0a5b493ac48d.rmeta: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs Cargo.toml
+
+crates/placement/src/lib.rs:
+crates/placement/src/assignment.rs:
+crates/placement/src/exact.rs:
+crates/placement/src/instance.rs:
+crates/placement/src/milp_form.rs:
+crates/placement/src/plan.rs:
+crates/placement/src/solver.rs:
+crates/placement/src/supermodular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcn_placement-253665d7df40f24e.d: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/debug/deps/libpcn_placement-253665d7df40f24e.rmeta: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/assignment.rs:
+crates/placement/src/exact.rs:
+crates/placement/src/instance.rs:
+crates/placement/src/milp_form.rs:
+crates/placement/src/plan.rs:
+crates/placement/src/solver.rs:
+crates/placement/src/supermodular.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcn_placement-ed4da72b990a9442.d: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/debug/deps/pcn_placement-ed4da72b990a9442: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/assignment.rs:
+crates/placement/src/exact.rs:
+crates/placement/src/instance.rs:
+crates/placement/src/milp_form.rs:
+crates/placement/src/plan.rs:
+crates/placement/src/solver.rs:
+crates/placement/src/supermodular.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/pcn_routing-0d3d5643ff110d66.d: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/engine/tests.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_routing-0d3d5643ff110d66.rmeta: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/engine/tests.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/channel.rs:
+crates/routing/src/engine/mod.rs:
+crates/routing/src/engine/arrivals.rs:
+crates/routing/src/engine/control.rs:
+crates/routing/src/engine/lifecycle.rs:
+crates/routing/src/engine/tests.rs:
+crates/routing/src/paths.rs:
+crates/routing/src/prices.rs:
+crates/routing/src/rate.rs:
+crates/routing/src/scheduler.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/stats.rs:
+crates/routing/src/tu.rs:
+crates/routing/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pcn_routing-8567e104963b3bd5.d: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/engine/tests.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs
+
+/root/repo/target/debug/deps/pcn_routing-8567e104963b3bd5: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/engine/tests.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/channel.rs:
+crates/routing/src/engine/mod.rs:
+crates/routing/src/engine/arrivals.rs:
+crates/routing/src/engine/control.rs:
+crates/routing/src/engine/lifecycle.rs:
+crates/routing/src/engine/tests.rs:
+crates/routing/src/paths.rs:
+crates/routing/src/prices.rs:
+crates/routing/src/rate.rs:
+crates/routing/src/scheduler.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/stats.rs:
+crates/routing/src/tu.rs:
+crates/routing/src/window.rs:

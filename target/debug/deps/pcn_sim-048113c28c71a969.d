@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcn_sim-048113c28c71a969.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_sim-048113c28c71a969.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

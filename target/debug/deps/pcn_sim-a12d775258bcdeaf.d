@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcn_sim-a12d775258bcdeaf.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/libpcn_sim-a12d775258bcdeaf.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:

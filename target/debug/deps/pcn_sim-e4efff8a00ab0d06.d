@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcn_sim-e4efff8a00ab0d06.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/libpcn_sim-e4efff8a00ab0d06.rlib: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/libpcn_sim-e4efff8a00ab0d06.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:

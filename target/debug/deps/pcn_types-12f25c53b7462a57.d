@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcn_types-12f25c53b7462a57.d: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libpcn_types-12f25c53b7462a57.rmeta: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/amount.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcn_types-13d97d7cafd65080.d: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_types-13d97d7cafd65080.rmeta: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/amount.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

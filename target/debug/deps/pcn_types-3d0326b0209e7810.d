@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcn_types-3d0326b0209e7810.d: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libpcn_types-3d0326b0209e7810.rlib: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libpcn_types-3d0326b0209e7810.rmeta: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/amount.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/time.rs:

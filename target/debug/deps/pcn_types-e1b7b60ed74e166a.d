@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcn_types-e1b7b60ed74e166a.d: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_types-e1b7b60ed74e166a.rmeta: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/amount.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

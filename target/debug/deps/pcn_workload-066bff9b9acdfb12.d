@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcn_workload-066bff9b9acdfb12.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/debug/deps/libpcn_workload-066bff9b9acdfb12.rmeta: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/funds.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/transactions.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcn_workload-5db6bd203d3e4f6b.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/debug/deps/pcn_workload-5db6bd203d3e4f6b: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/funds.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/transactions.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcn_workload-b524a87d564a04a8.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcn_workload-b524a87d564a04a8.rmeta: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/funds.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

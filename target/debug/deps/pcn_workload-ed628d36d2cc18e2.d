@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcn_workload-ed628d36d2cc18e2.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/debug/deps/libpcn_workload-ed628d36d2cc18e2.rlib: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/debug/deps/libpcn_workload-ed628d36d2cc18e2.rmeta: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/funds.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/transactions.rs:

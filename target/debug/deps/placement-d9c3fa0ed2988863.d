@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement-d9c3fa0ed2988863.d: crates/bench/benches/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement-d9c3fa0ed2988863.rmeta: crates/bench/benches/placement.rs Cargo.toml
+
+crates/bench/benches/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_pipeline-2ccbe34933b69622.d: tests/placement_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_pipeline-2ccbe34933b69622.rmeta: tests/placement_pipeline.rs Cargo.toml
+
+tests/placement_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_pipeline-843c7435641b8d08.d: tests/placement_pipeline.rs
+
+/root/repo/target/debug/deps/placement_pipeline-843c7435641b8d08: tests/placement_pipeline.rs
+
+tests/placement_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-4b41b9380f8c4244.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-4b41b9380f8c4244: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-ce94e4fce91e0a48.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-ce94e4fce91e0a48: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/routing_engine-67961c267bc8b2ed.d: crates/bench/benches/routing_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting_engine-67961c267bc8b2ed.rmeta: crates/bench/benches/routing_engine.rs Cargo.toml
+
+crates/bench/benches/routing_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sha256-3c019323d7407e96.d: crates/bench/benches/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsha256-3c019323d7407e96.rmeta: crates/bench/benches/sha256.rs Cargo.toml
+
+crates/bench/benches/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

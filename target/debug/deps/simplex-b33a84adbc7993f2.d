@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simplex-b33a84adbc7993f2.d: crates/bench/benches/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimplex-b33a84adbc7993f2.rmeta: crates/bench/benches/simplex.rs Cargo.toml
+
+crates/bench/benches/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/splicer-03f19c2654bbe229.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplicer-03f19c2654bbe229.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

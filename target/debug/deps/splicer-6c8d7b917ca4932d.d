@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/splicer-6c8d7b917ca4932d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsplicer-6c8d7b917ca4932d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsplicer-6c8d7b917ca4932d.rmeta: src/lib.rs
+
+src/lib.rs:

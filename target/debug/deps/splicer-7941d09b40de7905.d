@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/splicer-7941d09b40de7905.d: src/lib.rs
+
+/root/repo/target/debug/deps/splicer-7941d09b40de7905: src/lib.rs
+
+src/lib.rs:

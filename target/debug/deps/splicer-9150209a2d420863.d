@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/splicer-9150209a2d420863.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsplicer-9150209a2d420863.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/splicer_bench-5899f540d5d4f28a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplicer_bench-5899f540d5d4f28a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

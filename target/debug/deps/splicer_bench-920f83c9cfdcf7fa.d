@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/splicer_bench-920f83c9cfdcf7fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/splicer_bench-920f83c9cfdcf7fa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/splicer_bench-ab34a5845e916bea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsplicer_bench-ab34a5845e916bea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsplicer_bench-ab34a5845e916bea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

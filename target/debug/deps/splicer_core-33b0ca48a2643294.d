@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/splicer_core-33b0ca48a2643294.d: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplicer_core-33b0ca48a2643294.rmeta: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/epoch.rs:
+crates/core/src/schemes.rs:
+crates/core/src/system.rs:
+crates/core/src/voting.rs:
+crates/core/src/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/splicer_core-6089dabb9d18a60c.d: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libsplicer_core-6089dabb9d18a60c.rlib: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libsplicer_core-6089dabb9d18a60c.rmeta: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/epoch.rs:
+crates/core/src/schemes.rs:
+crates/core/src/system.rs:
+crates/core/src/voting.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/splicer_core-d276fd10145606e0.d: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/splicer_core-d276fd10145606e0: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/epoch.rs:
+crates/core/src/schemes.rs:
+crates/core/src/system.rs:
+crates/core/src/voting.rs:
+crates/core/src/workflow.rs:

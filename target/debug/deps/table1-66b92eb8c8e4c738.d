@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-66b92eb8c8e4c738.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-66b92eb8c8e4c738: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

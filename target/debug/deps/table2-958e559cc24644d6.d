@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-958e559cc24644d6.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-958e559cc24644d6: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

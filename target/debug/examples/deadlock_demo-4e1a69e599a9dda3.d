@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_demo-4e1a69e599a9dda3.d: examples/deadlock_demo.rs
+
+/root/repo/target/debug/examples/deadlock_demo-4e1a69e599a9dda3: examples/deadlock_demo.rs
+
+examples/deadlock_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deadlock_demo-bffff2f0afccc19f.d: examples/deadlock_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeadlock_demo-bffff2f0afccc19f.rmeta: examples/deadlock_demo.rs Cargo.toml
+
+examples/deadlock_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

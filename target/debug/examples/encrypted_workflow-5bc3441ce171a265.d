@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_workflow-5bc3441ce171a265.d: examples/encrypted_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_workflow-5bc3441ce171a265.rmeta: examples/encrypted_workflow.rs Cargo.toml
+
+examples/encrypted_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_workflow-f483136e2e411304.d: examples/encrypted_workflow.rs
+
+/root/repo/target/debug/examples/encrypted_workflow-f483136e2e411304: examples/encrypted_workflow.rs
+
+examples/encrypted_workflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_scale_routing-242aadc774fdd3f9.d: examples/large_scale_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_scale_routing-242aadc774fdd3f9.rmeta: examples/large_scale_routing.rs Cargo.toml
+
+examples/large_scale_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale_routing-25dc1f621635ea6a.d: examples/large_scale_routing.rs
+
+/root/repo/target/debug/examples/large_scale_routing-25dc1f621635ea6a: examples/large_scale_routing.rs
+
+examples/large_scale_routing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/placement_analysis-0c6922538259bffd.d: examples/placement_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplacement_analysis-0c6922538259bffd.rmeta: examples/placement_analysis.rs Cargo.toml
+
+examples/placement_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/placement_analysis-c45f329933f05329.d: examples/placement_analysis.rs
+
+/root/repo/target/debug/examples/placement_analysis-c45f329933f05329: examples/placement_analysis.rs
+
+examples/placement_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9babfefdd2fb9590.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9babfefdd2fb9590: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-a38e8416d4148e68.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-a38e8416d4148e68: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-1d8daf5dfc09be42.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-1d8daf5dfc09be42: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

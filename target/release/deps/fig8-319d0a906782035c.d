@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-319d0a906782035c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-319d0a906782035c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

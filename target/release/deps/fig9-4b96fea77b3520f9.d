@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-4b96fea77b3520f9.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-4b96fea77b3520f9: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

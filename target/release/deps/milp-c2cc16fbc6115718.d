@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/milp-c2cc16fbc6115718.d: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+/root/repo/target/release/deps/libmilp-c2cc16fbc6115718.rlib: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+/root/repo/target/release/deps/libmilp-c2cc16fbc6115718.rmeta: crates/milp/src/lib.rs crates/milp/src/branch_bound.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solution.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/branch_bound.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solution.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pcn_crypto-bbe2ce3c2ee772c0.d: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libpcn_crypto-bbe2ce3c2ee772c0.rlib: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libpcn_crypto-bbe2ce3c2ee772c0.rmeta: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/htlc.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/rng64.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pcn_crypto-c3b0f168c9ae69ca.d: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libpcn_crypto-c3b0f168c9ae69ca.rlib: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+/root/repo/target/release/deps/libpcn_crypto-c3b0f168c9ae69ca.rmeta: crates/crypto/src/lib.rs crates/crypto/src/dkg.rs crates/crypto/src/envelope.rs crates/crypto/src/field.rs crates/crypto/src/htlc.rs crates/crypto/src/keys.rs crates/crypto/src/rng64.rs crates/crypto/src/sha256.rs crates/crypto/src/shamir.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/dkg.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/htlc.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/rng64.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/shamir.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pcn_graph-cea037e7c1693913.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+/root/repo/target/release/deps/libpcn_graph-cea037e7c1693913.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+/root/repo/target/release/deps/libpcn_graph-cea037e7c1693913.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/dijkstra.rs crates/graph/src/disjoint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/maxflow.rs crates/graph/src/metrics.rs crates/graph/src/path.rs crates/graph/src/widest.rs crates/graph/src/yen.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/disjoint.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/path.rs:
+crates/graph/src/widest.rs:
+crates/graph/src/yen.rs:

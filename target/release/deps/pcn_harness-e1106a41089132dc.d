@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pcn_harness-e1106a41089132dc.d: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+/root/repo/target/release/deps/libpcn_harness-e1106a41089132dc.rlib: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+/root/repo/target/release/deps/libpcn_harness-e1106a41089132dc.rmeta: crates/harness/src/lib.rs crates/harness/src/grid.rs crates/harness/src/run.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/grid.rs:
+crates/harness/src/run.rs:

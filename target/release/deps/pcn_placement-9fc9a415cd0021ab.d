@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pcn_placement-9fc9a415cd0021ab.d: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/release/deps/libpcn_placement-9fc9a415cd0021ab.rlib: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+/root/repo/target/release/deps/libpcn_placement-9fc9a415cd0021ab.rmeta: crates/placement/src/lib.rs crates/placement/src/assignment.rs crates/placement/src/exact.rs crates/placement/src/instance.rs crates/placement/src/milp_form.rs crates/placement/src/plan.rs crates/placement/src/solver.rs crates/placement/src/supermodular.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/assignment.rs:
+crates/placement/src/exact.rs:
+crates/placement/src/instance.rs:
+crates/placement/src/milp_form.rs:
+crates/placement/src/plan.rs:
+crates/placement/src/solver.rs:
+crates/placement/src/supermodular.rs:

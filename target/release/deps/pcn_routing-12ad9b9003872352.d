@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pcn_routing-12ad9b9003872352.d: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs
+
+/root/repo/target/release/deps/libpcn_routing-12ad9b9003872352.rlib: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs
+
+/root/repo/target/release/deps/libpcn_routing-12ad9b9003872352.rmeta: crates/routing/src/lib.rs crates/routing/src/channel.rs crates/routing/src/engine/mod.rs crates/routing/src/engine/arrivals.rs crates/routing/src/engine/control.rs crates/routing/src/engine/lifecycle.rs crates/routing/src/paths.rs crates/routing/src/prices.rs crates/routing/src/rate.rs crates/routing/src/scheduler.rs crates/routing/src/scheme.rs crates/routing/src/stats.rs crates/routing/src/tu.rs crates/routing/src/window.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/channel.rs:
+crates/routing/src/engine/mod.rs:
+crates/routing/src/engine/arrivals.rs:
+crates/routing/src/engine/control.rs:
+crates/routing/src/engine/lifecycle.rs:
+crates/routing/src/paths.rs:
+crates/routing/src/prices.rs:
+crates/routing/src/rate.rs:
+crates/routing/src/scheduler.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/stats.rs:
+crates/routing/src/tu.rs:
+crates/routing/src/window.rs:

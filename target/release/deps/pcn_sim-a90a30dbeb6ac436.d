@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcn_sim-a90a30dbeb6ac436.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+/root/repo/target/release/deps/libpcn_sim-a90a30dbeb6ac436.rlib: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+/root/repo/target/release/deps/libpcn_sim-a90a30dbeb6ac436.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:

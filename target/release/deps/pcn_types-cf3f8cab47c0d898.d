@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcn_types-cf3f8cab47c0d898.d: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libpcn_types-cf3f8cab47c0d898.rlib: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libpcn_types-cf3f8cab47c0d898.rmeta: crates/types/src/lib.rs crates/types/src/amount.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/amount.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/time.rs:

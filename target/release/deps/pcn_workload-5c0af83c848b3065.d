@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pcn_workload-5c0af83c848b3065.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/release/deps/libpcn_workload-5c0af83c848b3065.rlib: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+/root/repo/target/release/deps/libpcn_workload-5c0af83c848b3065.rmeta: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/funds.rs crates/workload/src/scenario.rs crates/workload/src/topology.rs crates/workload/src/transactions.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/funds.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/transactions.rs:

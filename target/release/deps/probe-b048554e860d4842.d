@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-b048554e860d4842.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-b048554e860d4842: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/splicer-f0f64ff62c2401c4.d: src/lib.rs
+
+/root/repo/target/release/deps/libsplicer-f0f64ff62c2401c4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsplicer-f0f64ff62c2401c4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/splicer_bench-867bdb8540b52847.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsplicer_bench-867bdb8540b52847.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsplicer_bench-867bdb8540b52847.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

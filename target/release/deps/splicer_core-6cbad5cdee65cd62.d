@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/splicer_core-6cbad5cdee65cd62.d: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libsplicer_core-6cbad5cdee65cd62.rlib: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libsplicer_core-6cbad5cdee65cd62.rmeta: crates/core/src/lib.rs crates/core/src/epoch.rs crates/core/src/schemes.rs crates/core/src/system.rs crates/core/src/voting.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/epoch.rs:
+crates/core/src/schemes.rs:
+crates/core/src/system.rs:
+crates/core/src/voting.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-83785bf4ab69877b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-83785bf4ab69877b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-818c86c5d47f17bf.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-818c86c5d47f17bf: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:
