@@ -15,7 +15,8 @@ fn main() {
         let s = &r.stats;
         println!(
             "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
-             tus: del={} abort={} marked={} drained={} hubs={:?}",
+             tus: del={} abort={} marked={} drained={} hubs={:?} \
+             cache={}h/{}m/{}i ({:.0}% hit)",
             r.scheme,
             s.tsr(),
             s.normalized_throughput(),
@@ -29,6 +30,10 @@ fn main() {
             s.marked_tus,
             s.drained_directions_end,
             r.placement_hubs,
+            s.path_cache.hits,
+            s.path_cache.misses,
+            s.path_cache.invalidations,
+            100.0 * s.path_cache.hit_rate(),
         );
     }
 }

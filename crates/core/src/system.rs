@@ -64,6 +64,25 @@ impl PreparedRun {
         &self.name
     }
 
+    /// Applies a scheme override in place. This is how the harness's
+    /// `SchemeTuning` reaches *every* scheme — Splicer and the baselines
+    /// alike — so ablation rows can tune a baseline's path selection,
+    /// discipline or controllers too.
+    pub fn tune_scheme<F>(&mut self, tweak: F)
+    where
+        F: FnOnce(&mut SchemeConfig),
+    {
+        tweak(&mut self.scheme);
+    }
+
+    /// Applies an engine-config override in place (cache toggles, τ, …).
+    pub fn tune_engine<F>(&mut self, tweak: F)
+    where
+        F: FnOnce(&mut EngineConfig),
+    {
+        tweak(&mut self.engine_cfg);
+    }
+
     /// The topology this run executes on (inspection/tests).
     pub fn topology(&self) -> &PcnTopology {
         &self.topology

@@ -1,4 +1,9 @@
 //! Dijkstra shortest paths with closure-supplied directed edge costs.
+//!
+//! Both entry points exist in two flavours: the classic allocating form
+//! ([`Graph::shortest_path`], [`Graph::shortest_path_tree`]) and a
+//! workspace form (`*_in`) that reuses the buffers of a
+//! [`crate::SearchWorkspace`] so repeated queries run allocation-free.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -6,13 +11,13 @@ use std::collections::BinaryHeap;
 use pcn_types::{ChannelId, NodeId};
 
 use crate::cost::Cost;
-use crate::{EdgeRef, Graph, Path};
+use crate::{EdgeRef, Graph, Path, SearchWorkspace};
 
 /// Result of a single-source Dijkstra run: distances and a parent forest.
 ///
 /// Produced by [`Graph::shortest_path_tree`]; used by landmark routing and
 /// the placement cost model (all-clients-to-candidate hop counts).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ShortestPathTree {
     source: NodeId,
     dist: Vec<f64>,
@@ -62,6 +67,16 @@ impl ShortestPathTree {
     }
 }
 
+/// Reusable Dijkstra state: distance labels, parent forest, heap, plus a
+/// recycled [`ShortestPathTree`] for the tree queries.
+#[derive(Debug, Default)]
+pub(crate) struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<(NodeId, ChannelId)>>,
+    heap: BinaryHeap<Reverse<(Cost, NodeId)>>,
+    tree: ShortestPathTree,
+}
+
 fn usable(cost: Option<f64>) -> Option<f64> {
     match cost {
         Some(c) if c.is_finite() && c >= 0.0 => Some(c),
@@ -69,66 +84,44 @@ fn usable(cost: Option<f64>) -> Option<f64> {
     }
 }
 
-pub(crate) fn shortest_path_tree<F>(g: &Graph, from: NodeId, mut cost: F) -> ShortestPathTree
-where
-    F: FnMut(EdgeRef) -> Option<f64>,
-{
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    if from.index() < n {
-        dist[from.index()] = 0.0;
-        heap.push(Reverse((Cost(0.0), from)));
-    }
-    while let Some(Reverse((Cost(d), u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue; // stale entry
-        }
-        for e in g.out_edges(u) {
-            let Some(w) = usable(cost(e)) else { continue };
-            let nd = d + w;
-            if nd < dist[e.to.index()] {
-                dist[e.to.index()] = nd;
-                parent[e.to.index()] = Some((u, e.id));
-                heap.push(Reverse((Cost(nd), e.to)));
-            }
-        }
-    }
-    ShortestPathTree {
-        source: from,
-        dist,
-        parent,
-    }
+/// Re-initializes `dist`/`parent` for `n` nodes without reallocating once
+/// grown, and empties the heap (keeping its capacity).
+fn reset(
+    dist: &mut Vec<f64>,
+    parent: &mut Vec<Option<(NodeId, ChannelId)>>,
+    heap: &mut BinaryHeap<Reverse<(Cost, NodeId)>>,
+    n: usize,
+) {
+    dist.clear();
+    dist.resize(n, f64::INFINITY);
+    parent.clear();
+    parent.resize(n, None);
+    heap.clear();
 }
 
-pub(crate) fn shortest_path<F>(
+/// The core relaxation loop. `stop_at` enables the early exit of the
+/// point-to-point query; `None` settles every reachable node.
+fn relax<F>(
     g: &Graph,
     from: NodeId,
-    to: NodeId,
+    stop_at: Option<NodeId>,
     mut cost: F,
-) -> Option<(f64, Path)>
-where
+    dist: &mut [f64],
+    parent: &mut [Option<(NodeId, ChannelId)>],
+    heap: &mut BinaryHeap<Reverse<(Cost, NodeId)>>,
+) where
     F: FnMut(EdgeRef) -> Option<f64>,
 {
-    // Early-exit Dijkstra: stop as soon as `to` is settled.
-    let n = g.node_count();
-    if from.index() >= n || to.index() >= n {
-        return None;
+    if from.index() >= dist.len() {
+        return;
     }
-    if from == to {
-        return Some((0.0, Path::trivial(from)));
-    }
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
     dist[from.index()] = 0.0;
     heap.push(Reverse((Cost(0.0), from)));
     while let Some(Reverse((Cost(d), u))) = heap.pop() {
         if d > dist[u.index()] {
-            continue;
+            continue; // stale entry
         }
-        if u == to {
+        if stop_at == Some(u) {
             break;
         }
         for e in g.out_edges(u) {
@@ -141,9 +134,10 @@ where
             }
         }
     }
-    if !dist[to.index()].is_finite() {
-        return None;
-    }
+    heap.clear();
+}
+
+fn reconstruct(from: NodeId, to: NodeId, parent: &[Option<(NodeId, ChannelId)>]) -> Option<Path> {
     let mut rev_nodes = vec![to];
     let mut rev_chans = Vec::new();
     let mut cur = to;
@@ -152,10 +146,109 @@ where
         rev_chans.push(ch);
         cur = prev;
     }
-    debug_assert_eq!(cur, from);
+    if cur != from {
+        return None;
+    }
     rev_nodes.reverse();
     rev_chans.reverse();
-    Some((dist[to.index()], Path::new(rev_nodes, rev_chans)))
+    Some(Path::new(rev_nodes, rev_chans))
+}
+
+pub(crate) fn shortest_path_tree<F>(g: &Graph, from: NodeId, cost: F) -> ShortestPathTree
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    relax(g, from, None, cost, &mut dist, &mut parent, &mut heap);
+    ShortestPathTree {
+        source: from,
+        dist,
+        parent,
+    }
+}
+
+pub(crate) fn shortest_path_tree_in<'a, F>(
+    g: &Graph,
+    ws: &'a mut SearchWorkspace,
+    from: NodeId,
+    cost: F,
+) -> &'a ShortestPathTree
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let s = &mut ws.dijkstra;
+    let n = g.node_count();
+    reset(&mut s.tree.dist, &mut s.tree.parent, &mut s.heap, n);
+    s.tree.source = from;
+    relax(
+        g,
+        from,
+        None,
+        cost,
+        &mut s.tree.dist,
+        &mut s.tree.parent,
+        &mut s.heap,
+    );
+    &s.tree
+}
+
+pub(crate) fn shortest_path<F>(g: &Graph, from: NodeId, to: NodeId, cost: F) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let mut scratch = DijkstraScratch::default();
+    shortest_path_scratch(g, &mut scratch, from, to, cost)
+}
+
+pub(crate) fn shortest_path_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    cost: F,
+) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    shortest_path_scratch(g, &mut ws.dijkstra, from, to, cost)
+}
+
+fn shortest_path_scratch<F>(
+    g: &Graph,
+    s: &mut DijkstraScratch,
+    from: NodeId,
+    to: NodeId,
+    cost: F,
+) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    // Early-exit Dijkstra: stop as soon as `to` is settled.
+    let n = g.node_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    if from == to {
+        return Some((0.0, Path::trivial(from)));
+    }
+    reset(&mut s.dist, &mut s.parent, &mut s.heap, n);
+    relax(
+        g,
+        from,
+        Some(to),
+        cost,
+        &mut s.dist,
+        &mut s.parent,
+        &mut s.heap,
+    );
+    if !s.dist[to.index()].is_finite() {
+        return None;
+    }
+    let path = reconstruct(from, to, &s.parent).expect("finite distance implies a parent chain");
+    Some((s.dist[to.index()], path))
 }
 
 #[cfg(test)]
@@ -264,11 +357,64 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let (g, w) = weighted_diamond();
+        let mut ws = SearchWorkspace::new();
+        for _ in 0..5 {
+            let fresh = g.shortest_path(n(0), n(3), |e| Some(w[e.id.index()]));
+            let reused = g.shortest_path_in(&mut ws, n(0), n(3), |e| Some(w[e.id.index()]));
+            assert_eq!(fresh, reused);
+            // The blocked query must not see stale state from the run above.
+            let blocked = g.shortest_path_in(&mut ws, n(0), n(3), |e| {
+                (e.id.index() != 0).then(|| w[e.id.index()])
+            });
+            assert_eq!(blocked.unwrap().0, 6.0);
+        }
+    }
+
+    #[test]
+    fn workspace_tree_matches_owned_tree() {
+        let (g, w) = weighted_diamond();
+        let mut ws = SearchWorkspace::new();
+        // Warm the workspace on a different source first.
+        let _ = g.shortest_path_tree_in(&mut ws, n(3), |e| Some(w[e.id.index()]));
+        let owned = g.shortest_path_tree(n(0), |e| Some(w[e.id.index()]));
+        let reused = g.shortest_path_tree_in(&mut ws, n(0), |e| Some(w[e.id.index()]));
+        assert_eq!(reused.source(), owned.source());
+        for v in g.nodes() {
+            assert_eq!(reused.distance(v), owned.distance(v));
+            assert_eq!(
+                reused.path_to(v).map(|p| p.nodes().to_vec()),
+                owned.path_to(v).map(|p| p.nodes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_survives_graph_size_changes() {
+        let mut ws = SearchWorkspace::new();
+        let (big, w) = weighted_diamond();
+        assert!(big
+            .shortest_path_in(&mut ws, n(0), n(3), |e| Some(w[e.id.index()]))
+            .is_some());
+        // A smaller graph afterwards: buffers shrink logically, no stale
+        // out-of-range reads.
+        let mut small = Graph::new(2);
+        small.add_edge(n(0), n(1));
+        let got = small.shortest_path_in(&mut ws, n(0), n(1), |_| Some(2.0));
+        assert_eq!(got.unwrap().0, 2.0);
+        assert!(small
+            .shortest_path_in(&mut ws, n(0), n(9), |_| Some(1.0))
+            .is_none());
+    }
+
+    #[test]
     fn matches_bruteforce_on_random_graphs() {
         // Exhaustive DFS comparison on small random weighted graphs.
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
+        let mut ws = SearchWorkspace::new();
         for _ in 0..30 {
             let nn = rng.random_range(2..7usize);
             let mut g = Graph::new(nn);
@@ -284,7 +430,7 @@ mod tests {
             let from = NodeId::new(0);
             let to = NodeId::from_index(nn - 1);
             let dij = g
-                .shortest_path(from, to, |e| Some(weights[e.id.index()]))
+                .shortest_path_in(&mut ws, from, to, |e| Some(weights[e.id.index()]))
                 .map(|(c, _)| c);
             let brute = brute_force(&g, &weights, from, to);
             match (dij, brute) {

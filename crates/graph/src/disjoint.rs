@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{widest_path, EdgeRef, Graph, Path};
+use crate::{widest_path_in, EdgeRef, Graph, Path, SearchWorkspace};
 
 /// Up to `k` edge-disjoint shortest paths, found greedily (EDS).
 ///
@@ -36,6 +36,22 @@ pub fn edge_disjoint_shortest_paths<F>(
     from: NodeId,
     to: NodeId,
     k: usize,
+    cost: F,
+) -> Vec<Path>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    edge_disjoint_shortest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, cost)
+}
+
+/// [`edge_disjoint_shortest_paths`] on a reusable [`SearchWorkspace`]
+/// (allocation-free inner Dijkstras, bit-identical results).
+pub fn edge_disjoint_shortest_paths_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
     mut cost: F,
 ) -> Vec<Path>
 where
@@ -44,17 +60,13 @@ where
     let mut used: HashSet<ChannelId> = HashSet::new();
     let mut paths = Vec::new();
     for _ in 0..k {
-        let found = g.shortest_path(
-            from,
-            to,
-            |e| {
-                if used.contains(&e.id) {
-                    None
-                } else {
-                    cost(e)
-                }
-            },
-        );
+        let found = g.shortest_path_in(ws, from, to, |e| {
+            if used.contains(&e.id) {
+                None
+            } else {
+                cost(e)
+            }
+        });
         let Some((_, path)) = found else { break };
         used.extend(path.channels().iter().copied());
         paths.push(path);
@@ -72,6 +84,22 @@ pub fn edge_disjoint_widest_paths<F>(
     from: NodeId,
     to: NodeId,
     k: usize,
+    width: F,
+) -> Vec<Path>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    edge_disjoint_widest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, width)
+}
+
+/// [`edge_disjoint_widest_paths`] on a reusable [`SearchWorkspace`]
+/// (allocation-free inner widest-path runs, bit-identical results).
+pub fn edge_disjoint_widest_paths_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
     mut width: F,
 ) -> Vec<Path>
 where
@@ -80,7 +108,7 @@ where
     let mut used: HashSet<ChannelId> = HashSet::new();
     let mut paths = Vec::new();
     for _ in 0..k {
-        let found = widest_path(g, from, to, |e| {
+        let found = widest_path_in(g, ws, from, to, |e| {
             if used.contains(&e.id) {
                 None
             } else {

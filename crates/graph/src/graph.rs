@@ -58,6 +58,8 @@ pub struct Graph {
     edges: Vec<Edge>,
     /// adjacency: for each node, (channel index, neighbour).
     adj: Vec<Vec<(u32, NodeId)>>,
+    /// Monotone mutation counter; see [`Graph::topology_epoch`].
+    topology_epoch: u64,
 }
 
 impl Graph {
@@ -66,7 +68,22 @@ impl Graph {
         Graph {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
+            topology_epoch: 0,
         }
+    }
+
+    /// The topology epoch: bumped on every structural mutation
+    /// ([`Graph::add_node`] / [`Graph::add_edge`]).
+    ///
+    /// Epoch-versioned caches (the routing layer's `PathCache`) snapshot
+    /// this value when they memoize a path computation and treat the
+    /// entry as stale once it moves — the invalidation half of the
+    /// contract that keeps cached results bit-identical to recomputation.
+    /// The counter is per-instance (a `clone()` carries the current value
+    /// and the two instances advance independently), so a cache must
+    /// observe the same `Graph` instance it keys on.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     /// Number of nodes.
@@ -82,6 +99,7 @@ impl Graph {
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());
+        self.topology_epoch += 1;
         NodeId::from_index(self.adj.len() - 1)
     }
 
@@ -98,6 +116,7 @@ impl Graph {
         self.edges.push(Edge { a, b });
         self.adj[a.index()].push((id, b));
         self.adj[b.index()].push((id, a));
+        self.topology_epoch += 1;
         ChannelId::new(id)
     }
 
@@ -223,6 +242,38 @@ impl Graph {
     {
         crate::dijkstra::shortest_path_tree(self, from, cost)
     }
+
+    /// [`Graph::shortest_path`] on the reusable buffers of a
+    /// [`crate::SearchWorkspace`]: repeated queries are allocation-free
+    /// (apart from the returned [`Path`]) and bit-identical to the
+    /// allocating form.
+    pub fn shortest_path_in<F>(
+        &self,
+        ws: &mut crate::SearchWorkspace,
+        from: NodeId,
+        to: NodeId,
+        cost: F,
+    ) -> Option<(f64, Path)>
+    where
+        F: FnMut(EdgeRef) -> Option<f64>,
+    {
+        crate::dijkstra::shortest_path_in(self, ws, from, to, cost)
+    }
+
+    /// [`Graph::shortest_path_tree`] into a workspace-owned tree: the
+    /// returned reference borrows the workspace and is overwritten by the
+    /// next tree query on it.
+    pub fn shortest_path_tree_in<'a, F>(
+        &self,
+        ws: &'a mut crate::SearchWorkspace,
+        from: NodeId,
+        cost: F,
+    ) -> &'a crate::ShortestPathTree
+    where
+        F: FnMut(EdgeRef) -> Option<f64>,
+    {
+        crate::dijkstra::shortest_path_tree_in(self, ws, from, cost)
+    }
 }
 
 pub use crate::path::Path;
@@ -337,6 +388,21 @@ mod tests {
     fn bad_endpoint_panics() {
         let mut g = Graph::new(2);
         g.add_edge(NodeId::new(0), NodeId::new(5));
+    }
+
+    #[test]
+    fn topology_epoch_tracks_mutations() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.topology_epoch(), 0);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        assert_eq!(g.topology_epoch(), 1);
+        g.add_node();
+        assert_eq!(g.topology_epoch(), 2);
+        // Clones carry the value and then advance independently.
+        let mut c = g.clone();
+        c.add_node();
+        assert_eq!(g.topology_epoch(), 2);
+        assert_eq!(c.topology_epoch(), 3);
     }
 
     #[test]

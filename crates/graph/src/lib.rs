@@ -14,6 +14,17 @@
 //! lets the routing layer price edges off live channel state without the
 //! graph crate knowing about balances.
 //!
+//! Two cross-cutting facilities support the routing layer's epoch-
+//! versioned path cache:
+//!
+//! * [`SearchWorkspace`] — reusable search buffers. Every algorithm has
+//!   a `*_in` variant that borrows a workspace and runs allocation-free
+//!   when called repeatedly, returning bit-identical results to the
+//!   allocating form.
+//! * [`Graph::topology_epoch`] — a monotone counter bumped on every
+//!   structural mutation, the topology half of the cache's
+//!   epoch-invalidation contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,18 +56,23 @@ mod maxflow;
 mod metrics;
 mod path;
 mod widest;
+mod workspace;
 mod yen;
 
 pub use bfs::{bfs_hops, connected_components, is_connected};
 pub use dijkstra::ShortestPathTree;
-pub use disjoint::{edge_disjoint_shortest_paths, edge_disjoint_widest_paths};
+pub use disjoint::{
+    edge_disjoint_shortest_paths, edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths,
+    edge_disjoint_widest_paths_in,
+};
 pub use generators::{barabasi_albert, complete, erdos_renyi, ring, star, watts_strogatz};
 pub use graph::{EdgeRef, Graph};
-pub use maxflow::{max_flow, FlowPath, MaxFlowResult};
+pub use maxflow::{max_flow, max_flow_in, FlowPath, MaxFlowResult};
 pub use metrics::{average_degree, clustering_coefficient, degree_histogram, GraphMetrics};
 pub use path::Path;
-pub use widest::widest_path;
-pub use yen::k_shortest_paths;
+pub use widest::{widest_path, widest_path_in};
+pub use workspace::SearchWorkspace;
+pub use yen::{k_shortest_paths, k_shortest_paths_in};
 
 pub(crate) mod cost {
     /// Total-order wrapper for `f64` costs inside priority queues.

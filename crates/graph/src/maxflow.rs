@@ -10,7 +10,20 @@ use std::collections::VecDeque;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{EdgeRef, Graph, Path};
+use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+
+/// Reusable Dinic state: residual arc table, adjacency heads, BFS levels,
+/// DFS cursors, per-arc flow and the decomposition's visited marks.
+#[derive(Debug, Default)]
+pub(crate) struct MaxFlowScratch {
+    head: Vec<Vec<usize>>,
+    arcs: Vec<Arc>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+    flow: Vec<u64>,
+    visited: Vec<bool>,
+    queue: VecDeque<usize>,
+}
 
 /// One path of a flow decomposition, carrying `amount` units.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,7 +75,37 @@ struct Arc {
 /// assert_eq!(r.value, 7);
 /// assert_eq!(r.paths.len(), 1);
 /// ```
-pub fn max_flow<F>(g: &Graph, source: NodeId, sink: NodeId, mut capacity: F) -> MaxFlowResult
+pub fn max_flow<F>(g: &Graph, source: NodeId, sink: NodeId, capacity: F) -> MaxFlowResult
+where
+    F: FnMut(EdgeRef) -> Option<u64>,
+{
+    max_flow_scratch(g, &mut MaxFlowScratch::default(), source, sink, capacity)
+}
+
+/// [`max_flow`] running on the reusable buffers of a [`SearchWorkspace`]:
+/// repeated calls are allocation-free once the residual tables have grown
+/// (the decomposed [`FlowPath`]s are the output and still allocate), and
+/// bit-identical to the allocating form.
+pub fn max_flow_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    source: NodeId,
+    sink: NodeId,
+    capacity: F,
+) -> MaxFlowResult
+where
+    F: FnMut(EdgeRef) -> Option<u64>,
+{
+    max_flow_scratch(g, &mut ws.maxflow, source, sink, capacity)
+}
+
+fn max_flow_scratch<F>(
+    g: &Graph,
+    scratch: &mut MaxFlowScratch,
+    source: NodeId,
+    sink: NodeId,
+    mut capacity: F,
+) -> MaxFlowResult
 where
     F: FnMut(EdgeRef) -> Option<u64>,
 {
@@ -75,8 +118,16 @@ where
     }
     // Build residual arcs: one forward arc per directed channel view with
     // positive capacity, plus a 0-capacity reverse arc.
-    let mut head: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut arcs: Vec<Arc> = Vec::new();
+    for l in scratch.head.iter_mut() {
+        l.clear();
+    }
+    if scratch.head.len() < n {
+        scratch.head.resize_with(n, Vec::new);
+    }
+    scratch.head.truncate(n);
+    scratch.arcs.clear();
+    let head = &mut scratch.head;
+    let arcs = &mut scratch.arcs;
     for e in g.directed_edges() {
         let Some(c) = capacity(e) else { continue };
         if c == 0 {
@@ -102,15 +153,22 @@ where
     let s = source.index();
     let t = sink.index();
     let mut total = 0u64;
-    let mut level = vec![-1i32; n];
-    let mut iter = vec![0usize; n];
+    scratch.level.clear();
+    scratch.level.resize(n, -1);
+    scratch.iter.clear();
+    scratch.iter.resize(n, 0);
     // Track flow sent per arc for decomposition.
-    let mut flow = vec![0u64; arcs.len()];
+    scratch.flow.clear();
+    scratch.flow.resize(arcs.len(), 0);
+    let level = &mut scratch.level;
+    let iter = &mut scratch.iter;
+    let flow = &mut scratch.flow;
 
     loop {
         // BFS level graph.
         level.iter_mut().for_each(|l| *l = -1);
-        let mut q = VecDeque::new();
+        let q = &mut scratch.queue;
+        q.clear();
         level[s] = 0;
         q.push_back(s);
         while let Some(u) = q.pop_front() {
@@ -128,16 +186,7 @@ where
         iter.iter_mut().for_each(|i| *i = 0);
         // DFS blocking flow.
         loop {
-            let pushed = dfs(
-                &mut arcs,
-                &mut flow,
-                &head,
-                &level,
-                &mut iter,
-                s,
-                t,
-                u64::MAX,
-            );
+            let pushed = dfs(arcs, flow, head, level, iter, s, t, u64::MAX);
             if pushed == 0 {
                 break;
             }
@@ -148,7 +197,7 @@ where
     // Cancel opposing flows on the two directions of the same channel is not
     // needed for correctness of decomposition (each arc tracks its own net
     // flow already via residual bookkeeping on `cap`).
-    let paths = decompose(g, &head, &arcs, &mut flow, s, t);
+    let paths = decompose(g, head, arcs, flow, &mut scratch.visited, s, t);
     MaxFlowResult {
         value: total,
         paths,
@@ -199,6 +248,7 @@ fn decompose(
     head: &[Vec<usize>],
     arcs: &[Arc],
     flow: &mut [u64],
+    visited: &mut Vec<bool>,
     s: usize,
     t: usize,
 ) -> Vec<FlowPath> {
@@ -210,7 +260,8 @@ fn decompose(
         let mut arc_idxs = Vec::new();
         let mut cur = s;
         let mut bottleneck = u64::MAX;
-        let mut visited = vec![false; head.len()];
+        visited.clear();
+        visited.resize(head.len(), false);
         visited[cur] = true;
         while cur != t {
             let mut advanced = false;
@@ -349,6 +400,29 @@ mod tests {
         g.add_edge(n(0), n(1));
         assert_eq!(max_flow(&g, n(0), n(0), |_| Some(1)).value, 0);
         assert_eq!(max_flow(&g, n(0), n(9), |_| Some(1)).value, 0);
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_form() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(3));
+        let mut ws = SearchWorkspace::new();
+        for _ in 0..3 {
+            let fresh = max_flow(&g, n(0), n(3), |_| Some(4));
+            let reused = max_flow_in(&g, &mut ws, n(0), n(3), |_| Some(4));
+            assert_eq!(fresh.value, reused.value);
+            assert_eq!(fresh.paths, reused.paths);
+        }
+        // Shrinking to a smaller graph must not trip stale residual state.
+        let mut small = Graph::new(2);
+        small.add_edge(n(0), n(1));
+        assert_eq!(
+            max_flow_in(&small, &mut ws, n(0), n(1), |_| Some(7)).value,
+            7
+        );
     }
 
     #[test]

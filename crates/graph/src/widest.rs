@@ -11,7 +11,16 @@ use std::collections::BinaryHeap;
 use pcn_types::{ChannelId, NodeId};
 
 use crate::cost::Cost;
-use crate::{EdgeRef, Graph, Path};
+use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+
+/// Reusable widest-path state: `(bottleneck, hops)` labels, parent
+/// forest and the max-heap.
+#[derive(Debug, Default)]
+pub(crate) struct WidestScratch {
+    best: Vec<(f64, u32)>,
+    parent: Vec<Option<(NodeId, ChannelId)>>,
+    heap: BinaryHeap<(Cost, std::cmp::Reverse<u32>, NodeId)>,
+}
 
 /// Maximum-bottleneck path from `from` to `to`.
 ///
@@ -37,7 +46,36 @@ use crate::{EdgeRef, Graph, Path};
 /// assert_eq!(path.hops(), 2); // takes the wide two-hop route
 /// # let _ = (a, b);
 /// ```
-pub fn widest_path<F>(g: &Graph, from: NodeId, to: NodeId, mut width: F) -> Option<(f64, Path)>
+pub fn widest_path<F>(g: &Graph, from: NodeId, to: NodeId, width: F) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    widest_path_scratch(g, &mut WidestScratch::default(), from, to, width)
+}
+
+/// [`widest_path`] running on the reusable buffers of a
+/// [`SearchWorkspace`]: repeated calls are allocation-free (apart from
+/// the returned [`Path`]) and bit-identical to the allocating form.
+pub fn widest_path_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    width: F,
+) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    widest_path_scratch(g, &mut ws.widest, from, to, width)
+}
+
+fn widest_path_scratch<F>(
+    g: &Graph,
+    s: &mut WidestScratch,
+    from: NodeId,
+    to: NodeId,
+    mut width: F,
+) -> Option<(f64, Path)>
 where
     F: FnMut(EdgeRef) -> Option<f64>,
 {
@@ -50,9 +88,14 @@ where
     }
     // best[v] = (bottleneck, hops) of the best known path; we maximize
     // bottleneck, minimize hops on ties.
-    let mut best: Vec<(f64, u32)> = vec![(0.0, u32::MAX); n];
-    let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
-    let mut heap: BinaryHeap<(Cost, std::cmp::Reverse<u32>, NodeId)> = BinaryHeap::new();
+    s.best.clear();
+    s.best.resize(n, (0.0, u32::MAX));
+    s.parent.clear();
+    s.parent.resize(n, None);
+    s.heap.clear();
+    let best = &mut s.best;
+    let parent = &mut s.parent;
+    let heap = &mut s.heap;
     best[from.index()] = (f64::INFINITY, 0);
     heap.push((Cost(f64::INFINITY), std::cmp::Reverse(0), from));
     while let Some((Cost(w), std::cmp::Reverse(h), u)) = heap.pop() {
@@ -162,6 +205,22 @@ mod tests {
         assert!(widest_path(&g, n(0), n(1), |_| Some(0.0)).is_none());
         assert!(widest_path(&g, n(0), n(1), |_| Some(-3.0)).is_none());
         assert!(widest_path(&g, n(0), n(1), |_| None).is_none());
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_form() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(3));
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        let w = [2.0, 9.0, 9.0, 9.0];
+        let mut ws = SearchWorkspace::new();
+        for _ in 0..4 {
+            let fresh = widest_path(&g, n(0), n(3), |e| Some(w[e.id.index()]));
+            let reused = widest_path_in(&g, &mut ws, n(0), n(3), |e| Some(w[e.id.index()]));
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Reusable search buffers for the hot routing path.
+//!
+//! Every path query (Dijkstra, widest path, Yen's KSP, Dinic's max flow)
+//! needs per-node scratch state — distance labels, parent pointers, a
+//! priority queue, residual-arc tables. Allocating those on every call is
+//! what made repeated path selection the engine's dominant allocation
+//! site. A [`SearchWorkspace`] owns all of them; the `*_in` variants of
+//! the search entry points ([`Graph::shortest_path_in`],
+//! [`Graph::shortest_path_tree_in`], [`crate::widest_path_in`],
+//! [`crate::k_shortest_paths_in`], [`crate::max_flow_in`]) borrow the
+//! workspace and run allocation-free once its buffers have grown to the
+//! graph's size (only the returned [`crate::Path`]s still allocate —
+//! they are the query's output).
+//!
+//! Reuse is **semantics-preserving**: each search fully re-initializes
+//! the state it reads, so a warm workspace returns bit-identical results
+//! to a cold one. The workspace is deliberately not `Clone`/`Send`-shared:
+//! one worker, one workspace.
+//!
+//! ```
+//! use pcn_graph::{Graph, SearchWorkspace};
+//! use pcn_types::NodeId;
+//!
+//! let mut g = Graph::new(3);
+//! g.add_edge(NodeId::new(0), NodeId::new(1));
+//! g.add_edge(NodeId::new(1), NodeId::new(2));
+//! let mut ws = SearchWorkspace::new();
+//! for _ in 0..3 {
+//!     let (cost, _) = g
+//!         .shortest_path_in(&mut ws, NodeId::new(0), NodeId::new(2), |_| Some(1.0))
+//!         .unwrap();
+//!     assert_eq!(cost, 2.0);
+//! }
+//! ```
+
+use crate::dijkstra::DijkstraScratch;
+use crate::maxflow::MaxFlowScratch;
+use crate::widest::WidestScratch;
+
+/// Owned scratch buffers shared by all search algorithms.
+///
+/// Create one per worker (or per [`crate::Graph`]-consuming engine) and
+/// thread it through the `*_in` query variants.
+#[derive(Debug, Default)]
+pub struct SearchWorkspace {
+    pub(crate) dijkstra: DijkstraScratch,
+    pub(crate) widest: WidestScratch,
+    pub(crate) maxflow: MaxFlowScratch,
+}
+
+impl SearchWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> SearchWorkspace {
+        SearchWorkspace::default()
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{EdgeRef, Graph, Path};
+use crate::{EdgeRef, Graph, Path, SearchWorkspace};
 
 /// Up to `k` loopless shortest paths from `from` to `to`, cheapest first.
 ///
@@ -27,14 +27,32 @@ use crate::{EdgeRef, Graph, Path};
 /// let paths = k_shortest_paths(&g, NodeId::new(0), NodeId::new(3), 3, |_| Some(1.0));
 /// assert_eq!(paths.len(), 2); // only two loopless routes exist
 /// ```
-pub fn k_shortest_paths<F>(g: &Graph, from: NodeId, to: NodeId, k: usize, mut cost: F) -> Vec<Path>
+pub fn k_shortest_paths<F>(g: &Graph, from: NodeId, to: NodeId, k: usize, cost: F) -> Vec<Path>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    k_shortest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, cost)
+}
+
+/// [`k_shortest_paths`] with the inner Dijkstra runs executed on a
+/// reusable [`SearchWorkspace`]. Yen's algorithm is a loop of shortest-
+/// path queries, so the workspace removes the dominant allocations of
+/// repeated KSP calls; results are bit-identical to the allocating form.
+pub fn k_shortest_paths_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    mut cost: F,
+) -> Vec<Path>
 where
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     if k == 0 {
         return Vec::new();
     }
-    let Some((first_cost, first)) = g.shortest_path(from, to, &mut cost) else {
+    let Some((first_cost, first)) = g.shortest_path_in(ws, from, to, &mut cost) else {
         return Vec::new();
     };
     let mut accepted: Vec<(f64, Path)> = vec![(first_cost, first)];
@@ -60,7 +78,7 @@ where
             // Nodes on the root (except the spur node) are banned to keep
             // paths loopless.
             let banned_nodes: HashSet<NodeId> = root.nodes()[..i].iter().copied().collect();
-            let spur = g.shortest_path(spur_node, to, |e| {
+            let spur = g.shortest_path_in(ws, spur_node, to, |e| {
                 if banned_channels.contains(&e.id)
                     || banned_nodes.contains(&e.to)
                     || banned_nodes.contains(&e.from)
@@ -191,6 +209,21 @@ mod tests {
     fn k_zero_returns_empty() {
         let (g, w) = yen_graph();
         assert!(k_shortest_paths(&g, n(0), n(5), 0, |e| Some(w[e.id.index()])).is_empty());
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_form() {
+        let (g, w) = yen_graph();
+        let mut ws = SearchWorkspace::new();
+        for _ in 0..3 {
+            let fresh = k_shortest_paths(&g, n(0), n(5), 4, |e| Some(w[e.id.index()]));
+            let reused = k_shortest_paths_in(&g, &mut ws, n(0), n(5), 4, |e| Some(w[e.id.index()]));
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(&reused) {
+                assert_eq!(a.nodes(), b.nodes());
+                assert_eq!(a.channels(), b.channels());
+            }
+        }
     }
 
     #[test]

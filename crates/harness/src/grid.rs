@@ -370,6 +370,7 @@ fn merge_tuning(base: &RunTuning, variant: &RunTuning) -> RunTuning {
         omega: variant.omega.or(base.omega),
         hub_fund_factor: variant.hub_fund_factor.or(base.hub_fund_factor),
         update_interval_ms: variant.update_interval_ms.or(base.update_interval_ms),
+        path_cache: variant.path_cache.or(base.path_cache),
     }
 }
 
@@ -465,6 +466,63 @@ mod tests {
         assert!(
             cells[0].scenario.get().is_some(),
             "first run fills the slot"
+        );
+    }
+
+    #[test]
+    fn scheme_tuning_applies_to_baseline_cells() {
+        // Sweep a *tuned* Spider: forcing single-path KSP routing must
+        // change the measured run versus stock Spider on the same world.
+        let tuned = SchemeTuning {
+            path_select: Some(pcn_routing::paths::PathSelect::Ksp),
+            num_paths: Some(1),
+            ..SchemeTuning::default()
+        };
+        let base = ScenarioParams::tiny();
+        let stock = ExperimentGrid::new(base.clone())
+            .schemes([SchemeChoice::Spider])
+            .sweep_channel_scale(&[1.0])
+            .run(1);
+        let overridden = ExperimentGrid::new(base)
+            .schemes([SchemeChoice::Spider])
+            .base_overrides(Overrides {
+                scheme: tuned,
+                ..Overrides::default()
+            })
+            .sweep_channel_scale(&[1.0])
+            .run(2);
+        assert_eq!(stock.len(), 1);
+        assert_eq!(overridden.len(), 1);
+        assert_ne!(
+            stock[0].stats, overridden[0].stats,
+            "a single-KSP Spider must measure differently from stock Spider"
+        );
+    }
+
+    #[test]
+    fn cache_toggle_changes_only_cache_counters() {
+        let base = ScenarioParams::tiny();
+        let grid = |cache| {
+            ExperimentGrid::new(base.clone())
+                .schemes([SchemeChoice::Flash])
+                .base_overrides(Overrides {
+                    tuning: RunTuning {
+                        path_cache: Some(cache),
+                        ..RunTuning::default()
+                    },
+                    ..Overrides::default()
+                })
+                .sweep_channel_scale(&[1.0])
+                .run(1)
+        };
+        let on = grid(true);
+        let off = grid(false);
+        assert!(on[0].stats.path_cache.hits > 0, "Flash mice must hit");
+        assert_eq!(off[0].stats.path_cache.lookups(), 0);
+        assert_eq!(
+            on[0].stats.without_cache_counters(),
+            off[0].stats.without_cache_counters(),
+            "the cache must be invisible in the semantic stats"
         );
     }
 

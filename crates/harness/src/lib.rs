@@ -17,6 +17,13 @@
 //! serial run, and a standalone [`ExperimentGrid::run_cell`] all produce
 //! bit-identical [`RunStats`](pcn_routing::RunStats) for the same cell.
 //!
+//! Cells carry the engine's path-cache counters
+//! (`RunStats::path_cache`: hits/misses/invalidations) so cache
+//! effectiveness is visible per grid cell; [`RunTuning::path_cache`]
+//! toggles the cache for A/B cells (semantics-preserving either way),
+//! and [`SchemeTuning`] overrides routing choices on *any* scheme's
+//! cell, baselines included.
+//!
 //! ```
 //! use pcn_harness::ExperimentGrid;
 //! use pcn_workload::{ScenarioParams, SchemeChoice};

@@ -5,7 +5,8 @@ use pcn_workload::{Scenario, ScenarioSpec, SchemeChoice};
 use splicer_core::{RunReport, SystemBuilder};
 
 /// Tunables applied on top of a spec when the grid sweeps dimensions the
-/// spec itself does not carry (placement weight, hub funding, τ).
+/// spec itself does not carry (placement weight, hub funding, τ, the
+/// path-cache toggle).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RunTuning {
     /// Placement tradeoff weight ω (None = builder default).
@@ -14,10 +15,16 @@ pub struct RunTuning {
     pub hub_fund_factor: Option<f64>,
     /// Price/probe update interval τ in milliseconds (None = default).
     pub update_interval_ms: Option<u64>,
+    /// Epoch-versioned path-cache toggle (None = engine default, on).
+    /// Semantics-preserving either way; used for cache A/B cells and the
+    /// determinism regression.
+    pub path_cache: Option<bool>,
 }
 
-/// Scheme-level overrides, applied to Splicer runs only (the paper's
-/// Table II and ablation rows tweak Splicer's routing choices).
+/// Scheme-level overrides (the paper's Table II and ablation rows tweak
+/// routing choices). Applied to **any** scheme's cell — Splicer and
+/// baselines alike — so a sweep can, say, give Spider an EDF queue or
+/// force a baseline onto KSP paths.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SchemeTuning {
     /// Path-selection strategy override.
@@ -127,22 +134,20 @@ pub fn run_on_scenario(
             ..Default::default()
         });
     }
-    let prepared = match spec.scheme {
-        SchemeChoice::Splicer => {
-            if scheme_tuning.is_noop() {
-                builder.build_splicer().expect("feasible placement")
-            } else {
-                builder
-                    .build_splicer_with(|s| scheme_tuning.apply(s))
-                    .expect("feasible placement")
-            }
-        }
+    let mut prepared = match spec.scheme {
+        SchemeChoice::Splicer => builder.build_splicer().expect("feasible placement"),
         SchemeChoice::Spider => builder.build_spider(),
         SchemeChoice::Flash => builder.build_flash(),
         SchemeChoice::Landmark => builder.build_landmark(),
         SchemeChoice::A2L => builder.build_a2l(),
         SchemeChoice::ShortestPath => builder.build_shortest_path(),
     };
+    if !scheme_tuning.is_noop() {
+        prepared.tune_scheme(|s| scheme_tuning.apply(s));
+    }
+    if let Some(cache) = tuning.path_cache {
+        prepared.tune_engine(|cfg| cfg.use_path_cache = cache);
+    }
     let report = prepared.run();
     let violations = check_expectations(spec, &report);
     SpecOutcome { report, violations }

@@ -1,0 +1,322 @@
+//! The epoch-versioned path cache.
+//!
+//! Path planning is the engine's hot loop: every payment admission runs
+//! one or more graph searches over a topology that changes rarely and
+//! channel state that changes often. The cache memoizes plan results
+//! keyed by `(source, dest, scheme-view class)` and versions every entry
+//! with an [`EpochStamp`] — a snapshot of the three counters whose
+//! movement can change a path computation's inputs:
+//!
+//! * `topology` — [`pcn_graph::Graph::topology_epoch`], bumped on every
+//!   structural mutation,
+//! * `funds` — [`crate::channel::NetworkFunds::funds_epoch`], bumped on
+//!   every balance movement (lock / settle / refund, which includes
+//!   every depletion and refill),
+//! * `prices` — [`crate::prices::PriceTable::price_epoch`], bumped on
+//!   every τ price tick.
+//!
+//! Which counters an entry depends on is its [`Volatility`]:
+//! capacity-only computations read channel *totals* (constant for a
+//! channel's lifetime) so they only stale on topology changes, while
+//! live-balance computations stale on any funds or price movement. A hit
+//! is therefore **semantics-preserving by construction**: an entry is
+//! only served while every input of the original computation is
+//! provably unchanged, so the cached result is bit-identical to what
+//! recomputation would return. `tests/determinism.rs` pins this down by
+//! diffing cache-enabled against cache-disabled engine runs.
+//!
+//! Hit/miss/invalidation counters are exported into
+//! [`crate::stats::RunStats`] (and from there into every harness grid
+//! cell) so the cache's effectiveness is visible per experiment.
+
+use std::collections::HashMap;
+
+use pcn_graph::Path;
+use pcn_types::NodeId;
+
+/// Snapshot of the three invalidation counters an entry may depend on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStamp {
+    /// Structural graph mutations ([`pcn_graph::Graph::topology_epoch`]).
+    pub topology: u64,
+    /// Channel balance movements
+    /// ([`crate::channel::NetworkFunds::funds_epoch`]).
+    pub funds: u64,
+    /// Price ticks ([`crate::prices::PriceTable::price_epoch`]).
+    pub prices: u64,
+}
+
+/// How volatile a cached computation's inputs are — which epochs
+/// invalidate it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Volatility {
+    /// The computation reads only the topology and constant channel
+    /// totals: stale only when the topology epoch moves.
+    CapacityOnly,
+    /// The computation reads live balances (and, conservatively, prices):
+    /// stale when any epoch moves.
+    Live,
+}
+
+impl Volatility {
+    fn still_fresh(self, entry: EpochStamp, now: EpochStamp) -> bool {
+        match self {
+            Volatility::CapacityOnly => entry.topology == now.topology,
+            Volatility::Live => entry == now,
+        }
+    }
+}
+
+/// Which kind of plan a cached entry holds. One engine runs one scheme,
+/// but a single scheme can issue differently-shaped queries for the same
+/// endpoint pair (Flash: a mice pool *and* an elephant max-flow plan),
+/// so the class is part of the key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanClass {
+    /// The scheme's full path plan for a payment.
+    Plan,
+    /// Flash's precomputed mice path pool (one path is drawn per payment).
+    MicePool,
+    /// Flash's elephant max-flow decomposition.
+    Elephant,
+}
+
+/// Cache key: endpoints plus the scheme-view class of the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Payment source (or sub-query source).
+    pub source: NodeId,
+    /// Payment destination.
+    pub dest: NodeId,
+    /// Query class.
+    pub class: PlanClass,
+}
+
+impl CacheKey {
+    /// Key for a scheme's full plan.
+    pub fn plan(source: NodeId, dest: NodeId) -> CacheKey {
+        CacheKey {
+            source,
+            dest,
+            class: PlanClass::Plan,
+        }
+    }
+}
+
+/// Hit/miss/invalidation counters, exported into run statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathCacheStats {
+    /// Queries served from a fresh entry.
+    pub hits: u64,
+    /// Queries with no entry at all (first sight of the key).
+    pub misses: u64,
+    /// Queries that found a stale entry (recomputed and replaced).
+    pub invalidations: u64,
+}
+
+impl PathCacheStats {
+    /// Total queries that went through the cache.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.invalidations
+    }
+
+    /// Fraction of lookups served from cache (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    stamp: EpochStamp,
+    volatility: Volatility,
+    paths: Vec<Path>,
+}
+
+/// The epoch-versioned path cache; see the module docs for the
+/// invalidation contract.
+#[derive(Default)]
+pub struct PathCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    stats: PathCacheStats,
+}
+
+impl PathCache {
+    /// Creates an empty cache.
+    pub fn new() -> PathCache {
+        PathCache::default()
+    }
+
+    /// Returns the cached paths for `key` if the entry is still fresh at
+    /// `now`; otherwise runs `compute`, stores its result stamped with
+    /// `now`/`volatility`, and returns it. Counters are updated either
+    /// way.
+    pub fn get_or_compute<F>(
+        &mut self,
+        key: CacheKey,
+        now: EpochStamp,
+        volatility: Volatility,
+        compute: F,
+    ) -> &[Path]
+    where
+        F: FnOnce() -> Vec<Path>,
+    {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if slot.get().volatility.still_fresh(slot.get().stamp, now) {
+                    self.stats.hits += 1;
+                } else {
+                    self.stats.invalidations += 1;
+                    *slot.get_mut() = CacheEntry {
+                        stamp: now,
+                        volatility,
+                        paths: compute(),
+                    };
+                }
+                &slot.into_mut().paths
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.stats.misses += 1;
+                &slot
+                    .insert(CacheEntry {
+                        stamp: now,
+                        volatility,
+                        paths: compute(),
+                    })
+                    .paths
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> PathCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path01() -> Path {
+        let mut g = pcn_graph::Graph::new(2);
+        let ch = g.add_edge(n(0), n(1));
+        Path::new(vec![n(0), n(1)], vec![ch])
+    }
+
+    fn stamp(t: u64, f: u64, p: u64) -> EpochStamp {
+        EpochStamp {
+            topology: t,
+            funds: f,
+            prices: p,
+        }
+    }
+
+    #[test]
+    fn first_lookup_is_a_miss_then_hits() {
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(1));
+        let now = stamp(1, 1, 1);
+        let a = cache
+            .get_or_compute(key, now, Volatility::CapacityOnly, || vec![path01()])
+            .to_vec();
+        let b = cache
+            .get_or_compute(key, now, Volatility::CapacityOnly, || {
+                panic!("fresh entry must not recompute")
+            })
+            .to_vec();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].nodes(), b[0].nodes());
+        assert_eq!(
+            cache.stats(),
+            PathCacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_only_entries_survive_funds_and_price_movement() {
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(1));
+        cache.get_or_compute(key, stamp(3, 10, 2), Volatility::CapacityOnly, || {
+            vec![path01()]
+        });
+        // Funds and prices moved; topology did not.
+        cache.get_or_compute(key, stamp(3, 99, 7), Volatility::CapacityOnly, || {
+            panic!("capacity-only entry must ignore funds/price epochs")
+        });
+        assert_eq!(cache.stats().hits, 1);
+        // Topology moved: stale.
+        cache.get_or_compute(key, stamp(4, 99, 7), Volatility::CapacityOnly, Vec::new);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn live_entries_stale_on_any_epoch() {
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(1));
+        for (i, now) in [
+            stamp(1, 1, 1), // miss
+            stamp(1, 2, 1), // funds moved
+            stamp(1, 2, 2), // prices moved
+            stamp(2, 2, 2), // topology moved
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            cache.get_or_compute(key, now, Volatility::Live, || vec![path01()]);
+            assert_eq!(cache.stats().misses, 1, "lookup {i}");
+        }
+        assert_eq!(cache.stats().invalidations, 3);
+        // Unchanged stamp: served from cache.
+        cache.get_or_compute(key, stamp(2, 2, 2), Volatility::Live, || {
+            panic!("identical stamp must hit")
+        });
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn classes_partition_the_key_space() {
+        let mut cache = PathCache::new();
+        let now = stamp(1, 1, 1);
+        let mice = CacheKey {
+            source: n(0),
+            dest: n(1),
+            class: PlanClass::MicePool,
+        };
+        let elephant = CacheKey {
+            source: n(0),
+            dest: n(1),
+            class: PlanClass::Elephant,
+        };
+        cache.get_or_compute(mice, now, Volatility::CapacityOnly, || vec![path01()]);
+        let got = cache
+            .get_or_compute(elephant, now, Volatility::CapacityOnly, Vec::new)
+            .len();
+        assert_eq!(got, 0, "elephant entry is distinct from the mice pool");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -173,6 +173,8 @@ impl ChannelState {
 #[derive(Clone, Debug, Default)]
 pub struct NetworkFunds {
     channels: Vec<ChannelState>,
+    /// Monotone balance-movement counter; see [`NetworkFunds::funds_epoch`].
+    epoch: u64,
 }
 
 impl NetworkFunds {
@@ -189,7 +191,7 @@ impl NetworkFunds {
                 ChannelState::new(a, b, fund(id, a), fund(id, b))
             })
             .collect();
-        NetworkFunds { channels }
+        NetworkFunds { channels, epoch: 0 }
     }
 
     /// Uniform funding: every side of every channel gets `per_side`.
@@ -217,6 +219,20 @@ impl NetworkFunds {
         self.channels
             .get_mut(id.index())
             .ok_or(PcnError::UnknownChannel(id))
+    }
+
+    /// The funds epoch: bumped on every successful balance movement
+    /// ([`NetworkFunds::lock`] / [`NetworkFunds::settle`] /
+    /// [`NetworkFunds::refund`]) — a superset of the depletion/refill
+    /// events, so any computation over *live* balances whose epoch
+    /// snapshot is unchanged would recompute to the same result. Channel
+    /// *totals* never change (channels keep their funds for life), so
+    /// capacity-only computations need not watch this counter.
+    ///
+    /// Consumed by the routing layer's `PathCache` to invalidate
+    /// live-view entries.
+    pub fn funds_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Spendable balance of `id` in direction `from → other`.
@@ -252,7 +268,9 @@ impl NetworkFunds {
                 available,
             },
             other => other,
-        })
+        })?;
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Settles `amount` on `id` in direction `from → other`.
@@ -261,7 +279,9 @@ impl NetworkFunds {
     ///
     /// See [`ChannelState::settle`].
     pub fn settle(&mut self, id: ChannelId, from: NodeId, amount: Amount) -> Result<()> {
-        self.get_mut(id)?.settle(from, amount)
+        self.get_mut(id)?.settle(from, amount)?;
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Refunds `amount` on `id` in direction `from → other`.
@@ -270,7 +290,9 @@ impl NetworkFunds {
     ///
     /// See [`ChannelState::refund`].
     pub fn refund(&mut self, id: ChannelId, from: NodeId, amount: Amount) -> Result<()> {
-        self.get_mut(id)?.refund(from, amount)
+        self.get_mut(id)?.refund(from, amount)?;
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Whether the `from` side of `id` has (almost) no spendable funds —
@@ -386,6 +408,24 @@ mod tests {
             f.lock(ChannelId::new(42), n(0), Amount::from_tokens(1)),
             Err(PcnError::UnknownChannel(_))
         ));
+    }
+
+    #[test]
+    fn funds_epoch_counts_only_successful_movements() {
+        let (mut f, ch) = funds();
+        assert_eq!(f.funds_epoch(), 0);
+        f.lock(ch, n(0), Amount::from_tokens(4)).unwrap();
+        assert_eq!(f.funds_epoch(), 1);
+        // Failed lock: no movement, no bump.
+        assert!(f.lock(ch, n(0), Amount::from_tokens(100)).is_err());
+        assert_eq!(f.funds_epoch(), 1);
+        f.settle(ch, n(0), Amount::from_tokens(2)).unwrap();
+        f.refund(ch, n(0), Amount::from_tokens(2)).unwrap();
+        assert_eq!(f.funds_epoch(), 3);
+        // Failed settle/refund on an empty lock: no bump.
+        assert!(f.settle(ch, n(0), Amount::from_tokens(1)).is_err());
+        assert!(f.refund(ch, n(0), Amount::from_tokens(1)).is_err());
+        assert_eq!(f.funds_epoch(), 3);
     }
 
     #[test]

@@ -8,16 +8,38 @@
 
 use std::collections::VecDeque;
 
-use pcn_graph::{max_flow, Path};
+use pcn_graph::{max_flow_in, Path};
 use pcn_types::{Amount, NodeId, SimDuration, SimTime, TxId};
 
-use crate::paths::{select_paths, BalanceView, PathSelect};
+use crate::cache::{CacheKey, EpochStamp, PathCache, PlanClass, Volatility};
+use crate::paths::{select_paths_in, BalanceView, PathSelect};
 use crate::rate::RateController;
 use crate::scheme::RouteVia;
 use crate::tu::{split_demand, Payment};
 use crate::window::WindowController;
 
 use super::{Engine, Ev, FlowState, TxState};
+
+/// Routes one plan query through the epoch-versioned cache (or straight
+/// to `compute` when caching is off). A hit clones the cached paths —
+/// exactly what `compute` would have returned, per the epoch contract.
+fn cached_or<F>(
+    cache: &mut PathCache,
+    use_cache: bool,
+    key: CacheKey,
+    now: EpochStamp,
+    volatility: Volatility,
+    compute: F,
+) -> Vec<Path>
+where
+    F: FnOnce() -> Vec<Path>,
+{
+    if use_cache {
+        cache.get_or_compute(key, now, volatility, compute).to_vec()
+    } else {
+        compute()
+    }
+}
 
 impl Engine {
     pub(super) fn on_arrival(&mut self, now: SimTime) {
@@ -117,16 +139,41 @@ impl Engine {
         let strategy = self.scheme.path_select;
         let view = self.scheme.balance_view;
         let min_w = self.cfg.min_tu;
-        match &self.scheme.route_via {
-            RouteVia::Direct => select_paths(
-                &self.graph,
-                &self.funds,
-                p.source,
-                p.dest,
-                k,
-                strategy,
-                view,
-                min_w,
+        let use_cache = self.cfg.use_path_cache;
+        let Engine {
+            scheme,
+            graph,
+            funds,
+            prices,
+            path_cache,
+            workspace,
+            rng,
+            ..
+        } = self;
+        let now = EpochStamp {
+            topology: graph.topology_epoch(),
+            funds: funds.funds_epoch(),
+            prices: prices.price_epoch(),
+        };
+        // Computations over live balances stale on every funds movement
+        // (and conservatively on price ticks); capacity-only ones read
+        // channel totals, constant for a channel's lifetime.
+        let view_volatility = match view {
+            BalanceView::Live => Volatility::Live,
+            BalanceView::CapacityOnly => Volatility::CapacityOnly,
+        };
+        match &scheme.route_via {
+            RouteVia::Direct => cached_or(
+                path_cache,
+                use_cache,
+                CacheKey::plan(p.source, p.dest),
+                now,
+                view_volatility,
+                || {
+                    select_paths_in(
+                        graph, workspace, funds, p.source, p.dest, k, strategy, view, min_w,
+                    )
+                },
             ),
             RouteVia::Hubs { assignment } => {
                 let Some(&hub_s) = assignment.get(&p.source) else {
@@ -135,112 +182,163 @@ impl Engine {
                 let Some(&hub_r) = assignment.get(&p.dest) else {
                     return Vec::new();
                 };
-                let Some(first) = self.graph.edge_between(p.source, hub_s) else {
-                    return Vec::new();
-                };
-                let Some(last) = self.graph.edge_between(hub_r, p.dest) else {
-                    return Vec::new();
-                };
-                let head = Path::new(vec![p.source, hub_s], vec![first]);
-                let tail = Path::new(vec![hub_r, p.dest], vec![last]);
-                if hub_s == hub_r {
-                    return vec![head.join(tail)];
-                }
-                let middles = select_paths(
-                    &self.graph,
-                    &self.funds,
-                    hub_s,
-                    hub_r,
-                    k,
-                    strategy,
-                    view,
-                    min_w,
-                );
-                middles
-                    .into_iter()
-                    .filter(|m| {
-                        // A middle path must not route through either client.
-                        m.nodes()[1..m.nodes().len() - 1]
-                            .iter()
-                            .all(|&n| n != p.source && n != p.dest)
-                    })
-                    .map(|m| head.clone().join(m).join(tail.clone()))
-                    .collect()
+                cached_or(
+                    path_cache,
+                    use_cache,
+                    CacheKey::plan(p.source, p.dest),
+                    now,
+                    view_volatility,
+                    || {
+                        let Some(first) = graph.edge_between(p.source, hub_s) else {
+                            return Vec::new();
+                        };
+                        let Some(last) = graph.edge_between(hub_r, p.dest) else {
+                            return Vec::new();
+                        };
+                        let head = Path::new(vec![p.source, hub_s], vec![first]);
+                        let tail = Path::new(vec![hub_r, p.dest], vec![last]);
+                        if hub_s == hub_r {
+                            return vec![head.join(tail)];
+                        }
+                        let middles = select_paths_in(
+                            graph, workspace, funds, hub_s, hub_r, k, strategy, view, min_w,
+                        );
+                        middles
+                            .into_iter()
+                            .filter(|m| {
+                                // A middle path must not route through either client.
+                                m.nodes()[1..m.nodes().len() - 1]
+                                    .iter()
+                                    .all(|&n| n != p.source && n != p.dest)
+                            })
+                            .map(|m| head.clone().join(m).join(tail.clone()))
+                            .collect()
+                    },
+                )
             }
-            RouteVia::Landmarks { landmarks } => {
-                let mut out = Vec::new();
-                for &lm in landmarks.iter().take(k) {
-                    if lm == p.source || lm == p.dest {
-                        continue;
-                    }
-                    let up = self
-                        .graph
-                        .shortest_path(p.source, lm, |e| {
-                            (self.funds.total(e.id) > Amount::ZERO).then_some(1.0)
-                        })
-                        .map(|(_, path)| path);
-                    let down = self
-                        .graph
-                        .shortest_path(lm, p.dest, |e| {
-                            (self.funds.total(e.id) > Amount::ZERO).then_some(1.0)
-                        })
-                        .map(|(_, path)| path);
-                    if let (Some(u), Some(d)) = (up, down) {
-                        // Loops through the landmark are allowed by the
-                        // scheme but a hop may not revisit the same channel.
-                        let joined = u.join(d);
-                        let mut chans: Vec<_> = joined.channels().to_vec();
-                        chans.sort();
-                        chans.dedup();
-                        if chans.len() == joined.channels().len() {
-                            out.push(joined);
+            RouteVia::Landmarks { landmarks } => cached_or(
+                path_cache,
+                use_cache,
+                CacheKey::plan(p.source, p.dest),
+                now,
+                // The landmark legs price edges off channel *totals* only,
+                // independent of the declared balance view.
+                Volatility::CapacityOnly,
+                || {
+                    let mut out = Vec::new();
+                    for &lm in landmarks.iter().take(k) {
+                        if lm == p.source || lm == p.dest {
+                            continue;
+                        }
+                        let up = graph
+                            .shortest_path_in(workspace, p.source, lm, |e| {
+                                (funds.total(e.id) > Amount::ZERO).then_some(1.0)
+                            })
+                            .map(|(_, path)| path);
+                        let down = graph
+                            .shortest_path_in(workspace, lm, p.dest, |e| {
+                                (funds.total(e.id) > Amount::ZERO).then_some(1.0)
+                            })
+                            .map(|(_, path)| path);
+                        if let (Some(u), Some(d)) = (up, down) {
+                            // Loops through the landmark are allowed by the
+                            // scheme but a hop may not revisit the same channel.
+                            let joined = u.join(d);
+                            let mut chans: Vec<_> = joined.channels().to_vec();
+                            chans.sort();
+                            chans.dedup();
+                            if chans.len() == joined.channels().len() {
+                                out.push(joined);
+                            }
                         }
                     }
-                }
-                out.dedup_by(|a, b| a.nodes() == b.nodes());
-                out
-            }
+                    out.dedup_by(|a, b| a.nodes() == b.nodes());
+                    out
+                },
+            ),
             RouteVia::SingleHub { hub } => {
-                let Some(first) = self.graph.edge_between(p.source, *hub) else {
-                    return Vec::new();
-                };
-                let Some(second) = self.graph.edge_between(*hub, p.dest) else {
-                    return Vec::new();
-                };
-                vec![Path::new(vec![p.source, *hub, p.dest], vec![first, second])]
+                let hub = *hub;
+                cached_or(
+                    path_cache,
+                    use_cache,
+                    CacheKey::plan(p.source, p.dest),
+                    now,
+                    // Pure topology lookups: only a rewiring can stale this.
+                    Volatility::CapacityOnly,
+                    || {
+                        let Some(first) = graph.edge_between(p.source, hub) else {
+                            return Vec::new();
+                        };
+                        let Some(second) = graph.edge_between(hub, p.dest) else {
+                            return Vec::new();
+                        };
+                        vec![Path::new(vec![p.source, hub, p.dest], vec![first, second])]
+                    },
+                )
             }
             RouteVia::FlashMaxFlow { elephant_threshold } => {
                 if p.value > *elephant_threshold {
-                    let res = max_flow(&self.graph, p.source, p.dest, |e| {
-                        Some(self.funds.total(e.id).millitokens())
-                    });
-                    let mut paths: Vec<(u64, Path)> = res
-                        .paths
-                        .into_iter()
-                        .map(|fp| (fp.amount, fp.path))
-                        .collect();
-                    paths.sort_by_key(|p| std::cmp::Reverse(p.0));
-                    paths.into_iter().take(k).map(|(_, p)| p).collect()
+                    cached_or(
+                        path_cache,
+                        use_cache,
+                        CacheKey {
+                            source: p.source,
+                            dest: p.dest,
+                            class: PlanClass::Elephant,
+                        },
+                        now,
+                        // Max flow over channel totals: capacity-only.
+                        Volatility::CapacityOnly,
+                        || {
+                            let res = max_flow_in(graph, workspace, p.source, p.dest, |e| {
+                                Some(funds.total(e.id).millitokens())
+                            });
+                            let mut paths: Vec<(u64, Path)> = res
+                                .paths
+                                .into_iter()
+                                .map(|fp| (fp.amount, fp.path))
+                                .collect();
+                            paths.sort_by_key(|p| std::cmp::Reverse(p.0));
+                            paths.into_iter().take(k).map(|(_, p)| p).collect()
+                        },
+                    )
                 } else {
-                    let key = (p.source, p.dest);
-                    if !self.mice_cache.contains_key(&key) {
-                        let precomputed = select_paths(
-                            &self.graph,
-                            &self.funds,
+                    let mut compute = || {
+                        select_paths_in(
+                            graph,
+                            workspace,
+                            funds,
                             p.source,
                             p.dest,
                             k,
                             PathSelect::Ksp,
                             BalanceView::CapacityOnly,
                             min_w,
-                        );
-                        self.mice_cache.insert(key, precomputed);
-                    }
-                    let pool = &self.mice_cache[&key];
+                        )
+                    };
+                    // Borrow the pool from the cache and clone only the one
+                    // drawn path (`cached_or` would clone the whole pool on
+                    // every payment — the hot path this cache exists for).
+                    let owned;
+                    let pool: &[Path] = if use_cache {
+                        path_cache.get_or_compute(
+                            CacheKey {
+                                source: p.source,
+                                dest: p.dest,
+                                class: PlanClass::MicePool,
+                            },
+                            now,
+                            Volatility::CapacityOnly,
+                            compute,
+                        )
+                    } else {
+                        owned = compute();
+                        &owned
+                    };
                     if pool.is_empty() {
                         Vec::new()
                     } else {
-                        vec![pool[self.rng.index(pool.len())].clone()]
+                        vec![pool[rng.index(pool.len())].clone()]
                     }
                 }
             }
@@ -319,6 +417,110 @@ mod tests {
         assert_eq!(engine.node_busy[0], engine.node_busy[1]);
         assert!(engine.node_busy[0] > SimTime::ZERO);
         assert_eq!(engine.node_busy[2], SimTime::ZERO);
+    }
+
+    /// Repeated plan queries for the same (source, dest) hit the cache
+    /// while no watched epoch moves, and cached plans equal recomputed
+    /// ones (the semantics-preservation contract, engine-level).
+    #[test]
+    fn repeated_plans_hit_cache_and_match_recomputation() {
+        let mut g = pcn_graph::Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        g.add_edge(n(0), n(3));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let mut engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::spider(),
+            EngineConfig::default(),
+            SimRng::seed(7),
+        );
+        let payments =
+            payments_from_tuples(&[(0, 0, 3, 1), (0, 0, 3, 2)], SimDuration::from_secs(3));
+        let first = engine.plan_paths(&payments[0]);
+        let second = engine.plan_paths(&payments[1]);
+        assert!(!first.is_empty());
+        assert_eq!(
+            first.iter().map(|p| p.nodes().to_vec()).collect::<Vec<_>>(),
+            second
+                .iter()
+                .map(|p| p.nodes().to_vec())
+                .collect::<Vec<_>>(),
+        );
+        let stats = engine.path_cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        // Disabling the cache recomputes the identical plan.
+        engine.cfg.use_path_cache = false;
+        let recomputed = engine.plan_paths(&payments[0]);
+        assert_eq!(
+            first.iter().map(|p| p.nodes().to_vec()).collect::<Vec<_>>(),
+            recomputed
+                .iter()
+                .map(|p| p.nodes().to_vec())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(engine.path_cache.stats().lookups(), 2, "bypass, no lookup");
+    }
+
+    /// A funds movement invalidates live-view plans (Spider sees
+    /// capacity only, so use a hub scheme with live balances).
+    #[test]
+    fn live_view_plans_invalidate_on_funds_movement() {
+        let g = pcn_graph::star(4); // hub 0
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let assignment: std::collections::HashMap<NodeId, NodeId> =
+            [(n(1), n(0)), (n(2), n(0)), (n(3), n(0))]
+                .into_iter()
+                .collect();
+        let mut engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::splicer(assignment),
+            EngineConfig::default(),
+            SimRng::seed(8),
+        );
+        let payments =
+            payments_from_tuples(&[(0, 1, 2, 1), (0, 1, 2, 1)], SimDuration::from_secs(3));
+        let _ = engine.plan_paths(&payments[0]);
+        engine
+            .funds
+            .lock(pcn_types::ChannelId::new(0), n(0), Amount::from_tokens(1))
+            .unwrap();
+        let _ = engine.plan_paths(&payments[1]);
+        let stats = engine.path_cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.invalidations, 1, "funds epoch moved between plans");
+    }
+
+    /// Flash's mice pool is cached per (source, dest) and the per-payment
+    /// random pick still draws from the engine RNG (cache on or off).
+    #[test]
+    fn flash_mice_pool_cached_across_payments() {
+        let mut g = pcn_graph::Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(3));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let mut engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::flash(Amount::from_tokens(50)),
+            EngineConfig::default(),
+            SimRng::seed(9),
+        );
+        let payments = payments_from_tuples(
+            &[(0, 0, 3, 1), (0, 0, 3, 1), (0, 0, 3, 1)],
+            SimDuration::from_secs(3),
+        );
+        for p in &payments {
+            let plan = engine.plan_paths(p);
+            assert_eq!(plan.len(), 1, "mice take a single pooled path");
+        }
+        let stats = engine.path_cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
     }
 
     /// Unroutable payments are counted and failed at plan time.

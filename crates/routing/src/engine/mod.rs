@@ -35,10 +35,11 @@ mod tests;
 
 use std::collections::{HashMap, VecDeque};
 
-use pcn_graph::{Graph, Path};
+use pcn_graph::{Graph, Path, SearchWorkspace};
 use pcn_sim::{EventQueue, SimRng};
 use pcn_types::{Amount, ChannelId, NodeId, SimDuration, SimTime, TuId, TxId};
 
+use crate::cache::PathCache;
 use crate::channel::NetworkFunds;
 use crate::prices::PriceTable;
 use crate::rate::RateController;
@@ -87,6 +88,11 @@ pub struct EngineConfig {
     pub initial_window: f64,
     /// TU retry budget after a failed attempt (Flash uses 1).
     pub max_retries: u32,
+    /// Serve path plans from the epoch-versioned [`PathCache`]. The cache
+    /// is semantics-preserving (hits are bit-identical to recomputation),
+    /// so this toggle only trades CPU for memory; it exists for A/B runs
+    /// and the determinism regression.
+    pub use_path_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +116,7 @@ impl Default for EngineConfig {
             initial_rate: 50.0,
             initial_window: 20.0,
             max_retries: 0,
+            use_path_cache: true,
         }
     }
 }
@@ -164,7 +171,11 @@ pub struct Engine {
     pub(super) next_tu: u64,
     pub(super) payments: VecDeque<Payment>,
     pub(super) horizon: SimTime,
-    pub(super) mice_cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    /// Epoch-versioned plan cache (replaces the never-invalidating
+    /// `mice_cache` and serves every scheme's plan queries).
+    pub(super) path_cache: PathCache,
+    /// Reusable graph-search buffers for the hot path-selection loop.
+    pub(super) workspace: SearchWorkspace,
     pub(super) hub_count: usize,
 }
 
@@ -222,7 +233,8 @@ impl Engine {
             next_tu: 0,
             payments: VecDeque::new(),
             horizon: SimTime::ZERO,
-            mice_cache: HashMap::new(),
+            path_cache: PathCache::new(),
+            workspace: SearchWorkspace::new(),
             hub_count,
         }
     }
@@ -245,6 +257,7 @@ impl Engine {
         while let Some((now, ev)) = self.events.pop() {
             self.handle(now, ev);
         }
+        self.stats.path_cache = self.path_cache.stats();
         self.stats.drained_directions_end = self.funds.drained_directions();
         debug_assert!(self.funds.verify_conservation());
         debug_assert!(self.stats.is_consistent());

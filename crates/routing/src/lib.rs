@@ -15,7 +15,12 @@
 //! * [`scheduler`] — the waiting-queue disciplines of Table II (FIFO,
 //!   LIFO, SPF, EDF).
 //! * [`paths`] — path selection strategies of Table II (KSP, Heuristic,
-//!   EDW, EDS).
+//!   EDW, EDS), each with a `select_paths_in` hot-path variant running on
+//!   a reusable [`pcn_graph::SearchWorkspace`].
+//! * [`cache`] — the epoch-versioned [`PathCache`]: plan results keyed by
+//!   `(source, dest, scheme-view class)` and invalidated by topology
+//!   mutations, funds movements and price ticks, so a cache hit is
+//!   bit-identical to recomputation (the epoch-invalidation contract).
 //! * [`scheme`] — declarative scheme descriptions: **Splicer**, **Spider**
 //!   \[9\], **Flash** \[10\], **Landmark** \[6,29,30\] and **A2L** \[4\].
 //! * [`engine`] — the event loop binding everything, decomposed by
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod channel;
 pub mod engine;
 pub mod paths;
@@ -63,6 +69,7 @@ pub mod stats;
 pub mod tu;
 pub mod window;
 
+pub use cache::{PathCache, PathCacheStats};
 pub use engine::{Engine, EngineConfig};
 pub use scheme::{ComputeModel, RouteVia, SchemeConfig};
 pub use stats::RunStats;

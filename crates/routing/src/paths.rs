@@ -1,7 +1,8 @@
 //! Path selection strategies (Table II: KSP, Heuristic, EDW, EDS).
 
 use pcn_graph::{
-    edge_disjoint_shortest_paths, edge_disjoint_widest_paths, k_shortest_paths, Graph, Path,
+    edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths_in, k_shortest_paths_in, Graph,
+    Path, SearchWorkspace,
 };
 use pcn_types::{Amount, NodeId};
 
@@ -68,6 +69,35 @@ pub fn select_paths(
     view: BalanceView,
     min_width: Amount,
 ) -> Vec<Path> {
+    select_paths_in(
+        g,
+        &mut SearchWorkspace::new(),
+        funds,
+        src,
+        dst,
+        k,
+        strategy,
+        view,
+        min_width,
+    )
+}
+
+/// [`select_paths`] running its graph searches on a reusable
+/// [`SearchWorkspace`]: the engine's hot path calls this with its
+/// long-lived workspace so repeated path selection is allocation-free.
+/// Results are bit-identical to [`select_paths`].
+#[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
+pub fn select_paths_in(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    funds: &NetworkFunds,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    strategy: PathSelect,
+    view: BalanceView,
+    min_width: Amount,
+) -> Vec<Path> {
     let width = |e: pcn_graph::EdgeRef| -> Option<f64> {
         let tokens = match view {
             BalanceView::Live => funds.balance(e.id, e.from).to_tokens_f64(),
@@ -77,14 +107,16 @@ pub fn select_paths(
     };
     let min_w = min_width.to_tokens_f64();
     match strategy {
-        PathSelect::Ksp => k_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
-        PathSelect::Eds => edge_disjoint_shortest_paths(g, src, dst, k, |e| width(e).map(|_| 1.0)),
+        PathSelect::Ksp => k_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0)),
+        PathSelect::Eds => {
+            edge_disjoint_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+        }
         PathSelect::Edw => {
-            edge_disjoint_widest_paths(g, src, dst, k, |e| width(e).filter(|w| *w >= min_w))
+            edge_disjoint_widest_paths_in(g, ws, src, dst, k, |e| width(e).filter(|w| *w >= min_w))
         }
         PathSelect::Heuristic => {
             // Rank a KSP candidate pool by bottleneck funds, keep the top k.
-            let pool = k_shortest_paths(g, src, dst, 3 * k, |e| width(e).map(|_| 1.0));
+            let pool = k_shortest_paths_in(g, ws, src, dst, 3 * k, |e| width(e).map(|_| 1.0));
             let mut scored: Vec<(f64, Path)> = pool
                 .into_iter()
                 .map(|p| {

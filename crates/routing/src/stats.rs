@@ -3,6 +3,8 @@
 use pcn_sim::metrics::Histogram;
 use pcn_types::Amount;
 
+use crate::cache::PathCacheStats;
+
 /// Aggregated outcome of one engine run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
@@ -30,6 +32,11 @@ pub struct RunStats {
     pub drained_directions_end: usize,
     /// Payments that found no path at all.
     pub unroutable: u64,
+    /// Path-cache counters (hits/misses/invalidations). Diagnostic only:
+    /// the cache is semantics-preserving, so these are the *only* fields
+    /// allowed to differ between a cached and an uncached run of the same
+    /// seed (pinned by `tests/determinism.rs`).
+    pub path_cache: PathCacheStats,
 }
 
 impl RunStats {
@@ -57,13 +64,24 @@ impl RunStats {
         self.completed + self.failed <= self.generated
             && self.completed_value <= self.generated_value
     }
+
+    /// This run with the diagnostic cache counters zeroed — the semantic
+    /// payload that must be identical regardless of caching, worker
+    /// count, or workspace reuse.
+    pub fn without_cache_counters(&self) -> RunStats {
+        RunStats {
+            path_cache: PathCacheStats::default(),
+            ..self.clone()
+        }
+    }
 }
 
 impl core::fmt::Display for RunStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} drained={}",
+            "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
+             drained={} cache={}h/{}m/{}i",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -72,6 +90,9 @@ impl core::fmt::Display for RunStats {
             self.failed,
             self.overhead_msgs,
             self.drained_directions_end,
+            self.path_cache.hits,
+            self.path_cache.misses,
+            self.path_cache.invalidations,
         )
     }
 }
@@ -113,10 +134,29 @@ mod tests {
             completed: 5,
             generated_value: Amount::from_tokens(10),
             completed_value: Amount::from_tokens(10),
+            path_cache: PathCacheStats {
+                hits: 3,
+                misses: 2,
+                invalidations: 1,
+            },
             ..Default::default()
         };
         let shown = s.to_string();
         assert!(shown.contains("tsr=1.000"));
         assert!(shown.contains("gen=5"));
+        assert!(shown.contains("cache=3h/2m/1i"));
+    }
+
+    #[test]
+    fn cache_counters_are_the_only_diagnostic_difference() {
+        let mut a = RunStats {
+            generated: 4,
+            completed: 4,
+            ..Default::default()
+        };
+        let b = a.clone();
+        a.path_cache.hits = 10;
+        assert_ne!(a, b);
+        assert_eq!(a.without_cache_counters(), b.without_cache_counters());
     }
 }

@@ -205,6 +205,61 @@ fn report(m: &Measurement) {
     println!("{line}");
 }
 
+/// Parses the `(name, median_ns)` pairs back out of a previously written
+/// baseline file. The format is our own (see [`write_json`]), so a line
+/// scan is enough — no JSON parser in the hermetic workspace.
+fn parse_baseline(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.split_once("\"median_ns\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let median: f64 = rest
+            .split(',')
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(f64::NAN);
+        if median.is_finite() {
+            out.push((name.to_string(), median));
+        }
+    }
+    out
+}
+
+/// Report-only regression check: prints the median delta of each
+/// benchmark against the checked-in `BENCH_<group>.json` baseline before
+/// it is overwritten. Never fails the run — shared-hardware noise (and
+/// the 1-CPU build container) makes a hard gate meaningless; the numbers
+/// are for the reviewer.
+fn diff_against_baseline(results: &[Measurement], previous: &str) {
+    let baseline = parse_baseline(previous);
+    if baseline.is_empty() {
+        return;
+    }
+    println!("  vs checked-in baseline (report only):");
+    for m in results {
+        match baseline.iter().find(|(name, _)| *name == m.name) {
+            Some((_, old)) if *old > 0.0 => {
+                let delta = 100.0 * (m.median_ns - old) / old;
+                println!(
+                    "    {:<44} {:>12} -> {:>12}  ({:+.1}%)",
+                    m.name,
+                    human(*old),
+                    human(m.median_ns),
+                    delta
+                );
+            }
+            _ => println!("    {:<44} (new, no baseline entry)", m.name),
+        }
+    }
+}
+
 fn write_json(group: &str, results: &[Measurement]) {
     if results.is_empty() {
         return;
@@ -215,6 +270,9 @@ fn write_json(group: &str, results: &[Measurement]) {
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
     let path = std::path::Path::new(&dir).join(format!("BENCH_{safe}.json"));
+    if let Ok(previous) = std::fs::read_to_string(&path) {
+        diff_against_baseline(results, &previous);
+    }
     let mut body = String::from("{\n  \"group\": \"");
     body.push_str(group);
     body.push_str("\",\n  \"benchmarks\": [\n");

@@ -213,6 +213,25 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Hotspot traffic: `fraction` of transactions draw *both* endpoints
+    /// from a Zipf(`skew`) over the clients, concentrating load on a few
+    /// popular nodes (flash-crowd / merchant-rush workloads). A fraction
+    /// of zero disables the model without perturbing the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]` or `skew` is negative.
+    pub fn hotspot(mut self, fraction: f64, skew: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "hotspot fraction must be in [0, 1]"
+        );
+        assert!(skew >= 0.0, "hotspot skew must be non-negative");
+        self.params.hotspot_fraction = fraction;
+        self.params.hotspot_skew = skew;
+        self
+    }
+
     /// Root seed: every random decision in the run derives from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.params.seed = seed;
@@ -295,6 +314,33 @@ mod tests {
     fn tiny_builds_tiny_world() {
         let scenario = ScenarioBuilder::tiny().build_scenario();
         assert_eq!(scenario.flat.graph.node_count(), 24);
+    }
+
+    #[test]
+    fn hotspot_knob_flows_into_the_trace() {
+        let spec = ScenarioBuilder::tiny().hotspot(0.8, 2.0).build();
+        assert_eq!(spec.params.hotspot_fraction, 0.8);
+        assert_eq!(spec.params.hotspot_skew, 2.0);
+        // A fully-hotspot trace must concentrate recipients more than the
+        // stock trace on the same seed.
+        let stock = ScenarioBuilder::tiny().build_scenario();
+        let hot = ScenarioBuilder::tiny().hotspot(1.0, 2.0).build_scenario();
+        let distinct = |s: &crate::Scenario| {
+            let mut d: Vec<_> = s.payments.iter().map(|p| p.dest).collect();
+            d.sort();
+            d.dedup();
+            d.len()
+        };
+        assert!(
+            distinct(&hot) <= distinct(&stock),
+            "hotspot must not widen the recipient set"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn hotspot_rejects_bad_fraction() {
+        let _ = ScenarioBuilder::tiny().hotspot(1.5, 1.0);
     }
 
     #[test]

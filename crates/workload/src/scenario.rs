@@ -27,6 +27,13 @@ pub struct ScenarioParams {
     pub mean_tx_tokens: f64,
     /// Aggregate transaction arrival rate (tx/sec).
     pub arrivals_per_sec: f64,
+    /// Fraction of transactions drawn from the Zipf-skewed *hotspot*
+    /// traffic model (0 = off, the default; see
+    /// [`crate::TxWorkload::hotspot_fraction`]).
+    pub hotspot_fraction: f64,
+    /// Zipf exponent of the hotspot endpoint choice (only read when
+    /// `hotspot_fraction > 0`).
+    pub hotspot_skew: f64,
     /// Root seed.
     pub seed: u64,
 }
@@ -43,6 +50,8 @@ impl ScenarioParams {
             channel_scale: 1.0,
             mean_tx_tokens: 12.0,
             arrivals_per_sec: 25.0,
+            hotspot_fraction: 0.0,
+            hotspot_skew: 1.2,
             seed: 1,
         }
     }
@@ -58,6 +67,8 @@ impl ScenarioParams {
             channel_scale: 1.0,
             mean_tx_tokens: 12.0,
             arrivals_per_sec: 120.0,
+            hotspot_fraction: 0.0,
+            hotspot_skew: 1.2,
             seed: 1,
         }
     }
@@ -73,6 +84,8 @@ impl ScenarioParams {
             channel_scale: 1.0,
             mean_tx_tokens: 8.0,
             arrivals_per_sec: 6.0,
+            hotspot_fraction: 0.0,
+            hotspot_skew: 1.2,
             seed: 1,
         }
     }
@@ -126,6 +139,8 @@ impl Scenario {
         let mut workload = TxWorkload::new(clients.clone());
         workload.mean_value_tokens = params.mean_tx_tokens;
         workload.arrivals_per_sec = params.arrivals_per_sec;
+        workload.hotspot_fraction = params.hotspot_fraction;
+        workload.hotspot_skew = params.hotspot_skew;
         let payments = workload.generate(params.duration, &mut rng.fork("workload"));
         Scenario {
             params,

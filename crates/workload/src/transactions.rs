@@ -42,6 +42,15 @@ pub struct TxWorkload {
     pub large_value_fraction: f64,
     /// Zipf exponent for recipient popularity.
     pub zipf_exponent: f64,
+    /// Fraction of transactions drawn from *hotspot* traffic: both
+    /// endpoints Zipf-skewed over the client list, concentrating load on
+    /// a few popular nodes (flash-crowd / merchant-rush workloads). Zero
+    /// disables the model and — deliberately — consumes no randomness, so
+    /// existing traces are byte-identical.
+    pub hotspot_fraction: f64,
+    /// Zipf exponent of the hotspot endpoint choice (higher = more
+    /// concentrated; only read when `hotspot_fraction > 0`).
+    pub hotspot_skew: f64,
 }
 
 impl TxWorkload {
@@ -56,6 +65,8 @@ impl TxWorkload {
             circulation_pairs: 6,
             large_value_fraction: 0.05,
             zipf_exponent: 0.9,
+            hotspot_fraction: 0.0,
+            hotspot_skew: 1.2,
         }
     }
 
@@ -76,6 +87,7 @@ impl TxWorkload {
         let value_dist = LogNormal::new(mu, sigma);
         let gap = Exponential::new(self.arrivals_per_sec);
         let zipf = Zipf::new(self.clients.len(), self.zipf_exponent);
+        let hotspot = Zipf::new(self.clients.len(), self.hotspot_skew.max(0.0));
 
         // Fixed circulation cycles a→b→c→a with asymmetric edge rates
         // (weights 3:2:1, like Fig. 1's 1/2/2 tokens-per-second example):
@@ -115,6 +127,17 @@ impl TxWorkload {
                 let u = pair_rng.f64();
                 let edge = edge_cdf.iter().position(|&c| u <= c).unwrap_or(2);
                 (cycle[edge], cycle[(edge + 1) % 3])
+            } else if self.hotspot_fraction > 0.0 && pair_rng.chance(self.hotspot_fraction) {
+                // Hotspot traffic: both endpoints Zipf-skewed, so a few
+                // popular clients dominate sends *and* receives. The
+                // short-circuit keeps the zero-fraction path free of rng
+                // draws (existing traces stay byte-identical).
+                let source = self.clients[hotspot.sample(&mut pair_rng)];
+                let mut dest = self.clients[hotspot.sample(&mut pair_rng)];
+                while dest == source {
+                    dest = self.clients[hotspot.sample(&mut pair_rng)];
+                }
+                (source, dest)
             } else {
                 let source = self.clients[pair_rng.index(self.clients.len())];
                 let mut dest = self.clients[zipf.sample(&mut pair_rng)];
@@ -210,6 +233,53 @@ mod tests {
             .filter(|p| p.value.to_tokens_f64() > 5.0 * w.mean_value_tokens)
             .count();
         assert!(huge > payments.len() / 20, "{huge} large-value payments");
+    }
+
+    #[test]
+    fn hotspot_concentrates_endpoints() {
+        let make = |fraction: f64, skew: f64| {
+            let mut w = TxWorkload::new(clients(40));
+            w.circulation_fraction = 0.0;
+            w.hotspot_fraction = fraction;
+            w.hotspot_skew = skew;
+            w.generate(SimDuration::from_secs(200), &mut SimRng::seed(11))
+        };
+        // Top-5 sender share: heavily skewed hotspot traffic must
+        // concentrate far more than the uniform-source baseline.
+        let share = |payments: &[Payment]| {
+            let mut counts = std::collections::HashMap::new();
+            for p in payments {
+                *counts.entry(p.source).or_insert(0usize) += 1;
+            }
+            let mut by_count: Vec<usize> = counts.into_values().collect();
+            by_count.sort_by_key(|&c| std::cmp::Reverse(c));
+            by_count.iter().take(5).sum::<usize>() as f64 / payments.len() as f64
+        };
+        let uniform = share(&make(0.0, 1.2));
+        let hot = share(&make(1.0, 1.5));
+        assert!(
+            hot > uniform + 0.2,
+            "hotspot top-5 sender share {hot:.2} vs uniform {uniform:.2}"
+        );
+    }
+
+    #[test]
+    fn disabled_hotspot_leaves_trace_byte_identical() {
+        // hotspot_fraction = 0 must not consume randomness: the trace is
+        // identical to one generated before the knob existed, whatever
+        // the skew is set to.
+        let gen = |skew: f64| {
+            let mut w = TxWorkload::new(clients(12));
+            w.hotspot_skew = skew;
+            w.generate(SimDuration::from_secs(30), &mut SimRng::seed(13))
+        };
+        let a = gen(1.2);
+        let b = gen(9.0);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.source == y.source
+            && x.dest == y.dest
+            && x.value == y.value
+            && x.created == y.created));
     }
 
     #[test]

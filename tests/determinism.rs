@@ -1,8 +1,10 @@
 //! Determinism regression: the same `ScenarioBuilder` spec must produce
-//! identical `RunStats` run twice, and the parallel harness must be
-//! bit-identical to a single-threaded run of the same grid.
+//! identical `RunStats` run twice, the parallel harness must be
+//! bit-identical to a single-threaded run of the same grid, and the
+//! epoch-versioned path cache must be invisible in the semantic stats
+//! (cache-enabled ≡ cache-disabled, bit for bit).
 
-use pcn_harness::{run_spec, ExperimentGrid, SeedPolicy};
+use pcn_harness::{run_spec, run_spec_tuned, ExperimentGrid, RunTuning, SchemeTuning, SeedPolicy};
 use pcn_workload::{ScenarioBuilder, ScenarioParams, SchemeChoice};
 
 fn tiny_spec(scheme: SchemeChoice) -> pcn_workload::ScenarioSpec {
@@ -61,6 +63,50 @@ fn spec_runs_match_grid_cells() {
         .build();
     let lone = run_spec(&spec);
     assert_eq!(lone.report.stats, from_grid.stats);
+}
+
+#[test]
+fn path_cache_is_semantics_preserving() {
+    // The acceptance bar for the epoch-versioned PathCache: an engine run
+    // with the cache enabled produces bit-identical RunStats — success
+    // rate, volume, latency histogram, deadlock flags, overhead — to a
+    // cache-disabled run on the same seed. Only the diagnostic cache
+    // counters may differ. Every scheme exercises a different plan class
+    // (Direct, Hubs, FlashMaxFlow mice+elephants, Landmarks, SingleHub).
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = tiny_spec(scheme);
+        let with = |cache| {
+            run_spec_tuned(
+                &spec,
+                &RunTuning {
+                    path_cache: Some(cache),
+                    ..RunTuning::default()
+                },
+                &SchemeTuning::default(),
+            )
+        };
+        let cached = with(true);
+        let uncached = with(false);
+        assert_eq!(
+            uncached.report.stats.path_cache.lookups(),
+            0,
+            "{}: the disabled cache must never be consulted",
+            scheme.name()
+        );
+        assert_eq!(
+            cached.report.stats.without_cache_counters(),
+            uncached.report.stats.without_cache_counters(),
+            "{}: cached run diverged from uncached run",
+            scheme.name()
+        );
+    }
 }
 
 #[test]

@@ -121,3 +121,143 @@ proptest! {
         }
     }
 }
+
+// ---- WaitQueue scheduling properties (Table II disciplines) ---------------
+
+use pcn_routing::scheduler::{Discipline, WaitQueue};
+use pcn_types::{SimTime, TuId};
+
+/// Reference implementation of the discipline selection rule: the index
+/// of the entry `pop_eligible` must serve next among `(seq, amount,
+/// deadline)` mirrors restricted to `amount ≤ available`.
+fn reference_pick(
+    entries: &[(u64, Amount, SimTime)],
+    discipline: Discipline,
+    available: Amount,
+) -> Option<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.1 <= available)
+        .min_by(|(_, a), (_, b)| match discipline {
+            Discipline::Fifo => a.0.cmp(&b.0),
+            Discipline::Lifo => b.0.cmp(&a.0),
+            Discipline::Spf => a.1.cmp(&b.1).then(a.0.cmp(&b.0)),
+            Discipline::Edf => a.2.cmp(&b.2).then(a.0.cmp(&b.0)),
+        })
+        .map(|(i, _)| i)
+}
+
+proptest! {
+    #[test]
+    fn wait_queue_accounting_survives_all_ops(
+        ops in prop::collection::vec((0u8..6, 1u64..40, 0u64..800, 0u64..800), 1..120),
+        disc_i in 0usize..4,
+    ) {
+        // Mirror the queue with a (tu, amount) multiset; queued_value and
+        // len must track it through push/pop_eligible/remove/drain_expired.
+        let discipline = Discipline::ALL[disc_i];
+        let capacity = Amount::from_tokens(300);
+        let mut q = WaitQueue::new(discipline, capacity);
+        let mut mirror: Vec<(TuId, Amount)> = Vec::new();
+        let mut next_tu = 0u64;
+        for (op, amt, t1, t2) in ops {
+            let amount = Amount::from_tokens(amt);
+            match op {
+                // Bias towards pushes so the queue actually fills.
+                0..=2 => {
+                    let tu = TuId::new(next_tu);
+                    next_tu += 1;
+                    let accepted = q.push(
+                        tu,
+                        amount,
+                        SimTime::from_micros(t1),
+                        SimTime::from_micros(t2.min(t1)),
+                    );
+                    prop_assert_eq!(
+                        accepted,
+                        mirror.iter().map(|e| e.1).sum::<Amount>() + amount <= capacity,
+                        "push acceptance must be exactly the capacity bound"
+                    );
+                    if accepted {
+                        mirror.push((tu, amount));
+                    }
+                }
+                3 => {
+                    let available = Amount::from_tokens(amt);
+                    if let Some(entry) = q.pop_eligible(available) {
+                        prop_assert!(entry.amount <= available, "ineligible entry served");
+                        let pos = mirror.iter().position(|e| e.0 == entry.tu);
+                        prop_assert!(pos.is_some(), "served a TU the mirror never queued");
+                        mirror.remove(pos.unwrap());
+                    }
+                }
+                4 => {
+                    // Remove a (maybe present) TU.
+                    let victim = TuId::new(t1 % next_tu.max(1));
+                    let removed = q.remove(victim);
+                    let pos = mirror.iter().position(|e| e.0 == victim);
+                    prop_assert_eq!(removed.is_some(), pos.is_some());
+                    if let Some(pos) = pos {
+                        mirror.remove(pos);
+                    }
+                }
+                _ => {
+                    let now = SimTime::from_micros(t1);
+                    for e in q.drain_expired(now) {
+                        let pos = mirror.iter().position(|m| m.0 == e.tu);
+                        prop_assert!(pos.is_some(), "expired a TU the mirror never queued");
+                        mirror.remove(pos.unwrap());
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), mirror.len());
+            prop_assert_eq!(
+                q.queued_value(),
+                mirror.iter().map(|e| e.1).sum::<Amount>(),
+                "queued_value drifted from the live entries"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_queue_pop_matches_reference_discipline(
+        batch in prop::collection::vec((1u64..30, 0u64..500, 0u64..500), 1..40),
+        pops in prop::collection::vec(0u64..35, 1..60),
+        disc_i in 0usize..4,
+    ) {
+        // Every pop under every discipline must serve exactly the entry
+        // the reference rule picks (ties broken by arrival sequence).
+        let discipline = Discipline::ALL[disc_i];
+        let mut q = WaitQueue::new(discipline, Amount::from_tokens(u64::MAX / 2_000));
+        let mut mirror: Vec<(u64, Amount, SimTime)> = Vec::new();
+        let mut tu_of_seq: Vec<TuId> = Vec::new();
+        for (seq, (amt, deadline, enq)) in batch.into_iter().enumerate() {
+            let tu = TuId::new(seq as u64);
+            let amount = Amount::from_tokens(amt);
+            let deadline = SimTime::from_micros(deadline);
+            prop_assert!(q.push(tu, amount, deadline, SimTime::from_micros(enq)));
+            mirror.push((seq as u64, amount, deadline));
+            tu_of_seq.push(tu);
+        }
+        for avail in pops {
+            let available = Amount::from_tokens(avail);
+            let expect = reference_pick(&mirror, discipline, available);
+            let got = q.pop_eligible(available);
+            match (expect, got) {
+                (None, None) => {}
+                (Some(i), Some(entry)) => {
+                    prop_assert_eq!(entry.tu, tu_of_seq[mirror[i].0 as usize]);
+                    prop_assert_eq!(entry.amount, mirror[i].1);
+                    mirror.remove(i);
+                }
+                (expect, got) => {
+                    prop_assert!(
+                        false,
+                        "{discipline:?}: reference {expect:?} vs queue {got:?}"
+                    );
+                }
+            }
+        }
+    }
+}
