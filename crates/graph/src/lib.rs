@@ -14,7 +14,7 @@
 //! lets the routing layer price edges off live channel state without the
 //! graph crate knowing about balances.
 //!
-//! Two cross-cutting facilities support the routing layer's epoch-
+//! Three cross-cutting facilities support the routing layer's epoch-
 //! versioned path cache:
 //!
 //! * [`SearchWorkspace`] — reusable search buffers. Every algorithm has
@@ -24,6 +24,9 @@
 //! * [`Graph::topology_epoch`] — a monotone counter bumped on every
 //!   structural mutation, the topology half of the cache's
 //!   epoch-invalidation contract.
+//! * [`Footprint`] — a recorder a caller threads through its cost/width
+//!   closure to capture exactly which channels a search consulted, the
+//!   dependency set that scopes live-state cache invalidation.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 mod bfs;
 mod dijkstra;
 mod disjoint;
+mod footprint;
 mod generators;
 mod graph;
 mod maxflow;
@@ -65,6 +69,7 @@ pub use disjoint::{
     edge_disjoint_shortest_paths, edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths,
     edge_disjoint_widest_paths_in,
 };
+pub use footprint::Footprint;
 pub use generators::{barabasi_albert, complete, erdos_renyi, ring, star, watts_strogatz};
 pub use graph::{EdgeRef, Graph};
 pub use maxflow::{max_flow, max_flow_in, FlowPath, MaxFlowResult};

@@ -1,45 +1,71 @@
-//! The epoch-versioned path cache.
+//! The epoch-versioned, footprint-scoped path cache.
 //!
 //! Path planning is the engine's hot loop: every payment admission runs
 //! one or more graph searches over a topology that changes rarely and
 //! channel state that changes often. The cache memoizes plan results
-//! keyed by `(source, dest, scheme-view class)` and versions every entry
-//! with an [`EpochStamp`] — a snapshot of the three counters whose
-//! movement can change a path computation's inputs:
+//! keyed by `(source, dest, scheme-view class)` and serves an entry only
+//! while every input of the original computation is provably unchanged,
+//! so **a cache hit is bit-identical to recomputation** — pinned for all
+//! six schemes by `tests/determinism.rs`. Entries are stored as
+//! `Arc<[Path]>`, so a hit hands out a reference-counted plan instead of
+//! deep-cloning it.
 //!
-//! * `topology` — [`pcn_graph::Graph::topology_epoch`], bumped on every
-//!   structural mutation,
-//! * `funds` — [`crate::channel::NetworkFunds::funds_epoch`], bumped on
-//!   every balance movement (lock / settle / refund, which includes
-//!   every depletion and refill),
-//! * `prices` — [`crate::prices::PriceTable::price_epoch`], bumped on
-//!   every τ price tick.
+//! Two freshness regimes implement the contract:
 //!
-//! Which counters an entry depends on is its [`Volatility`]:
-//! capacity-only computations read channel *totals* (constant for a
-//! channel's lifetime) so they only stale on topology changes, while
-//! live-balance computations stale on any funds or price movement. A hit
-//! is therefore **semantics-preserving by construction**: an entry is
-//! only served while every input of the original computation is
-//! provably unchanged, so the cached result is bit-identical to what
-//! recomputation would return. `tests/determinism.rs` pins this down by
-//! diffing cache-enabled against cache-disabled engine runs.
+//! * **Epoch-stamped** ([`PathCache::get_or_compute`]): the entry
+//!   snapshots an [`EpochStamp`] — the three global counters whose
+//!   movement can change a path computation's inputs
+//!   ([`pcn_graph::Graph::topology_epoch`] per structural mutation,
+//!   [`crate::channel::NetworkFunds::funds_epoch`] per balance movement,
+//!   [`crate::prices::PriceTable::price_epoch`] per τ tick). The entry's
+//!   [`Volatility`] selects which counters it watches: capacity-only
+//!   computations read channel *totals* (constant for a channel's
+//!   lifetime) and stale only on topology changes; live ones stale on
+//!   any movement anywhere.
+//! * **Footprint-scoped** ([`PathCache::get_or_compute_scoped`]): for
+//!   live-balance computations, "any movement anywhere" is far too
+//!   coarse — it pinned hub-scheme (Splicer) hit rates at ~0%. The
+//!   computation instead records the **channel dependency footprint** it
+//!   actually read (a [`pcn_graph::Footprint`] threaded through the
+//!   width closure, see `crate::paths::select_paths_footprint`) and the
+//!   entry snapshots each footprint channel's
+//!   [`crate::channel::NetworkFunds::channel_epoch`]. The entry is fresh
+//!   iff the topology epoch matches and either the global funds epoch is
+//!   unchanged (the cheap "nothing moved at all" fast path) or every
+//!   footprint channel's epoch is unchanged. Funds movements on channels
+//!   outside the footprint cannot alter the result, so such entries
+//!   survive unrelated traffic. Scoped computations read balances only —
+//!   never the price table — so they do not watch the price epoch.
 //!
-//! Hit/miss/invalidation counters are exported into
+//! The cache is bounded: at [`PathCache::capacity`] resident entries,
+//! inserting a new key evicts the first provably-stale entry among a
+//! constant-size window of the oldest entries (insertion order), falling
+//! back to the oldest entry when none in the window is stale — stale
+//! entries go first without a miss ever paying an O(capacity) scan.
+//! Eviction is deterministic (insertion order, never hash order), which
+//! keeps the diagnostic counters — and therefore whole `RunStats` —
+//! reproducible across runs.
+//!
+//! Hit/miss/invalidation/eviction counters are exported into
 //! [`crate::stats::RunStats`] (and from there into every harness grid
-//! cell) so the cache's effectiveness is visible per experiment.
+//! cell and `probe`) so the cache's effectiveness is visible per
+//! experiment.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use pcn_graph::Path;
-use pcn_types::NodeId;
+use pcn_graph::{Footprint, Path};
+use pcn_types::{ChannelId, NodeId};
 
-/// Snapshot of the three invalidation counters an entry may depend on.
+use crate::channel::NetworkFunds;
+
+/// Snapshot of the three global invalidation counters an entry may
+/// depend on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EpochStamp {
     /// Structural graph mutations ([`pcn_graph::Graph::topology_epoch`]).
     pub topology: u64,
-    /// Channel balance movements
+    /// Global channel balance movements
     /// ([`crate::channel::NetworkFunds::funds_epoch`]).
     pub funds: u64,
     /// Price ticks ([`crate::prices::PriceTable::price_epoch`]).
@@ -54,7 +80,9 @@ pub enum Volatility {
     /// totals: stale only when the topology epoch moves.
     CapacityOnly,
     /// The computation reads live balances (and, conservatively, prices):
-    /// stale when any epoch moves.
+    /// stale when any epoch moves. Prefer
+    /// [`PathCache::get_or_compute_scoped`], which narrows this to the
+    /// channels actually read.
     Live,
 }
 
@@ -69,8 +97,8 @@ impl Volatility {
 
 /// Which kind of plan a cached entry holds. One engine runs one scheme,
 /// but a single scheme can issue differently-shaped queries for the same
-/// endpoint pair (Flash: a mice pool *and* an elephant max-flow plan),
-/// so the class is part of the key.
+/// endpoint pair (Flash: a mice pool *and* an elephant max-flow plan;
+/// Splicer: per-leg sub-plans), so the class is part of the key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PlanClass {
     /// The scheme's full path plan for a payment.
@@ -79,6 +107,12 @@ pub enum PlanClass {
     MicePool,
     /// Flash's elephant max-flow decomposition.
     Elephant,
+    /// A hub scheme's client↔hub access leg (`source → hub_s` or
+    /// `hub_r → dest`): a pure topology lookup, cached capacity-only.
+    HubLeg,
+    /// A hub scheme's inter-hub middle segment (`hub_s → hub_r`): a
+    /// live-balance search with a small footprint, cached scoped.
+    HubMiddle,
 }
 
 /// Cache key: endpoints plus the scheme-view class of the query.
@@ -101,9 +135,28 @@ impl CacheKey {
             class: PlanClass::Plan,
         }
     }
+
+    /// Key for a hub access leg (`from` endpoint to `to` endpoint).
+    pub fn hub_leg(from: NodeId, to: NodeId) -> CacheKey {
+        CacheKey {
+            source: from,
+            dest: to,
+            class: PlanClass::HubLeg,
+        }
+    }
+
+    /// Key for the inter-hub middle segment.
+    pub fn hub_middle(hub_s: NodeId, hub_r: NodeId) -> CacheKey {
+        CacheKey {
+            source: hub_s,
+            dest: hub_r,
+            class: PlanClass::HubMiddle,
+        }
+    }
 }
 
-/// Hit/miss/invalidation counters, exported into run statistics.
+/// Hit/miss/invalidation/eviction counters, exported into run
+/// statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PathCacheStats {
     /// Queries served from a fresh entry.
@@ -112,6 +165,8 @@ pub struct PathCacheStats {
     pub misses: u64,
     /// Queries that found a stale entry (recomputed and replaced).
     pub invalidations: u64,
+    /// Entries removed to respect the capacity bound.
+    pub evictions: u64,
 }
 
 impl PathCacheStats {
@@ -134,21 +189,78 @@ impl PathCacheStats {
 struct CacheEntry {
     stamp: EpochStamp,
     volatility: Volatility,
-    paths: Vec<Path>,
+    /// `(channel, per-channel funds epoch at compute time)` for every
+    /// channel the computation read — `Some` only for footprint-scoped
+    /// entries.
+    footprint: Option<Box<[(ChannelId, u64)]>>,
+    paths: Arc<[Path]>,
 }
+
+impl CacheEntry {
+    /// Whether the entry is provably fresh at `now`. Scoped entries need
+    /// `funds` for the per-channel check; without it they are fresh only
+    /// on the global fast path (conservative, still correct).
+    fn is_fresh(&self, now: EpochStamp, funds: Option<&NetworkFunds>) -> bool {
+        match &self.footprint {
+            Some(fp) => {
+                self.stamp.topology == now.topology
+                    && (self.stamp.funds == now.funds
+                        || funds.is_some_and(|f| {
+                            fp.iter().all(|&(ch, epoch)| f.channel_epoch(ch) == epoch)
+                        }))
+            }
+            None => self.volatility.still_fresh(self.stamp, now),
+        }
+    }
+}
+
+/// Default capacity bound (resident entries) of [`PathCache::new`].
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// The epoch-versioned path cache; see the module docs for the
 /// invalidation contract.
-#[derive(Default)]
 pub struct PathCache {
     entries: HashMap<CacheKey, CacheEntry>,
+    /// Resident keys in insertion order (each exactly once) — the
+    /// deterministic eviction scan order.
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    /// Reusable footprint recorder for scoped computations.
+    scratch: Footprint,
     stats: PathCacheStats,
 }
 
+impl Default for PathCache {
+    fn default() -> PathCache {
+        PathCache::new()
+    }
+}
+
 impl PathCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_CAPACITY`] entries.
     pub fn new() -> PathCache {
-        PathCache::default()
+        PathCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded at `capacity` resident entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> PathCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PathCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            scratch: Footprint::new(),
+            stats: PathCacheStats::default(),
+        }
+    }
+
+    /// The capacity bound (resident entries).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Returns the cached paths for `key` if the entry is still fresh at
@@ -161,34 +273,139 @@ impl PathCache {
         now: EpochStamp,
         volatility: Volatility,
         compute: F,
-    ) -> &[Path]
+    ) -> Arc<[Path]>
     where
         F: FnOnce() -> Vec<Path>,
     {
-        match self.entries.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                if slot.get().volatility.still_fresh(slot.get().stamp, now) {
-                    self.stats.hits += 1;
-                } else {
-                    self.stats.invalidations += 1;
-                    *slot.get_mut() = CacheEntry {
-                        stamp: now,
-                        volatility,
-                        paths: compute(),
-                    };
-                }
-                &slot.into_mut().paths
+        self.get_or_compute_with(key, now, volatility, None, compute)
+    }
+
+    /// [`PathCache::get_or_compute`] with `funds` available: the lookup
+    /// itself is identical, but a capacity eviction triggered by the
+    /// insert can then run the per-channel footprint check on candidate
+    /// victims, so footprint-fresh scoped entries are not misjudged
+    /// stale just because the global funds epoch moved. Callers holding
+    /// a [`NetworkFunds`] (the engine always does) should prefer this.
+    pub fn get_or_compute_with<F>(
+        &mut self,
+        key: CacheKey,
+        now: EpochStamp,
+        volatility: Volatility,
+        funds: Option<&NetworkFunds>,
+        compute: F,
+    ) -> Arc<[Path]>
+    where
+        F: FnOnce() -> Vec<Path>,
+    {
+        match self.entries.get(&key) {
+            Some(entry) if entry.is_fresh(now, None) => {
+                self.stats.hits += 1;
+                Arc::clone(&entry.paths)
             }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                self.stats.misses += 1;
-                &slot
-                    .insert(CacheEntry {
-                        stamp: now,
-                        volatility,
-                        paths: compute(),
-                    })
-                    .paths
+            found => {
+                let stale = found.is_some();
+                let paths: Arc<[Path]> = compute().into();
+                let entry = CacheEntry {
+                    stamp: now,
+                    volatility,
+                    footprint: None,
+                    paths: Arc::clone(&paths),
+                };
+                self.store(key, entry, stale, now, funds);
+                paths
             }
+        }
+    }
+
+    /// Footprint-scoped lookup for live-balance computations. `compute`
+    /// receives a cleared [`Footprint`] and must record every channel it
+    /// reads (e.g. via `crate::paths::select_paths_footprint`); the
+    /// stored entry then snapshots each footprint channel's
+    /// [`NetworkFunds::channel_epoch`] and stays fresh across funds
+    /// movements confined to other channels. Freshness at `now`:
+    /// topology unchanged, and global funds epoch unchanged (fast path)
+    /// *or* every footprint channel epoch unchanged.
+    pub fn get_or_compute_scoped<F>(
+        &mut self,
+        key: CacheKey,
+        now: EpochStamp,
+        funds: &NetworkFunds,
+        compute: F,
+    ) -> Arc<[Path]>
+    where
+        F: FnOnce(&mut Footprint) -> Vec<Path>,
+    {
+        match self.entries.get(&key) {
+            Some(entry) if entry.is_fresh(now, Some(funds)) => {
+                self.stats.hits += 1;
+                Arc::clone(&entry.paths)
+            }
+            found => {
+                let stale = found.is_some();
+                self.scratch.clear();
+                let paths: Arc<[Path]> = compute(&mut self.scratch).into();
+                let snapshot: Box<[(ChannelId, u64)]> = self
+                    .scratch
+                    .channels()
+                    .iter()
+                    .map(|&ch| (ch, funds.channel_epoch(ch)))
+                    .collect();
+                let entry = CacheEntry {
+                    stamp: now,
+                    volatility: Volatility::Live,
+                    footprint: Some(snapshot),
+                    paths: Arc::clone(&paths),
+                };
+                self.store(key, entry, stale, now, Some(funds));
+                paths
+            }
+        }
+    }
+
+    /// Replaces a stale entry in place or inserts a new key, evicting
+    /// first when at capacity. Updates the miss/invalidation counters.
+    fn store(
+        &mut self,
+        key: CacheKey,
+        entry: CacheEntry,
+        stale: bool,
+        now: EpochStamp,
+        funds: Option<&NetworkFunds>,
+    ) {
+        if stale {
+            self.stats.invalidations += 1;
+            *self.entries.get_mut(&key).expect("stale entry present") = entry;
+        } else {
+            self.stats.misses += 1;
+            self.evict_if_full(now, funds);
+            self.entries.insert(key, entry);
+            self.order.push_back(key);
+        }
+    }
+
+    /// How many of the oldest entries an eviction inspects looking for a
+    /// stale victim — a constant bound so a miss on a full cache stays
+    /// O(1), not O(capacity).
+    const EVICTION_SCAN: usize = 8;
+
+    /// Frees room for one insertion: evicts the first provably-stale
+    /// entry among the [`Self::EVICTION_SCAN`] oldest (insertion order),
+    /// falling back to the oldest entry when none of them is stale.
+    /// `funds` (when the caller has it) lets the staleness check run the
+    /// per-channel footprint comparison, so footprint-fresh entries are
+    /// not misjudged stale just because the global epoch moved.
+    /// Deterministic — the scan never depends on hash order.
+    fn evict_if_full(&mut self, now: EpochStamp, funds: Option<&NetworkFunds>) {
+        while self.entries.len() >= self.capacity {
+            let victim = self
+                .order
+                .iter()
+                .take(Self::EVICTION_SCAN)
+                .position(|k| self.entries.get(k).is_some_and(|e| !e.is_fresh(now, funds)))
+                .unwrap_or(0);
+            let key = self.order.remove(victim).expect("order tracks entries");
+            self.entries.remove(&key);
+            self.stats.evictions += 1;
         }
     }
 
@@ -211,13 +428,15 @@ impl PathCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcn_graph::Graph;
+    use pcn_types::Amount;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
     }
 
     fn path01() -> Path {
-        let mut g = pcn_graph::Graph::new(2);
+        let mut g = Graph::new(2);
         let ch = g.add_edge(n(0), n(1));
         Path::new(vec![n(0), n(1)], vec![ch])
     }
@@ -235,14 +454,10 @@ mod tests {
         let mut cache = PathCache::new();
         let key = CacheKey::plan(n(0), n(1));
         let now = stamp(1, 1, 1);
-        let a = cache
-            .get_or_compute(key, now, Volatility::CapacityOnly, || vec![path01()])
-            .to_vec();
-        let b = cache
-            .get_or_compute(key, now, Volatility::CapacityOnly, || {
-                panic!("fresh entry must not recompute")
-            })
-            .to_vec();
+        let a = cache.get_or_compute(key, now, Volatility::CapacityOnly, || vec![path01()]);
+        let b = cache.get_or_compute(key, now, Volatility::CapacityOnly, || {
+            panic!("fresh entry must not recompute")
+        });
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].nodes(), b[0].nodes());
         assert_eq!(
@@ -250,10 +465,21 @@ mod tests {
             PathCacheStats {
                 hits: 1,
                 misses: 1,
-                invalidations: 0
+                invalidations: 0,
+                evictions: 0,
             }
         );
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_share_the_stored_allocation() {
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(1));
+        let now = stamp(1, 1, 1);
+        let a = cache.get_or_compute(key, now, Volatility::CapacityOnly, || vec![path01()]);
+        let b = cache.get_or_compute(key, now, Volatility::CapacityOnly, Vec::new);
+        assert!(Arc::ptr_eq(&a, &b), "a hit must not deep-clone the plan");
     }
 
     #[test]
@@ -318,5 +544,201 @@ mod tests {
         assert_eq!(got, 0, "elephant entry is distinct from the mice pool");
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// A line 0-1-2 plus an unrelated channel 3-4; the scoped entry's
+    /// footprint covers the line only.
+    fn scoped_world() -> (Graph, NetworkFunds, pcn_types::ChannelId) {
+        let mut g = Graph::new(5);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let unrelated = g.add_edge(n(3), n(4));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        (g, funds, unrelated)
+    }
+
+    fn scoped_stamp(g: &Graph, funds: &NetworkFunds) -> EpochStamp {
+        EpochStamp {
+            topology: g.topology_epoch(),
+            funds: funds.funds_epoch(),
+            prices: 0,
+        }
+    }
+
+    fn scoped_compute(g: &Graph, fp: &mut Footprint) -> Vec<Path> {
+        g.shortest_path(n(0), n(2), |e| {
+            fp.record(e.id);
+            Some(1.0)
+        })
+        .map(|(_, p)| vec![p])
+        .unwrap_or_default()
+    }
+
+    #[test]
+    fn scoped_entries_survive_unrelated_funds_movement() {
+        let (g, mut funds, unrelated) = scoped_world();
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(2));
+        let now = scoped_stamp(&g, &funds);
+        let first = cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g, fp));
+        assert_eq!(first.len(), 1);
+        // Funds move on a channel outside the footprint: global epoch
+        // advances, the entry stays fresh via the per-channel check.
+        funds.lock(unrelated, n(3), Amount::from_tokens(1)).unwrap();
+        let now = scoped_stamp(&g, &funds);
+        let second = cache.get_or_compute_scoped(key, now, &funds, |_| {
+            panic!("unrelated movement must not invalidate")
+        });
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().hits, 1);
+        // Funds move on a footprint channel: stale, recomputed.
+        funds
+            .lock(pcn_types::ChannelId::new(0), n(0), Amount::from_tokens(1))
+            .unwrap();
+        let now = scoped_stamp(&g, &funds);
+        cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g, fp));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn scoped_global_fast_path_hits_without_per_channel_scan() {
+        let (g, funds, _) = scoped_world();
+        let mut cache = PathCache::new();
+        let key = CacheKey::plan(n(0), n(2));
+        let now = scoped_stamp(&g, &funds);
+        cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g, fp));
+        // Nothing moved anywhere: the global stamp matches.
+        cache.get_or_compute_scoped(key, now, &funds, |_| panic!("must hit"));
+        assert_eq!(cache.stats().hits, 1);
+        // Topology moved: stale regardless of funds.
+        let mut g2 = g;
+        g2.add_node();
+        let now = scoped_stamp(&g2, &funds);
+        cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g2, fp));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_stale_first_then_oldest() {
+        let mut cache = PathCache::with_capacity(2);
+        let fresh_now = stamp(1, 1, 1);
+        // Key A: live entry that will be stale at insert time of C.
+        cache.get_or_compute(
+            CacheKey::plan(n(0), n(1)),
+            fresh_now,
+            Volatility::Live,
+            || vec![path01()],
+        );
+        // Key B: capacity-only entry, stays fresh across funds movement.
+        cache.get_or_compute(
+            CacheKey::plan(n(0), n(2)),
+            fresh_now,
+            Volatility::CapacityOnly,
+            || vec![path01()],
+        );
+        // Funds moved; inserting key C must evict stale A, not fresh B.
+        let later = stamp(1, 2, 1);
+        cache.get_or_compute(
+            CacheKey::plan(n(0), n(3)),
+            later,
+            Volatility::CapacityOnly,
+            || vec![path01()],
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // A is gone (re-inserting it is a miss, evicting the oldest —
+        // now B — since everything resident is fresh).
+        cache.get_or_compute(
+            CacheKey::plan(n(0), n(1)),
+            later,
+            Volatility::CapacityOnly,
+            Vec::new,
+        );
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().evictions, 2);
+        // B was the oldest fresh entry: looking it up misses again.
+        cache.get_or_compute(
+            CacheKey::plan(n(0), n(2)),
+            later,
+            Volatility::CapacityOnly,
+            Vec::new,
+        );
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// Eviction triggered from a scoped insert must run the per-channel
+    /// footprint check on candidates: an entry whose footprint channels
+    /// are unmoved is *fresh* even though the global funds epoch
+    /// advanced, and a genuinely stale entry must be evicted instead.
+    #[test]
+    fn eviction_spares_footprint_fresh_entries() {
+        let (g, mut funds, unrelated) = scoped_world();
+        let mut cache = PathCache::with_capacity(2);
+        // A: scoped entry over the 0-1-2 line channels.
+        let a = CacheKey::plan(n(0), n(2));
+        let now = scoped_stamp(&g, &funds);
+        cache.get_or_compute_scoped(a, now, &funds, |fp| scoped_compute(&g, fp));
+        // B: unscoped live entry — stale after any movement anywhere.
+        let b = CacheKey::plan(n(1), n(2));
+        cache.get_or_compute(b, now, Volatility::Live, || vec![path01()]);
+        // Unrelated churn: A stays footprint-fresh, B goes stale.
+        funds.lock(unrelated, n(3), Amount::from_tokens(1)).unwrap();
+        let now = scoped_stamp(&g, &funds);
+        // Inserting C at capacity must evict stale B, not footprint-fresh
+        // A (which sits first in insertion order).
+        let c = CacheKey::plan(n(2), n(0));
+        cache.get_or_compute_scoped(c, now, &funds, |fp| {
+            g.shortest_path(n(2), n(0), |e| {
+                fp.record(e.id);
+                Some(1.0)
+            })
+            .map(|(_, p)| vec![p])
+            .unwrap_or_default()
+        });
+        assert_eq!(cache.stats().evictions, 1);
+        // A still hits; B is gone (re-lookup misses).
+        cache.get_or_compute_scoped(a, now, &funds, |_| {
+            panic!("footprint-fresh entry must survive eviction")
+        });
+        assert_eq!(cache.stats().hits, 1);
+        cache.get_or_compute(b, now, Volatility::Live, Vec::new);
+        assert_eq!(cache.stats().misses, 4, "B was evicted, not A");
+    }
+
+    /// The same guarantee for evictions triggered by *unscoped* inserts:
+    /// `get_or_compute_with` carries `funds`, so a capacity-only insert
+    /// (e.g. a hub access leg) must not evict a footprint-fresh scoped
+    /// entry either.
+    #[test]
+    fn unscoped_inserts_with_funds_spare_scoped_entries() {
+        let (g, mut funds, unrelated) = scoped_world();
+        let mut cache = PathCache::with_capacity(2);
+        let a = CacheKey::plan(n(0), n(2));
+        let now = scoped_stamp(&g, &funds);
+        cache.get_or_compute_scoped(a, now, &funds, |fp| scoped_compute(&g, fp));
+        let b = CacheKey::plan(n(1), n(2));
+        cache.get_or_compute(b, now, Volatility::Live, || vec![path01()]);
+        funds.lock(unrelated, n(3), Amount::from_tokens(1)).unwrap();
+        let now = scoped_stamp(&g, &funds);
+        // Capacity-only insert with funds in hand: evicts stale B, not
+        // footprint-fresh A.
+        let c = CacheKey::plan(n(2), n(1));
+        cache.get_or_compute_with(c, now, Volatility::CapacityOnly, Some(&funds), || {
+            vec![path01()]
+        });
+        assert_eq!(cache.stats().evictions, 1);
+        cache.get_or_compute_scoped(a, now, &funds, |_| {
+            panic!("footprint-fresh entry must survive an unscoped insert's eviction")
+        });
+        assert_eq!(cache.stats().hits, 1);
+        cache.get_or_compute(b, now, Volatility::Live, Vec::new);
+        assert_eq!(cache.stats().misses, 4, "B was evicted, not A");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PathCache::with_capacity(0);
     }
 }

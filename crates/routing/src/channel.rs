@@ -175,6 +175,9 @@ pub struct NetworkFunds {
     channels: Vec<ChannelState>,
     /// Monotone balance-movement counter; see [`NetworkFunds::funds_epoch`].
     epoch: u64,
+    /// Per-channel balance-movement counters; see
+    /// [`NetworkFunds::channel_epoch`].
+    channel_epochs: Vec<u64>,
 }
 
 impl NetworkFunds {
@@ -184,14 +187,19 @@ impl NetworkFunds {
     where
         F: FnMut(ChannelId, NodeId) -> Amount,
     {
-        let channels = g
+        let channels: Vec<ChannelState> = g
             .edges()
             .map(|id| {
                 let (a, b) = g.endpoints(id).expect("edge ids are dense");
                 ChannelState::new(a, b, fund(id, a), fund(id, b))
             })
             .collect();
-        NetworkFunds { channels, epoch: 0 }
+        let channel_epochs = vec![0; channels.len()];
+        NetworkFunds {
+            channels,
+            epoch: 0,
+            channel_epochs,
+        }
     }
 
     /// Uniform funding: every side of every channel gets `per_side`.
@@ -221,18 +229,32 @@ impl NetworkFunds {
             .ok_or(PcnError::UnknownChannel(id))
     }
 
-    /// The funds epoch: bumped on every successful balance movement
-    /// ([`NetworkFunds::lock`] / [`NetworkFunds::settle`] /
-    /// [`NetworkFunds::refund`]) — a superset of the depletion/refill
-    /// events, so any computation over *live* balances whose epoch
-    /// snapshot is unchanged would recompute to the same result. Channel
-    /// *totals* never change (channels keep their funds for life), so
-    /// capacity-only computations need not watch this counter.
+    /// The global funds epoch: bumped on every successful balance
+    /// movement ([`NetworkFunds::lock`] / [`NetworkFunds::settle`] /
+    /// [`NetworkFunds::refund`]) anywhere in the network — a superset of
+    /// the depletion/refill events, so any computation over *live*
+    /// balances whose epoch snapshot is unchanged would recompute to the
+    /// same result. Channel *totals* never change (channels keep their
+    /// funds for life), so capacity-only computations need not watch
+    /// this counter.
     ///
-    /// Consumed by the routing layer's `PathCache` to invalidate
-    /// live-view entries.
+    /// The routing layer's `PathCache` uses it as the cheap
+    /// "nothing moved at all" fast path; the precise per-entry check is
+    /// [`NetworkFunds::channel_epoch`] over the entry's footprint.
     pub fn funds_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The per-channel funds epoch of `id`: bumped on every successful
+    /// lock/settle/refund touching that channel, and only that channel.
+    /// A live-balance computation whose channel footprint shows unchanged
+    /// per-channel epochs would recompute to a bit-identical result even
+    /// when the global [`NetworkFunds::funds_epoch`] has moved — the
+    /// scoped-invalidation half of the path-cache contract.
+    ///
+    /// Unknown channels report epoch 0.
+    pub fn channel_epoch(&self, id: ChannelId) -> u64 {
+        self.channel_epochs.get(id.index()).copied().unwrap_or(0)
     }
 
     /// Spendable balance of `id` in direction `from → other`.
@@ -269,7 +291,7 @@ impl NetworkFunds {
             },
             other => other,
         })?;
-        self.epoch += 1;
+        self.bump(id);
         Ok(())
     }
 
@@ -280,7 +302,7 @@ impl NetworkFunds {
     /// See [`ChannelState::settle`].
     pub fn settle(&mut self, id: ChannelId, from: NodeId, amount: Amount) -> Result<()> {
         self.get_mut(id)?.settle(from, amount)?;
-        self.epoch += 1;
+        self.bump(id);
         Ok(())
     }
 
@@ -291,8 +313,15 @@ impl NetworkFunds {
     /// See [`ChannelState::refund`].
     pub fn refund(&mut self, id: ChannelId, from: NodeId, amount: Amount) -> Result<()> {
         self.get_mut(id)?.refund(from, amount)?;
-        self.epoch += 1;
+        self.bump(id);
         Ok(())
+    }
+
+    /// Advances both the global and the per-channel epoch after a
+    /// successful movement on `id`.
+    fn bump(&mut self, id: ChannelId) {
+        self.epoch += 1;
+        self.channel_epochs[id.index()] += 1;
     }
 
     /// Whether the `from` side of `id` has (almost) no spendable funds —
@@ -426,6 +455,31 @@ mod tests {
         assert!(f.settle(ch, n(0), Amount::from_tokens(1)).is_err());
         assert!(f.refund(ch, n(0), Amount::from_tokens(1)).is_err());
         assert_eq!(f.funds_epoch(), 3);
+    }
+
+    #[test]
+    fn channel_epochs_are_scoped_to_the_moved_channel() {
+        let mut g = Graph::new(3);
+        let ab = g.add_edge(n(0), n(1));
+        let bc = g.add_edge(n(1), n(2));
+        let mut f = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        assert_eq!((f.channel_epoch(ab), f.channel_epoch(bc)), (0, 0));
+        f.lock(ab, n(0), Amount::from_tokens(1)).unwrap();
+        f.settle(ab, n(0), Amount::from_tokens(1)).unwrap();
+        // Only the touched channel advanced; the global counter saw both.
+        assert_eq!(f.channel_epoch(ab), 2);
+        assert_eq!(f.channel_epoch(bc), 0);
+        assert_eq!(f.funds_epoch(), 2);
+        f.lock(bc, n(2), Amount::from_tokens(1)).unwrap();
+        f.refund(bc, n(2), Amount::from_tokens(1)).unwrap();
+        assert_eq!(f.channel_epoch(ab), 2);
+        assert_eq!(f.channel_epoch(bc), 2);
+        assert_eq!(f.funds_epoch(), 4);
+        // Failed movements bump nothing.
+        assert!(f.lock(ab, n(0), Amount::from_tokens(100)).is_err());
+        assert_eq!(f.channel_epoch(ab), 2);
+        // Unknown channels report zero.
+        assert_eq!(f.channel_epoch(ChannelId::new(77)), 0);
     }
 
     #[test]

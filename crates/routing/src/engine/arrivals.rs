@@ -6,13 +6,14 @@
 //! overhead. Once computed, the path plan per `RouteVia` feeds the TU
 //! lifecycle layer.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use pcn_graph::{max_flow_in, Path};
 use pcn_types::{Amount, NodeId, SimDuration, SimTime, TxId};
 
 use crate::cache::{CacheKey, EpochStamp, PathCache, PlanClass, Volatility};
-use crate::paths::{select_paths_in, BalanceView, PathSelect};
+use crate::paths::{select_paths_footprint, select_paths_in, BalanceView, PathSelect};
 use crate::rate::RateController;
 use crate::scheme::RouteVia;
 use crate::tu::{split_demand, Payment};
@@ -21,23 +22,70 @@ use crate::window::WindowController;
 use super::{Engine, Ev, FlowState, TxState};
 
 /// Routes one plan query through the epoch-versioned cache (or straight
-/// to `compute` when caching is off). A hit clones the cached paths —
-/// exactly what `compute` would have returned, per the epoch contract.
+/// to `compute` when caching is off). A hit shares the cached
+/// `Arc<[Path]>` — exactly what `compute` would have returned, per the
+/// epoch contract — without deep-cloning the plan. `funds` rides along
+/// so a capacity eviction can footprint-check candidate victims.
 fn cached_or<F>(
     cache: &mut PathCache,
     use_cache: bool,
     key: CacheKey,
     now: EpochStamp,
+    funds: &crate::channel::NetworkFunds,
     volatility: Volatility,
     compute: F,
-) -> Vec<Path>
+) -> Arc<[Path]>
 where
     F: FnOnce() -> Vec<Path>,
 {
     if use_cache {
-        cache.get_or_compute(key, now, volatility, compute).to_vec()
+        cache.get_or_compute_with(key, now, volatility, Some(funds), compute)
     } else {
-        compute()
+        compute().into()
+    }
+}
+
+/// An empty plan.
+fn no_paths() -> Arc<[Path]> {
+    Vec::new().into()
+}
+
+/// Routes one path-selection query through the freshness regime its
+/// balance view calls for: live views go through the footprint-scoped
+/// entry point (funds movement on unrelated channels keeps them fresh),
+/// capacity-only views through a topology-stamped entry, and with
+/// caching off the query computes directly. Shared by the `Direct` plan
+/// and the inter-hub middle leg.
+#[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
+fn cached_select(
+    cache: &mut PathCache,
+    use_cache: bool,
+    key: CacheKey,
+    now: EpochStamp,
+    graph: &pcn_graph::Graph,
+    workspace: &mut pcn_graph::SearchWorkspace,
+    funds: &crate::channel::NetworkFunds,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    strategy: PathSelect,
+    view: BalanceView,
+    min_w: Amount,
+) -> Arc<[Path]> {
+    if !use_cache {
+        return select_paths_in(graph, workspace, funds, src, dst, k, strategy, view, min_w).into();
+    }
+    match view {
+        BalanceView::Live => cache.get_or_compute_scoped(key, now, funds, |fp| {
+            select_paths_footprint(
+                graph, workspace, funds, src, dst, k, strategy, view, min_w, fp,
+            )
+        }),
+        BalanceView::CapacityOnly => {
+            cache.get_or_compute_with(key, now, Volatility::CapacityOnly, Some(funds), || {
+                select_paths_in(graph, workspace, funds, src, dst, k, strategy, view, min_w)
+            })
+        }
     }
 }
 
@@ -134,7 +182,7 @@ impl Engine {
         }
     }
 
-    pub(super) fn plan_paths(&mut self, p: &Payment) -> Vec<Path> {
+    pub(super) fn plan_paths(&mut self, p: &Payment) -> Arc<[Path]> {
         let k = self.scheme.num_paths.max(1);
         let strategy = self.scheme.path_select;
         let view = self.scheme.balance_view;
@@ -155,72 +203,109 @@ impl Engine {
             funds: funds.funds_epoch(),
             prices: prices.price_epoch(),
         };
-        // Computations over live balances stale on every funds movement
-        // (and conservatively on price ticks); capacity-only ones read
-        // channel totals, constant for a channel's lifetime.
-        let view_volatility = match view {
-            BalanceView::Live => Volatility::Live,
-            BalanceView::CapacityOnly => Volatility::CapacityOnly,
-        };
         match &scheme.route_via {
-            RouteVia::Direct => cached_or(
+            RouteVia::Direct => cached_select(
                 path_cache,
                 use_cache,
                 CacheKey::plan(p.source, p.dest),
                 now,
-                view_volatility,
-                || {
-                    select_paths_in(
-                        graph, workspace, funds, p.source, p.dest, k, strategy, view, min_w,
-                    )
-                },
+                graph,
+                workspace,
+                funds,
+                p.source,
+                p.dest,
+                k,
+                strategy,
+                view,
+                min_w,
             ),
             RouteVia::Hubs { assignment } => {
                 let Some(&hub_s) = assignment.get(&p.source) else {
-                    return Vec::new();
+                    return no_paths();
                 };
                 let Some(&hub_r) = assignment.get(&p.dest) else {
-                    return Vec::new();
+                    return no_paths();
                 };
-                cached_or(
+                // The plan decomposes into legs with very different
+                // volatility: the head (source→hub_s) and tail
+                // (hub_r→dest) access legs are pure topology lookups,
+                // while the hub_s→hub_r middle is a live-balance search
+                // with a bounded channel footprint. Caching the legs
+                // separately lets every payment crossing the same hub
+                // pair share them; composition (and the middle's
+                // client-avoidance filter, which depends on the payment's
+                // endpoints) happens per payment. The composed plan is
+                // bit-identical to the old monolithic computation.
+                let head = cached_or(
                     path_cache,
                     use_cache,
-                    CacheKey::plan(p.source, p.dest),
+                    CacheKey::hub_leg(p.source, hub_s),
                     now,
-                    view_volatility,
+                    funds,
+                    Volatility::CapacityOnly,
                     || {
-                        let Some(first) = graph.edge_between(p.source, hub_s) else {
-                            return Vec::new();
-                        };
-                        let Some(last) = graph.edge_between(hub_r, p.dest) else {
-                            return Vec::new();
-                        };
-                        let head = Path::new(vec![p.source, hub_s], vec![first]);
-                        let tail = Path::new(vec![hub_r, p.dest], vec![last]);
-                        if hub_s == hub_r {
-                            return vec![head.join(tail)];
-                        }
-                        let middles = select_paths_in(
-                            graph, workspace, funds, hub_s, hub_r, k, strategy, view, min_w,
-                        );
-                        middles
-                            .into_iter()
-                            .filter(|m| {
-                                // A middle path must not route through either client.
-                                m.nodes()[1..m.nodes().len() - 1]
-                                    .iter()
-                                    .all(|&n| n != p.source && n != p.dest)
-                            })
-                            .map(|m| head.clone().join(m).join(tail.clone()))
-                            .collect()
+                        graph
+                            .edge_between(p.source, hub_s)
+                            .map(|ch| vec![Path::new(vec![p.source, hub_s], vec![ch])])
+                            .unwrap_or_default()
                     },
-                )
+                );
+                let tail = cached_or(
+                    path_cache,
+                    use_cache,
+                    CacheKey::hub_leg(hub_r, p.dest),
+                    now,
+                    funds,
+                    Volatility::CapacityOnly,
+                    || {
+                        graph
+                            .edge_between(hub_r, p.dest)
+                            .map(|ch| vec![Path::new(vec![hub_r, p.dest], vec![ch])])
+                            .unwrap_or_default()
+                    },
+                );
+                let (Some(head), Some(tail)) = (head.first(), tail.first()) else {
+                    return no_paths();
+                };
+                if hub_s == hub_r {
+                    // Same-hub fast path: both clients hang off one hub,
+                    // the plan is the joined access legs — topology-only,
+                    // never invalidated by funds movement.
+                    return vec![head.clone().join(tail.clone())].into();
+                }
+                let middles = cached_select(
+                    path_cache,
+                    use_cache,
+                    CacheKey::hub_middle(hub_s, hub_r),
+                    now,
+                    graph,
+                    workspace,
+                    funds,
+                    hub_s,
+                    hub_r,
+                    k,
+                    strategy,
+                    view,
+                    min_w,
+                );
+                middles
+                    .iter()
+                    .filter(|m| {
+                        // A middle path must not route through either client.
+                        m.nodes()[1..m.nodes().len() - 1]
+                            .iter()
+                            .all(|&n| n != p.source && n != p.dest)
+                    })
+                    .map(|m| head.clone().join(m.clone()).join(tail.clone()))
+                    .collect::<Vec<Path>>()
+                    .into()
             }
             RouteVia::Landmarks { landmarks } => cached_or(
                 path_cache,
                 use_cache,
                 CacheKey::plan(p.source, p.dest),
                 now,
+                funds,
                 // The landmark legs price edges off channel *totals* only,
                 // independent of the declared balance view.
                 Volatility::CapacityOnly,
@@ -252,7 +337,12 @@ impl Engine {
                             }
                         }
                     }
-                    out.dedup_by(|a, b| a.nodes() == b.nodes());
+                    // Two landmarks can yield the same joined route; keep
+                    // the first occurrence of each node sequence (a global
+                    // dedup — adjacent-only dedup let duplicates through
+                    // and the scheme double-sent over one route).
+                    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+                    out.retain(|path| seen.insert(path.nodes().to_vec()));
                     out
                 },
             ),
@@ -263,6 +353,7 @@ impl Engine {
                     use_cache,
                     CacheKey::plan(p.source, p.dest),
                     now,
+                    funds,
                     // Pure topology lookups: only a rewiring can stale this.
                     Volatility::CapacityOnly,
                     || {
@@ -287,6 +378,7 @@ impl Engine {
                             class: PlanClass::Elephant,
                         },
                         now,
+                        funds,
                         // Max flow over channel totals: capacity-only.
                         Volatility::CapacityOnly,
                         || {
@@ -303,42 +395,37 @@ impl Engine {
                         },
                     )
                 } else {
-                    let mut compute = || {
-                        select_paths_in(
-                            graph,
-                            workspace,
-                            funds,
-                            p.source,
-                            p.dest,
-                            k,
-                            PathSelect::Ksp,
-                            BalanceView::CapacityOnly,
-                            min_w,
-                        )
-                    };
-                    // Borrow the pool from the cache and clone only the one
-                    // drawn path (`cached_or` would clone the whole pool on
-                    // every payment — the hot path this cache exists for).
-                    let owned;
-                    let pool: &[Path] = if use_cache {
-                        path_cache.get_or_compute(
-                            CacheKey {
-                                source: p.source,
-                                dest: p.dest,
-                                class: PlanClass::MicePool,
-                            },
-                            now,
-                            Volatility::CapacityOnly,
-                            compute,
-                        )
-                    } else {
-                        owned = compute();
-                        &owned
-                    };
+                    // The pooled plan is shared via `Arc`; only the one
+                    // drawn path is cloned per payment.
+                    let pool = cached_or(
+                        path_cache,
+                        use_cache,
+                        CacheKey {
+                            source: p.source,
+                            dest: p.dest,
+                            class: PlanClass::MicePool,
+                        },
+                        now,
+                        funds,
+                        Volatility::CapacityOnly,
+                        || {
+                            select_paths_in(
+                                graph,
+                                workspace,
+                                funds,
+                                p.source,
+                                p.dest,
+                                k,
+                                PathSelect::Ksp,
+                                BalanceView::CapacityOnly,
+                                min_w,
+                            )
+                        },
+                    );
                     if pool.is_empty() {
-                        Vec::new()
+                        no_paths()
                     } else {
-                        vec![pool[rng.index(pool.len())].clone()]
+                        vec![pool[rng.index(pool.len())].clone()].into()
                     }
                 }
             }
@@ -464,10 +551,11 @@ mod tests {
         assert_eq!(engine.path_cache.stats().lookups(), 2, "bypass, no lookup");
     }
 
-    /// A funds movement invalidates live-view plans (Spider sees
-    /// capacity only, so use a hub scheme with live balances).
+    /// Same-hub Splicer plans are pure topology lookups: the cached
+    /// access legs must survive any funds movement (they used to be
+    /// cached `Live` and invalidated on every balance change).
     #[test]
-    fn live_view_plans_invalidate_on_funds_movement() {
+    fn same_hub_plans_survive_funds_movement() {
         let g = pcn_graph::star(4); // hub 0
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
         let assignment: std::collections::HashMap<NodeId, NodeId> =
@@ -483,15 +571,72 @@ mod tests {
         );
         let payments =
             payments_from_tuples(&[(0, 1, 2, 1), (0, 1, 2, 1)], SimDuration::from_secs(3));
-        let _ = engine.plan_paths(&payments[0]);
+        let first = engine.plan_paths(&payments[0]);
+        assert_eq!(first.len(), 1, "1 → hub 0 → 2");
+        // Funds move on the plan's own channel: the plan reads topology
+        // only, so both cached legs stay fresh.
         engine
             .funds
             .lock(pcn_types::ChannelId::new(0), n(0), Amount::from_tokens(1))
             .unwrap();
-        let _ = engine.plan_paths(&payments[1]);
+        let second = engine.plan_paths(&payments[1]);
+        assert_eq!(first[0].nodes(), second[0].nodes());
         let stats = engine.path_cache.stats();
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.invalidations, 1, "funds epoch moved between plans");
+        assert_eq!(stats.misses, 2, "head and tail leg, first sight");
+        assert_eq!(stats.hits, 2, "both legs served from cache");
+        assert_eq!(stats.invalidations, 0, "funds movement must not stale");
+    }
+
+    /// The live inter-hub middle leg carries its channel footprint:
+    /// funds movement on unrelated channels keeps it fresh; movement on
+    /// a footprint channel invalidates it (and only it — the topology
+    /// legs still hit).
+    #[test]
+    fn hub_middle_leg_invalidates_only_on_footprint_channels() {
+        let mut g = pcn_graph::Graph::new(6);
+        g.add_edge(n(2), n(0)); // ch0: head (client 2 → hub 0)
+        g.add_edge(n(0), n(1)); // ch1: middle (hub 0 → hub 1)
+        g.add_edge(n(1), n(3)); // ch2: tail (hub 1 → client 3)
+        let island = g.add_edge(n(4), n(5)); // ch3: unreachable from 0
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let assignment: std::collections::HashMap<NodeId, NodeId> =
+            [(n(2), n(0)), (n(3), n(1))].into_iter().collect();
+        let mut engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::splicer(assignment),
+            EngineConfig::default(),
+            SimRng::seed(8),
+        );
+        let payments = payments_from_tuples(
+            &[(0, 2, 3, 1), (0, 2, 3, 1), (0, 2, 3, 1)],
+            SimDuration::from_secs(3),
+        );
+        let first = engine.plan_paths(&payments[0]);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].nodes(), [n(2), n(0), n(1), n(3)]);
+        assert_eq!(engine.path_cache.stats().misses, 3, "head, middle, tail");
+        // Unrelated movement: the global funds epoch advances but no
+        // footprint channel does — all three legs hit.
+        engine
+            .funds
+            .lock(island, n(4), Amount::from_tokens(1))
+            .unwrap();
+        let second = engine.plan_paths(&payments[1]);
+        assert_eq!(first[0].nodes(), second[0].nodes());
+        let stats = engine.path_cache.stats();
+        assert_eq!((stats.hits, stats.invalidations), (3, 0));
+        // Movement on the middle's own channel: only the middle leg is
+        // recomputed.
+        engine
+            .funds
+            .lock(pcn_types::ChannelId::new(1), n(0), Amount::from_tokens(1))
+            .unwrap();
+        let third = engine.plan_paths(&payments[2]);
+        assert_eq!(first[0].nodes(), third[0].nodes());
+        let stats = engine.path_cache.stats();
+        assert_eq!(stats.hits, 5, "head and tail still fresh");
+        assert_eq!(stats.invalidations, 1, "middle leg recomputed");
     }
 
     /// Flash's mice pool is cached per (source, dest) and the per-payment
@@ -521,6 +666,37 @@ mod tests {
         }
         let stats = engine.path_cache.stats();
         assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    /// Two landmarks can relay the identical joined route with a
+    /// different route between them: the plan must dedup globally, not
+    /// just adjacently, or the scheme double-sends over one route.
+    #[test]
+    fn landmark_plans_contain_no_duplicate_paths() {
+        // Line 0-1-2-3 plus detour 0-4-3. Landmarks [1, 4, 2]: landmarks
+        // 1 and 2 both yield 0-1-2-3, separated by 4's 0-4-3 — adjacent
+        // dedup used to let the duplicate through.
+        let mut g = pcn_graph::Graph::new(5);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        g.add_edge(n(0), n(4));
+        g.add_edge(n(4), n(3));
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+        let mut engine = Engine::new(
+            g,
+            funds,
+            SchemeConfig::landmark(vec![n(1), n(4), n(2)]),
+            EngineConfig::default(),
+            SimRng::seed(4),
+        );
+        let payments = payments_from_tuples(&[(0, 0, 3, 1)], SimDuration::from_secs(3));
+        let plan = engine.plan_paths(&payments[0]);
+        assert_eq!(plan.len(), 2, "0-1-2-3 (once) and 0-4-3");
+        let mut node_seqs: Vec<_> = plan.iter().map(|p| p.nodes().to_vec()).collect();
+        node_seqs.sort();
+        node_seqs.dedup();
+        assert_eq!(node_seqs.len(), plan.len(), "no duplicate routes");
     }
 
     /// Unroutable payments are counted and failed at plan time.

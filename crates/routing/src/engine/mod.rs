@@ -34,6 +34,7 @@ mod lifecycle;
 mod tests;
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use pcn_graph::{Graph, Path, SearchWorkspace};
 use pcn_sim::{EventQueue, SimRng};
@@ -135,7 +136,9 @@ pub(super) enum Ev {
 }
 
 pub(super) struct FlowState {
-    pub(super) paths: Vec<Path>,
+    /// The payment's path plan — shared with the path cache (a cache hit
+    /// hands out the same allocation instead of deep-cloning the plan).
+    pub(super) paths: Arc<[Path]>,
     pub(super) rates: Option<RateController>,
     pub(super) windows: WindowController,
     pub(super) outstanding: Vec<usize>,

@@ -1,8 +1,8 @@
 //! Path selection strategies (Table II: KSP, Heuristic, EDW, EDS).
 
 use pcn_graph::{
-    edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths_in, k_shortest_paths_in, Graph,
-    Path, SearchWorkspace,
+    edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths_in, k_shortest_paths_in, EdgeRef,
+    Footprint, Graph, Path, SearchWorkspace,
 };
 use pcn_types::{Amount, NodeId};
 
@@ -98,13 +98,65 @@ pub fn select_paths_in(
     view: BalanceView,
     min_width: Amount,
 ) -> Vec<Path> {
-    let width = |e: pcn_graph::EdgeRef| -> Option<f64> {
-        let tokens = match view {
-            BalanceView::Live => funds.balance(e.id, e.from).to_tokens_f64(),
-            BalanceView::CapacityOnly => funds.total(e.id).to_tokens_f64(),
-        };
-        (tokens > 0.0).then_some(tokens)
+    let width = |e: EdgeRef| funds_width(funds, view, e);
+    select_paths_core(g, ws, width, src, dst, k, strategy, min_width)
+}
+
+/// [`select_paths_in`] that additionally records the **channel dependency
+/// footprint** of the computation into `fp` (cleared first): every
+/// channel the width closure was consulted on. The searches only read
+/// channel state through that closure and consult every edge whose state
+/// can influence the outcome, so the result is bit-identical under any
+/// funds movement confined to channels outside the footprint — the
+/// scoped-invalidation contract the path cache relies on. Path results
+/// are bit-identical to [`select_paths_in`].
+#[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
+pub fn select_paths_footprint(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    funds: &NetworkFunds,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    strategy: PathSelect,
+    view: BalanceView,
+    min_width: Amount,
+    fp: &mut Footprint,
+) -> Vec<Path> {
+    fp.clear();
+    let width = |e: EdgeRef| {
+        fp.record(e.id);
+        funds_width(funds, view, e)
     };
+    select_paths_core(g, ws, width, src, dst, k, strategy, min_width)
+}
+
+/// Usable width of a directed edge under a balance view: live
+/// directional balance or static channel total.
+fn funds_width(funds: &NetworkFunds, view: BalanceView, e: EdgeRef) -> Option<f64> {
+    let tokens = match view {
+        BalanceView::Live => funds.balance(e.id, e.from).to_tokens_f64(),
+        BalanceView::CapacityOnly => funds.total(e.id).to_tokens_f64(),
+    };
+    (tokens > 0.0).then_some(tokens)
+}
+
+/// Strategy dispatch over an arbitrary width closure — the single body
+/// behind [`select_paths_in`] and [`select_paths_footprint`].
+#[allow(clippy::too_many_arguments)]
+fn select_paths_core<W>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    mut width: W,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    strategy: PathSelect,
+    min_width: Amount,
+) -> Vec<Path>
+where
+    W: FnMut(EdgeRef) -> Option<f64>,
+{
     let min_w = min_width.to_tokens_f64();
     match strategy {
         PathSelect::Ksp => k_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0)),
@@ -122,14 +174,7 @@ pub fn select_paths_in(
                 .map(|p| {
                     let bottleneck = p
                         .hops_iter()
-                        .map(|(from, ch, _)| {
-                            let e = pcn_graph::EdgeRef {
-                                id: ch,
-                                from,
-                                to: from,
-                            };
-                            width(e).unwrap_or(0.0)
-                        })
+                        .map(|(from, ch, to)| width(EdgeRef { id: ch, from, to }).unwrap_or(0.0))
                         .fold(f64::INFINITY, f64::min);
                     (bottleneck, p)
                 })
@@ -239,6 +284,99 @@ mod tests {
         );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].nodes()[1], n(2));
+    }
+
+    /// The heuristic's bottleneck scorer builds each hop's real forward
+    /// [`EdgeRef`] from `hops_iter`. The old degenerate `to: from` ref
+    /// was *latent* — today's width closure reads only `e.id`/`e.from`,
+    /// so scoring was already forward-correct — but this pins the
+    /// forward ranking on asymmetric balances (route via node 1 thin
+    /// forward / fat backward, via node 2 the opposite) so a future
+    /// direction-sensitive width closure cannot silently regress it.
+    #[test]
+    fn heuristic_scores_hops_in_forward_direction() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1)); // ch0
+        g.add_edge(n(1), n(3)); // ch1
+        g.add_edge(n(0), n(2)); // ch2
+        g.add_edge(n(2), n(3)); // ch3
+        let funds = NetworkFunds::from_graph(&g, |id, side| {
+            let via1 = id.index() < 2;
+            let forward = side == n(0) || (via1 && side == n(1)) || (!via1 && side == n(2));
+            let tokens = match (via1, forward) {
+                (true, true) => 3,   // thin forward via 1
+                (true, false) => 9,  // fat backward via 1
+                (false, true) => 6,  // fat forward via 2
+                (false, false) => 1, // thin backward via 2
+            };
+            Amount::from_tokens(tokens)
+        });
+        let paths = select_paths(
+            &g,
+            &funds,
+            n(0),
+            n(3),
+            1,
+            PathSelect::Heuristic,
+            BalanceView::Live,
+            Amount::from_millitokens(1),
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(
+            paths[0].nodes()[1],
+            n(2),
+            "forward bottleneck via 2 (6) beats via 1 (3); a \
+             backward-reading scorer would rank via 1 (backward 9) first"
+        );
+    }
+
+    /// The footprint variant returns bit-identical paths and records
+    /// exactly the channels the search consulted.
+    #[test]
+    fn footprint_variant_matches_and_scopes() {
+        let (mut g, _) = setup();
+        // Unreachable island: can never enter the footprint.
+        let i0 = g.add_node();
+        let i1 = g.add_node();
+        let island = g.add_edge(i0, i1);
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        let mut fp = pcn_graph::Footprint::new();
+        for strategy in PathSelect::ALL {
+            let mut ws = pcn_graph::SearchWorkspace::new();
+            let plain = select_paths_in(
+                &g,
+                &mut ws,
+                &funds,
+                n(0),
+                n(3),
+                4,
+                strategy,
+                BalanceView::Live,
+                Amount::from_millitokens(1),
+            );
+            let mut ws2 = pcn_graph::SearchWorkspace::new();
+            let tracked = select_paths_footprint(
+                &g,
+                &mut ws2,
+                &funds,
+                n(0),
+                n(3),
+                4,
+                strategy,
+                BalanceView::Live,
+                Amount::from_millitokens(1),
+                &mut fp,
+            );
+            assert_eq!(plain, tracked, "{strategy:?}");
+            assert!(!fp.is_empty(), "{strategy:?} consulted channels");
+            // Every channel on a returned path was consulted.
+            for p in &tracked {
+                for ch in p.channels() {
+                    assert!(fp.contains(*ch), "{strategy:?} path channel {ch}");
+                }
+            }
+            assert!(!fp.contains(island), "{strategy:?} island unreachable");
+        }
     }
 
     #[test]

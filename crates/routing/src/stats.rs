@@ -32,10 +32,10 @@ pub struct RunStats {
     pub drained_directions_end: usize,
     /// Payments that found no path at all.
     pub unroutable: u64,
-    /// Path-cache counters (hits/misses/invalidations). Diagnostic only:
-    /// the cache is semantics-preserving, so these are the *only* fields
-    /// allowed to differ between a cached and an uncached run of the same
-    /// seed (pinned by `tests/determinism.rs`).
+    /// Path-cache counters (hits/misses/invalidations/evictions).
+    /// Diagnostic only: the cache is semantics-preserving, so these are
+    /// the *only* fields allowed to differ between a cached and an
+    /// uncached run of the same seed (pinned by `tests/determinism.rs`).
     pub path_cache: PathCacheStats,
 }
 
@@ -81,7 +81,7 @@ impl core::fmt::Display for RunStats {
         write!(
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
-             drained={} cache={}h/{}m/{}i",
+             drained={} cache={}h/{}m/{}i/{}e",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -93,6 +93,7 @@ impl core::fmt::Display for RunStats {
             self.path_cache.hits,
             self.path_cache.misses,
             self.path_cache.invalidations,
+            self.path_cache.evictions,
         )
     }
 }
@@ -138,13 +139,14 @@ mod tests {
                 hits: 3,
                 misses: 2,
                 invalidations: 1,
+                evictions: 4,
             },
             ..Default::default()
         };
         let shown = s.to_string();
         assert!(shown.contains("tsr=1.000"));
         assert!(shown.contains("gen=5"));
-        assert!(shown.contains("cache=3h/2m/1i"));
+        assert!(shown.contains("cache=3h/2m/1i/4e"));
     }
 
     #[test]

@@ -110,6 +110,67 @@ fn path_cache_is_semantics_preserving() {
 }
 
 #[test]
+fn footprint_scoped_cache_under_funds_churn() {
+    // Funds-churn regression for the footprint-scoped cache: hotspot
+    // traffic concentrates payments so channels all over the network
+    // move funds constantly. Two claims:
+    //
+    // (a) footprint-scoped hits stay bit-identical to recomputation for
+    //     all six schemes (cached ≡ uncached modulo the diagnostic
+    //     counters), and
+    // (b) Splicer — whose live-balance hub plans used to invalidate on
+    //     *any* movement anywhere and sat at ~0% hit rate — now sustains
+    //     a nonzero steady-state hit rate, because funds movements on
+    //     channels outside a plan's footprint no longer stale it and the
+    //     topology-only access legs never stale at all.
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = ScenarioBuilder::tiny()
+            .hotspot(0.5, 1.5)
+            .scheme(scheme)
+            .seed(23)
+            .build();
+        let with = |cache| {
+            run_spec_tuned(
+                &spec,
+                &RunTuning {
+                    path_cache: Some(cache),
+                    ..RunTuning::default()
+                },
+                &SchemeTuning::default(),
+            )
+        };
+        let cached = with(true);
+        let uncached = with(false);
+        assert_eq!(
+            cached.report.stats.without_cache_counters(),
+            uncached.report.stats.without_cache_counters(),
+            "{}: cached run diverged from uncached run under funds churn",
+            scheme.name()
+        );
+        let pc = cached.report.stats.path_cache;
+        assert!(
+            pc.lookups() > 0,
+            "{}: churn scenario must exercise the cache",
+            scheme.name()
+        );
+        if scheme == SchemeChoice::Splicer {
+            assert!(
+                pc.hits > 0 && pc.hit_rate() > 0.0,
+                "Splicer live-view cells must sustain a nonzero hit rate \
+                 under funds-moving traffic, got {pc:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn per_variant_seed_policy_is_reproducible() {
     let grid = ExperimentGrid::new(ScenarioParams::tiny())
         .schemes([SchemeChoice::Spider])
