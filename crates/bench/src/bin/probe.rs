@@ -16,7 +16,7 @@ fn main() {
         println!(
             "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
              tus: del={} abort={} marked={} drained={} hubs={:?} \
-             cache={}h/{}m/{}i/{}e ({:.0}% hit)",
+             cache={}h/{}m/{}i/{}e ({:.0}% hit) pps={:.0}",
             r.scheme,
             s.tsr(),
             s.normalized_throughput(),
@@ -35,6 +35,7 @@ fn main() {
             s.path_cache.invalidations,
             s.path_cache.evictions,
             100.0 * s.path_cache.hit_rate(),
+            s.payments_per_sec(),
         );
     }
 }

@@ -371,6 +371,7 @@ fn merge_tuning(base: &RunTuning, variant: &RunTuning) -> RunTuning {
         hub_fund_factor: variant.hub_fund_factor.or(base.hub_fund_factor),
         update_interval_ms: variant.update_interval_ms.or(base.update_interval_ms),
         path_cache: variant.path_cache.or(base.path_cache),
+        calendar_queue: variant.calendar_queue.or(base.calendar_queue),
     }
 }
 

@@ -19,6 +19,12 @@ pub struct RunTuning {
     /// Semantics-preserving either way; used for cache A/B cells and the
     /// determinism regression.
     pub path_cache: Option<bool>,
+    /// Calendar-queue event scheduler toggle (None = engine default, on;
+    /// `Some(false)` pins the run to the reference binary heap).
+    /// Semantics-preserving either way — both backends pop the identical
+    /// event sequence; used for the determinism regression and scheduler
+    /// A/B cells.
+    pub calendar_queue: Option<bool>,
 }
 
 /// Scheme-level overrides (the paper's Table II and ablation rows tweak
@@ -147,6 +153,9 @@ pub fn run_on_scenario(
     }
     if let Some(cache) = tuning.path_cache {
         prepared.tune_engine(|cfg| cfg.use_path_cache = cache);
+    }
+    if let Some(calendar) = tuning.calendar_queue {
+        prepared.tune_engine(|cfg| cfg.use_calendar_queue = calendar);
     }
     let report = prepared.run();
     let violations = check_expectations(spec, &report);

@@ -37,14 +37,21 @@
 //!   survive unrelated traffic. Scoped computations read balances only —
 //!   never the price table — so they do not watch the price epoch.
 //!
-//! The cache is bounded: at [`PathCache::capacity`] resident entries,
-//! inserting a new key evicts the first provably-stale entry among a
-//! constant-size window of the oldest entries (insertion order), falling
-//! back to the oldest entry when none in the window is stale — stale
-//! entries go first without a miss ever paying an O(capacity) scan.
-//! Eviction is deterministic (insertion order, never hash order), which
-//! keeps the diagnostic counters — and therefore whole `RunStats` —
-//! reproducible across runs.
+//! The cache is bounded by **weight**, not bare entry count: an entry
+//! weighs `max(1, footprint pairs / FOOTPRINT_WEIGHT_DIVISOR)` units
+//! against [`PathCache::capacity`], so a broad-footprint world — where
+//! one live search can consult a large fraction of all channels and its
+//! entry stores one `(channel, epoch)` pair per consulted channel —
+//! cannot blow worst-case memory past `capacity ×
+//! FOOTPRINT_WEIGHT_DIVISOR` pairs. Unscoped entries weigh one unit, so
+//! for them the bound degenerates to the entry count. When inserting
+//! would exceed the capacity, the cache evicts the first provably-stale
+//! entry among a constant-size window of the oldest entries (insertion
+//! order), falling back to the oldest entry when none in the window is
+//! stale — stale entries go first without a miss ever paying an
+//! O(capacity) scan. Eviction is deterministic (insertion order, never
+//! hash order), which keeps the diagnostic counters — and therefore
+//! whole `RunStats` — reproducible across runs.
 //!
 //! Hit/miss/invalidation/eviction counters are exported into
 //! [`crate::stats::RunStats`] (and from there into every harness grid
@@ -193,7 +200,20 @@ struct CacheEntry {
     /// channel the computation read — `Some` only for footprint-scoped
     /// entries.
     footprint: Option<Box<[(ChannelId, u64)]>>,
+    /// Capacity units this entry counts against the bound:
+    /// `max(1, footprint pairs / FOOTPRINT_WEIGHT_DIVISOR)`.
+    weight: usize,
     paths: Arc<[Path]>,
+}
+
+/// Footprint pairs per capacity unit: an entry's weight is
+/// `max(1, pairs / FOOTPRINT_WEIGHT_DIVISOR)`, so the documented memory
+/// bound holds at `capacity × FOOTPRINT_WEIGHT_DIVISOR` stored pairs
+/// worst-case while small-footprint entries still weigh a single unit.
+pub const FOOTPRINT_WEIGHT_DIVISOR: usize = 16;
+
+fn weight_of(footprint_pairs: usize) -> usize {
+    (footprint_pairs / FOOTPRINT_WEIGHT_DIVISOR).max(1)
 }
 
 impl CacheEntry {
@@ -225,6 +245,9 @@ pub struct PathCache {
     /// deterministic eviction scan order.
     order: VecDeque<CacheKey>,
     capacity: usize,
+    /// Total weight of resident entries (≤ capacity except transiently
+    /// for a single entry heavier than the whole cache).
+    weight: usize,
     /// Reusable footprint recorder for scoped computations.
     scratch: Footprint,
     stats: PathCacheStats,
@@ -253,14 +276,20 @@ impl PathCache {
             entries: HashMap::new(),
             order: VecDeque::new(),
             capacity,
+            weight: 0,
             scratch: Footprint::new(),
             stats: PathCacheStats::default(),
         }
     }
 
-    /// The capacity bound (resident entries).
+    /// The capacity bound (weight units; an unscoped entry weighs one).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Total weight of the resident entries.
+    pub fn weight(&self) -> usize {
+        self.weight
     }
 
     /// Returns the cached paths for `key` if the entry is still fresh at
@@ -309,6 +338,7 @@ impl PathCache {
                     stamp: now,
                     volatility,
                     footprint: None,
+                    weight: 1,
                     paths: Arc::clone(&paths),
                 };
                 self.store(key, entry, stale, now, funds);
@@ -353,6 +383,7 @@ impl PathCache {
                 let entry = CacheEntry {
                     stamp: now,
                     volatility: Volatility::Live,
+                    weight: weight_of(snapshot.len()),
                     footprint: Some(snapshot),
                     paths: Arc::clone(&paths),
                 };
@@ -363,7 +394,8 @@ impl PathCache {
     }
 
     /// Replaces a stale entry in place or inserts a new key, evicting
-    /// first when at capacity. Updates the miss/invalidation counters.
+    /// first when the weight bound would be exceeded. Updates the
+    /// miss/invalidation counters.
     fn store(
         &mut self,
         key: CacheKey,
@@ -374,10 +406,19 @@ impl PathCache {
     ) {
         if stale {
             self.stats.invalidations += 1;
-            *self.entries.get_mut(&key).expect("stale entry present") = entry;
+            let new_weight = entry.weight;
+            let slot = self.entries.get_mut(&key).expect("stale entry present");
+            self.weight = self.weight - slot.weight + new_weight;
+            *slot = entry;
+            if self.weight > self.capacity {
+                // The replacement grew: shed other entries (never the
+                // one just stored).
+                self.evict_to_fit(0, now, funds, Some(key));
+            }
         } else {
             self.stats.misses += 1;
-            self.evict_if_full(now, funds);
+            self.evict_to_fit(entry.weight, now, funds, None);
+            self.weight += entry.weight;
             self.entries.insert(key, entry);
             self.order.push_back(key);
         }
@@ -388,23 +429,45 @@ impl PathCache {
     /// O(1), not O(capacity).
     const EVICTION_SCAN: usize = 8;
 
-    /// Frees room for one insertion: evicts the first provably-stale
-    /// entry among the [`Self::EVICTION_SCAN`] oldest (insertion order),
-    /// falling back to the oldest entry when none of them is stale.
-    /// `funds` (when the caller has it) lets the staleness check run the
-    /// per-channel footprint comparison, so footprint-fresh entries are
-    /// not misjudged stale just because the global epoch moved.
-    /// Deterministic — the scan never depends on hash order.
-    fn evict_if_full(&mut self, now: EpochStamp, funds: Option<&NetworkFunds>) {
-        while self.entries.len() >= self.capacity {
-            let victim = self
-                .order
-                .iter()
-                .take(Self::EVICTION_SCAN)
-                .position(|k| self.entries.get(k).is_some_and(|e| !e.is_fresh(now, funds)))
-                .unwrap_or(0);
-            let key = self.order.remove(victim).expect("order tracks entries");
-            self.entries.remove(&key);
+    /// Frees room for `incoming` weight units: evicts the first
+    /// provably-stale entry among the [`Self::EVICTION_SCAN`] oldest
+    /// (insertion order), falling back to the oldest entry when none of
+    /// them is stale, until the incoming entry fits (or nothing
+    /// evictable remains — a lone entry heavier than the whole cache is
+    /// admitted rather than thrashing). `exclude` protects a key that
+    /// must survive (an in-place replacement). `funds` (when the caller
+    /// has it) lets the staleness check run the per-channel footprint
+    /// comparison, so footprint-fresh entries are not misjudged stale
+    /// just because the global epoch moved. Deterministic — the scan
+    /// never depends on hash order.
+    fn evict_to_fit(
+        &mut self,
+        incoming: usize,
+        now: EpochStamp,
+        funds: Option<&NetworkFunds>,
+        exclude: Option<CacheKey>,
+    ) {
+        while self.weight + incoming > self.capacity {
+            let mut stale_pos = None;
+            let mut oldest_pos = None;
+            for (i, k) in self.order.iter().take(Self::EVICTION_SCAN).enumerate() {
+                if Some(*k) == exclude {
+                    continue;
+                }
+                if oldest_pos.is_none() {
+                    oldest_pos = Some(i);
+                }
+                if self.entries.get(k).is_some_and(|e| !e.is_fresh(now, funds)) {
+                    stale_pos = Some(i);
+                    break;
+                }
+            }
+            let Some(pos) = stale_pos.or(oldest_pos) else {
+                break;
+            };
+            let key = self.order.remove(pos).expect("order tracks entries");
+            let evicted = self.entries.remove(&key).expect("order tracks entries");
+            self.weight -= evicted.weight;
             self.stats.evictions += 1;
         }
     }
@@ -740,5 +803,135 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = PathCache::with_capacity(0);
+    }
+
+    /// Broad-footprint entries count `footprint pairs / divisor` units
+    /// against the capacity, so a world where every live search consults
+    /// many channels cannot hold more pairs than the documented bound —
+    /// the cache evicts by weight, not by entry count.
+    #[test]
+    fn footprint_weight_counts_against_capacity() {
+        // A long line: the search from one end to the other consults
+        // every channel, so its footprint holds 2×divisor channels and
+        // the entry weighs 2 units.
+        let chain = 2 * FOOTPRINT_WEIGHT_DIVISOR;
+        let mut g = Graph::new(chain + 1);
+        for i in 0..chain {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+        }
+        let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        let span = |cache: &mut PathCache, key: CacheKey, src: usize, dst: usize| {
+            let now = EpochStamp {
+                topology: g.topology_epoch(),
+                funds: funds.funds_epoch(),
+                prices: 0,
+            };
+            cache.get_or_compute_scoped(key, now, &funds, |fp| {
+                g.shortest_path(NodeId::from_index(src), NodeId::from_index(dst), |e| {
+                    fp.record(e.id);
+                    Some(1.0)
+                })
+                .map(|(_, p)| vec![p])
+                .unwrap_or_default()
+            });
+        };
+        let plan_key = CacheKey::plan(NodeId::from_index(0), NodeId::from_index(chain));
+        let rev_key = CacheKey::plan(NodeId::from_index(chain), NodeId::from_index(0));
+        let mid_key = CacheKey::hub_middle(NodeId::from_index(0), NodeId::from_index(chain));
+        // Capacity 5 weight units: two full-line entries (2 units each)
+        // fit; the third forces an eviction even though only two entries
+        // are resident — entry-count bounding would have kept all three.
+        let mut cache = PathCache::with_capacity(5);
+        span(&mut cache, plan_key, 0, chain);
+        assert_eq!(
+            cache.weight(),
+            2,
+            "footprint of {} channels weighs 2",
+            chain
+        );
+        span(&mut cache, rev_key, chain, 0);
+        assert_eq!((cache.len(), cache.weight()), (2, 4));
+        span(&mut cache, mid_key, 0, chain);
+        assert_eq!(
+            cache.stats().evictions,
+            1,
+            "2 + 2 + 2 units exceed capacity 5: the oldest entry must go"
+        );
+        assert_eq!((cache.len(), cache.weight()), (2, 4));
+        assert!(cache.weight() <= cache.capacity());
+        // The evicted key was the oldest (plan 0 → chain): re-querying
+        // it misses.
+        span(&mut cache, plan_key, 0, chain);
+        assert_eq!(cache.stats().misses, 4);
+        // Unscoped entries still weigh one unit each: the bound
+        // degenerates to entry-count capacity for them.
+        let mut unit = PathCache::with_capacity(2);
+        let now = stamp(1, 1, 1);
+        for i in 0..3u32 {
+            unit.get_or_compute(
+                CacheKey::plan(n(i), n(10 + i)),
+                now,
+                Volatility::CapacityOnly,
+                || vec![path01()],
+            );
+        }
+        assert_eq!((unit.len(), unit.weight()), (2, 2));
+        assert_eq!(unit.stats().evictions, 1);
+    }
+
+    /// An in-place stale replacement that grows its footprint must shed
+    /// *other* entries to restore the bound — never the entry just
+    /// stored.
+    #[test]
+    fn stale_replacement_growth_evicts_others() {
+        let chain = 2 * FOOTPRINT_WEIGHT_DIVISOR;
+        let mut g = Graph::new(chain + 1);
+        let first = g.add_edge(NodeId::new(0), NodeId::new(1));
+        for i in 1..chain {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+        }
+        let mut funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+        let mut cache = PathCache::with_capacity(3);
+        let key = CacheKey::plan(NodeId::new(0), NodeId::new(1));
+        let now = |g: &Graph, funds: &NetworkFunds| EpochStamp {
+            topology: g.topology_epoch(),
+            funds: funds.funds_epoch(),
+            prices: 0,
+        };
+        // A narrow scoped entry (footprint: one channel, weight 1) …
+        cache.get_or_compute_scoped(key, now(&g, &funds), &funds, |fp| {
+            fp.record(first);
+            vec![path01()]
+        });
+        // … plus two unscoped fresh entries fill the cache to weight 3.
+        for i in 1..3u32 {
+            cache.get_or_compute(
+                CacheKey::plan(n(i), n(10 + i)),
+                now(&g, &funds),
+                Volatility::CapacityOnly,
+                || vec![path01()],
+            );
+        }
+        assert_eq!(cache.weight(), 3);
+        // Invalidate the scoped entry and recompute it with the full
+        // line footprint: weight jumps 1 → 2, total would be 4 > 3.
+        funds
+            .lock(first, NodeId::new(0), Amount::from_tokens(1))
+            .unwrap();
+        cache.get_or_compute_scoped(key, now(&g, &funds), &funds, |fp| {
+            g.shortest_path(NodeId::new(0), NodeId::from_index(chain), |e| {
+                fp.record(e.id);
+                Some(1.0)
+            })
+            .map(|(_, p)| vec![p])
+            .unwrap_or_default()
+        });
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().evictions, 1, "one unscoped entry shed");
+        assert!(cache.weight() <= cache.capacity());
+        // The replaced key itself survived.
+        cache.get_or_compute_scoped(key, now(&g, &funds), &funds, |_| {
+            panic!("the grown entry must still be resident and fresh")
+        });
     }
 }

@@ -1,0 +1,271 @@
+//! Dense arenas for the engine's hot state tables.
+//!
+//! The event loop touches transaction and TU state on every event; the
+//! old `HashMap<TxId, …>` / `HashMap<TuId, …>` tables paid a hash and a
+//! probe per touch. Both id spaces are engine-allocated, so the tables
+//! can be arrays:
+//!
+//! * [`TxTable`] indexes [`TxState`] directly by the payment's
+//!   sequential [`TxId`] (workload traces number payments densely from
+//!   zero). Transactions live until the end of the run, so slots are
+//!   never recycled.
+//! * [`TuArena`] is a generational slab. A [`TuId`] is a packed
+//!   `(generation, slot)` handle: the low 32 bits address the slot, the
+//!   high 32 bits carry the slot's generation at allocation time. A
+//!   slot is recycled (pushed on the free list) the moment its TU is
+//!   removed — on settle, abort, or ack — **but its generation is
+//!   bumped first**, so any event still in flight holding the old
+//!   handle (a stale `SettleHop` after an abort, a `HopArrive` for a
+//!   delivered TU) misses exactly like the old `HashMap::get` on a
+//!   removed key did. Lookups are an index plus a generation compare —
+//!   no hashing — and id reuse is invisible to the protocol logic.
+
+use pcn_types::{TuId, TxId};
+
+use crate::tu::TransactionUnit;
+
+use super::TxState;
+
+/// Transaction state table indexed by the dense sequential [`TxId`].
+///
+/// Payment ids must be dense (workload traces number them from zero):
+/// the table grows to the largest id inserted.
+pub(crate) struct TxTable {
+    slots: Vec<Option<TxState>>,
+    len: usize,
+}
+
+impl TxTable {
+    pub(super) fn new() -> TxTable {
+        TxTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub(super) fn insert(&mut self, id: TxId, state: TxState) {
+        let i = id.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].replace(state).is_none() {
+            self.len += 1;
+        }
+    }
+
+    pub(super) fn get(&self, id: TxId) -> Option<&TxState> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    pub(super) fn get_mut(&mut self, id: TxId) -> Option<&mut TxState> {
+        self.slots.get_mut(id.index())?.as_mut()
+    }
+
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+struct TuSlot {
+    generation: u32,
+    tu: Option<TransactionUnit>,
+}
+
+/// Generational slab of in-flight [`TransactionUnit`]s; see the module
+/// docs for the id-reuse rules.
+pub(crate) struct TuArena {
+    slots: Vec<TuSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+fn pack(generation: u32, slot: usize) -> TuId {
+    TuId::new(((generation as u64) << 32) | slot as u64)
+}
+
+fn unpack(id: TuId) -> (u32, usize) {
+    let raw = id.raw();
+    ((raw >> 32) as u32, (raw & u32::MAX as u64) as usize)
+}
+
+impl TuArena {
+    pub(super) fn new() -> TuArena {
+        TuArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Allocates a slot and stores the TU `build` constructs for the
+    /// slot's handle (the TU records its own id).
+    pub(super) fn insert_with(&mut self, build: impl FnOnce(TuId) -> TransactionUnit) -> TuId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(TuSlot {
+                    generation: 0,
+                    tu: None,
+                });
+                self.slots.len() - 1
+            }
+        };
+        let id = pack(self.slots[slot].generation, slot);
+        let tu = build(id);
+        debug_assert_eq!(tu.id, id);
+        self.slots[slot].tu = Some(tu);
+        self.live += 1;
+        id
+    }
+
+    pub(super) fn get(&self, id: TuId) -> Option<&TransactionUnit> {
+        let (generation, slot) = unpack(id);
+        let s = self.slots.get(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.tu.as_ref()
+    }
+
+    pub(super) fn get_mut(&mut self, id: TuId) -> Option<&mut TransactionUnit> {
+        let (generation, slot) = unpack(id);
+        let s = self.slots.get_mut(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.tu.as_mut()
+    }
+
+    /// Removes and returns the TU. The slot's generation is bumped
+    /// before it joins the free list, so the handle (and any copy of it
+    /// buried in not-yet-delivered events) can never resolve again.
+    pub(super) fn remove(&mut self, id: TuId) -> Option<TransactionUnit> {
+        let (generation, slot) = unpack(id);
+        let s = self.slots.get_mut(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        let tu = s.tu.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(tu)
+    }
+
+    #[cfg(test)]
+    pub(super) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pre-sizes the slab (steady-state allocation-freedom in tests).
+    #[cfg(test)]
+    pub(super) fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.free.reserve(additional);
+    }
+
+    /// Live TUs in slot order (deterministic, test inspection).
+    #[cfg(test)]
+    pub(super) fn iter(&self) -> impl Iterator<Item = &TransactionUnit> {
+        self.slots.iter().filter_map(|s| s.tu.as_ref())
+    }
+
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_graph::Path;
+    use pcn_types::{Amount, NodeId, SimTime};
+    use std::sync::Arc;
+
+    fn dummy_tu(id: TuId, tag: u64) -> TransactionUnit {
+        let plan: Arc<[Path]> = vec![Path::trivial(NodeId::new(0))].into();
+        TransactionUnit {
+            id,
+            tx: TxId::new(tag),
+            amount: Amount::from_tokens(1),
+            plan,
+            flow_path: 0,
+            next_hop: 0,
+            locked_hops: 0,
+            marked: false,
+            deadline: SimTime::ZERO,
+            enqueued_at: None,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn slots_recycle_but_stale_handles_miss() {
+        let mut arena = TuArena::new();
+        let a = arena.insert_with(|id| dummy_tu(id, 1));
+        let b = arena.insert_with(|id| dummy_tu(id, 2));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).unwrap().tx, TxId::new(1));
+        let removed = arena.remove(a).unwrap();
+        assert_eq!(removed.tx, TxId::new(1));
+        // The stale handle misses every accessor — the HashMap-removal
+        // semantics events rely on.
+        assert!(arena.get(a).is_none());
+        assert!(arena.get_mut(a).is_none());
+        assert!(arena.remove(a).is_none());
+        // The next allocation reuses the slot under a fresh generation:
+        // a distinct id, same low 32 bits.
+        let c = arena.insert_with(|id| dummy_tu(id, 3));
+        assert_ne!(a, c);
+        assert_eq!(a.raw() & u32::MAX as u64, c.raw() & u32::MAX as u64);
+        assert!(arena.get(a).is_none(), "old handle must not see the new TU");
+        assert_eq!(arena.get(c).unwrap().tx, TxId::new(3));
+        assert_eq!(arena.get(b).unwrap().tx, TxId::new(2));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered() {
+        let mut arena = TuArena::new();
+        let ids: Vec<TuId> = (0..4)
+            .map(|i| arena.insert_with(|id| dummy_tu(id, i)))
+            .collect();
+        arena.remove(ids[1]).unwrap();
+        let seen: Vec<u64> = arena.iter().map(|tu| tu.tx.raw()).collect();
+        assert_eq!(seen, vec![0, 2, 3]);
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn tx_table_grows_and_counts() {
+        let mut table = TxTable::new();
+        assert!(table.get(TxId::new(0)).is_none());
+        let state = |v: u64| TxState {
+            payment: crate::tu::Payment {
+                id: TxId::new(v),
+                source: NodeId::new(0),
+                dest: NodeId::new(1),
+                value: Amount::from_tokens(v),
+                created: SimTime::ZERO,
+                deadline: SimTime::ZERO,
+            },
+            flow: None,
+            backlog: Default::default(),
+            delivered: Amount::ZERO,
+            resolved: false,
+            next_path: 0,
+        };
+        table.insert(TxId::new(3), state(3));
+        table.insert(TxId::new(0), state(0));
+        assert_eq!(table.len(), 2);
+        assert!(table.get(TxId::new(1)).is_none());
+        assert_eq!(
+            table.get(TxId::new(3)).unwrap().payment.value,
+            Amount::from_tokens(3)
+        );
+        table.get_mut(TxId::new(0)).unwrap().resolved = true;
+        assert!(table.get(TxId::new(0)).unwrap().resolved);
+    }
+}

@@ -137,7 +137,7 @@ impl Engine {
     }
 
     pub(super) fn on_compute_done(&mut self, now: SimTime, tx: TxId) {
-        let Some(state) = self.txs.get(&tx) else {
+        let Some(state) = self.txs.get(tx) else {
             return;
         };
         if state.resolved {
@@ -164,13 +164,18 @@ impl Engine {
             WindowController::new(k, self.cfg.initial_window, self.cfg.beta, self.cfg.gamma);
         let backlog: VecDeque<Amount> =
             split_demand(payment.value, self.cfg.min_tu, self.cfg.max_tu).into();
-        let state = self.txs.get_mut(&tx).expect("checked above");
-        state.flow = Some(FlowState {
+        let state = self.txs.get_mut(tx).expect("checked above");
+        let mut flow = FlowState {
             outstanding: vec![0; k],
             paths,
             rates,
             windows,
-        });
+            admit_mask: 0,
+        };
+        for i in 0..k {
+            flow.refresh_admit(i);
+        }
+        state.flow = Some(flow);
         state.backlog = backlog;
         if self.scheme.rate_control {
             for i in 0..k {

@@ -26,34 +26,38 @@ impl Engine {
             |ch| funds.total(ch).to_tokens_f64(),
         );
         // Expire queued TUs whose transactions are past deadline, and mark
-        // the ones waiting longer than T.
-        let mut expired_tus = Vec::new();
-        let mut to_mark = Vec::new();
+        // the ones waiting longer than T. The scratch buffers persist on
+        // the engine: a quiet tick allocates nothing.
+        let mut expired = std::mem::take(&mut self.scratch_expired);
+        let mut to_mark = std::mem::take(&mut self.scratch_marked);
+        expired.clear();
+        to_mark.clear();
         for pair in self.queues.iter_mut() {
             for q in [&mut pair.0, &mut pair.1] {
-                for e in q.drain_expired(now) {
-                    expired_tus.push(e.tu);
-                }
-                to_mark.extend(q.over_delay(now, self.cfg.queue_delay_threshold));
+                q.drain_expired_into(now, &mut expired);
+                q.over_delay_into(now, self.cfg.queue_delay_threshold, &mut to_mark);
             }
         }
-        for tu in expired_tus {
-            self.abort_tu(now, tu, true);
+        for e in &expired {
+            self.abort_tu(now, e.tu, true);
         }
-        for tu_id in to_mark {
-            if let Some(tu) = self.tus.get_mut(&tu_id) {
+        for &tu_id in &to_mark {
+            if let Some(tu) = self.tus.get_mut(tu_id) {
                 if !tu.marked {
                     tu.marked = true;
                     self.stats.marked_tus += 1;
                 }
             }
         }
+        self.scratch_expired = expired;
+        self.scratch_marked = to_mark;
         // Rate updates from freshly probed path prices (eq. 26), plus
         // probe overhead accounting.
         if self.scheme.rate_control {
             let mut prune = false;
+            let mut prices = std::mem::take(&mut self.scratch_prices);
             for &tx in &self.active {
-                let Some(state) = self.txs.get_mut(&tx) else {
+                let Some(state) = self.txs.get_mut(tx) else {
                     prune = true;
                     continue;
                 };
@@ -67,18 +71,20 @@ impl Engine {
                 let Some(rates) = flow.rates.as_mut() else {
                     continue;
                 };
-                let prices: Vec<f64> = flow
-                    .paths
-                    .iter()
-                    .map(|p| self.prices.path_price(p, self.cfg.t_fee))
-                    .collect();
+                prices.clear();
+                prices.extend(
+                    flow.paths
+                        .iter()
+                        .map(|p| self.prices.path_price(p, self.cfg.t_fee)),
+                );
                 rates.update(&prices);
                 self.stats.overhead_msgs += flow.paths.iter().map(|p| p.hops() as u64).sum::<u64>();
             }
+            self.scratch_prices = prices;
             if prune {
                 let txs = &self.txs;
                 self.active
-                    .retain(|tx| txs.get(tx).is_some_and(|s| !s.resolved));
+                    .retain(|&tx| txs.get(tx).is_some_and(|s| !s.resolved));
             }
         }
         // Hub state synchronization (epoch exchange, §III-B).

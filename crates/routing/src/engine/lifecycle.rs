@@ -5,6 +5,8 @@
 //! hop, queue on dry channel directions, settle backwards as the
 //! acknowledgement returns, and refund every locked hop on abort.
 
+use std::sync::Arc;
+
 use pcn_types::{ChannelId, SimTime, TuId, TxId};
 
 use crate::scheduler::WaitQueue;
@@ -12,79 +14,110 @@ use crate::tu::TransactionUnit;
 
 use super::{nth_hop, Engine, Ev};
 
+/// Sends the next backlog TU of an already-looked-up transaction. With
+/// `path_override` the TU goes on the given path (rate-controlled
+/// injection); otherwise round-robin. Returns false when the backlog is
+/// empty or the window is closed.
+///
+/// A free function over the disjoint engine fields it touches, so the
+/// injection poll path (`on_inject`, the single most frequent event in a
+/// saturated run) resolves its transaction exactly once.
+fn try_send_tu(
+    tus: &mut super::arena::TuArena,
+    events: &mut pcn_sim::EventQueue<Ev>,
+    state: &mut super::TxState,
+    now: SimTime,
+    tx: TxId,
+    path_override: Option<usize>,
+) -> bool {
+    if state.resolved || state.backlog.is_empty() {
+        return false;
+    }
+    let Some(flow) = state.flow.as_mut() else {
+        return false;
+    };
+    let path_i = match path_override {
+        Some(i) => i,
+        None => {
+            let i = state.next_path % flow.paths.len();
+            state.next_path += 1;
+            i
+        }
+    };
+    if !flow.admits(path_i) {
+        return false;
+    }
+    let amount = state.backlog.pop_front().expect("backlog non-empty");
+    flow.outstanding[path_i] += 1;
+    flow.refresh_admit(path_i);
+    let plan = Arc::clone(&flow.paths);
+    let deadline = state.payment.deadline;
+    let id = tus.insert_with(|id| TransactionUnit {
+        id,
+        tx,
+        amount,
+        plan,
+        flow_path: path_i,
+        next_hop: 0,
+        locked_hops: 0,
+        marked: false,
+        deadline,
+        enqueued_at: None,
+        retries: 0,
+    });
+    events.schedule_at(now, Ev::HopArrive(id));
+    true
+}
+
 impl Engine {
-    /// Sends the next backlog TU. With `path_override` the TU goes on the
-    /// given path (rate-controlled injection); otherwise round-robin.
-    /// Returns false when the backlog is empty or the window is closed.
+    /// Sends the next backlog TU; see [`try_send_tu`].
     pub(super) fn send_next_tu(
         &mut self,
         now: SimTime,
         tx: TxId,
         path_override: Option<usize>,
     ) -> bool {
-        let Some(state) = self.txs.get_mut(&tx) else {
+        let Some(state) = self.txs.get_mut(tx) else {
             return false;
         };
-        if state.resolved || state.backlog.is_empty() {
-            return false;
-        }
-        let Some(flow) = state.flow.as_mut() else {
-            return false;
-        };
-        let path_i = match path_override {
-            Some(i) => i,
-            None => {
-                let i = state.next_path % flow.paths.len();
-                state.next_path += 1;
-                i
-            }
-        };
-        if !flow.windows.admits(path_i, flow.outstanding[path_i]) {
-            return false;
-        }
-        let amount = state.backlog.pop_front().expect("backlog non-empty");
-        flow.outstanding[path_i] += 1;
-        let path = flow.paths[path_i].clone();
-        let deadline = state.payment.deadline;
-        let id = TuId::new(self.next_tu);
-        self.next_tu += 1;
-        self.tus.insert(
-            id,
-            TransactionUnit {
-                id,
-                tx,
-                amount,
-                path,
-                next_hop: 0,
-                locked_hops: 0,
-                marked: false,
-                deadline,
-                enqueued_at: None,
-                flow_path: path_i,
-            },
-        );
-        self.events.schedule_at(now, Ev::HopArrive(id));
-        true
+        try_send_tu(
+            &mut self.tus,
+            &mut self.events,
+            state,
+            now,
+            tx,
+            path_override,
+        )
     }
 
     pub(super) fn on_inject(&mut self, now: SimTime, tx: TxId, path_i: usize) {
-        let Some(state) = self.txs.get(&tx) else {
+        let Some(state) = self.txs.get_mut(tx) else {
             return;
         };
-        if state.resolved {
+        if state.resolved || state.flow.is_none() {
             return;
         }
-        let Some(flow) = state.flow.as_ref() else {
-            return;
-        };
-        let rate = flow
-            .rates
-            .as_ref()
-            .map(|r| r.rate(path_i))
-            .unwrap_or(self.cfg.max_rate);
-        let tu_tokens = self.cfg.max_tu.to_tokens_f64();
-        let sent = self.send_next_tu(now, tx, Some(path_i));
+        let sent = try_send_tu(
+            &mut self.tus,
+            &mut self.events,
+            state,
+            now,
+            tx,
+            Some(path_i),
+        );
         let gap = if sent {
+            // The pacing rate is only consulted on an actual send; rates
+            // change solely at price ticks, so reading it after the send
+            // is identical to reading it before.
+            let rate = state
+                .flow
+                .as_ref()
+                .expect("checked above")
+                .rates
+                .as_ref()
+                .map(|r| r.rate(path_i))
+                .unwrap_or(self.cfg.max_rate);
+            let tu_tokens = self.cfg.max_tu.to_tokens_f64();
             pcn_types::SimDuration::from_secs_f64(tu_tokens / rate.max(self.cfg.min_rate))
         } else {
             // Window closed or backlog empty: poll again shortly.
@@ -93,9 +126,10 @@ impl Engine {
                 .div(4)
                 .max(pcn_types::SimDuration::from_millis(10))
         };
-        // Keep injecting while the transaction can still make its deadline.
-        let state = self.txs.get(&tx).expect("still present");
-        if !state.resolved && now + gap <= state.payment.deadline {
+        // Keep injecting while the transaction can still make its
+        // deadline (sending never resolves the transaction, so the
+        // resolved check above still holds here).
+        if now + gap <= state.payment.deadline {
             self.events.schedule_after(gap, Ev::Inject(tx, path_i));
         }
     }
@@ -103,10 +137,10 @@ impl Engine {
     // ---- hop machinery ----------------------------------------------------
 
     pub(super) fn on_hop_arrive(&mut self, now: SimTime, tu_id: TuId) {
-        let Some(tu) = self.tus.get(&tu_id) else {
+        let Some(tu) = self.tus.get(tu_id) else {
             return;
         };
-        if tu.next_hop == tu.path.hops() {
+        if tu.next_hop == tu.path().hops() {
             self.deliver(now, tu_id);
             return;
         }
@@ -115,13 +149,13 @@ impl Engine {
             return;
         }
         let hop = tu.next_hop;
-        let (from, ch, _to) = nth_hop(&tu.path, hop);
+        let (from, ch, _to) = nth_hop(tu.path(), hop);
         let amount = tu.amount;
         match self.funds.lock(ch, from, amount) {
             Ok(()) => {
                 self.prices.record_arrival(ch, from, amount.to_tokens_f64());
                 self.stats.overhead_msgs += 1;
-                let tu = self.tus.get_mut(&tu_id).expect("present");
+                let tu = self.tus.get_mut(tu_id).expect("present");
                 tu.next_hop += 1;
                 tu.locked_hops += 1;
                 tu.enqueued_at = None;
@@ -131,10 +165,10 @@ impl Engine {
             Err(_) => {
                 if self.scheme.congestion_control {
                     let dir = self.dir_of(ch, from);
-                    let deadline = self.tus[&tu_id].deadline;
+                    let deadline = self.tus.get(tu_id).expect("present").deadline;
                     let q = self.queue_mut(ch, dir);
                     if q.push(tu_id, amount, deadline, now) {
-                        self.tus.get_mut(&tu_id).expect("present").enqueued_at = Some(now);
+                        self.tus.get_mut(tu_id).expect("present").enqueued_at = Some(now);
                     } else {
                         // Queue overflow (Algorithm 2's capacity bound).
                         self.abort_tu(now, tu_id, false);
@@ -147,8 +181,8 @@ impl Engine {
     }
 
     pub(super) fn deliver(&mut self, now: SimTime, tu_id: TuId) {
-        let tu = self.tus.get(&tu_id).expect("delivering a live TU");
-        let hops = tu.path.hops();
+        let tu = self.tus.get(tu_id).expect("delivering a live TU");
+        let hops = tu.path().hops();
         self.stats.delivered_tus += 1;
         // The acknowledgement walks back: the hop nearest the recipient
         // settles first.
@@ -164,10 +198,10 @@ impl Engine {
     }
 
     pub(super) fn on_settle_hop(&mut self, tu_id: TuId, hop: usize) {
-        let Some(tu) = self.tus.get(&tu_id) else {
+        let Some(tu) = self.tus.get(tu_id) else {
             return;
         };
-        let (from, ch, to) = nth_hop(&tu.path, hop);
+        let (from, ch, to) = nth_hop(tu.path(), hop);
         let amount = tu.amount;
         self.funds
             .settle(ch, from, amount)
@@ -180,11 +214,10 @@ impl Engine {
     }
 
     pub(super) fn on_ack_complete(&mut self, now: SimTime, tu_id: TuId) {
-        let Some(tu) = self.tus.remove(&tu_id) else {
+        let Some(tu) = self.tus.remove(tu_id) else {
             return;
         };
-        self.retries.remove(&tu_id);
-        let Some(state) = self.txs.get_mut(&tu.tx) else {
+        let Some(state) = self.txs.get_mut(tu.tx) else {
             return;
         };
         state.delivered += tu.amount;
@@ -193,6 +226,7 @@ impl Engine {
             if !tu.marked {
                 flow.windows.on_unmarked_success(tu.flow_path);
             }
+            flow.refresh_admit(tu.flow_path);
         }
         if !state.resolved && state.delivered >= state.payment.value {
             state.resolved = true;
@@ -208,18 +242,18 @@ impl Engine {
     /// either retries, re-queues the value (rate-controlled schemes), or
     /// abandons it.
     pub(super) fn abort_tu(&mut self, now: SimTime, tu_id: TuId, already_dequeued: bool) {
-        let Some(tu) = self.tus.remove(&tu_id) else {
+        let Some(tu) = self.tus.remove(tu_id) else {
             return;
         };
         self.stats.aborted_tus += 1;
         if tu.enqueued_at.is_some() && !already_dequeued {
-            let (from, ch, _) = nth_hop(&tu.path, tu.next_hop);
+            let (from, ch, _) = nth_hop(tu.path(), tu.next_hop);
             let dir = self.dir_of(ch, from);
             self.queue_mut(ch, dir).remove(tu_id);
         }
         // Refund every locked hop (instant unwinding).
         for i in 0..tu.locked_hops {
-            let (from, ch, _) = nth_hop(&tu.path, i);
+            let (from, ch, _) = nth_hop(tu.path(), i);
             self.funds
                 .refund(ch, from, tu.amount)
                 .expect("refunding a locked hop");
@@ -228,7 +262,7 @@ impl Engine {
             self.events
                 .schedule_at(self.events.now(), Ev::QueueDrain(ch.raw(), dir));
         }
-        let Some(state) = self.txs.get_mut(&tu.tx) else {
+        let Some(state) = self.txs.get_mut(tu.tx) else {
             return;
         };
         if let Some(flow) = state.flow.as_mut() {
@@ -236,6 +270,7 @@ impl Engine {
             if tu.marked {
                 flow.windows.on_marked_abort(tu.flow_path);
             }
+            flow.refresh_admit(tu.flow_path);
         }
         if state.resolved {
             return;
@@ -247,32 +282,27 @@ impl Engine {
             // Value returns to the backlog; the injectors retry it.
             state.backlog.push_back(tu.amount);
         } else {
-            let retries_used = self.retries.get(&tu_id).copied().unwrap_or(0);
             let flow_len = state.flow.as_ref().map(|f| f.paths.len()).unwrap_or(0);
-            if retries_used < self.cfg.max_retries && flow_len > 1 {
+            if tu.retries < self.cfg.max_retries && flow_len > 1 {
                 // Retry on the next path (Flash's alternate-path retry).
                 let next_path = (tu.flow_path + 1) % flow_len;
                 let flow = state.flow.as_mut().expect("flow_len > 0");
                 flow.outstanding[next_path] += 1;
-                let id = TuId::new(self.next_tu);
-                self.next_tu += 1;
-                let path = flow.paths[next_path].clone();
-                self.tus.insert(
+                flow.refresh_admit(next_path);
+                let plan = Arc::clone(&flow.paths);
+                let id = self.tus.insert_with(|id| TransactionUnit {
                     id,
-                    TransactionUnit {
-                        id,
-                        tx: tu.tx,
-                        amount: tu.amount,
-                        path,
-                        next_hop: 0,
-                        locked_hops: 0,
-                        marked: false,
-                        deadline: tu.deadline,
-                        enqueued_at: None,
-                        flow_path: next_path,
-                    },
-                );
-                self.retries.insert(id, retries_used + 1);
+                    tx: tu.tx,
+                    amount: tu.amount,
+                    plan,
+                    flow_path: next_path,
+                    next_hop: 0,
+                    locked_hops: 0,
+                    marked: false,
+                    deadline: tu.deadline,
+                    enqueued_at: None,
+                    retries: tu.retries + 1,
+                });
                 self.events.schedule_at(now, Ev::HopArrive(id));
             } else {
                 // Without rate control a lost TU sinks the transaction.
@@ -282,7 +312,7 @@ impl Engine {
     }
 
     pub(super) fn fail_tx(&mut self, tx: TxId) {
-        if let Some(state) = self.txs.get_mut(&tx) {
+        if let Some(state) = self.txs.get_mut(tx) {
             if !state.resolved {
                 state.resolved = true;
                 self.stats.failed += 1;
@@ -321,7 +351,7 @@ impl Engine {
                 break;
             };
             let tu_id = entry.tu;
-            let Some(tu) = self.tus.get_mut(&tu_id) else {
+            let Some(tu) = self.tus.get_mut(tu_id) else {
                 continue;
             };
             let waited = now.saturating_since(entry.enqueued_at);
@@ -340,7 +370,7 @@ impl Engine {
             self.prices
                 .record_arrival(ch, from, entry.amount.to_tokens_f64());
             self.stats.overhead_msgs += 1;
-            let tu = self.tus.get_mut(&tu_id).expect("present");
+            let tu = self.tus.get_mut(tu_id).expect("present");
             tu.next_hop += 1;
             tu.locked_hops += 1;
             self.events
@@ -433,13 +463,13 @@ mod tests {
             let (now, ev) = engine.events.pop().expect("events pending");
             engine.handle(now, ev);
         }
-        let tu_id = *engine.tus.keys().next().unwrap();
-        let tx = engine.tus[&tu_id].tx;
-        let backlog_before = engine.txs[&tx].backlog.len();
-        let amount = engine.tus[&tu_id].amount;
+        let tu_id = engine.tus.iter().next().unwrap().id;
+        let tx = engine.tus.get(tu_id).unwrap().tx;
+        let backlog_before = engine.txs.get(tx).unwrap().backlog.len();
+        let amount = engine.tus.get(tu_id).unwrap().amount;
         let now = engine.events.now();
         engine.abort_tu(now, tu_id, false);
-        let state = &engine.txs[&tx];
+        let state = engine.txs.get(tx).unwrap();
         assert!(
             !state.resolved,
             "rate-controlled abort must not fail the tx"

@@ -25,7 +25,39 @@
 //! channel processing rate `r_process` is unbounded (congestion arises
 //! from funds, queues and windows); failure unwinding refunds instantly
 //! (the refund messages are counted in overhead but not delayed).
+//!
+//! # The allocation-free hot path
+//!
+//! The per-event loop is index-dense and steady-state allocation-free
+//! (pinned by `hot_loop_steady_state_is_allocation_free` under a
+//! counting allocator):
+//!
+//! * **State tables are arenas**, not hash maps (`engine/arena.rs`).
+//!   [`pcn_types::TxId`]s index a dense table directly. A
+//!   [`pcn_types::TuId`] is a generational `(generation, slot)` handle
+//!   into a slab: a TU's slot **may be recycled as soon as the TU
+//!   settles or aborts**, because removal bumps the slot's generation
+//!   and any stale event still holding the old handle (a `SettleHop`
+//!   racing an abort, a `HopArrive` for a delivered TU) misses on the
+//!   generation compare — the exact semantics stale `HashMap` lookups
+//!   had, at the cost of an index instead of a hash.
+//! * **Paths are shared, not cloned**: every TU holds its flow's
+//!   `Arc<[Path]>` plan (itself shared with the path cache) and an
+//!   index into it.
+//! * **The periodic control tick reuses scratch buffers** for queue
+//!   expiry, congestion marking and per-path price probes, and the
+//!   [`crate::scheduler::WaitQueue`] `*_into` drains fill caller-owned
+//!   buffers — a quiet tick allocates nothing.
+//! * **Events flow through a calendar queue** ([`EventQueue`]): almost
+//!   every event lands at `now`, `now + hop_delay` or the τ tick, so a
+//!   bucketed time wheel turns the scheduler's `O(log n)` heap ops into
+//!   amortized `O(1)` pushes/pops. Ties at equal timestamps pop in
+//!   scheduling order (FIFO) — the determinism contract — and
+//!   [`EngineConfig::use_calendar_queue`] can pin a run back onto the
+//!   reference binary heap (`tests/determinism.rs` proves the swap is
+//!   bit-identical).
 
+mod arena;
 mod arrivals;
 mod control;
 mod lifecycle;
@@ -33,7 +65,7 @@ mod lifecycle;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pcn_graph::{Graph, Path, SearchWorkspace};
@@ -44,10 +76,10 @@ use crate::cache::PathCache;
 use crate::channel::NetworkFunds;
 use crate::prices::PriceTable;
 use crate::rate::RateController;
-use crate::scheduler::WaitQueue;
+use crate::scheduler::{QueueEntry, WaitQueue};
 use crate::scheme::{RouteVia, SchemeConfig};
 use crate::stats::RunStats;
-use crate::tu::{Payment, TransactionUnit};
+use crate::tu::Payment;
 use crate::window::WindowController;
 
 /// Engine tuning knobs (protocol constants of §V-A plus controller gains).
@@ -94,6 +126,12 @@ pub struct EngineConfig {
     /// so this toggle only trades CPU for memory; it exists for A/B runs
     /// and the determinism regression.
     pub use_path_cache: bool,
+    /// Schedule events on the calendar queue ([`EventQueue::new`])
+    /// instead of the reference binary heap ([`EventQueue::with_heap`]).
+    /// Both pop the identical event sequence (same `(time, FIFO)` total
+    /// order), so this toggle is semantics-preserving; it exists for A/B
+    /// runs and the determinism regression.
+    pub use_calendar_queue: bool,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +156,7 @@ impl Default for EngineConfig {
             initial_window: 20.0,
             max_retries: 0,
             use_path_cache: true,
+            use_calendar_queue: true,
         }
     }
 }
@@ -142,6 +181,49 @@ pub(super) struct FlowState {
     pub(super) rates: Option<RateController>,
     pub(super) windows: WindowController,
     pub(super) outstanding: Vec<usize>,
+    /// Cached per-path admission predicate — bit `i` mirrors
+    /// `windows.admits(i, outstanding[i])` for `i < 64` (paths beyond
+    /// that fall back to the direct check). The injection poll is by far
+    /// the most frequent event in a saturated run and usually fails on a
+    /// closed window; this keeps that verdict one inline bit test
+    /// instead of two heap dereferences. Refreshed by
+    /// [`FlowState::refresh_admit`] at every point `outstanding[i]` or
+    /// `windows[i]` changes.
+    pub(super) admit_mask: u64,
+}
+
+impl FlowState {
+    /// Re-derives the cached admission bit for path `i`; must be called
+    /// after any change to `outstanding[i]` or the path's window.
+    pub(super) fn refresh_admit(&mut self, i: usize) {
+        if i < 64 {
+            let bit = 1u64 << i;
+            if self.windows.admits(i, self.outstanding[i]) {
+                self.admit_mask |= bit;
+            } else {
+                self.admit_mask &= !bit;
+            }
+        }
+    }
+
+    /// Whether path `i` may admit another TU — the cached equivalent of
+    /// `windows.admits(i, outstanding[i])`.
+    pub(super) fn admits(&self, i: usize) -> bool {
+        if i < 64 {
+            let cached = self.admit_mask & (1u64 << i) != 0;
+            // Catch any future mutation site that forgets refresh_admit
+            // before it can silently change protocol behaviour.
+            debug_assert_eq!(
+                cached,
+                self.windows.admits(i, self.outstanding[i]),
+                "admit_mask out of sync for path {i}: a mutation of \
+                 outstanding[{i}] or its window skipped refresh_admit"
+            );
+            cached
+        } else {
+            self.windows.admits(i, self.outstanding[i])
+        }
+    }
 }
 
 pub(super) struct TxState {
@@ -162,18 +244,22 @@ pub struct Engine {
     pub(super) prices: PriceTable,
     /// Per channel: (queue a→b, queue b→a).
     pub(super) queues: Vec<(WaitQueue, WaitQueue)>,
-    pub(super) endpoints: Vec<(NodeId, NodeId)>,
-    pub(super) txs: HashMap<TxId, TxState>,
+    /// Channel endpoint table, shared with the [`PriceTable`].
+    pub(super) endpoints: Arc<[(NodeId, NodeId)]>,
+    pub(super) txs: arena::TxTable,
     pub(super) active: Vec<TxId>,
-    pub(super) tus: HashMap<TuId, TransactionUnit>,
-    pub(super) retries: HashMap<TuId, u32>,
+    pub(super) tus: arena::TuArena,
     pub(super) node_busy: Vec<SimTime>,
     pub(super) events: EventQueue<Ev>,
     pub(super) stats: RunStats,
     pub(super) rng: SimRng,
-    pub(super) next_tu: u64,
     pub(super) payments: VecDeque<Payment>,
     pub(super) horizon: SimTime,
+    /// Control-tick scratch (reused across ticks; quiet ticks allocate
+    /// nothing).
+    pub(super) scratch_expired: Vec<QueueEntry>,
+    pub(super) scratch_marked: Vec<TuId>,
+    pub(super) scratch_prices: Vec<f64>,
     /// Epoch-versioned plan cache (replaces the never-invalidating
     /// `mice_cache` and serves every scheme's plan queries).
     pub(super) path_cache: PathCache,
@@ -192,7 +278,7 @@ impl Engine {
         cfg: EngineConfig,
         rng: SimRng,
     ) -> Engine {
-        let endpoints: Vec<(NodeId, NodeId)> = graph
+        let endpoints: Arc<[(NodeId, NodeId)]> = graph
             .edges()
             .map(|c| graph.endpoints(c).expect("dense edge ids"))
             .collect();
@@ -205,7 +291,9 @@ impl Engine {
                 )
             })
             .collect();
-        let prices = PriceTable::new(endpoints.clone());
+        // The price table shares the endpoint table by reference count —
+        // no per-engine-construction clone.
+        let prices = PriceTable::new(Arc::clone(&endpoints));
         let node_busy = vec![SimTime::ZERO; graph.node_count()];
         let hub_count = match &scheme.route_via {
             RouteVia::Hubs { assignment } => {
@@ -217,6 +305,11 @@ impl Engine {
             RouteVia::SingleHub { .. } => 1,
             _ => 0,
         };
+        let events = if cfg.use_calendar_queue {
+            EventQueue::new()
+        } else {
+            EventQueue::with_heap()
+        };
         Engine {
             cfg,
             scheme,
@@ -225,17 +318,18 @@ impl Engine {
             prices,
             queues,
             endpoints,
-            txs: HashMap::new(),
+            txs: arena::TxTable::new(),
             active: Vec::new(),
-            tus: HashMap::new(),
-            retries: HashMap::new(),
+            tus: arena::TuArena::new(),
             node_busy,
-            events: EventQueue::new(),
+            events,
             stats: RunStats::default(),
             rng,
-            next_tu: 0,
             payments: VecDeque::new(),
             horizon: SimTime::ZERO,
+            scratch_expired: Vec::new(),
+            scratch_marked: Vec::new(),
+            scratch_prices: Vec::new(),
             path_cache: PathCache::new(),
             workspace: SearchWorkspace::new(),
             hub_count,
@@ -244,8 +338,25 @@ impl Engine {
 
     /// Runs the engine over a pre-generated payment list (must be sorted
     /// by arrival time) and returns the statistics.
+    ///
+    /// Payment ids must be **densely numbered**: every `id` below the
+    /// list length (any order). Transaction state lives in an array
+    /// indexed by the raw id, so a sparse id (a hash, a timestamp)
+    /// would allocate up to the largest id. Workload traces and
+    /// [`payments_from_tuples`] number payments `0..n` and satisfy this
+    /// by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any payment id is at or above the list length.
     pub fn run(mut self, payments: Vec<Payment>) -> RunStats {
         debug_assert!(payments.windows(2).all(|w| w[0].created <= w[1].created));
+        assert!(
+            payments.iter().all(|p| p.id.index() < payments.len()),
+            "payment ids must be dense (every id < payment count): \
+             the engine's transaction table is indexed by raw id"
+        );
+        let wall_start = std::time::Instant::now();
         self.horizon = payments
             .last()
             .map(|p| p.deadline + self.cfg.update_interval)
@@ -260,6 +371,7 @@ impl Engine {
         while let Some((now, ev)) = self.events.pop() {
             self.handle(now, ev);
         }
+        self.stats.wall_secs = wall_start.elapsed().as_secs_f64();
         self.stats.path_cache = self.path_cache.stats();
         self.stats.drained_directions_end = self.funds.drained_directions();
         debug_assert!(self.funds.verify_conservation());

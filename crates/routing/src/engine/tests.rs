@@ -266,6 +266,144 @@ fn deterministic_across_runs() {
     assert_eq!(a.aborted_tus, b.aborted_tus);
 }
 
+/// Thread-local allocation counter installed as the test binary's global
+/// allocator. Counting per-thread keeps concurrently running tests from
+/// polluting each other's measurements.
+#[allow(unsafe_code)]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct Counting;
+
+    // SAFETY: pure pass-through to `System`; the only addition is a
+    // non-allocating bump of a const-initialized thread-local counter.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    /// Allocations made by the current thread so far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.with(|c| c.get())
+    }
+}
+
+/// The per-event hot path performs **zero steady-state allocations**:
+/// once every payment is admitted and its flow set up (admission
+/// allocates by design — backlog, controllers, plan), the remaining TU
+/// lifecycle — injection pacing, hop locks, queue pushes/drains,
+/// settlement walks, aborts/refunds, price ticks — runs to completion
+/// without a single heap allocation, measured by a counting global
+/// allocator.
+///
+/// Warm structures are pre-sized the way a long-running engine's would
+/// be (the calendar ring warms naturally once it wraps, ~4.2 s of sim
+/// time; this test's horizon is shorter, so it pre-warms explicitly).
+#[test]
+fn hot_loop_steady_state_is_allocation_free() {
+    // Saturated line: 40-token payments split into 10 TUs each through
+    // 10-token channels — hop locks contend, queues build and drain.
+    let mut g = Graph::new(4);
+    for i in 0..3 {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+    }
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+    // All payments arrive in the first 200 ms from distinct endpoints;
+    // their TU traffic then churns for ~5 s.
+    let tuples: Vec<(u64, u32, u32, u64)> = (0..96)
+        .map(|i| {
+            let (s, d) = match i % 4 {
+                0 => (0, 3),
+                1 => (3, 0),
+                2 => (1, 3),
+                _ => (2, 0),
+            };
+            (i * 2, s, d, 40)
+        })
+        .collect();
+    let payments = payments_from_tuples(&tuples, SimDuration::from_secs(5));
+    let mut engine = Engine::new(
+        g,
+        funds,
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(11),
+    );
+    // Mirror `Engine::run`'s setup, driving the loop in place so the
+    // measurement can start mid-run.
+    engine.horizon = payments.last().unwrap().deadline + engine.cfg.update_interval;
+    engine.payments = payments.into();
+    let at = engine.payments.front().unwrap().created;
+    engine.events.schedule_at(at, Ev::Arrival);
+    engine
+        .events
+        .schedule_after(engine.cfg.update_interval, Ev::PriceTick);
+    // Warmup: run past every admission (last arrival + compute service
+    // is well under 1 s) so flows, queues and scratch buffers exist.
+    while engine
+        .events
+        .peek_time()
+        .is_some_and(|t| t <= SimTime::from_micros(1_000_000))
+    {
+        let (now, ev) = engine.events.pop().expect("peeked");
+        engine.handle(now, ev);
+    }
+    assert!(
+        engine.payments.is_empty(),
+        "warmup must cover every arrival"
+    );
+    assert!(!engine.tus.is_empty(), "warmup must leave TUs in flight");
+    // Pre-size the growable structures to their steady-state extents,
+    // as a long-lived engine's would already be.
+    engine.events.preallocate(16);
+    engine.stats.latency.reserve(4096);
+    engine.tus.reserve(4096);
+    engine.scratch_expired.reserve(1024);
+    engine.scratch_marked.reserve(1024);
+    engine.scratch_prices.reserve(64);
+    for pair in engine.queues.iter_mut() {
+        pair.0.reserve(256);
+        pair.1.reserve(256);
+    }
+    let baseline = alloc_counter::allocations();
+    let mut steady_events = 0u64;
+    while let Some((now, ev)) = engine.events.pop() {
+        engine.handle(now, ev);
+        steady_events += 1;
+    }
+    let allocated = alloc_counter::allocations() - baseline;
+    assert!(
+        steady_events > 5_000,
+        "must measure a real event volume, got {steady_events}"
+    );
+    assert_eq!(
+        allocated, 0,
+        "hot loop allocated {allocated} times over {steady_events} steady-state events"
+    );
+    // The run did real hop-lock work while being measured.
+    assert!(engine.stats.completed + engine.stats.failed > 0);
+    assert!(engine.stats.marked_tus > 0, "{}", engine.stats);
+}
+
 #[test]
 fn marked_tus_counted_under_congestion() {
     // Narrow channel, many payments: queues build up past T.

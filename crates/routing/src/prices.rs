@@ -5,6 +5,8 @@
 //! routing price ξ (eq. 23) along a path into the path price ϱ (eq. 25);
 //! the forwarding fee (eq. 24) is a fixed fraction of ξ.
 
+use std::sync::Arc;
+
 use pcn_graph::Path;
 use pcn_types::{ChannelId, NodeId};
 
@@ -63,15 +65,18 @@ pub struct PriceTable {
     /// Value arrived per direction since the last tick (tokens): `[i].0`
     /// is the a→b direction of channel i.
     arrived: Vec<(f64, f64)>,
-    /// Channel endpoint table (a, b) mirrored from the graph.
-    endpoints: Vec<(NodeId, NodeId)>,
+    /// Channel endpoint table (a, b) shared with the owner (the engine
+    /// passes its own table by `Arc`, so construction clones nothing).
+    endpoints: Arc<[(NodeId, NodeId)]>,
     /// Monotone tick counter; see [`PriceTable::price_epoch`].
     epoch: u64,
 }
 
 impl PriceTable {
     /// Creates a zeroed table for `endpoints[i] = (a, b)` per channel.
-    pub fn new(endpoints: Vec<(NodeId, NodeId)>) -> PriceTable {
+    /// Accepts a `Vec` (owned) or a shared `Arc` slice.
+    pub fn new(endpoints: impl Into<Arc<[(NodeId, NodeId)]>>) -> PriceTable {
+        let endpoints = endpoints.into();
         PriceTable {
             prices: vec![ChannelPrices::default(); endpoints.len()],
             arrived: vec![(0.0, 0.0); endpoints.len()],

@@ -67,6 +67,13 @@ pub struct WaitQueue {
     capacity: Amount,
     queued_value: Amount,
     next_seq: u64,
+    /// Smallest queued amount (exact; `ZERO` when empty). Lets
+    /// [`WaitQueue::pop_eligible`] answer "nothing fits" in O(1), the
+    /// common case when a drained direction frees less than one TU: the
+    /// hot hop-lock path would otherwise pay a full scan per settle on
+    /// a saturated queue. Maintained O(1) on push; a removal recomputes
+    /// it only when the departing entry *was* the minimum.
+    min_amount: Amount,
 }
 
 impl WaitQueue {
@@ -78,6 +85,7 @@ impl WaitQueue {
             capacity,
             queued_value: Amount::ZERO,
             next_seq: 0,
+            min_amount: Amount::ZERO,
         }
     }
 
@@ -96,11 +104,19 @@ impl WaitQueue {
         self.queued_value
     }
 
+    /// Pre-sizes the entry storage (steady-state allocation-freedom).
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// Tries to enqueue; returns `false` (rejecting the TU) when the
     /// capacity bound would be exceeded.
     pub fn push(&mut self, tu: TuId, amount: Amount, deadline: SimTime, now: SimTime) -> bool {
         if self.queued_value + amount > self.capacity {
             return false;
+        }
+        if self.entries.is_empty() || amount < self.min_amount {
+            self.min_amount = amount;
         }
         self.entries.push(QueueEntry {
             tu,
@@ -117,22 +133,54 @@ impl WaitQueue {
     /// Selects (and removes) the next TU to serve under the discipline,
     /// restricted to entries whose `amount ≤ available`. Returns `None`
     /// when nothing fits.
+    ///
+    /// Entries are stored in arrival (`seq`) order, so FIFO takes the
+    /// first eligible entry from the front and LIFO the first from the
+    /// back — early-exit scans. SPF/EDF genuinely need the full
+    /// minimum. Selection is identical to a full
+    /// `min_by(discipline key, then seq)` scan in every discipline.
     pub fn pop_eligible(&mut self, available: Amount) -> Option<QueueEntry> {
-        let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.amount <= available)
-            .min_by(|(_, a), (_, b)| match self.discipline {
-                Discipline::Fifo => a.seq.cmp(&b.seq),
-                Discipline::Lifo => b.seq.cmp(&a.seq),
-                Discipline::Spf => a.amount.cmp(&b.amount).then(a.seq.cmp(&b.seq)),
-                Discipline::Edf => a.deadline.cmp(&b.deadline).then(a.seq.cmp(&b.seq)),
-            })
-            .map(|(i, _)| i)?;
+        if self.entries.is_empty() || available < self.min_amount {
+            return None;
+        }
+        let idx = match self.discipline {
+            Discipline::Fifo => self.entries.iter().position(|e| e.amount <= available)?,
+            Discipline::Lifo => self.entries.iter().rposition(|e| e.amount <= available)?,
+            Discipline::Spf => self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.amount <= available)
+                .min_by(|(_, a), (_, b)| a.amount.cmp(&b.amount).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i)?,
+            Discipline::Edf => self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.amount <= available)
+                .min_by(|(_, a), (_, b)| a.deadline.cmp(&b.deadline).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i)?,
+        };
         let entry = self.entries.remove(idx);
         self.queued_value -= entry.amount;
+        self.note_removed(entry.amount);
         Some(entry)
+    }
+
+    /// Restores the exact `min_amount` after removing an entry of
+    /// `amount`: only a departure of the current minimum can raise it,
+    /// so the O(n) rescan runs just in that case.
+    fn note_removed(&mut self, amount: Amount) {
+        if self.entries.is_empty() {
+            self.min_amount = Amount::ZERO;
+        } else if amount <= self.min_amount {
+            self.min_amount = self
+                .entries
+                .iter()
+                .map(|e| e.amount)
+                .min()
+                .expect("non-empty");
+        }
     }
 
     /// Removes a specific TU (timeout/abort path). Returns the entry if it
@@ -141,33 +189,65 @@ impl WaitQueue {
         let idx = self.entries.iter().position(|e| e.tu == tu)?;
         let entry = self.entries.remove(idx);
         self.queued_value -= entry.amount;
+        self.note_removed(entry.amount);
         Some(entry)
     }
 
     /// Removes every entry whose deadline is at or before `now` (expired).
     pub fn drain_expired(&mut self, now: SimTime) -> Vec<QueueEntry> {
         let mut expired = Vec::new();
-        let mut i = 0;
-        while i < self.entries.len() {
-            if self.entries[i].deadline <= now {
-                let e = self.entries.remove(i);
+        self.drain_expired_into(now, &mut expired);
+        expired
+    }
+
+    /// [`WaitQueue::drain_expired`] into a caller-owned buffer (appended;
+    /// not cleared), so the engine's periodic tick reuses one buffer
+    /// across all queues and allocates nothing when queues are quiet.
+    /// Expired entries append in queue-position order; retained entries
+    /// keep their relative order.
+    pub fn drain_expired_into(&mut self, now: SimTime, out: &mut Vec<QueueEntry>) {
+        let mut kept = 0;
+        let mut survivor_min = Amount::ZERO;
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if e.deadline <= now {
                 self.queued_value -= e.amount;
-                expired.push(e);
+                out.push(e);
             } else {
-                i += 1;
+                if kept == 0 || e.amount < survivor_min {
+                    survivor_min = e.amount;
+                }
+                self.entries[kept] = e;
+                kept += 1;
             }
         }
-        expired
+        self.entries.truncate(kept);
+        // The walk visited every survivor anyway: the min is free.
+        self.min_amount = survivor_min;
     }
 
     /// Entries whose queueing delay exceeds `threshold` at time `now`
     /// (candidates for congestion marking).
     pub fn over_delay(&self, now: SimTime, threshold: pcn_types::SimDuration) -> Vec<TuId> {
-        self.entries
-            .iter()
-            .filter(|e| now.saturating_since(e.enqueued_at) > threshold)
-            .map(|e| e.tu)
-            .collect()
+        let mut out = Vec::new();
+        self.over_delay_into(now, threshold, &mut out);
+        out
+    }
+
+    /// [`WaitQueue::over_delay`] into a caller-owned buffer (appended;
+    /// not cleared) — the allocation-free variant for the periodic tick.
+    pub fn over_delay_into(
+        &self,
+        now: SimTime,
+        threshold: pcn_types::SimDuration,
+        out: &mut Vec<TuId>,
+    ) {
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| now.saturating_since(e.enqueued_at) > threshold)
+                .map(|e| e.tu),
+        );
     }
 }
 

@@ -6,7 +6,13 @@ use pcn_types::Amount;
 use crate::cache::PathCacheStats;
 
 /// Aggregated outcome of one engine run.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality ignores [`RunStats::wall_secs`] (wall-clock time is
+/// machine-dependent by nature); every other field — including the
+/// diagnostic cache counters — participates, and the determinism suite
+/// compares the semantic payload via
+/// [`RunStats::without_cache_counters`].
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Transactions generated.
     pub generated: u64,
@@ -37,6 +43,48 @@ pub struct RunStats {
     /// the *only* fields allowed to differ between a cached and an
     /// uncached run of the same seed (pinned by `tests/determinism.rs`).
     pub path_cache: PathCacheStats,
+    /// Wall-clock seconds the engine's event loop took (measured, not
+    /// simulated). Diagnostic only — excluded from equality — and the
+    /// input to [`RunStats::payments_per_sec`].
+    pub wall_secs: f64,
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the machine-dependent wall clock. The
+        // exhaustive destructure makes adding a field without deciding
+        // its equality role a compile error — silently excluding a new
+        // counter would hollow out every determinism assertion.
+        let RunStats {
+            generated,
+            generated_value,
+            completed,
+            completed_value,
+            failed,
+            latency,
+            overhead_msgs,
+            marked_tus,
+            aborted_tus,
+            delivered_tus,
+            drained_directions_end,
+            unroutable,
+            path_cache,
+            wall_secs: _,
+        } = self;
+        *generated == other.generated
+            && *generated_value == other.generated_value
+            && *completed == other.completed
+            && *completed_value == other.completed_value
+            && *failed == other.failed
+            && *latency == other.latency
+            && *overhead_msgs == other.overhead_msgs
+            && *marked_tus == other.marked_tus
+            && *aborted_tus == other.aborted_tus
+            && *delivered_tus == other.delivered_tus
+            && *drained_directions_end == other.drained_directions_end
+            && *unroutable == other.unroutable
+            && *path_cache == other.path_cache
+    }
 }
 
 impl RunStats {
@@ -59,6 +107,17 @@ impl RunStats {
         self.latency.mean()
     }
 
+    /// Engine throughput: payments processed per wall-clock second
+    /// (0 when the run was not timed). Sweeps surface this next to the
+    /// success ratio so event-loop performance is visible per cell.
+    pub fn payments_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.generated as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
     /// Whether the bookkeeping is internally consistent.
     pub fn is_consistent(&self) -> bool {
         self.completed + self.failed <= self.generated
@@ -71,6 +130,7 @@ impl RunStats {
     pub fn without_cache_counters(&self) -> RunStats {
         RunStats {
             path_cache: PathCacheStats::default(),
+            wall_secs: 0.0,
             ..self.clone()
         }
     }
@@ -81,7 +141,7 @@ impl core::fmt::Display for RunStats {
         write!(
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
-             drained={} cache={}h/{}m/{}i/{}e",
+             drained={} cache={}h/{}m/{}i/{}e pps={:.0}",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -94,6 +154,7 @@ impl core::fmt::Display for RunStats {
             self.path_cache.misses,
             self.path_cache.invalidations,
             self.path_cache.evictions,
+            self.payments_per_sec(),
         )
     }
 }

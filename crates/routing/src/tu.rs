@@ -1,5 +1,7 @@
 //! Payments and transaction units (TUs).
 
+use std::sync::Arc;
+
 use pcn_graph::Path;
 use pcn_types::{Amount, NodeId, SimTime, TuId, TxId};
 
@@ -29,8 +31,12 @@ pub struct TransactionUnit {
     pub tx: TxId,
     /// Value carried.
     pub amount: Amount,
-    /// The full path this TU travels.
-    pub path: Path,
+    /// The parent flow's path plan, shared by reference count: TU
+    /// injection and retry hand out the plan `Arc` instead of
+    /// deep-cloning a [`Path`] per TU.
+    pub plan: Arc<[Path]>,
+    /// Which path of the plan this TU travels.
+    pub flow_path: usize,
     /// Index of the next hop to traverse (0 = at the source).
     pub next_hop: usize,
     /// Number of hops currently holding a lock for this TU.
@@ -41,8 +47,15 @@ pub struct TransactionUnit {
     pub deadline: SimTime,
     /// When this TU entered the current queue (None when not queued).
     pub enqueued_at: Option<SimTime>,
-    /// Which path index of the parent flow this TU used.
-    pub flow_path: usize,
+    /// Retry attempts consumed (Flash's alternate-path retry budget).
+    pub retries: u32,
+}
+
+impl TransactionUnit {
+    /// The full path this TU travels.
+    pub fn path(&self) -> &Path {
+        &self.plan[self.flow_path]
+    }
 }
 
 /// Splits a demand value into TU amounts within `[min_tu, max_tu]`

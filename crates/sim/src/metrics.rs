@@ -67,6 +67,13 @@ impl Histogram {
         self.values.len()
     }
 
+    /// Pre-sizes the backing storage for `additional` further records —
+    /// lets a hot loop record without reallocating (the engine's
+    /// steady-state allocation-freedom test relies on this).
+    pub fn reserve(&mut self, additional: usize) {
+        self.values.reserve(additional);
+    }
+
     /// Mean of recorded values (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.values.is_empty() {

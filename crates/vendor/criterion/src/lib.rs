@@ -59,17 +59,25 @@ struct Measurement {
 /// baseline file per group on [`BenchmarkGroup::finish`].
 #[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
 }
 
 impl Criterion {
-    /// Accepts (and ignores) CLI configuration, mirroring criterion.
-    pub fn configure_from_args(self) -> Criterion {
+    /// Reads CLI/env configuration. Recognizes `--quick` (also the
+    /// `BENCH_QUICK=1` environment variable): a smoke mode with minimal
+    /// samples and a short measurement window, so CI can *execute* every
+    /// bench cheaply instead of merely compiling it. Quick runs never
+    /// write baseline files — their numbers are not measurements.
+    /// Everything else is accepted and ignored, mirroring criterion.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
@@ -77,6 +85,7 @@ impl Criterion {
             throughput: None,
             results: Vec::new(),
             finished: false,
+            quick,
         }
     }
 
@@ -104,6 +113,7 @@ pub struct BenchmarkGroup<'a> {
     throughput: Option<Throughput>,
     results: Vec<Measurement>,
     finished: bool,
+    quick: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -133,11 +143,22 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b);
         let est = b.elapsed.max(Duration::from_nanos(1));
-        // Aim each sample at ~20ms, capped to keep slow benches bounded.
-        let per_sample = (Duration::from_millis(20).as_nanos() / est.as_nanos()).max(1);
+        // Aim each sample at ~20ms (2ms in quick mode), capped to keep
+        // slow benches bounded.
+        let window = if self.quick {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(20)
+        };
+        let per_sample = (window.as_nanos() / est.as_nanos()).max(1);
         let iters = per_sample.min(1_000_000) as u64;
-        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let samples = if self.quick {
+            self.sample_size.min(2)
+        } else {
+            self.sample_size
+        };
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
@@ -162,13 +183,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Flushes the group's JSON baseline.
+    /// Flushes the group's JSON baseline (skipped in quick mode — smoke
+    /// numbers must never overwrite a real baseline).
     pub fn finish(&mut self) {
         if self.finished {
             return;
         }
         self.finished = true;
-        write_json(&self.name, &self.results);
+        if !self.quick {
+            write_json(&self.name, &self.results);
+        }
     }
 }
 
@@ -198,9 +222,16 @@ fn report(m: &Measurement) {
         human(m.mean_ns),
         m.samples
     );
-    if let Some(Throughput::Bytes(bytes)) = m.throughput {
-        let gib = bytes as f64 / m.median_ns; // bytes/ns == GB/s
-        line.push_str(&format!("  {gib:.3} GB/s"));
+    match m.throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib = bytes as f64 / m.median_ns; // bytes/ns == GB/s
+            line.push_str(&format!("  {gib:.3} GB/s"));
+        }
+        Some(Throughput::Elements(elems)) => {
+            let eps = elems as f64 / (m.median_ns / 1e9);
+            line.push_str(&format!("  {eps:.0} elem/s"));
+        }
+        None => {}
     }
     println!("{line}");
 }
@@ -232,31 +263,50 @@ fn parse_baseline(body: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Median slowdown (percent) above which the baseline diff flags a
+/// benchmark as a likely regression in its report.
+const REGRESSION_FLAG_PCT: f64 = 25.0;
+
 /// Report-only regression check: prints the median delta of each
 /// benchmark against the checked-in `BENCH_<group>.json` baseline before
-/// it is overwritten. Never fails the run — shared-hardware noise (and
-/// the 1-CPU build container) makes a hard gate meaningless; the numbers
-/// are for the reviewer.
+/// it is overwritten, flagging medians more than
+/// [`REGRESSION_FLAG_PCT`] percent slower. Never fails the run —
+/// shared-hardware noise (and the 1-CPU build container) makes a hard
+/// gate meaningless; the flags are for the reviewer.
 fn diff_against_baseline(results: &[Measurement], previous: &str) {
     let baseline = parse_baseline(previous);
     if baseline.is_empty() {
         return;
     }
     println!("  vs checked-in baseline (report only):");
+    let mut flagged = 0u32;
     for m in results {
         match baseline.iter().find(|(name, _)| *name == m.name) {
             Some((_, old)) if *old > 0.0 => {
                 let delta = 100.0 * (m.median_ns - old) / old;
+                let flag = if delta > REGRESSION_FLAG_PCT {
+                    flagged += 1;
+                    "  ⚠ REGRESSION?"
+                } else {
+                    ""
+                };
                 println!(
-                    "    {:<44} {:>12} -> {:>12}  ({:+.1}%)",
+                    "    {:<44} {:>12} -> {:>12}  ({:+.1}%){}",
                     m.name,
                     human(*old),
                     human(m.median_ns),
-                    delta
+                    delta,
+                    flag
                 );
             }
             _ => println!("    {:<44} (new, no baseline entry)", m.name),
         }
+    }
+    if flagged > 0 {
+        println!(
+            "  ⚠ {flagged} benchmark(s) regressed >{REGRESSION_FLAG_PCT}% vs the committed \
+             baseline — rerun on quiet hardware or investigate before refreshing it"
+        );
     }
 }
 

@@ -171,6 +171,46 @@ fn footprint_scoped_cache_under_funds_churn() {
 }
 
 #[test]
+fn event_queue_swap_is_semantics_preserving() {
+    // The acceptance bar for the calendar-queue event scheduler: a run
+    // on the bucketed time wheel produces bit-identical `RunStats` —
+    // including every diagnostic counter — to the same seed run on the
+    // reference binary heap, for all six schemes. Both backends share
+    // one total order, `(time, scheduling sequence)` (FIFO at equal
+    // timestamps), so the hot-path rewrite is provably
+    // semantics-preserving; the backends are additionally pinned
+    // op-for-op by the property suite in `tests/property_tests.rs`.
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = tiny_spec(scheme);
+        let with = |calendar| {
+            run_spec_tuned(
+                &spec,
+                &RunTuning {
+                    calendar_queue: Some(calendar),
+                    ..RunTuning::default()
+                },
+                &SchemeTuning::default(),
+            )
+        };
+        let calendar = with(true);
+        let heap = with(false);
+        assert_eq!(
+            calendar.report.stats,
+            heap.report.stats,
+            "{}: calendar-queue run diverged from the binary-heap run",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
 fn per_variant_seed_policy_is_reproducible() {
     let grid = ExperimentGrid::new(ScenarioParams::tiny())
         .schemes([SchemeChoice::Spider])

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core invariants, spanning
 //! crates: channel conservation, TU splitting, Shamir round trips, path
-//! algorithm sanity and Lemma-1 optimality.
+//! algorithm sanity, Lemma-1 optimality and event-queue backend
+//! equivalence.
 
 use pcn_crypto::{shamir, Fp};
 use pcn_graph::{edge_disjoint_widest_paths, Graph};
@@ -8,10 +9,55 @@ use pcn_placement::assignment::{balance_cost_for, optimal_assignment};
 use pcn_placement::PlacementInstance;
 use pcn_routing::channel::NetworkFunds;
 use pcn_routing::tu::split_demand;
-use pcn_types::{Amount, NodeId};
+use pcn_sim::EventQueue;
+use pcn_types::{Amount, NodeId, SimDuration};
 use proptest::prelude::*;
 
 proptest! {
+    /// The calendar queue and the reference `BinaryHeap` queue pop
+    /// identical `(time, event)` sequences for arbitrary interleavings
+    /// of schedules and pops — including heavy timestamp duplication
+    /// (delay 0 and a few repeated constants dominate the generator,
+    /// exactly the engine's profile), sub-bucket jitter, and far-future
+    /// outliers that overflow the calendar ring and must migrate back.
+    /// This is the determinism contract the engine's queue swap relies
+    /// on: one total order, `(time, scheduling sequence)`.
+    #[test]
+    fn event_queue_backends_pop_identical_sequences(
+        ops in prop::collection::vec((0u8..4, 0u8..8, 0u64..20_000_000), 1..400),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::with_heap();
+        for (i, (kind, dup, jitter)) in ops.into_iter().enumerate() {
+            if kind == 0 {
+                prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek at op {}", i);
+                prop_assert_eq!(cal.pop(), heap.pop(), "pop at op {}", i);
+                prop_assert_eq!(cal.len(), heap.len());
+                prop_assert_eq!(cal.now(), heap.now());
+            } else {
+                // Delays cluster on duplicated constants with occasional
+                // arbitrary jitter (including beyond the ring horizon).
+                let delay = match dup {
+                    0 | 1 => 0,            // exactly `now` — the FIFO lane
+                    2 | 3 => 40_000,       // one hop delay
+                    4 => 200_000,          // the τ tick
+                    5 => 3_000_000,        // a payment deadline
+                    6 => jitter % 1_000,   // sub-bucket jitter
+                    _ => jitter,           // anything up to 20 s (far heap)
+                };
+                cal.schedule_after(SimDuration::from_micros(delay), i);
+                heap.schedule_after(SimDuration::from_micros(delay), i);
+            }
+        }
+        // Drain both to the end: the full remaining order must agree.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
     #[test]
     fn split_demand_partitions_exactly(millis in 1u64..5_000_000, max_mult in 1u64..10) {
         let value = Amount::from_millitokens(millis);
