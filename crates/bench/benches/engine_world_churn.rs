@@ -1,0 +1,151 @@
+//! The engine under topology churn: the hot-loop world of
+//! `engine_hot_loop.rs` with a dynamic-world timeline closing and
+//! opening one channel per second.
+//!
+//! Saturated hotspot traffic keeps the path cache hot (planning is
+//! served almost entirely from cache), so the regimes measure what
+//! churn costs the *event loop*: every closure bumps the topology
+//! epoch, stales every cached plan, expires in-flight TUs through the
+//! refund path, and forces one re-plan per hot pair — then the cache
+//! refills until the next closure. Two guarded regressions run before
+//! the timed samples:
+//!
+//! * the cached run under 1 Hz churn must keep a **>30% hit rate**
+//!   (topology invalidations once a second must not collapse the cache
+//!   between events), and
+//! * the churned run must show **no payments/sec cliff** against the
+//!   static world (bounded at 4× wall time — churn costs re-plans, not
+//!   an order of magnitude).
+//!
+//! Regimes (committed to `BENCH_engine_world_churn.json`):
+//!
+//! * `spider_static`   — the saturated hotspot world, no timeline.
+//! * `spider_churn_1hz`— same world + 1 close/open pair per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcn_routing::channel::NetworkFunds;
+use pcn_routing::engine::{Engine, EngineConfig};
+use pcn_routing::scheme::SchemeConfig;
+use pcn_routing::tu::Payment;
+use pcn_routing::world::WorldEvent;
+use pcn_sim::SimRng;
+use pcn_types::{Amount, NodeId, SimDuration, SimTime, TxId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const NODES: usize = 300;
+const HOT_PAIRS: usize = 24;
+const PAYMENTS: usize = 2_000;
+const DURATION_SECS: u64 = 10;
+
+fn world() -> (pcn_graph::Graph, NetworkFunds, Vec<Payment>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = pcn_graph::watts_strogatz(NODES, 6, 0.2, &mut rng);
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
+    let pairs: Vec<(NodeId, NodeId)> = (0..HOT_PAIRS)
+        .map(|_| {
+            let a = rng.random_range(0..NODES);
+            let mut b = rng.random_range(0..NODES);
+            while b == a {
+                b = rng.random_range(0..NODES);
+            }
+            (NodeId::from_index(a), NodeId::from_index(b))
+        })
+        .collect();
+    let gap = SimDuration::from_micros(DURATION_SECS * 1_000_000 / PAYMENTS as u64);
+    let timeout = SimDuration::from_secs(3);
+    let payments = (0..PAYMENTS)
+        .map(|i| {
+            let (source, dest) = pairs[rng.random_range(0..HOT_PAIRS)];
+            let created = SimTime::ZERO + gap.saturating_mul(i as u64);
+            Payment {
+                id: TxId::new(i as u64),
+                source,
+                dest,
+                value: Amount::from_tokens(8),
+                created,
+                deadline: created + timeout,
+            }
+        })
+        .collect();
+    (g, funds, payments)
+}
+
+/// One close + open pair per second over the run.
+fn churn_timeline() -> Vec<WorldEvent> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut events = Vec::new();
+    for k in 1..=DURATION_SECS {
+        let at = SimTime::from_micros(k * 1_000_000);
+        events.push(WorldEvent::ChannelClose {
+            at,
+            selector: rng.random_range(0..u64::MAX),
+        });
+        events.push(WorldEvent::ChannelOpen {
+            at,
+            a_sel: rng.random_range(0..u64::MAX),
+            b_sel: rng.random_range(0..u64::MAX),
+            funds_per_side: Amount::from_tokens(10),
+        });
+    }
+    events
+}
+
+fn run_once(
+    g: &pcn_graph::Graph,
+    funds: &NetworkFunds,
+    payments: &[Payment],
+    timeline: Vec<WorldEvent>,
+) -> pcn_routing::RunStats {
+    Engine::new(
+        g.clone(),
+        funds.clone(),
+        SchemeConfig::spider(),
+        EngineConfig::default(),
+        SimRng::seed(1),
+    )
+    .with_timeline(timeline)
+    .run(payments.to_vec())
+}
+
+fn bench_world_churn(c: &mut Criterion) {
+    let (g, funds, payments) = world();
+
+    // Guarded regressions, asserted once before the timed samples (the
+    // quick/CI smoke mode runs these too).
+    let churned = run_once(&g, &funds, &payments, churn_timeline());
+    assert_eq!(
+        churned.world_events_applied,
+        2 * DURATION_SECS,
+        "the full churn timeline must apply"
+    );
+    let hit_rate = churned.path_cache.hit_rate();
+    assert!(
+        hit_rate > 0.30,
+        "cache hit rate under 1 Hz churn fell to {:.0}% (> 30% required): {:?}",
+        100.0 * hit_rate,
+        churned.path_cache
+    );
+    let churn_wall = churned.wall_secs;
+    let static_run = run_once(&g, &funds, &payments, Vec::new());
+    assert!(
+        churn_wall < static_run.wall_secs.max(1e-6) * 4.0,
+        "pps cliff: churned run took {churn_wall:.3}s vs static {:.3}s (>4×)",
+        static_run.wall_secs
+    );
+
+    let mut group = c.benchmark_group("engine_world_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PAYMENTS as u64));
+    group.bench_function(format!("spider_static_{PAYMENTS}p_{NODES}n"), |b| {
+        b.iter(|| black_box(run_once(&g, &funds, &payments, Vec::new())))
+    });
+    group.bench_function(format!("spider_churn_1hz_{PAYMENTS}p_{NODES}n"), |b| {
+        b.iter(|| black_box(run_once(&g, &funds, &payments, churn_timeline())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_churn);
+criterion_main!(benches);

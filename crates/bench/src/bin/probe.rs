@@ -16,7 +16,7 @@ fn main() {
         println!(
             "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
              tus: del={} abort={} marked={} drained={} hubs={:?} \
-             cache={}h/{}m/{}i/{}e ({:.0}% hit) pps={:.0}",
+             cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e ({:.0}% hit) world={}ev/{}exp pps={:.0}",
             r.scheme,
             s.tsr(),
             s.normalized_throughput(),
@@ -32,9 +32,15 @@ fn main() {
             r.placement_hubs,
             s.path_cache.hits,
             s.path_cache.misses,
-            s.path_cache.invalidations,
+            s.path_cache.invalidations(),
+            s.path_cache.inv_topology,
+            s.path_cache.inv_funds,
+            s.path_cache.inv_price,
+            s.path_cache.inv_footprint,
             s.path_cache.evictions,
             100.0 * s.path_cache.hit_rate(),
+            s.world_events_applied,
+            s.tus_expired_by_close,
             s.payments_per_sec(),
         );
     }

@@ -53,6 +53,9 @@ pub struct PreparedRun {
     scheme: SchemeConfig,
     engine_cfg: EngineConfig,
     payments: Vec<Payment>,
+    /// Materialized world-event timeline, shared by every scheme of the
+    /// scenario (the engine resolves selectors against its own topology).
+    timeline: Vec<pcn_routing::world::WorldEvent>,
     seed: u64,
     placement: Option<PlacementSummary>,
     voting_overlap: f64,
@@ -97,6 +100,7 @@ impl PreparedRun {
             self.engine_cfg,
             SimRng::seed(self.seed),
         )
+        .with_timeline(self.timeline)
         .run(self.payments);
         RunReport {
             scheme: self.name,
@@ -292,6 +296,7 @@ impl SystemBuilder {
             scheme: SchemeConfig::splicer(assignment),
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
+            timeline: self.scenario.timeline.clone(),
             seed: self.run_seed,
             placement: Some(PlacementSummary {
                 hubs: plan.num_hubs(),
@@ -326,6 +331,7 @@ impl SystemBuilder {
             scheme,
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
+            timeline: self.scenario.timeline.clone(),
             seed: self.run_seed,
             placement: None,
             voting_overlap: self.voting_overlap(),
@@ -371,6 +377,7 @@ impl SystemBuilder {
             scheme: SchemeConfig::a2l(hub, self.a2l_crypto),
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
+            timeline: self.scenario.timeline.clone(),
             seed: self.run_seed,
             placement: None,
             voting_overlap: self.voting_overlap(),

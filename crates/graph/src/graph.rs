@@ -32,6 +32,10 @@ impl EdgeRef {
 struct Edge {
     a: NodeId,
     b: NodeId,
+    /// Tombstone flag: a closed channel keeps its dense id (so funds,
+    /// queues and price tables stay index-stable) but leaves the
+    /// adjacency lists, making it invisible to every search.
+    closed: bool,
 }
 
 /// An undirected multigraph over nodes `0..n`.
@@ -60,6 +64,8 @@ pub struct Graph {
     adj: Vec<Vec<(u32, NodeId)>>,
     /// Monotone mutation counter; see [`Graph::topology_epoch`].
     topology_epoch: u64,
+    /// Number of edges currently closed (tombstoned).
+    closed_count: usize,
 }
 
 impl Graph {
@@ -69,11 +75,13 @@ impl Graph {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
             topology_epoch: 0,
+            closed_count: 0,
         }
     }
 
     /// The topology epoch: bumped on every structural mutation
-    /// ([`Graph::add_node`] / [`Graph::add_edge`]).
+    /// ([`Graph::add_node`] / [`Graph::add_edge`] /
+    /// [`Graph::close_channel`] / [`Graph::reopen_channel`]).
     ///
     /// Epoch-versioned caches (the routing layer's `PathCache`) snapshot
     /// this value when they memoize a path computation and treat the
@@ -113,11 +121,87 @@ impl Graph {
         assert!(b.index() < self.adj.len(), "node {b} out of range");
         assert_ne!(a, b, "self-loop channels are not allowed");
         let id = u32::try_from(self.edges.len()).expect("too many edges");
-        self.edges.push(Edge { a, b });
+        self.edges.push(Edge {
+            a,
+            b,
+            closed: false,
+        });
         self.adj[a.index()].push((id, b));
         self.adj[b.index()].push((id, a));
         self.topology_epoch += 1;
         ChannelId::new(id)
+    }
+
+    /// Closes channel `id`: it disappears from the adjacency lists (every
+    /// search, [`Graph::degree`], [`Graph::edge_between`] and neighbour
+    /// iteration stop seeing it) while the edge slot — and the dense id
+    /// space every side table indexes by — survives as a tombstone.
+    /// [`Graph::endpoints`] keeps answering for closed channels so
+    /// in-flight state (locked funds awaiting refund) can still unwind.
+    /// Bumps the topology epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::UnknownChannel`] for a bad id or a channel that is
+    /// already closed.
+    pub fn close_channel(&mut self, id: ChannelId) -> Result<()> {
+        let edge = self
+            .edges
+            .get_mut(id.index())
+            .filter(|e| !e.closed)
+            .ok_or(PcnError::UnknownChannel(id))?;
+        edge.closed = true;
+        let (a, b) = (edge.a, edge.b);
+        let raw = id.raw();
+        // `retain` keeps the remaining adjacency order intact, so search
+        // iteration stays deterministic across close/reopen sequences.
+        self.adj[a.index()].retain(|&(ch, _)| ch != raw);
+        self.adj[b.index()].retain(|&(ch, _)| ch != raw);
+        self.closed_count += 1;
+        self.topology_epoch += 1;
+        Ok(())
+    }
+
+    /// Reopens a previously closed channel: its adjacency entries are
+    /// restored (appended, deterministically) and searches see it again.
+    /// Bumps the topology epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::UnknownChannel`] for a bad id or a channel that is not
+    /// closed.
+    pub fn reopen_channel(&mut self, id: ChannelId) -> Result<()> {
+        let edge = self
+            .edges
+            .get_mut(id.index())
+            .filter(|e| e.closed)
+            .ok_or(PcnError::UnknownChannel(id))?;
+        edge.closed = false;
+        let (a, b) = (edge.a, edge.b);
+        self.adj[a.index()].push((id.raw(), b));
+        self.adj[b.index()].push((id.raw(), a));
+        self.closed_count -= 1;
+        self.topology_epoch += 1;
+        Ok(())
+    }
+
+    /// Whether channel `id` is currently closed (unknown ids are not).
+    pub fn is_closed(&self, id: ChannelId) -> bool {
+        self.edges.get(id.index()).is_some_and(|e| e.closed)
+    }
+
+    /// Number of channels currently open (edge count minus tombstones).
+    pub fn open_edge_count(&self) -> usize {
+        self.edges.len() - self.closed_count
+    }
+
+    /// Iterates over the ids of the currently open channels, ascending.
+    pub fn open_edges(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.closed)
+            .map(|(i, _)| ChannelId::from_index(i))
     }
 
     /// Returns the endpoints of channel `id` in insertion order.
@@ -197,28 +281,35 @@ impl Graph {
         (0..self.adj.len()).map(NodeId::from_index)
     }
 
-    /// Iterates over all channel ids.
+    /// Iterates over all channel ids, **including closed tombstones** —
+    /// the dense id space side tables are built over. Use
+    /// [`Graph::open_edges`] for the channels searches can traverse.
     pub fn edges(&self) -> impl Iterator<Item = ChannelId> {
         (0..self.edges.len()).map(ChannelId::from_index)
     }
 
-    /// Iterates over both directed views of every channel.
+    /// Iterates over both directed views of every **open** channel
+    /// (closed tombstones are invisible, like in the adjacency lists).
     pub fn directed_edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.edges.iter().enumerate().flat_map(|(i, e)| {
-            let id = ChannelId::from_index(i);
-            [
-                EdgeRef {
-                    id,
-                    from: e.a,
-                    to: e.b,
-                },
-                EdgeRef {
-                    id,
-                    from: e.b,
-                    to: e.a,
-                },
-            ]
-        })
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.closed)
+            .flat_map(|(i, e)| {
+                let id = ChannelId::from_index(i);
+                [
+                    EdgeRef {
+                        id,
+                        from: e.a,
+                        to: e.b,
+                    },
+                    EdgeRef {
+                        id,
+                        from: e.b,
+                        to: e.a,
+                    },
+                ]
+            })
     }
 
     /// Shortest path by generalized edge cost (Dijkstra).
@@ -403,6 +494,68 @@ mod tests {
         c.add_node();
         assert_eq!(g.topology_epoch(), 2);
         assert_eq!(c.topology_epoch(), 3);
+    }
+
+    #[test]
+    fn close_hides_channel_everywhere_but_endpoints() {
+        let mut g = diamond();
+        let ch = ChannelId::new(0); // 0-1
+        let epoch = g.topology_epoch();
+        g.close_channel(ch).unwrap();
+        assert!(g.is_closed(ch));
+        assert_eq!(g.topology_epoch(), epoch + 1);
+        assert_eq!(g.open_edge_count(), 3);
+        assert_eq!(g.edge_count(), 4, "the dense id space is untouched");
+        // Adjacency-derived views no longer see the channel…
+        assert!(!g.has_edge_between(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert!(g.out_edges(NodeId::new(0)).all(|e| e.id != ch));
+        assert_eq!(g.directed_edges().count(), 6);
+        assert!(g.open_edges().all(|c| c != ch));
+        // …but endpoints still resolve (in-flight unwinding needs them).
+        assert_eq!(g.endpoints(ch).unwrap(), (NodeId::new(0), NodeId::new(1)));
+        // No path 0→1 except via 2-3.
+        let (cost, _) = g
+            .shortest_path(NodeId::new(0), NodeId::new(1), |_| Some(1.0))
+            .expect("detour exists");
+        assert_eq!(cost, 3.0);
+        // Double close is an error.
+        assert!(g.close_channel(ch).is_err());
+    }
+
+    #[test]
+    fn reopen_restores_searchability() {
+        let mut g = diamond();
+        let ch = ChannelId::new(0);
+        g.close_channel(ch).unwrap();
+        let epoch = g.topology_epoch();
+        g.reopen_channel(ch).unwrap();
+        assert!(!g.is_closed(ch));
+        assert_eq!(g.topology_epoch(), epoch + 1);
+        assert_eq!(g.open_edge_count(), 4);
+        assert!(g.has_edge_between(NodeId::new(0), NodeId::new(1)));
+        let (cost, p) = g
+            .shortest_path(NodeId::new(0), NodeId::new(1), |_| Some(1.0))
+            .unwrap();
+        assert_eq!(cost, 1.0);
+        assert_eq!(p.channels(), [ch]);
+        // Reopening an open channel is an error.
+        assert!(g.reopen_channel(ch).is_err());
+        assert!(g.reopen_channel(ChannelId::new(99)).is_err());
+    }
+
+    #[test]
+    fn close_preserves_remaining_adjacency_order() {
+        let mut g = Graph::new(3);
+        let c0 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        let c1 = g.add_edge(NodeId::new(0), NodeId::new(2));
+        let c2 = g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.close_channel(c1).unwrap();
+        let order: Vec<ChannelId> = g.out_edges(NodeId::new(0)).map(|e| e.id).collect();
+        assert_eq!(order, vec![c0, c2], "retain keeps insertion order");
+        g.reopen_channel(c1).unwrap();
+        let order: Vec<ChannelId> = g.out_edges(NodeId::new(0)).map(|e| e.id).collect();
+        assert_eq!(order, vec![c0, c2, c1], "reopen appends deterministically");
     }
 
     #[test]

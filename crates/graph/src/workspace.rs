@@ -54,3 +54,72 @@ impl SearchWorkspace {
         SearchWorkspace::default()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{k_shortest_paths_in, max_flow_in, widest_path_in, Graph};
+    use pcn_types::NodeId;
+
+    /// A warm workspace must stay bit-identical to a cold one when the
+    /// graph it searches **changes size between queries** — nodes and
+    /// edges added (buffers grow) or channels closed (the visible edge
+    /// set shrinks while buffers stay large). Every `*_in` search
+    /// re-initializes its scratch to the current node/edge counts, so a
+    /// dynamic world can mutate the topology mid-run without re-creating
+    /// per-engine workspaces.
+    #[test]
+    fn warm_workspace_survives_topology_shrink_and_grow() {
+        let n = NodeId::new;
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        let mut warm = SearchWorkspace::new();
+
+        let compare_all = |g: &Graph, warm: &mut SearchWorkspace, label: &str| {
+            let mut cold = SearchWorkspace::new();
+            let from = n(0);
+            let to = NodeId::from_index(g.node_count() - 1);
+            let cost = |_| Some(1.0);
+            assert_eq!(
+                g.shortest_path_in(warm, from, to, cost),
+                g.shortest_path_in(&mut cold, from, to, cost),
+                "shortest_path_in diverged: {label}"
+            );
+            let width = |e: crate::EdgeRef| Some(1.0 + e.id.index() as f64);
+            let warm_w = widest_path_in(g, warm, from, to, width);
+            let cold_w = widest_path_in(g, &mut cold, from, to, width);
+            assert_eq!(warm_w, cold_w, "widest_path_in diverged: {label}");
+            assert_eq!(
+                k_shortest_paths_in(g, warm, from, to, 3, cost),
+                k_shortest_paths_in(g, &mut cold, from, to, 3, cost),
+                "k_shortest_paths_in diverged: {label}"
+            );
+            let cap = |_| Some(5u64);
+            let warm_f = max_flow_in(g, warm, from, to, cap);
+            let cold_f = max_flow_in(g, &mut cold, from, to, cap);
+            assert_eq!(warm_f.value, cold_f.value, "max_flow_in diverged: {label}");
+        };
+
+        compare_all(&g, &mut warm, "initial 4-node line");
+        // Grow: new node + two new edges; warm buffers must resize up.
+        let v = g.add_node();
+        g.add_edge(n(3), v);
+        g.add_edge(n(0), v);
+        compare_all(&g, &mut warm, "after add_node/add_edge growth");
+        // Shrink the *visible* edge set: close two channels. Buffers
+        // sized to the old edge count must not leak stale residual arcs
+        // or distance labels into the smaller world.
+        g.close_channel(crate::Graph::edges(&g).nth(1).unwrap())
+            .unwrap();
+        g.close_channel(crate::Graph::edges(&g).nth(4).unwrap())
+            .unwrap();
+        compare_all(&g, &mut warm, "after closing two channels");
+        // Grow again past the original size.
+        let w = g.add_node();
+        g.add_edge(v, w);
+        g.add_edge(n(1), w);
+        compare_all(&g, &mut warm, "after regrowth beyond original size");
+    }
+}

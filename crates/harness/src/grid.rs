@@ -25,6 +25,9 @@ pub struct Overrides {
     pub mean_tx_tokens: Option<f64>,
     /// Arrival rate (tx/sec).
     pub arrivals_per_sec: Option<f64>,
+    /// Channel-churn rate (close + open pairs per second) applied to the
+    /// world's timeline — the dynamic-world sweep axis.
+    pub churn_per_sec: Option<f64>,
     /// Root seed override (pins a variant to a fixed world).
     pub seed: Option<u64>,
     /// Expectation override (replaces the grid-wide expectations).
@@ -45,6 +48,9 @@ impl Overrides {
         }
         if let Some(rate) = self.arrivals_per_sec {
             params.arrivals_per_sec = rate;
+        }
+        if let Some(churn) = self.churn_per_sec {
+            params.timeline.churn_per_sec = churn;
         }
         if let Some(seed) = self.seed {
             params.seed = seed;
@@ -213,6 +219,23 @@ impl ExperimentGrid {
                 v,
                 Overrides {
                     mean_tx_tokens: Some(v),
+                    ..Overrides::default()
+                },
+            );
+        }
+        self
+    }
+
+    /// Adds a channel-churn sweep axis: each point runs every scheme
+    /// under `v` close + open pairs per second (0 = the static world),
+    /// the dynamic-world counterpart of the channel-scale sweep.
+    pub fn sweep_churn_rate(mut self, values: &[f64]) -> Self {
+        for &v in values {
+            self = self.variant(
+                format!("churn {v}/s"),
+                v,
+                Overrides {
+                    churn_per_sec: Some(v),
                     ..Overrides::default()
                 },
             );
@@ -524,6 +547,27 @@ mod tests {
             on[0].stats.without_cache_counters(),
             off[0].stats.without_cache_counters(),
             "the cache must be invisible in the semantic stats"
+        );
+    }
+
+    #[test]
+    fn churn_sweep_flows_into_the_timeline() {
+        let grid = ExperimentGrid::new(ScenarioParams::tiny())
+            .schemes([SchemeChoice::Spider])
+            .sweep_churn_rate(&[0.0, 1.0]);
+        let cells = grid.cells();
+        assert_eq!(cells[0].spec.params.timeline.churn_per_sec, 0.0);
+        assert_eq!(cells[1].spec.params.timeline.churn_per_sec, 1.0);
+        let results = grid.run(2);
+        assert_eq!(results[0].stats.world_events_applied, 0, "static point");
+        assert!(
+            results[1].stats.world_events_applied >= 2 * 10,
+            "1/s churn over the 10 s tiny world applies ≥20 events, got {}",
+            results[1].stats.world_events_applied
+        );
+        assert_ne!(
+            results[0].stats, results[1].stats,
+            "churn must actually perturb the run"
         );
     }
 

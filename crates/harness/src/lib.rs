@@ -18,11 +18,15 @@
 //! bit-identical [`RunStats`](pcn_routing::RunStats) for the same cell.
 //!
 //! Cells carry the engine's path-cache counters
-//! (`RunStats::path_cache`: hits/misses/invalidations) so cache
-//! effectiveness is visible per grid cell; [`RunTuning::path_cache`]
+//! (`RunStats::path_cache`: hits/misses/evictions plus invalidations
+//! split by cause — topology/funds/price/footprint) and the
+//! dynamic-world counters (`world_events_applied`,
+//! `tus_expired_by_close`), so cache effectiveness and timeline
+//! activity are visible per grid cell; [`RunTuning::path_cache`]
 //! toggles the cache for A/B cells (semantics-preserving either way),
-//! and [`SchemeTuning`] overrides routing choices on *any* scheme's
-//! cell, baselines included.
+//! [`SchemeTuning`] overrides routing choices on *any* scheme's cell,
+//! baselines included, and [`ExperimentGrid::sweep_churn_rate`] sweeps
+//! the dynamic-world churn axis across schemes.
 //!
 //! ```
 //! use pcn_harness::ExperimentGrid;

@@ -162,24 +162,58 @@ impl CacheKey {
     }
 }
 
+/// Why a stale entry went stale — which watched input moved. A single
+/// lumped invalidation count hides *which* epoch fired (a dynamic world
+/// churns topology while ordinary traffic churns funds), so the cache
+/// attributes every invalidation to exactly one cause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StaleCause {
+    /// The topology epoch moved (structural mutation, channel
+    /// close/reopen, hub outage).
+    Topology,
+    /// The global funds epoch moved under an unscoped live entry.
+    Funds,
+    /// The price epoch moved under an unscoped live entry.
+    Price,
+    /// A channel inside a scoped entry's footprint moved funds.
+    Footprint,
+}
+
 /// Hit/miss/invalidation/eviction counters, exported into run
-/// statistics.
+/// statistics. Invalidations are split by cause; the lumped total is
+/// [`PathCacheStats::invalidations`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PathCacheStats {
     /// Queries served from a fresh entry.
     pub hits: u64,
     /// Queries with no entry at all (first sight of the key).
     pub misses: u64,
-    /// Queries that found a stale entry (recomputed and replaced).
-    pub invalidations: u64,
+    /// Stale entries recomputed because the topology epoch moved
+    /// (structural mutations: channel close/open, hub outages, node
+    /// additions).
+    pub inv_topology: u64,
+    /// Stale entries recomputed because the global funds epoch moved
+    /// under an unscoped live entry.
+    pub inv_funds: u64,
+    /// Stale entries recomputed because the price epoch moved under an
+    /// unscoped live entry.
+    pub inv_price: u64,
+    /// Stale footprint-scoped entries recomputed because a channel in
+    /// their own footprint moved funds.
+    pub inv_footprint: u64,
     /// Entries removed to respect the capacity bound.
     pub evictions: u64,
 }
 
 impl PathCacheStats {
+    /// Total invalidations (stale entries recomputed), across causes.
+    pub fn invalidations(&self) -> u64 {
+        self.inv_topology + self.inv_funds + self.inv_price + self.inv_footprint
+    }
+
     /// Total queries that went through the cache.
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses + self.invalidations
+        self.hits + self.misses + self.invalidations()
     }
 
     /// Fraction of lookups served from cache (0 when no lookups).
@@ -189,6 +223,15 @@ impl PathCacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    fn record_stale(&mut self, cause: StaleCause) {
+        match cause {
+            StaleCause::Topology => self.inv_topology += 1,
+            StaleCause::Funds => self.inv_funds += 1,
+            StaleCause::Price => self.inv_price += 1,
+            StaleCause::Footprint => self.inv_footprint += 1,
         }
     }
 }
@@ -230,6 +273,25 @@ impl CacheEntry {
                         }))
             }
             None => self.volatility.still_fresh(self.stamp, now),
+        }
+    }
+
+    /// Attributes a (known-stale) entry's staleness to the input that
+    /// moved. Exactly one cause is charged, checked in watch order:
+    /// topology first (it invalidates every regime), then the regime's
+    /// own counters.
+    fn stale_cause(&self, now: EpochStamp) -> StaleCause {
+        if self.stamp.topology != now.topology {
+            StaleCause::Topology
+        } else if self.footprint.is_some() {
+            // Scoped entry, topology unchanged: the per-channel check
+            // failed, i.e. a footprint channel itself moved (or the
+            // lookup lacked funds to prove otherwise).
+            StaleCause::Footprint
+        } else if self.stamp.funds != now.funds {
+            StaleCause::Funds
+        } else {
+            StaleCause::Price
         }
     }
 }
@@ -332,7 +394,7 @@ impl PathCache {
                 Arc::clone(&entry.paths)
             }
             found => {
-                let stale = found.is_some();
+                let stale = found.map(|e| e.stale_cause(now));
                 let paths: Arc<[Path]> = compute().into();
                 let entry = CacheEntry {
                     stamp: now,
@@ -371,7 +433,7 @@ impl PathCache {
                 Arc::clone(&entry.paths)
             }
             found => {
-                let stale = found.is_some();
+                let stale = found.map(|e| e.stale_cause(now));
                 self.scratch.clear();
                 let paths: Arc<[Path]> = compute(&mut self.scratch).into();
                 let snapshot: Box<[(ChannelId, u64)]> = self
@@ -395,17 +457,18 @@ impl PathCache {
 
     /// Replaces a stale entry in place or inserts a new key, evicting
     /// first when the weight bound would be exceeded. Updates the
-    /// miss/invalidation counters.
+    /// miss/invalidation counters (`stale` carries the attributed
+    /// cause when the key held a stale entry).
     fn store(
         &mut self,
         key: CacheKey,
         entry: CacheEntry,
-        stale: bool,
+        stale: Option<StaleCause>,
         now: EpochStamp,
         funds: Option<&NetworkFunds>,
     ) {
-        if stale {
-            self.stats.invalidations += 1;
+        if let Some(cause) = stale {
+            self.stats.record_stale(cause);
             let new_weight = entry.weight;
             let slot = self.entries.get_mut(&key).expect("stale entry present");
             self.weight = self.weight - slot.weight + new_weight;
@@ -528,10 +591,10 @@ mod tests {
             PathCacheStats {
                 hits: 1,
                 misses: 1,
-                invalidations: 0,
-                evictions: 0,
+                ..PathCacheStats::default()
             }
         );
+        assert_eq!(cache.stats().invalidations(), 0);
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -557,9 +620,10 @@ mod tests {
             panic!("capacity-only entry must ignore funds/price epochs")
         });
         assert_eq!(cache.stats().hits, 1);
-        // Topology moved: stale.
+        // Topology moved: stale, attributed to the topology epoch.
         cache.get_or_compute(key, stamp(4, 99, 7), Volatility::CapacityOnly, Vec::new);
-        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().invalidations(), 1);
+        assert_eq!(cache.stats().inv_topology, 1);
     }
 
     #[test]
@@ -578,7 +642,10 @@ mod tests {
             cache.get_or_compute(key, now, Volatility::Live, || vec![path01()]);
             assert_eq!(cache.stats().misses, 1, "lookup {i}");
         }
-        assert_eq!(cache.stats().invalidations, 3);
+        assert_eq!(cache.stats().invalidations(), 3);
+        // One invalidation per cause, in the order the stamps moved.
+        let s = cache.stats();
+        assert_eq!((s.inv_funds, s.inv_price, s.inv_topology), (1, 1, 1));
         // Unchanged stamp: served from cache.
         cache.get_or_compute(key, stamp(2, 2, 2), Volatility::Live, || {
             panic!("identical stamp must hit")
@@ -660,7 +727,8 @@ mod tests {
             .unwrap();
         let now = scoped_stamp(&g, &funds);
         cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g, fp));
-        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().invalidations(), 1);
+        assert_eq!(cache.stats().inv_footprint, 1);
     }
 
     #[test]
@@ -678,7 +746,8 @@ mod tests {
         g2.add_node();
         let now = scoped_stamp(&g2, &funds);
         cache.get_or_compute_scoped(key, now, &funds, |fp| scoped_compute(&g2, fp));
-        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().invalidations(), 1);
+        assert_eq!(cache.stats().inv_topology, 1);
     }
 
     #[test]
@@ -926,7 +995,7 @@ mod tests {
             .map(|(_, p)| vec![p])
             .unwrap_or_default()
         });
-        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().invalidations(), 1);
         assert_eq!(cache.stats().evictions, 1, "one unscoped entry shed");
         assert!(cache.weight() <= cache.capacity());
         // The replaced key itself survived.

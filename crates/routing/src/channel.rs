@@ -324,6 +324,40 @@ impl NetworkFunds {
         self.channel_epochs[id.index()] += 1;
     }
 
+    /// Appends the state for a channel opened mid-run (the next dense
+    /// id, matching the graph's `add_edge`), funded with
+    /// `fund_a`/`fund_b` on the respective sides. Injects new value into
+    /// the network — callers tracking conservation should account
+    /// `fund_a + fund_b` against [`NetworkFunds::grand_total`].
+    pub fn add_channel(&mut self, a: NodeId, b: NodeId, fund_a: Amount, fund_b: Amount) {
+        self.channels.push(ChannelState::new(a, b, fund_a, fund_b));
+        self.channel_epochs.push(0);
+    }
+
+    /// Resets channel `id`'s *spendable* liquidity to an even split
+    /// between its directions (any odd millitoken goes to the `a` side);
+    /// locked in-flight value is untouched, so conservation holds by
+    /// construction. Bumps the funds epochs only when balances actually
+    /// move.
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::UnknownChannel`] for a bad id.
+    pub fn rebalance_equalize(&mut self, id: ChannelId) -> Result<()> {
+        let c = self.get_mut(id)?;
+        let spendable = c.bal_ab + c.bal_ba;
+        let half = Amount::from_millitokens(spendable.millitokens() / 2);
+        let (new_ab, new_ba) = (spendable - half, half);
+        if (new_ab, new_ba) == (c.bal_ab, c.bal_ba) {
+            return Ok(());
+        }
+        c.bal_ab = new_ab;
+        c.bal_ba = new_ba;
+        c.check();
+        self.bump(id);
+        Ok(())
+    }
+
     /// Whether the `from` side of `id` has (almost) no spendable funds —
     /// the local-deadlock symptom of Fig. 1.
     pub fn is_drained(&self, id: ChannelId, from: NodeId) -> bool {
@@ -480,6 +514,47 @@ mod tests {
         assert_eq!(f.channel_epoch(ab), 2);
         // Unknown channels report zero.
         assert_eq!(f.channel_epoch(ChannelId::new(77)), 0);
+    }
+
+    #[test]
+    fn add_channel_extends_the_dense_table() {
+        let (mut f, ch) = funds();
+        assert_eq!(f.len(), 1);
+        f.add_channel(n(0), n(1), Amount::from_tokens(3), Amount::from_tokens(7));
+        assert_eq!(f.len(), 2);
+        let new = ChannelId::new(1);
+        assert_eq!(f.balance(new, n(0)), Amount::from_tokens(3));
+        assert_eq!(f.balance(new, n(1)), Amount::from_tokens(7));
+        assert_eq!(f.total(new), Amount::from_tokens(10));
+        assert_eq!(f.channel_epoch(new), 0);
+        // The pre-existing channel is untouched.
+        assert_eq!(f.total(ch), Amount::from_tokens(20));
+        f.lock(new, n(1), Amount::from_tokens(2)).unwrap();
+        assert_eq!(f.channel_epoch(new), 1);
+        assert!(f.verify_conservation());
+    }
+
+    #[test]
+    fn rebalance_equalize_splits_spendable_only() {
+        let (mut f, ch) = funds();
+        // Drift the channel: move 6 tokens 0→1, lock 2 more in flight.
+        f.lock(ch, n(0), Amount::from_tokens(6)).unwrap();
+        f.settle(ch, n(0), Amount::from_tokens(6)).unwrap();
+        f.lock(ch, n(1), Amount::from_tokens(2)).unwrap();
+        assert_eq!(f.balance(ch, n(0)), Amount::from_tokens(4));
+        assert_eq!(f.balance(ch, n(1)), Amount::from_tokens(14));
+        let epoch = f.funds_epoch();
+        f.rebalance_equalize(ch).unwrap();
+        // Spendable 18 splits 9/9; the 2 locked tokens stay locked.
+        assert_eq!(f.balance(ch, n(0)), Amount::from_tokens(9));
+        assert_eq!(f.balance(ch, n(1)), Amount::from_tokens(9));
+        assert_eq!(f.locked(ch, n(1)), Amount::from_tokens(2));
+        assert_eq!(f.funds_epoch(), epoch + 1);
+        assert!(f.verify_conservation());
+        // Already balanced: a second pass moves nothing and bumps nothing.
+        f.rebalance_equalize(ch).unwrap();
+        assert_eq!(f.funds_epoch(), epoch + 1);
+        assert!(f.rebalance_equalize(ChannelId::new(9)).is_err());
     }
 
     #[test]

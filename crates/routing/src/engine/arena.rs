@@ -165,8 +165,8 @@ impl TuArena {
         self.free.reserve(additional);
     }
 
-    /// Live TUs in slot order (deterministic, test inspection).
-    #[cfg(test)]
+    /// Live TUs in slot order (deterministic — the world stage scans
+    /// this to expire TUs whose path crosses a closing channel).
     pub(super) fn iter(&self) -> impl Iterator<Item = &TransactionUnit> {
         self.slots.iter().filter_map(|s| s.tu.as_ref())
     }

@@ -151,6 +151,14 @@ impl Engine {
         let hop = tu.next_hop;
         let (from, ch, _to) = nth_hop(tu.path(), hop);
         let amount = tu.amount;
+        if self.graph.is_closed(ch) {
+            // The channel closed under a stale plan (dynamic world):
+            // funds would still lock — the tombstone keeps its state —
+            // but traversing a closed channel is not a thing. Abort and
+            // refund; the flow replans lazily via the epoch-staled cache.
+            self.abort_tu(now, tu_id, false);
+            return;
+        }
         match self.funds.lock(ch, from, amount) {
             Ok(()) => {
                 self.prices.record_arrival(ch, from, amount.to_tokens_f64());

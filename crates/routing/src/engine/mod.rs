@@ -20,6 +20,12 @@
 //!   acknowledgement and the abort/refund/retry paths.
 //! * `control` — the periodic control plane: price ticks, queue expiry
 //!   and marking, rate updates, hub state synchronization.
+//! * `world` — the dynamic-world stage: timeline events (hub outages,
+//!   channel churn, liquidity rebalances, rate-shift markers) mutate the
+//!   topology and funds mid-run, deterministically at their timestamps
+//!   on the event queue's world lane. Closures expire in-flight TUs
+//!   through the refund path and bump `Graph::topology_epoch`, so every
+//!   cached plan re-derives lazily on its next miss.
 //!
 //! Simplifications vs. a production deployment, documented per DESIGN.md:
 //! channel processing rate `r_process` is unbounded (congestion arises
@@ -61,6 +67,7 @@ mod arena;
 mod arrivals;
 mod control;
 mod lifecycle;
+mod world;
 
 #[cfg(test)]
 mod tests;
@@ -77,7 +84,7 @@ use crate::channel::NetworkFunds;
 use crate::prices::PriceTable;
 use crate::rate::RateController;
 use crate::scheduler::{QueueEntry, WaitQueue};
-use crate::scheme::{RouteVia, SchemeConfig};
+use crate::scheme::SchemeConfig;
 use crate::stats::RunStats;
 use crate::tu::Payment;
 use crate::window::WindowController;
@@ -172,6 +179,10 @@ pub(super) enum Ev {
     PriceTick,
     Deadline(TxId),
     QueueDrain(u32, bool),
+    /// Apply timeline event `i` (world lane).
+    World(u32),
+    /// Reopen the channels outage `i` closed (world lane).
+    WorldRecover(u32),
 }
 
 pub(super) struct FlowState {
@@ -260,6 +271,8 @@ pub struct Engine {
     pub(super) scratch_expired: Vec<QueueEntry>,
     pub(super) scratch_marked: Vec<TuId>,
     pub(super) scratch_prices: Vec<f64>,
+    /// Dynamic-world timeline state (empty for static scenarios).
+    pub(super) world: world::WorldState,
     /// Epoch-versioned plan cache (replaces the never-invalidating
     /// `mice_cache` and serves every scheme's plan queries).
     pub(super) path_cache: PathCache,
@@ -295,16 +308,7 @@ impl Engine {
         // no per-engine-construction clone.
         let prices = PriceTable::new(Arc::clone(&endpoints));
         let node_busy = vec![SimTime::ZERO; graph.node_count()];
-        let hub_count = match &scheme.route_via {
-            RouteVia::Hubs { assignment } => {
-                let mut hubs: Vec<NodeId> = assignment.values().copied().collect();
-                hubs.sort();
-                hubs.dedup();
-                hubs.len()
-            }
-            RouteVia::SingleHub { .. } => 1,
-            _ => 0,
-        };
+        let hub_count = scheme.route_via.hub_set().len();
         let events = if cfg.use_calendar_queue {
             EventQueue::new()
         } else {
@@ -330,6 +334,7 @@ impl Engine {
             scratch_expired: Vec::new(),
             scratch_marked: Vec::new(),
             scratch_prices: Vec::new(),
+            world: world::WorldState::default(),
             path_cache: PathCache::new(),
             workspace: SearchWorkspace::new(),
             hub_count,
@@ -357,6 +362,34 @@ impl Engine {
              the engine's transaction table is indexed by raw id"
         );
         let wall_start = std::time::Instant::now();
+        self.begin(payments);
+        while let Some((now, ev)) = self.events.pop() {
+            self.handle(now, ev);
+        }
+        self.stats.wall_secs = wall_start.elapsed().as_secs_f64();
+        self.stats.path_cache = self.path_cache.stats();
+        // Open channels only: a tombstoned channel's frozen zero side is
+        // inert capital, not the deadlock symptom (routing cannot reach
+        // it), so dynamic-world runs don't inflate the metric.
+        self.stats.drained_directions_end = self
+            .graph
+            .open_edges()
+            .map(|ch| {
+                let (a, b) = self.endpoints[ch.index()];
+                usize::from(self.funds.balance(ch, a).is_zero())
+                    + usize::from(self.funds.balance(ch, b).is_zero())
+            })
+            .sum();
+        debug_assert!(self.funds.verify_conservation());
+        debug_assert!(self.stats.is_consistent());
+        self.stats
+    }
+
+    /// Sets the horizon and schedules the initial events (first arrival,
+    /// world timeline, first price tick). [`Engine::run`]'s startup,
+    /// shared with in-place test drivers so they cannot drift from the
+    /// real loop.
+    pub(super) fn begin(&mut self, payments: Vec<Payment>) {
         self.horizon = payments
             .last()
             .map(|p| p.deadline + self.cfg.update_interval)
@@ -366,17 +399,11 @@ impl Engine {
             let at = first.created;
             self.events.schedule_at(at, Ev::Arrival);
         }
+        if !self.world.is_empty() {
+            self.schedule_world_events();
+        }
         self.events
             .schedule_after(self.cfg.update_interval, Ev::PriceTick);
-        while let Some((now, ev)) = self.events.pop() {
-            self.handle(now, ev);
-        }
-        self.stats.wall_secs = wall_start.elapsed().as_secs_f64();
-        self.stats.path_cache = self.path_cache.stats();
-        self.stats.drained_directions_end = self.funds.drained_directions();
-        debug_assert!(self.funds.verify_conservation());
-        debug_assert!(self.stats.is_consistent());
-        self.stats
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -390,6 +417,8 @@ impl Engine {
             Ev::PriceTick => self.on_price_tick(now),
             Ev::Deadline(tx) => self.on_deadline(tx),
             Ev::QueueDrain(ch, dir) => self.drain_queue(now, ChannelId::new(ch), dir),
+            Ev::World(i) => self.on_world(now, i),
+            Ev::WorldRecover(i) => self.on_world_recover(i),
         }
     }
 

@@ -75,8 +75,10 @@ pub mod scheme;
 pub mod stats;
 pub mod tu;
 pub mod window;
+pub mod world;
 
 pub use cache::{PathCache, PathCacheStats};
 pub use engine::{Engine, EngineConfig};
 pub use scheme::{ComputeModel, RouteVia, SchemeConfig};
 pub use stats::RunStats;
+pub use world::{RebalancePolicy, WorldEvent};

@@ -92,6 +92,35 @@ impl PriceTable {
         self.epoch
     }
 
+    /// Adopts a grown endpoint table (a dynamic world opened channels
+    /// mid-run): new channels start with zeroed prices and accumulators,
+    /// existing channels keep their state. The caller passes the same
+    /// `Arc` it shares with the engine, so the tables stay one
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new table is shorter than the current one or
+    /// disagrees on an existing channel's endpoints (channel ids are
+    /// dense and never re-ordered).
+    pub fn set_endpoints(&mut self, endpoints: Arc<[(NodeId, NodeId)]>) {
+        assert!(
+            endpoints.len() >= self.endpoints.len(),
+            "endpoint tables only grow"
+        );
+        assert!(
+            endpoints
+                .iter()
+                .zip(self.endpoints.iter())
+                .all(|(new, old)| new == old),
+            "existing channel endpoints must be unchanged"
+        );
+        self.prices
+            .resize(endpoints.len(), ChannelPrices::default());
+        self.arrived.resize(endpoints.len(), (0.0, 0.0));
+        self.endpoints = endpoints;
+    }
+
     /// Number of channels.
     pub fn len(&self) -> usize {
         self.prices.len()
@@ -251,6 +280,30 @@ mod tests {
         // Recording arrivals alone does not tick the epoch.
         table.record_arrival(ChannelId::new(0), n(0), 1.0);
         assert_eq!(table.price_epoch(), 2);
+    }
+
+    #[test]
+    fn set_endpoints_grows_preserving_existing_prices() {
+        let mut table = PriceTable::new(vec![(n(0), n(1))]);
+        table.record_arrival(ChannelId::new(0), n(0), 10.0);
+        table.tick(0.1, 0.5, |_| (12.0, 0.0), |_| 10.0);
+        let xi_before = table.xi(ChannelId::new(0), n(0));
+        assert!(xi_before > 0.0);
+        let grown: Arc<[(NodeId, NodeId)]> = vec![(n(0), n(1)), (n(1), n(2))].into();
+        table.set_endpoints(grown);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.xi(ChannelId::new(0), n(0)), xi_before);
+        assert_eq!(table.xi(ChannelId::new(1), n(1)), 0.0, "new channel zeroed");
+        table.record_arrival(ChannelId::new(1), n(2), 4.0);
+        table.tick(0.1, 0.5, |_| (0.0, 0.0), |_| 10.0);
+        assert!(table.xi(ChannelId::new(1), n(2)) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only grow")]
+    fn set_endpoints_rejects_shrink() {
+        let mut table = PriceTable::new(vec![(n(0), n(1))]);
+        table.set_endpoints(Vec::new().into());
     }
 
     #[test]

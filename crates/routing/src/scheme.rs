@@ -69,6 +69,25 @@ pub enum RouteVia {
     },
 }
 
+impl RouteVia {
+    /// The scheme's hub set, sorted and deduplicated (empty for
+    /// hub-less schemes). One definition serves both the engine's
+    /// hub-count accounting and the world stage's outage-rank
+    /// resolution, so the two can never diverge.
+    pub fn hub_set(&self) -> Vec<NodeId> {
+        match self {
+            RouteVia::Hubs { assignment } => {
+                let mut hubs: Vec<NodeId> = assignment.values().copied().collect();
+                hubs.sort();
+                hubs.dedup();
+                hubs
+            }
+            RouteVia::SingleHub { hub } => vec![*hub],
+            _ => Vec::new(),
+        }
+    }
+}
+
 /// Complete behavioural description of a scheme run by the engine.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SchemeConfig {

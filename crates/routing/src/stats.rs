@@ -38,6 +38,14 @@ pub struct RunStats {
     pub drained_directions_end: usize,
     /// Payments that found no path at all.
     pub unroutable: u64,
+    /// World-timeline events applied mid-run (rate shifts, hub outages
+    /// and recoveries, channel churn, rebalances). Semantic — identical
+    /// across cache/backend/worker configurations of the same run.
+    pub world_events_applied: u64,
+    /// In-flight TUs expired (refunded) because a channel on their path
+    /// closed mid-run. Semantic, like [`RunStats::aborted_tus`] (which
+    /// includes them).
+    pub tus_expired_by_close: u64,
     /// Path-cache counters (hits/misses/invalidations/evictions).
     /// Diagnostic only: the cache is semantics-preserving, so these are
     /// the *only* fields allowed to differ between a cached and an
@@ -68,6 +76,8 @@ impl PartialEq for RunStats {
             delivered_tus,
             drained_directions_end,
             unroutable,
+            world_events_applied,
+            tus_expired_by_close,
             path_cache,
             wall_secs: _,
         } = self;
@@ -83,6 +93,8 @@ impl PartialEq for RunStats {
             && *delivered_tus == other.delivered_tus
             && *drained_directions_end == other.drained_directions_end
             && *unroutable == other.unroutable
+            && *world_events_applied == other.world_events_applied
+            && *tus_expired_by_close == other.tus_expired_by_close
             && *path_cache == other.path_cache
     }
 }
@@ -141,7 +153,7 @@ impl core::fmt::Display for RunStats {
         write!(
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
-             drained={} cache={}h/{}m/{}i/{}e pps={:.0}",
+             drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp pps={:.0}",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -152,8 +164,14 @@ impl core::fmt::Display for RunStats {
             self.drained_directions_end,
             self.path_cache.hits,
             self.path_cache.misses,
-            self.path_cache.invalidations,
+            self.path_cache.invalidations(),
+            self.path_cache.inv_topology,
+            self.path_cache.inv_funds,
+            self.path_cache.inv_price,
+            self.path_cache.inv_footprint,
             self.path_cache.evictions,
+            self.world_events_applied,
+            self.tus_expired_by_close,
             self.payments_per_sec(),
         )
     }
@@ -199,15 +217,23 @@ mod tests {
             path_cache: PathCacheStats {
                 hits: 3,
                 misses: 2,
-                invalidations: 1,
+                inv_topology: 1,
+                inv_footprint: 2,
                 evictions: 4,
+                ..Default::default()
             },
+            world_events_applied: 6,
+            tus_expired_by_close: 2,
             ..Default::default()
         };
         let shown = s.to_string();
         assert!(shown.contains("tsr=1.000"));
         assert!(shown.contains("gen=5"));
-        assert!(shown.contains("cache=3h/2m/1i/4e"));
+        assert!(
+            shown.contains("cache=3h/2m/3i[1t/0f/0p/2fp]/4e"),
+            "per-cause invalidation breakdown must be visible: {shown}"
+        );
+        assert!(shown.contains("world=6ev/2exp"));
     }
 
     #[test]

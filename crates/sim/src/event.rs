@@ -23,22 +23,45 @@
 //! The tie-break contract is part of the simulator's determinism
 //! guarantee: runs are bit-reproducible regardless of backend or of
 //! either backend's internals.
+//!
+//! # The world lane
+//!
+//! Dynamic-world simulations apply *environment* events — a hub outage,
+//! a channel closing, a liquidity rebalance — at fixed timestamps, and
+//! the outcome must not depend on how many ordinary protocol events
+//! happen to share the instant. [`EventQueue::schedule_world_at`] puts
+//! an event on the **world lane**: the total order becomes
+//! `(time, lane, seq)` with the world lane first, so at any timestamp
+//! every world event pops before every normal event, regardless of
+//! scheduling order — on both backends. Within a lane, ties stay FIFO.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use pcn_types::{SimDuration, SimTime};
 
+/// Which priority lane an event occupies at its timestamp. At equal
+/// times, [`Lane::World`] events pop before [`Lane::Normal`] ones;
+/// within a lane, ties pop FIFO (scheduling order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// Environment mutations (topology/liquidity/traffic timeline).
+    World,
+    /// Ordinary simulation events.
+    Normal,
+}
+
 #[derive(Debug)]
 struct Scheduled<E> {
     time: SimTime,
+    lane: Lane,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.lane == other.lane && self.seq == other.seq
     }
 }
 
@@ -52,7 +75,10 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .cmp(&other.time)
+            .then(self.lane.cmp(&other.lane))
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -72,11 +98,13 @@ fn vbucket(t: SimTime) -> u64 {
 /// the invariants are:
 ///
 /// * `staged` holds the events of virtual bucket `cur_vb`, sorted by
-///   `(time, seq)`; `now` never precedes the staged bucket's start.
-/// * `at_now` holds events scheduled for exactly `now`, in scheduling
-///   order. Every event already staged for time `now` carries a smaller
-///   `seq` than any `at_now` event (it was scheduled strictly earlier),
-///   so popping staged-events-at-`now` first preserves global FIFO.
+///   `(time, lane, seq)`; `now` never precedes the staged bucket's start.
+/// * `at_now` holds **normal-lane** events scheduled for exactly `now`,
+///   in scheduling order. Every normal event already staged for time
+///   `now` carries a smaller `seq` than any `at_now` event (it was
+///   scheduled strictly earlier), so popping staged-events-at-`now`
+///   first preserves global FIFO; world-lane events always take the
+///   sorted staged path, so lane priority holds at `now` too.
 /// * Ring bucket `b % NUM_BUCKETS` holds only events of virtual bucket
 ///   `b` for `cur_vb < b < cur_vb + NUM_BUCKETS` (skipped buckets are
 ///   provably empty, so a slot is never shared by two virtual buckets).
@@ -165,17 +193,23 @@ impl<E> CalendarCore<E> {
 
     fn push(&mut self, s: Scheduled<E>, now: SimTime) {
         self.len += 1;
-        if s.time == now {
+        if s.time == now && s.lane == Lane::Normal {
+            // The allocation-free bypass is normal-lane only: world
+            // events at `now` must overtake at-now events regardless of
+            // seq, so they take the sorted staged path below.
             self.at_now.push_back(s);
             return;
         }
         let b = vbucket(s.time);
         debug_assert!(b >= self.cur_vb, "future event behind the cursor");
         if b == self.cur_vb {
-            // Rare: a sub-bucket-width delay landing in the staged
-            // bucket. `seq` is globally maximal, so ordering by time
-            // alone finds the insertion point.
-            let pos = self.staged.partition_point(|e| e.time <= s.time);
+            // Rare: a sub-bucket-width delay (or an at-`now` world
+            // event) landing in the staged bucket. `seq` is maximal
+            // within its lane, so ordering by `(time, lane)` finds the
+            // insertion point.
+            let pos = self
+                .staged
+                .partition_point(|e| (e.time, e.lane) <= (s.time, s.lane));
             self.staged.insert(pos, s);
         } else if b < self.cur_vb + NUM_BUCKETS as u64 {
             let idx = (b % NUM_BUCKETS as u64) as usize;
@@ -360,15 +394,38 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Schedules `event` at absolute time `at`.
+    /// Schedules `event` at absolute time `at` on the normal lane.
     ///
     /// # Panics
     ///
     /// Panics if `at` is before the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_in(at, Lane::Normal, event);
+    }
+
+    /// Schedules `event` at absolute time `at` on the **world lane**: at
+    /// its timestamp it pops before every normal-lane event, whatever
+    /// the scheduling order was (see the module docs). Used for
+    /// environment mutations that must apply before any same-instant
+    /// protocol event observes the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_world_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_in(at, Lane::World, event);
+    }
+
+    /// Schedules `event` at `at` on an explicit [`Lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at_in(&mut self, at: SimTime, lane: Lane, event: E) {
         assert!(at >= self.now, "cannot schedule into the past");
         let s = Scheduled {
             time: at,
+            lane,
             seq: self.seq,
             event,
         };
@@ -642,11 +699,61 @@ mod tests {
         }
     }
 
-    /// The backends pop identical `(time, seq-order)` sequences for a
-    /// deterministic pseudo-random interleaving of schedules and pops
-    /// with heavy timestamp duplication (the calendar/heap equivalence
-    /// in miniature; the full property test lives in the workspace
-    /// `tests/property_tests.rs`).
+    /// World-lane events pop before normal events sharing their
+    /// timestamp, whatever the scheduling order — including events
+    /// scheduled for exactly `now` (the at-now bypass) and events staged
+    /// far in advance.
+    #[test]
+    fn world_lane_overtakes_normal_events_at_equal_times() {
+        for mut q in backends() {
+            let t = SimTime::from_micros(5_000);
+            q.schedule_at(t, 1); // normal, staged early, smallest seq
+            q.schedule_world_at(t, 100); // world, scheduled later
+            q.schedule_at(t, 2);
+            q.schedule_world_at(t, 101);
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(
+                order,
+                vec![100, 101, 1, 2],
+                "world lane first, FIFO within each lane"
+            );
+        }
+    }
+
+    #[test]
+    fn world_lane_at_now_overtakes_the_at_now_fifo() {
+        for mut q in backends() {
+            let t = SimTime::from_micros(10);
+            q.schedule_at(t, 0);
+            assert_eq!(q.pop().unwrap(), (t, 0));
+            // now == t: normal events ride the at-now lane; a world
+            // event scheduled afterwards must still pop first.
+            q.schedule_at(t, 1);
+            q.schedule_at(t, 2);
+            q.schedule_world_at(t, 9);
+            assert_eq!(q.pop().unwrap(), (t, 9));
+            assert_eq!(q.pop().unwrap(), (t, 1));
+            assert_eq!(q.pop().unwrap(), (t, 2));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn world_lane_respects_time_ordering() {
+        for mut q in backends() {
+            q.schedule_world_at(SimTime::from_micros(30), 3);
+            q.schedule_at(SimTime::from_micros(10), 1);
+            // Earlier normal events still pop before later world events.
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 3);
+        }
+    }
+
+    /// The backends pop identical `(time, lane, seq-order)` sequences
+    /// for a deterministic pseudo-random interleaving of schedules and
+    /// pops with heavy timestamp duplication and occasional world-lane
+    /// events (the calendar/heap equivalence in miniature; the full
+    /// property test lives in the workspace `tests/property_tests.rs`).
     #[test]
     fn backends_agree_on_interleaved_schedules() {
         let mut cal = EventQueue::new();
@@ -677,8 +784,16 @@ mod tests {
                     5 => 3_000_000,
                     _ => 5_000_000 + (r >> 8) % 10_000_000,
                 };
-                cal.schedule_after(SimDuration::from_micros(delay), i);
-                heap.schedule_after(SimDuration::from_micros(delay), i);
+                let at = cal.now() + SimDuration::from_micros(delay);
+                // ~6% of events ride the world lane (a dynamic-world
+                // timeline is sparse next to protocol traffic).
+                if r % 16 == 1 {
+                    cal.schedule_world_at(at, i);
+                    heap.schedule_world_at(at, i);
+                } else {
+                    cal.schedule_after(SimDuration::from_micros(delay), i);
+                    heap.schedule_after(SimDuration::from_micros(delay), i);
+                }
             }
         }
         loop {

@@ -38,5 +38,5 @@ mod event;
 pub mod metrics;
 mod rng;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, Lane};
 pub use rng::SimRng;

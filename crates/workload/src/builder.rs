@@ -232,6 +232,34 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Edits the dynamic-world timeline through a
+    /// [`TimelineBuilder`](crate::timeline::TimelineBuilder) chain
+    /// (repeated calls accumulate onto the same spec):
+    ///
+    /// ```
+    /// use pcn_workload::ScenarioBuilder;
+    ///
+    /// let spec = ScenarioBuilder::tiny()
+    ///     .timeline(|t| t.hub_outage(3.0, 0, 6.0).churn(0.5))
+    ///     .build();
+    /// assert_eq!(spec.params.timeline.hub_outages.len(), 1);
+    /// ```
+    pub fn timeline<F>(mut self, edit: F) -> Self
+    where
+        F: FnOnce(crate::timeline::TimelineBuilder) -> crate::timeline::TimelineBuilder,
+    {
+        let current = std::mem::take(&mut self.params.timeline);
+        self.params.timeline = edit(crate::timeline::TimelineBuilder::from_spec(current)).build();
+        self
+    }
+
+    /// Channel churn rate: one close + open pair per `1 / per_sec`
+    /// seconds (the grid's churn-sweep knob; shorthand for
+    /// `timeline(|t| t.churn(per_sec))`).
+    pub fn churn_rate(self, per_sec: f64) -> Self {
+        self.timeline(|t| t.churn(per_sec))
+    }
+
     /// Root seed: every random decision in the run derives from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.params.seed = seed;
@@ -349,6 +377,84 @@ mod tests {
         let hot = ScenarioBuilder::tiny().overload(10.0).build();
         assert!(hot.params.arrivals_per_sec > base.params.arrivals_per_sec * 9.0);
         assert!(hot.params.mean_tx_tokens > base.params.mean_tx_tokens);
+    }
+
+    /// `from_params` → `build` must round-trip every field of
+    /// `ScenarioParams` — the exhaustive destructure (no `..`) makes
+    /// adding a params field without extending this pin a compile
+    /// error, so new knobs (like the timeline) can never silently drop
+    /// through the builder.
+    #[test]
+    fn from_params_build_round_trip_loses_no_field() {
+        use crate::timeline::TimelineBuilder;
+        use pcn_types::SimDuration;
+
+        let mut input = crate::scenario::ScenarioParams::tiny();
+        // Push every field off its preset value.
+        input.nodes = 31;
+        input.degree = 6;
+        input.beta = 0.17;
+        input.candidate_count = 5;
+        input.duration = SimDuration::from_secs(21);
+        input.channel_scale = 1.75;
+        input.mean_tx_tokens = 9.5;
+        input.arrivals_per_sec = 11.0;
+        input.hotspot_fraction = 0.4;
+        input.hotspot_skew = 1.9;
+        input.timeline = TimelineBuilder::default()
+            .rate_shift(2.0, 1.5)
+            .hub_outage(3.0, 1, 7.0)
+            .churn(0.25)
+            .rebalance(5.0)
+            .build();
+        input.seed = 4242;
+
+        let crate::scenario::ScenarioParams {
+            nodes,
+            degree,
+            beta,
+            candidate_count,
+            duration,
+            channel_scale,
+            mean_tx_tokens,
+            arrivals_per_sec,
+            hotspot_fraction,
+            hotspot_skew,
+            timeline,
+            seed,
+        } = ScenarioBuilder::from_params(input.clone()).build().params;
+        assert_eq!(nodes, input.nodes);
+        assert_eq!(degree, input.degree);
+        assert_eq!(beta, input.beta);
+        assert_eq!(candidate_count, input.candidate_count);
+        assert_eq!(duration, input.duration);
+        assert_eq!(channel_scale, input.channel_scale);
+        assert_eq!(mean_tx_tokens, input.mean_tx_tokens);
+        assert_eq!(arrivals_per_sec, input.arrivals_per_sec);
+        assert_eq!(hotspot_fraction, input.hotspot_fraction);
+        assert_eq!(hotspot_skew, input.hotspot_skew);
+        assert_eq!(timeline, input.timeline);
+        assert_eq!(seed, input.seed);
+    }
+
+    #[test]
+    fn timeline_chains_accumulate_and_flow_into_the_scenario() {
+        let spec = ScenarioBuilder::tiny()
+            .timeline(|t| t.hub_outage(3.0, 0, 6.0))
+            .timeline(|t| t.rate_shift(2.0, 2.0))
+            .churn_rate(0.5)
+            .build();
+        assert_eq!(spec.params.timeline.hub_outages.len(), 1);
+        assert_eq!(spec.params.timeline.rate_shifts.len(), 1);
+        assert_eq!(spec.params.timeline.churn_per_sec, 0.5);
+        let world = spec.scenario();
+        assert!(
+            world.timeline.len() >= 2 + 2 * 5,
+            "outage + shift + 5 churn pairs over 10 s, got {}",
+            world.timeline.len()
+        );
+        // A timeline-free builder still materializes a static world.
+        assert!(ScenarioBuilder::tiny().build_scenario().timeline.is_empty());
     }
 
     #[test]

@@ -40,11 +40,13 @@
 pub mod builder;
 pub mod funds;
 pub mod scenario;
+pub mod timeline;
 pub mod topology;
 pub mod transactions;
 
 pub use builder::{Expectations, ScenarioBuilder, ScenarioSpec, SchemeChoice};
 pub use funds::ChannelFunds;
 pub use scenario::{Scenario, ScenarioParams};
+pub use timeline::{HubOutageSpec, TimelineBuilder, TimelineSpec};
 pub use topology::PcnTopology;
 pub use transactions::TxWorkload;

@@ -1,10 +1,12 @@
 //! Scenario presets: the paper's two evaluation scales.
 
 use pcn_routing::tu::Payment;
+use pcn_routing::world::WorldEvent;
 use pcn_sim::SimRng;
 use pcn_types::{NodeId, SimDuration};
 
 use crate::funds::ChannelFunds;
+use crate::timeline::TimelineSpec;
 use crate::topology::PcnTopology;
 use crate::transactions::TxWorkload;
 
@@ -34,6 +36,9 @@ pub struct ScenarioParams {
     /// Zipf exponent of the hotspot endpoint choice (only read when
     /// `hotspot_fraction > 0`).
     pub hotspot_skew: f64,
+    /// Dynamic-world timeline (rate shifts, hub outages, channel churn,
+    /// rebalances); empty = the classic static world.
+    pub timeline: TimelineSpec,
     /// Root seed.
     pub seed: u64,
 }
@@ -52,6 +57,7 @@ impl ScenarioParams {
             arrivals_per_sec: 25.0,
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
+            timeline: TimelineSpec::default(),
             seed: 1,
         }
     }
@@ -69,6 +75,7 @@ impl ScenarioParams {
             arrivals_per_sec: 120.0,
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
+            timeline: TimelineSpec::default(),
             seed: 1,
         }
     }
@@ -86,6 +93,7 @@ impl ScenarioParams {
             arrivals_per_sec: 6.0,
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
+            timeline: TimelineSpec::default(),
             seed: 1,
         }
     }
@@ -108,6 +116,11 @@ pub struct Scenario {
     pub payments: Vec<Payment>,
     /// The funds sampler (for rewirings that must stay comparable).
     pub sampler: ChannelFunds,
+    /// Materialized world-event timeline (sorted by time; empty for
+    /// static scenarios). Every scheme of this scenario replays the
+    /// same event list — the engine resolves selectors against its own
+    /// topology view.
+    pub timeline: Vec<WorldEvent>,
 }
 
 impl Scenario {
@@ -141,7 +154,16 @@ impl Scenario {
         workload.arrivals_per_sec = params.arrivals_per_sec;
         workload.hotspot_fraction = params.hotspot_fraction;
         workload.hotspot_skew = params.hotspot_skew;
+        // Rate shifts phase the arrival gaps; the trace embeds them so
+        // every scheme replays identical phased traffic.
+        workload.rate_phases = params.timeline.rate_shifts.clone();
         let payments = workload.generate(params.duration, &mut rng.fork("workload"));
+        // The timeline draws from its own fork: a churnless spec leaves
+        // every other stream — and therefore the whole trace — untouched.
+        let timeline =
+            params
+                .timeline
+                .materialize(params.duration, &sampler, &mut rng.fork("timeline"));
         Scenario {
             params,
             flat,
@@ -149,6 +171,7 @@ impl Scenario {
             candidates,
             payments,
             sampler,
+            timeline,
         }
     }
 

@@ -51,6 +51,13 @@ pub struct TxWorkload {
     /// Zipf exponent of the hotspot endpoint choice (higher = more
     /// concentrated; only read when `hotspot_fraction > 0`).
     pub hotspot_skew: f64,
+    /// Arrival-rate phase boundaries `(at_secs, factor)`: from each
+    /// boundary on, arrival gaps shrink by `factor` (piecewise-constant
+    /// phased traffic — flash crowds, overnight lulls). Applied in
+    /// ascending time order whatever the list order; an empty list (the
+    /// default) is exactly the classic constant-rate generator,
+    /// consuming the identical random stream.
+    pub rate_phases: Vec<(f64, f64)>,
 }
 
 impl TxWorkload {
@@ -67,6 +74,7 @@ impl TxWorkload {
             zipf_exponent: 0.9,
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
+            rate_phases: Vec::new(),
         }
     }
 
@@ -116,8 +124,22 @@ impl TxWorkload {
         let mut now = SimTime::ZERO;
         let end = SimTime::ZERO + duration;
         let mut id = 0u64;
+        // Piecewise-constant rate phases: the factor active at `now`
+        // divides the sampled gap. With no phases the factor stays 1.0
+        // (exact identity division), so classic traces are unchanged.
+        // Boundaries are walked in ascending time order regardless of
+        // how the caller listed them (the engine sorts its markers by
+        // time too — the two views of the timeline must agree).
+        let mut phases = self.rate_phases.clone();
+        phases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut phase = 0usize;
+        let mut rate_factor = 1.0f64;
         loop {
-            now += SimDuration::from_secs_f64(gap.sample(&mut arrival_rng));
+            while phase < phases.len() && now.as_secs_f64() >= phases[phase].0 {
+                rate_factor = phases[phase].1;
+                phase += 1;
+            }
+            now += SimDuration::from_secs_f64(gap.sample(&mut arrival_rng) / rate_factor);
             if now > end {
                 break;
             }
@@ -280,6 +302,52 @@ mod tests {
             && x.dest == y.dest
             && x.value == y.value
             && x.created == y.created));
+    }
+
+    #[test]
+    fn rate_phases_shape_arrivals_without_perturbing_endpoints() {
+        let make = |phases: Vec<(f64, f64)>| {
+            let mut w = TxWorkload::new(clients(20));
+            w.rate_phases = phases;
+            w.generate(SimDuration::from_secs(90), &mut SimRng::seed(21))
+        };
+        let flat = make(Vec::new());
+        // 3× arrivals in [30, 60), back to 1× after.
+        let phased = make(vec![(30.0, 3.0), (60.0, 1.0)]);
+        let count_in = |ps: &[Payment], lo: f64, hi: f64| {
+            ps.iter()
+                .filter(|p| {
+                    let s = p.created.as_secs_f64();
+                    s >= lo && s < hi
+                })
+                .count() as f64
+        };
+        let flat_mid = count_in(&flat, 30.0, 60.0);
+        let hot_mid = count_in(&phased, 30.0, 60.0);
+        assert!(
+            hot_mid > 2.0 * flat_mid,
+            "3× phase must roughly triple mid-window arrivals ({hot_mid} vs {flat_mid})"
+        );
+        // Phasing redistributes time only: the endpoint/value streams
+        // draw from independent forks, so the i-th payment's pair and
+        // value are unchanged.
+        for (a, b) in flat.iter().zip(&phased) {
+            assert_eq!((a.source, a.dest, a.value), (b.source, b.dest, b.value));
+        }
+        // An explicit no-op phase list is byte-identical to none.
+        let noop = make(vec![(0.0, 1.0)]);
+        assert_eq!(flat.len(), noop.len());
+        assert!(flat.iter().zip(&noop).all(|(x, y)| x.created == y.created));
+        // Declaration order is irrelevant: boundaries apply by time, so
+        // an out-of-order list shapes the identical trace (the engine's
+        // time-sorted RateShift markers and the generator must agree).
+        let sorted = make(vec![(30.0, 3.0), (60.0, 1.0)]);
+        let shuffled = make(vec![(60.0, 1.0), (30.0, 3.0)]);
+        assert_eq!(sorted.len(), shuffled.len());
+        assert!(sorted
+            .iter()
+            .zip(&shuffled)
+            .all(|(x, y)| x.created == y.created));
     }
 
     #[test]

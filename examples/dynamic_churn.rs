@@ -1,0 +1,79 @@
+//! A dynamic world end to end: a hub dies at t = 30 s and recovers at
+//! t = 60 s, with background channel churn.
+//!
+//! The timeline DSL (`ScenarioBuilder::timeline`) makes the world move
+//! mid-run: here the rank-0 hub — the one the routing scheme leans on
+//! hardest — goes dark for the middle third of a 90 s run. The example
+//! prints a per-phase TSR trace for each scheme: phase statistics come
+//! from running the identical seed at cumulative horizons (30/60/90 s;
+//! the trace generator is prefix-stable, so the shorter runs replay
+//! exact prefixes) and differencing the counters.
+//!
+//! Expected shape: hub schemes (Splicer, A2L) crater during the outage
+//! and recover after; flat source-routing schemes (Spider) lose only
+//! the paths that crossed the dead relay.
+//!
+//! Run with: `cargo run --release --example dynamic_churn`
+
+use pcn_harness::run_spec;
+use pcn_routing::RunStats;
+use pcn_workload::{ScenarioBuilder, SchemeChoice};
+
+/// Runs the scenario truncated at `secs` and returns its stats.
+fn run_until(scheme: SchemeChoice, secs: u64) -> RunStats {
+    let spec = ScenarioBuilder::tiny()
+        .duration_secs(secs)
+        .arrivals_per_sec(8.0)
+        .timeline(|t| t.hub_outage(30.0, 0, 60.0).churn(0.2))
+        .scheme(scheme)
+        .seed(11)
+        .build();
+    run_spec(&spec).report.stats
+}
+
+fn main() {
+    println!("hub outage 30s → 60s over a 90s run, churn 0.2/s (tiny world)");
+    println!(
+        "{:<12} {:>16} {:>16} {:>16} {:>8} {:>8}",
+        "scheme", "tsr pre-outage", "tsr during", "tsr post-recovery", "events", "expired"
+    );
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::A2L,
+    ] {
+        // Cumulative horizons; phase k = stats(k) − stats(k−1). Payments
+        // straddling a boundary count toward the phase that completes
+        // them, which is exactly the operator's view of a TSR trace.
+        let at30 = run_until(scheme, 30);
+        let at60 = run_until(scheme, 60);
+        let at90 = run_until(scheme, 90);
+        let phase = |later: &RunStats, earlier: &RunStats| {
+            // Saturating: a boundary-straddling payment can complete in
+            // the shorter run yet be expired by later churn in the
+            // longer one, so the cumulative counters are not strictly
+            // monotone across horizons.
+            let done = later.completed.saturating_sub(earlier.completed);
+            let gen = later.generated.saturating_sub(earlier.generated);
+            if gen == 0 {
+                0.0
+            } else {
+                done as f64 / gen as f64
+            }
+        };
+        println!(
+            "{:<12} {:>16.3} {:>16.3} {:>16.3} {:>8} {:>8}",
+            scheme.name(),
+            at30.tsr(),
+            phase(&at60, &at30),
+            phase(&at90, &at60),
+            at90.world_events_applied,
+            at90.tus_expired_by_close,
+        );
+    }
+    println!();
+    println!(
+        "hub schemes crater in the middle phase (their access legs close) and\n\
+         recover after; churn expiries show TUs refunded, never leaked."
+    );
+}

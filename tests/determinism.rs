@@ -210,6 +210,126 @@ fn event_queue_swap_is_semantics_preserving() {
     }
 }
 
+/// A timeline mixing every dynamic-world ingredient: a rate surge and
+/// lull, a rank-0 hub outage with recovery, steady channel churn, and a
+/// mid-run liquidity rebalance — over the 10 s tiny world.
+fn dynamic_spec(scheme: SchemeChoice) -> pcn_workload::ScenarioSpec {
+    ScenarioBuilder::tiny()
+        .timeline(|t| {
+            t.rate_shift(2.0, 1.8)
+                .rate_shift(7.0, 0.5)
+                .hub_outage(3.0, 0, 6.0)
+                .churn(0.7)
+                .rebalance(5.0)
+        })
+        .scheme(scheme)
+        .seed(17)
+        .build()
+}
+
+#[test]
+fn dynamic_world_is_semantics_preserving() {
+    // The first PR where a cache hit must stay bit-identical to
+    // recomputation *while the topology itself moves*: for all six
+    // schemes, under the full mixed timeline, (a) a cached run equals an
+    // uncached run modulo the diagnostic counters, (b) the calendar
+    // queue equals the reference heap bit-for-bit (world lane included),
+    // and (c) the timeline actually fired and expired TUs somewhere.
+    let mut any_expired = 0u64;
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = dynamic_spec(scheme);
+        let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        let cached = with(RunTuning {
+            path_cache: Some(true),
+            ..RunTuning::default()
+        });
+        let uncached = with(RunTuning {
+            path_cache: Some(false),
+            ..RunTuning::default()
+        });
+        assert!(
+            cached.report.stats.world_events_applied > 0,
+            "{}: the timeline must fire",
+            scheme.name()
+        );
+        assert_eq!(
+            cached.report.stats.without_cache_counters(),
+            uncached.report.stats.without_cache_counters(),
+            "{}: cached run diverged from uncached run under a moving topology",
+            scheme.name()
+        );
+        assert!(
+            cached.report.stats.path_cache.inv_topology > 0,
+            "{}: mid-run topology movement must fire topology invalidations, got {:?}",
+            scheme.name(),
+            cached.report.stats.path_cache
+        );
+        let heap = with(RunTuning {
+            calendar_queue: Some(false),
+            ..RunTuning::default()
+        });
+        let calendar = with(RunTuning {
+            calendar_queue: Some(true),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            calendar.report.stats,
+            heap.report.stats,
+            "{}: event-queue backends diverged under the world lane",
+            scheme.name()
+        );
+        any_expired += cached.report.stats.tus_expired_by_close;
+    }
+    assert!(
+        any_expired > 0,
+        "across six schemes, churn + outage must catch some TU in flight"
+    );
+}
+
+#[test]
+fn dynamic_world_grid_is_bit_identical_across_worker_counts() {
+    // A churn-rate × scheme grid (the ISSUE's "sweep churn rates ×
+    // schemes") must slot bit-identical results for 1, 2, 4 and 8
+    // workers — dynamic worlds don't get to relax the harness contract.
+    let mut base = ScenarioParams::tiny();
+    base.seed = 29;
+    base.timeline = pcn_workload::TimelineBuilder::default()
+        .rate_shift(2.0, 1.5)
+        .hub_outage(3.0, 0, 6.0)
+        .build();
+    let grid = ExperimentGrid::new(base)
+        .schemes(SchemeChoice::COMPARED)
+        .sweep_churn_rate(&[0.0, 1.0]);
+    let serial = grid.run(1);
+    assert_eq!(serial.len(), 10, "2 churn points × 5 schemes");
+    assert!(
+        serial.iter().all(|c| c.stats.world_events_applied > 0),
+        "even the churn-0 point carries the base outage + rate shift"
+    );
+    for workers in [2, 4, 8] {
+        let parallel = grid.run(workers);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(
+                s.stats, p.stats,
+                "cell {} ({} / {}) diverged between 1 and {workers} workers",
+                s.index, s.label, s.scheme
+            );
+        }
+    }
+    // Standalone re-runs reproduce grid cells, dynamic world included.
+    let cells = grid.cells();
+    let lone = ExperimentGrid::run_cell(&cells[7]);
+    assert_eq!(lone.stats, serial[7].stats);
+}
+
 #[test]
 fn per_variant_seed_policy_is_reproducible() {
     let grid = ExperimentGrid::new(ScenarioParams::tiny())

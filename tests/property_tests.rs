@@ -21,14 +21,16 @@ proptest! {
     /// exactly the engine's profile), sub-bucket jitter, and far-future
     /// outliers that overflow the calendar ring and must migrate back.
     /// This is the determinism contract the engine's queue swap relies
-    /// on: one total order, `(time, scheduling sequence)`.
+    /// on: one total order, `(time, lane, scheduling sequence)` — the
+    /// world lane (dynamic-world timeline events) popping first at equal
+    /// timestamps on both backends.
     #[test]
     fn event_queue_backends_pop_identical_sequences(
-        ops in prop::collection::vec((0u8..4, 0u8..8, 0u64..20_000_000), 1..400),
+        ops in prop::collection::vec((0u8..4, 0u8..8, 0u64..20_000_000, 0u8..10), 1..400),
     ) {
         let mut cal = EventQueue::new();
         let mut heap = EventQueue::with_heap();
-        for (i, (kind, dup, jitter)) in ops.into_iter().enumerate() {
+        for (i, (kind, dup, jitter, lane)) in ops.into_iter().enumerate() {
             if kind == 0 {
                 prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek at op {}", i);
                 prop_assert_eq!(cal.pop(), heap.pop(), "pop at op {}", i);
@@ -45,8 +47,17 @@ proptest! {
                     6 => jitter % 1_000,   // sub-bucket jitter
                     _ => jitter,           // anything up to 20 s (far heap)
                 };
-                cal.schedule_after(SimDuration::from_micros(delay), i);
-                heap.schedule_after(SimDuration::from_micros(delay), i);
+                if lane == 0 {
+                    // A sparse sprinkling of world-lane events, landing
+                    // on the same duplicated timestamps as the normal
+                    // traffic they must overtake.
+                    let at = cal.now() + SimDuration::from_micros(delay);
+                    cal.schedule_world_at(at, i);
+                    heap.schedule_world_at(at, i);
+                } else {
+                    cal.schedule_after(SimDuration::from_micros(delay), i);
+                    heap.schedule_after(SimDuration::from_micros(delay), i);
+                }
             }
         }
         // Drain both to the end: the full remaining order must agree.
