@@ -1,9 +1,12 @@
 //! Dijkstra shortest paths with closure-supplied directed edge costs.
 //!
 //! Both entry points exist in two flavours: the classic allocating form
-//! ([`Graph::shortest_path`], [`Graph::shortest_path_tree`]) and a
+//! ([`crate::Graph::shortest_path`], [`crate::Graph::shortest_path_tree`]) and a
 //! workspace form (`*_in`) that reuses the buffers of a
 //! [`crate::SearchWorkspace`] so repeated queries run allocation-free.
+//! The free functions are generic over [`Topology`], so the same
+//! monomorphized loop runs against the CSR [`Graph`] and the `Vec<Vec>`
+//! [`crate::ReferenceGraph`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -11,11 +14,11 @@ use std::collections::BinaryHeap;
 use pcn_types::{ChannelId, NodeId};
 
 use crate::cost::Cost;
-use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+use crate::{EdgeRef, Path, SearchWorkspace, Topology};
 
 /// Result of a single-source Dijkstra run: distances and a parent forest.
 ///
-/// Produced by [`Graph::shortest_path_tree`]; used by landmark routing and
+/// Produced by [`crate::Graph::shortest_path_tree`]; used by landmark routing and
 /// the placement cost model (all-clients-to-candidate hop counts).
 #[derive(Clone, Debug, Default)]
 pub struct ShortestPathTree {
@@ -101,8 +104,8 @@ fn reset(
 
 /// The core relaxation loop. `stop_at` enables the early exit of the
 /// point-to-point query; `None` settles every reachable node.
-fn relax<F>(
-    g: &Graph,
+fn relax<G, F>(
+    g: &G,
     from: NodeId,
     stop_at: Option<NodeId>,
     mut cost: F,
@@ -110,6 +113,7 @@ fn relax<F>(
     parent: &mut [Option<(NodeId, ChannelId)>],
     heap: &mut BinaryHeap<Reverse<(Cost, NodeId)>>,
 ) where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     if from.index() >= dist.len() {
@@ -154,8 +158,11 @@ fn reconstruct(from: NodeId, to: NodeId, parent: &[Option<(NodeId, ChannelId)>])
     Some(Path::new(rev_nodes, rev_chans))
 }
 
-pub(crate) fn shortest_path_tree<F>(g: &Graph, from: NodeId, cost: F) -> ShortestPathTree
+/// Dijkstra from `from` to all reachable nodes of any [`Topology`]; the
+/// free-function form of [`crate::Graph::shortest_path_tree`].
+pub fn shortest_path_tree<G, F>(g: &G, from: NodeId, cost: F) -> ShortestPathTree
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let n = g.node_count();
@@ -170,13 +177,16 @@ where
     }
 }
 
-pub(crate) fn shortest_path_tree_in<'a, F>(
-    g: &Graph,
+/// [`shortest_path_tree`] into a workspace-owned tree; the free-function
+/// form of [`crate::Graph::shortest_path_tree_in`].
+pub fn shortest_path_tree_in<'a, G, F>(
+    g: &G,
     ws: &'a mut SearchWorkspace,
     from: NodeId,
     cost: F,
 ) -> &'a ShortestPathTree
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let s = &mut ws.dijkstra;
@@ -195,35 +205,42 @@ where
     &s.tree
 }
 
-pub(crate) fn shortest_path<F>(g: &Graph, from: NodeId, to: NodeId, cost: F) -> Option<(f64, Path)>
+/// Point-to-point Dijkstra on any [`Topology`]; the free-function form of
+/// [`crate::Graph::shortest_path`].
+pub fn shortest_path<G, F>(g: &G, from: NodeId, to: NodeId, cost: F) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let mut scratch = DijkstraScratch::default();
     shortest_path_scratch(g, &mut scratch, from, to, cost)
 }
 
-pub(crate) fn shortest_path_in<F>(
-    g: &Graph,
+/// [`shortest_path`] on reusable workspace buffers; the free-function
+/// form of [`crate::Graph::shortest_path_in`].
+pub fn shortest_path_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
     cost: F,
 ) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     shortest_path_scratch(g, &mut ws.dijkstra, from, to, cost)
 }
 
-fn shortest_path_scratch<F>(
-    g: &Graph,
+fn shortest_path_scratch<G, F>(
+    g: &G,
     s: &mut DijkstraScratch,
     from: NodeId,
     to: NodeId,
     cost: F,
 ) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     // Early-exit Dijkstra: stop as soon as `to` is settled.
@@ -254,6 +271,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{widest_path_in, EdgeRef, Graph, Path, SearchWorkspace};
+use crate::{widest_path_in, EdgeRef, Path, SearchWorkspace, Topology};
 
 /// Up to `k` edge-disjoint shortest paths, found greedily (EDS).
 ///
@@ -31,14 +31,15 @@ use crate::{widest_path_in, EdgeRef, Graph, Path, SearchWorkspace};
 /// let paths = edge_disjoint_shortest_paths(&g, NodeId::new(0), NodeId::new(3), 5, |_| Some(1.0));
 /// assert_eq!(paths.len(), 2);
 /// ```
-pub fn edge_disjoint_shortest_paths<F>(
-    g: &Graph,
+pub fn edge_disjoint_shortest_paths<G, F>(
+    g: &G,
     from: NodeId,
     to: NodeId,
     k: usize,
     cost: F,
 ) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     edge_disjoint_shortest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, cost)
@@ -46,8 +47,8 @@ where
 
 /// [`edge_disjoint_shortest_paths`] on a reusable [`SearchWorkspace`]
 /// (allocation-free inner Dijkstras, bit-identical results).
-pub fn edge_disjoint_shortest_paths_in<F>(
-    g: &Graph,
+pub fn edge_disjoint_shortest_paths_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
@@ -55,12 +56,13 @@ pub fn edge_disjoint_shortest_paths_in<F>(
     mut cost: F,
 ) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let mut used: HashSet<ChannelId> = HashSet::new();
     let mut paths = Vec::new();
     for _ in 0..k {
-        let found = g.shortest_path_in(ws, from, to, |e| {
+        let found = crate::dijkstra::shortest_path_in(g, ws, from, to, |e| {
             if used.contains(&e.id) {
                 None
             } else {
@@ -79,14 +81,15 @@ where
 /// The first path maximizes the bottleneck width; its channels are removed
 /// and the process repeats. This is the path type the paper selects for
 /// Splicer (widest paths best exploit heavy-tailed channel sizes).
-pub fn edge_disjoint_widest_paths<F>(
-    g: &Graph,
+pub fn edge_disjoint_widest_paths<G, F>(
+    g: &G,
     from: NodeId,
     to: NodeId,
     k: usize,
     width: F,
 ) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     edge_disjoint_widest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, width)
@@ -94,8 +97,8 @@ where
 
 /// [`edge_disjoint_widest_paths`] on a reusable [`SearchWorkspace`]
 /// (allocation-free inner widest-path runs, bit-identical results).
-pub fn edge_disjoint_widest_paths_in<F>(
-    g: &Graph,
+pub fn edge_disjoint_widest_paths_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
@@ -103,6 +106,7 @@ pub fn edge_disjoint_widest_paths_in<F>(
     mut width: F,
 ) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let mut used: HashSet<ChannelId> = HashSet::new();
@@ -125,6 +129,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -45,8 +45,10 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
     assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
-    let mut g = Graph::new(n);
-    // Ring lattice edges as (a, b) pairs; rewire while inserting.
+    // Ring lattice edges as (a, b) pairs; rewire while collecting, then
+    // build the CSR arrays in one O(V + E) pass — channel ids follow
+    // list order, so the topology is bit-identical to incremental adds.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
     let mut exists = std::collections::HashSet::new();
     for i in 0..n {
         for j in 1..=(k / 2) {
@@ -70,10 +72,11 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
             }
             let (lo, hi) = (a.min(b), a.max(b));
             if lo != hi && exists.insert((lo, hi)) {
-                g.add_edge(NodeId::from_index(lo), NodeId::from_index(hi));
+                pairs.push((NodeId::from_index(lo), NodeId::from_index(hi)));
             }
         }
     }
+    let mut g = Graph::from_edges(n, &pairs);
     connect(&mut g, rng);
     g
 }
@@ -90,13 +93,13 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     assert!(m >= 1, "m must be positive");
     assert!(n > m, "need more nodes than attachment count");
-    let mut g = Graph::new(n);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m);
     // Repeated-endpoint list: sampling from it is degree-proportional.
     let mut endpoints: Vec<usize> = Vec::new();
     let seed = m + 1;
     for a in 0..seed {
         for b in (a + 1)..seed {
-            g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+            pairs.push((NodeId::from_index(a), NodeId::from_index(b)));
             endpoints.push(a);
             endpoints.push(b);
         }
@@ -114,25 +117,26 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             targets.insert(rng.random_range(0..v));
         }
         for &t in &targets {
-            g.add_edge(NodeId::from_index(v), NodeId::from_index(t));
+            pairs.push((NodeId::from_index(v), NodeId::from_index(t)));
             endpoints.push(v);
             endpoints.push(t);
         }
     }
-    g
+    Graph::from_edges(n, &pairs)
 }
 
 /// Erdős–Rényi graph G(n, p), patched to be connected.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
-    let mut g = Graph::new(n);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
     for a in 0..n {
         for b in (a + 1)..n {
             if rng.random_bool(p) {
-                g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+                pairs.push((NodeId::from_index(a), NodeId::from_index(b)));
             }
         }
     }
+    let mut g = Graph::from_edges(n, &pairs);
     connect(&mut g, rng);
     g
 }
@@ -141,32 +145,30 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// topology of single-PCH schemes such as TumbleBit/A2L).
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "a star needs a hub and at least one leaf");
-    let mut g = Graph::new(n);
-    for leaf in 1..n {
-        g.add_edge(NodeId::new(0), NodeId::from_index(leaf));
-    }
-    g
+    let pairs: Vec<(NodeId, NodeId)> = (1..n)
+        .map(|leaf| (NodeId::new(0), NodeId::from_index(leaf)))
+        .collect();
+    Graph::from_edges(n, &pairs)
 }
 
 /// Ring (cycle) over `n ≥ 3` nodes.
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "a ring needs at least three nodes");
-    let mut g = Graph::new(n);
-    for i in 0..n {
-        g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n));
-    }
-    g
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|i| (NodeId::from_index(i), NodeId::from_index((i + 1) % n)))
+        .collect();
+    Graph::from_edges(n, &pairs)
 }
 
 /// Complete graph over `n` nodes.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for a in 0..n {
         for b in (a + 1)..n {
-            g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+            pairs.push((NodeId::from_index(a), NodeId::from_index(b)));
         }
     }
-    g
+    Graph::from_edges(n, &pairs)
 }
 
 /// Patches a possibly-disconnected graph by wiring each secondary component

@@ -28,6 +28,41 @@
 //!   closure to capture exactly which channels a search consulted, the
 //!   dependency set that scopes live-state cache invalidation.
 //!
+//! # Memory layout
+//!
+//! [`Graph`] stores adjacency in **compressed sparse row** (CSR) form: one
+//! contiguous `Vec` of 8-byte entries (`{ tag: u32, to: NodeId }` — channel
+//! id plus neighbour) and a `row_offsets: Vec<u32>` of length `V + 1`
+//! marking each node's slice. Neighbour iteration is a linear scan of one
+//! cache-dense slice; the budget is **8 bytes per directed adjacency
+//! entry** (16 per undirected channel) plus `4(V + 1)` offset bytes,
+//! reported live by [`Graph::adjacency_stats`].
+//!
+//! Churn never rebuilds the CSR arrays in place:
+//!
+//! * **Close** flips a skip bit in the entry's own tag (a tombstone);
+//!   surviving entries keep their relative order, exactly as a `retain`
+//!   on a per-node `Vec` would.
+//! * **Open/reopen** appends to a small per-node *delta overlay* that is
+//!   iterated after the CSR row — exactly where a `push` would land.
+//!   A reopen also kills the old tombstoned entry so the channel is never
+//!   seen twice. Whether a node has overlay entries is encoded as a
+//!   stolen bit in its row offset, so iterating an overlay-free node —
+//!   the steady state — reads nothing but the (L2-resident) offset table
+//!   and the CSR row itself, never the overlay's pointer spine.
+//! * When tombstones plus overlay entries cross a deterministic watermark
+//!   (1/8 of the CSR length, with a floor that exempts small graphs),
+//!   [`Graph`] **compacts**: one O(V + E) rebuild that drops tombstones,
+//!   merges the overlay in visible order, and bumps
+//!   [`Graph::topology_epoch`] exactly once. Visible neighbour order is
+//!   preserved verbatim, so searches before and after compaction are
+//!   bit-identical.
+//!
+//! The [`Topology`] trait abstracts the adjacency so every search family
+//! here also runs on [`ReferenceGraph`], the pre-CSR `Vec<Vec<…>>` layout
+//! kept as an executable spec for equivalence proptests and honest
+//! same-build benchmarks.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,22 +94,28 @@ mod graph;
 mod maxflow;
 mod metrics;
 mod path;
+mod reference;
+mod topology;
 mod widest;
 mod workspace;
 mod yen;
 
 pub use bfs::{bfs_hops, connected_components, is_connected};
-pub use dijkstra::ShortestPathTree;
+pub use dijkstra::{
+    shortest_path, shortest_path_in, shortest_path_tree, shortest_path_tree_in, ShortestPathTree,
+};
 pub use disjoint::{
     edge_disjoint_shortest_paths, edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths,
     edge_disjoint_widest_paths_in,
 };
 pub use footprint::Footprint;
 pub use generators::{barabasi_albert, complete, erdos_renyi, ring, star, watts_strogatz};
-pub use graph::{EdgeRef, Graph};
+pub use graph::{AdjacencyStats, EdgeRef, EdgesOf, Graph};
 pub use maxflow::{max_flow, max_flow_in, FlowPath, MaxFlowResult};
 pub use metrics::{average_degree, clustering_coefficient, degree_histogram, GraphMetrics};
 pub use path::Path;
+pub use reference::ReferenceGraph;
+pub use topology::Topology;
 pub use widest::{widest_path, widest_path_in};
 pub use workspace::SearchWorkspace;
 pub use yen::{k_shortest_paths, k_shortest_paths_in};

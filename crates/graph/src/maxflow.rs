@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+use crate::{EdgeRef, Path, SearchWorkspace, Topology};
 
 /// Reusable Dinic state: residual arc table, adjacency heads, BFS levels,
 /// DFS cursors, per-arc flow and the decomposition's visited marks.
@@ -75,8 +75,9 @@ struct Arc {
 /// assert_eq!(r.value, 7);
 /// assert_eq!(r.paths.len(), 1);
 /// ```
-pub fn max_flow<F>(g: &Graph, source: NodeId, sink: NodeId, capacity: F) -> MaxFlowResult
+pub fn max_flow<G, F>(g: &G, source: NodeId, sink: NodeId, capacity: F) -> MaxFlowResult
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<u64>,
 {
     max_flow_scratch(g, &mut MaxFlowScratch::default(), source, sink, capacity)
@@ -86,27 +87,29 @@ where
 /// repeated calls are allocation-free once the residual tables have grown
 /// (the decomposed [`FlowPath`]s are the output and still allocate), and
 /// bit-identical to the allocating form.
-pub fn max_flow_in<F>(
-    g: &Graph,
+pub fn max_flow_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     source: NodeId,
     sink: NodeId,
     capacity: F,
 ) -> MaxFlowResult
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<u64>,
 {
     max_flow_scratch(g, &mut ws.maxflow, source, sink, capacity)
 }
 
-fn max_flow_scratch<F>(
-    g: &Graph,
+fn max_flow_scratch<G, F>(
+    g: &G,
     scratch: &mut MaxFlowScratch,
     source: NodeId,
     sink: NodeId,
     mut capacity: F,
 ) -> MaxFlowResult
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<u64>,
 {
     let n = g.node_count();
@@ -243,8 +246,8 @@ fn dfs(
 }
 
 /// Decomposes the per-arc net flow into source→sink paths (greedy walk).
-fn decompose(
-    g: &Graph,
+fn decompose<G: Topology>(
+    g: &G,
     head: &[Vec<usize>],
     arcs: &[Arc],
     flow: &mut [u64],
@@ -312,6 +315,7 @@ fn decompose(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -1,8 +1,58 @@
 //! Structural graph metrics used to sanity-check generated topologies.
+//!
+//! [`GraphMetrics::compute`] is bounded: when `samples` is below the node
+//! count, both the avg-hop BFS sources *and* the clustering nodes are a
+//! deterministic sample drawn from a seeded internal RNG stream, so a
+//! 100k-node world summarizes in milliseconds. With `samples >= nodes`
+//! everything is exact, as before.
 
 use pcn_types::NodeId;
 
 use crate::{bfs_hops, Graph};
+
+/// Default seed of the metric-sampling RNG stream; see
+/// [`GraphMetrics::compute_seeded`].
+const DEFAULT_METRICS_SEED: u64 = 0x05EE_D0D0_u64;
+
+/// Neighbour-set cap for *sampled* local clustering: hubs with more
+/// neighbours are estimated from a deterministic subsample (the exact
+/// local coefficient is quadratic in degree).
+const CLUSTER_NEIGHBOR_CAP: usize = 64;
+
+/// Deterministic splitmix64 stream used for metric sampling. Private to
+/// this module: metric sampling must never perturb (or depend on) the
+/// simulation's RNG forks.
+struct SampleRng(u64);
+
+impl SampleRng {
+    fn new(seed: u64) -> Self {
+        SampleRng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// `k` distinct indices out of `0..n`, deterministically (partial
+/// Fisher–Yates). `k` must be ≤ `n`.
+fn sample_distinct(n: usize, k: usize, rng: &mut SampleRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.below(n - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
 
 /// Average node degree (`2E / V`); zero for an empty graph.
 pub fn average_degree(g: &Graph) -> f64 {
@@ -23,33 +73,51 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
     hist
 }
 
+/// Local clustering coefficient of `v`: link density among its distinct
+/// neighbours. `None` when fewer than two. With a `rng`, neighbour sets
+/// beyond [`CLUSTER_NEIGHBOR_CAP`] are estimated from a deterministic
+/// subsample.
+fn local_clustering(g: &Graph, v: NodeId, rng: Option<&mut SampleRng>) -> Option<f64> {
+    let mut nbrs: Vec<NodeId> = g.neighbors(v).collect();
+    nbrs.sort();
+    nbrs.dedup();
+    if nbrs.len() < 2 {
+        return None;
+    }
+    if let Some(rng) = rng {
+        if nbrs.len() > CLUSTER_NEIGHBOR_CAP {
+            for i in 0..CLUSTER_NEIGHBOR_CAP {
+                let j = i + rng.below(nbrs.len() - i);
+                nbrs.swap(i, j);
+            }
+            nbrs.truncate(CLUSTER_NEIGHBOR_CAP);
+            nbrs.sort();
+        }
+    }
+    let mut links = 0usize;
+    for i in 0..nbrs.len() {
+        for j in (i + 1)..nbrs.len() {
+            if g.has_edge_between(nbrs[i], nbrs[j]) {
+                links += 1;
+            }
+        }
+    }
+    let possible = nbrs.len() * (nbrs.len() - 1) / 2;
+    Some(links as f64 / possible as f64)
+}
+
 /// Global clustering coefficient (average of local coefficients over nodes
 /// of degree ≥ 2). Small-world graphs score high here relative to random
-/// graphs of the same density.
+/// graphs of the same density. Exact — O(Σ deg²); prefer the sampled
+/// estimate inside [`GraphMetrics::compute`] for large worlds.
 pub fn clustering_coefficient(g: &Graph) -> f64 {
     let mut total = 0.0;
     let mut counted = 0usize;
     for v in g.nodes() {
-        let nbrs: Vec<NodeId> = {
-            let mut u: Vec<NodeId> = g.neighbors(v).collect();
-            u.sort();
-            u.dedup();
-            u
-        };
-        if nbrs.len() < 2 {
-            continue;
+        if let Some(c) = local_clustering(g, v, None) {
+            total += c;
+            counted += 1;
         }
-        let mut links = 0usize;
-        for i in 0..nbrs.len() {
-            for j in (i + 1)..nbrs.len() {
-                if g.has_edge_between(nbrs[i], nbrs[j]) {
-                    links += 1;
-                }
-            }
-        }
-        let possible = nbrs.len() * (nbrs.len() - 1) / 2;
-        total += links as f64 / possible as f64;
-        counted += 1;
     }
     if counted == 0 {
         0.0
@@ -67,7 +135,8 @@ pub struct GraphMetrics {
     pub edges: usize,
     /// Average degree.
     pub avg_degree: f64,
-    /// Global clustering coefficient.
+    /// Global clustering coefficient (sampled estimate when `samples`
+    /// is below the node count).
     pub clustering: f64,
     /// Average shortest-path hops over sampled source nodes (connected
     /// pairs only).
@@ -77,15 +146,28 @@ pub struct GraphMetrics {
 }
 
 impl GraphMetrics {
-    /// Computes metrics, running BFS from up to `samples` evenly spaced
-    /// source nodes (full all-pairs when `samples >= nodes`).
+    /// Computes metrics with the default sampling seed; see
+    /// [`GraphMetrics::compute_seeded`]. Exact (all-pairs BFS, full
+    /// clustering) when `samples >= nodes`.
     pub fn compute(g: &Graph, samples: usize) -> GraphMetrics {
+        GraphMetrics::compute_seeded(g, samples, DEFAULT_METRICS_SEED)
+    }
+
+    /// Computes metrics, bounded by `samples`: when `samples` is below
+    /// the node count, the BFS sources and the clustering nodes are each
+    /// a distinct deterministic sample drawn from a splitmix64 stream
+    /// seeded with `seed` — the cost is O(samples · (V + E)) regardless
+    /// of world size, and the result is a pure function of
+    /// `(graph, samples, seed)`. With `samples >= nodes` everything is
+    /// exact and `seed` is unused.
+    pub fn compute_seeded(g: &Graph, samples: usize, seed: u64) -> GraphMetrics {
         let n = g.node_count();
-        let sources: Vec<usize> = if samples >= n || n == 0 {
+        let exact = samples >= n;
+        let mut rng = SampleRng::new(seed);
+        let sources: Vec<usize> = if exact {
             (0..n).collect()
         } else {
-            let step = n / samples;
-            (0..samples).map(|i| i * step).collect()
+            sample_distinct(n, samples, &mut rng)
         };
         let mut sum = 0u64;
         let mut pairs = 0u64;
@@ -100,11 +182,28 @@ impl GraphMetrics {
                 }
             }
         }
+        let clustering = if exact {
+            clustering_coefficient(g)
+        } else {
+            let mut total = 0.0;
+            let mut counted = 0usize;
+            for v in sample_distinct(n, samples, &mut rng) {
+                if let Some(c) = local_clustering(g, NodeId::from_index(v), Some(&mut rng)) {
+                    total += c;
+                    counted += 1;
+                }
+            }
+            if counted == 0 {
+                0.0
+            } else {
+                total / counted as f64
+            }
+        };
         GraphMetrics {
             nodes: n,
             edges: g.edge_count(),
             avg_degree: average_degree(g),
-            clustering: clustering_coefficient(g),
+            clustering,
             avg_path_hops: if pairs == 0 {
                 0.0
             } else {
@@ -173,6 +272,23 @@ mod tests {
         assert!(m.avg_path_hops < 6.0, "hops {}", m.avg_path_hops);
         let shown = m.to_string();
         assert!(shown.contains("nodes=200"));
+    }
+
+    #[test]
+    fn sampled_metrics_are_deterministic_and_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ws = watts_strogatz(300, 8, 0.1, &mut rng);
+        let a = GraphMetrics::compute(&ws, 40);
+        let b = GraphMetrics::compute(&ws, 40);
+        assert_eq!(a, b, "sampling is a pure function of (graph, samples)");
+        let c = GraphMetrics::compute_seeded(&ws, 40, 99);
+        assert_ne!(
+            a.avg_path_hops, c.avg_path_hops,
+            "a different seed draws different sources"
+        );
+        let exact = GraphMetrics::compute(&ws, usize::MAX);
+        assert!((a.clustering - exact.clustering).abs() < 0.2);
+        assert!((a.avg_path_hops - exact.avg_path_hops).abs() < 1.0);
     }
 
     #[test]

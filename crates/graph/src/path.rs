@@ -2,7 +2,7 @@
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::Graph;
+use crate::Topology;
 
 /// A walk through the graph: `nodes[i] → nodes[i+1]` over `channels[i]`.
 ///
@@ -98,7 +98,7 @@ impl Path {
     /// # Errors
     ///
     /// Returns the underlying graph error for the first inconsistent hop.
-    pub fn validate(&self, g: &Graph) -> pcn_types::Result<()> {
+    pub fn validate<G: Topology>(&self, g: &G) -> pcn_types::Result<()> {
         for (from, ch, to) in self.hops_iter() {
             let (a, b) = g.endpoints(ch)?;
             if !((a == from && b == to) || (a == to && b == from)) {
@@ -145,6 +145,7 @@ impl core::fmt::Debug for Path {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn line() -> (Graph, Vec<ChannelId>) {
         let mut g = Graph::new(4);

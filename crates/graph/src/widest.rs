@@ -11,7 +11,7 @@ use std::collections::BinaryHeap;
 use pcn_types::{ChannelId, NodeId};
 
 use crate::cost::Cost;
-use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+use crate::{EdgeRef, Path, SearchWorkspace, Topology};
 
 /// Reusable widest-path state: `(bottleneck, hops)` labels, parent
 /// forest and the max-heap.
@@ -46,8 +46,9 @@ pub(crate) struct WidestScratch {
 /// assert_eq!(path.hops(), 2); // takes the wide two-hop route
 /// # let _ = (a, b);
 /// ```
-pub fn widest_path<F>(g: &Graph, from: NodeId, to: NodeId, width: F) -> Option<(f64, Path)>
+pub fn widest_path<G, F>(g: &G, from: NodeId, to: NodeId, width: F) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     widest_path_scratch(g, &mut WidestScratch::default(), from, to, width)
@@ -56,27 +57,29 @@ where
 /// [`widest_path`] running on the reusable buffers of a
 /// [`SearchWorkspace`]: repeated calls are allocation-free (apart from
 /// the returned [`Path`]) and bit-identical to the allocating form.
-pub fn widest_path_in<F>(
-    g: &Graph,
+pub fn widest_path_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
     width: F,
 ) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     widest_path_scratch(g, &mut ws.widest, from, to, width)
 }
 
-fn widest_path_scratch<F>(
-    g: &Graph,
+fn widest_path_scratch<G, F>(
+    g: &G,
     s: &mut WidestScratch,
     from: NodeId,
     to: NodeId,
     mut width: F,
 ) -> Option<(f64, Path)>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     let n = g.node_count();
@@ -147,6 +150,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use pcn_types::{ChannelId, NodeId};
 
-use crate::{EdgeRef, Graph, Path, SearchWorkspace};
+use crate::{EdgeRef, Path, SearchWorkspace, Topology};
 
 /// Up to `k` loopless shortest paths from `from` to `to`, cheapest first.
 ///
@@ -27,8 +27,9 @@ use crate::{EdgeRef, Graph, Path, SearchWorkspace};
 /// let paths = k_shortest_paths(&g, NodeId::new(0), NodeId::new(3), 3, |_| Some(1.0));
 /// assert_eq!(paths.len(), 2); // only two loopless routes exist
 /// ```
-pub fn k_shortest_paths<F>(g: &Graph, from: NodeId, to: NodeId, k: usize, cost: F) -> Vec<Path>
+pub fn k_shortest_paths<G, F>(g: &G, from: NodeId, to: NodeId, k: usize, cost: F) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     k_shortest_paths_in(g, &mut SearchWorkspace::new(), from, to, k, cost)
@@ -38,8 +39,8 @@ where
 /// reusable [`SearchWorkspace`]. Yen's algorithm is a loop of shortest-
 /// path queries, so the workspace removes the dominant allocations of
 /// repeated KSP calls; results are bit-identical to the allocating form.
-pub fn k_shortest_paths_in<F>(
-    g: &Graph,
+pub fn k_shortest_paths_in<G, F>(
+    g: &G,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
@@ -47,12 +48,14 @@ pub fn k_shortest_paths_in<F>(
     mut cost: F,
 ) -> Vec<Path>
 where
+    G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     if k == 0 {
         return Vec::new();
     }
-    let Some((first_cost, first)) = g.shortest_path_in(ws, from, to, &mut cost) else {
+    let Some((first_cost, first)) = crate::dijkstra::shortest_path_in(g, ws, from, to, &mut cost)
+    else {
         return Vec::new();
     };
     let mut accepted: Vec<(f64, Path)> = vec![(first_cost, first)];
@@ -78,7 +81,7 @@ where
             // Nodes on the root (except the spur node) are banned to keep
             // paths loopless.
             let banned_nodes: HashSet<NodeId> = root.nodes()[..i].iter().copied().collect();
-            let spur = g.shortest_path_in(ws, spur_node, to, |e| {
+            let spur = crate::dijkstra::shortest_path_in(g, ws, spur_node, to, |e| {
                 if banned_channels.contains(&e.id)
                     || banned_nodes.contains(&e.to)
                     || banned_nodes.contains(&e.from)
@@ -126,6 +129,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -368,6 +368,7 @@ impl Engine {
         }
         self.stats.wall_secs = wall_start.elapsed().as_secs_f64();
         self.stats.path_cache = self.path_cache.stats();
+        self.stats.graph_compactions = self.graph.compactions();
         // Open channels only: a tombstoned channel's frozen zero side is
         // inert capital, not the deadlock symptom (routing cannot reach
         // it), so dynamic-world runs don't inflate the metric.

@@ -46,6 +46,12 @@ pub struct RunStats {
     /// closed mid-run. Semantic, like [`RunStats::aborted_tus`] (which
     /// includes them).
     pub tus_expired_by_close: u64,
+    /// CSR adjacency compactions the graph performed during the run
+    /// (watermark-triggered rebuilds absorbing churn tombstones and the
+    /// delta overlay). Semantic: compaction timing is a pure function of
+    /// the mutation sequence, so this must be identical across
+    /// cache/backend/worker configurations of the same run.
+    pub graph_compactions: u64,
     /// Path-cache counters (hits/misses/invalidations/evictions).
     /// Diagnostic only: the cache is semantics-preserving, so these are
     /// the *only* fields allowed to differ between a cached and an
@@ -78,6 +84,7 @@ impl PartialEq for RunStats {
             unroutable,
             world_events_applied,
             tus_expired_by_close,
+            graph_compactions,
             path_cache,
             wall_secs: _,
         } = self;
@@ -95,6 +102,7 @@ impl PartialEq for RunStats {
             && *unroutable == other.unroutable
             && *world_events_applied == other.world_events_applied
             && *tus_expired_by_close == other.tus_expired_by_close
+            && *graph_compactions == other.graph_compactions
             && *path_cache == other.path_cache
     }
 }
@@ -153,7 +161,7 @@ impl core::fmt::Display for RunStats {
         write!(
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
-             drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp pps={:.0}",
+             drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp/{}gc pps={:.0}",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -172,6 +180,7 @@ impl core::fmt::Display for RunStats {
             self.path_cache.evictions,
             self.world_events_applied,
             self.tus_expired_by_close,
+            self.graph_compactions,
             self.payments_per_sec(),
         )
     }

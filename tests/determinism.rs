@@ -293,6 +293,102 @@ fn dynamic_world_is_semantics_preserving() {
     );
 }
 
+/// Heavy-churn timeline tuned to push the graph's tombstones + delta
+/// overlay across the CSR compaction watermark several times mid-run.
+fn compacting_spec(scheme: SchemeChoice) -> pcn_workload::ScenarioSpec {
+    ScenarioBuilder::tiny()
+        .timeline(|t| t.churn(20.0))
+        .scheme(scheme)
+        .seed(31)
+        .build()
+}
+
+#[test]
+fn compaction_under_churn_is_semantics_preserving() {
+    // The acceptance bar for the CSR adjacency core: when churn drives
+    // the graph across its compaction watermark mid-run — O(V+E)
+    // rebuilds that drop tombstones and merge the delta overlay — the
+    // run must stay bit-identical in every configuration. For each
+    // scheme: (a) compaction actually fired (the test would be vacuous
+    // otherwise), (b) cached ≡ uncached modulo the diagnostic counters,
+    // and (c) the calendar queue ≡ the reference heap bit-for-bit,
+    // compaction counter included.
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = compacting_spec(scheme);
+        let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        let cached = with(RunTuning {
+            path_cache: Some(true),
+            ..RunTuning::default()
+        });
+        assert!(
+            cached.report.stats.graph_compactions > 0,
+            "{}: churn(20.0) must cross the compaction watermark, got {} compactions",
+            scheme.name(),
+            cached.report.stats.graph_compactions
+        );
+        let uncached = with(RunTuning {
+            path_cache: Some(false),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            cached.report.stats.without_cache_counters(),
+            uncached.report.stats.without_cache_counters(),
+            "{}: cached run diverged from uncached run across compactions",
+            scheme.name()
+        );
+        let heap = with(RunTuning {
+            calendar_queue: Some(false),
+            ..RunTuning::default()
+        });
+        let calendar = with(RunTuning {
+            calendar_queue: Some(true),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            calendar.report.stats,
+            heap.report.stats,
+            "{}: event-queue backends diverged across compactions",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn compacting_grid_is_bit_identical_across_worker_counts() {
+    // The compaction-crossing worlds slot bit-identical results for
+    // 1, 2, 4 and 8 harness workers — watermark rebuilds are a pure
+    // function of the mutation sequence, never of scheduling.
+    let mut base = ScenarioParams::tiny();
+    base.seed = 31;
+    let grid = ExperimentGrid::new(base)
+        .schemes(SchemeChoice::COMPARED)
+        .sweep_churn_rate(&[20.0]);
+    let serial = grid.run(1);
+    assert_eq!(serial.len(), 5, "1 churn point × 5 schemes");
+    assert!(
+        serial.iter().all(|c| c.stats.graph_compactions > 0),
+        "every cell must cross the compaction watermark"
+    );
+    for workers in [2, 4, 8] {
+        let parallel = grid.run(workers);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(
+                s.stats, p.stats,
+                "cell {} ({} / {}) diverged between 1 and {workers} workers",
+                s.index, s.label, s.scheme
+            );
+        }
+    }
+}
+
 #[test]
 fn dynamic_world_grid_is_bit_identical_across_worker_counts() {
     // A churn-rate × scheme grid (the ISSUE's "sweep churn rates ×

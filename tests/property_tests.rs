@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core invariants, spanning
 //! crates: channel conservation, TU splitting, Shamir round trips, path
-//! algorithm sanity, Lemma-1 optimality and event-queue backend
-//! equivalence.
+//! algorithm sanity, CSR/reference adjacency equivalence, Lemma-1
+//! optimality and event-queue backend equivalence.
 
 use pcn_crypto::{shamir, Fp};
 use pcn_graph::{edge_disjoint_widest_paths, Graph};
@@ -131,6 +131,89 @@ proptest! {
                 prop_assert!(seen.insert(*c), "channel reused");
             }
         }
+    }
+
+    /// The CSR [`Graph`] and the `Vec<Vec>` [`ReferenceGraph`] stay
+    /// bit-identical — neighbour iteration order, degrees, and all six
+    /// search families — under arbitrary interleavings of channel opens,
+    /// closes, reopens, and explicit CSR compactions. This is the
+    /// determinism contract of the adjacency layout swap: tombstone
+    /// flagging must behave exactly like `retain`, the delta overlay
+    /// exactly like `push`, and compaction must be invisible.
+    #[test]
+    fn csr_graph_matches_reference_under_churn(
+        n in 3usize..16,
+        edges in prop::collection::vec((0u32..16, 0u32..16), 1..40),
+        ops in prop::collection::vec((0u8..4, 0u32..64), 0..60),
+    ) {
+        use pcn_graph::{
+            bfs_hops, edge_disjoint_shortest_paths, k_shortest_paths, max_flow,
+            shortest_path, widest_path, ReferenceGraph, Topology,
+        };
+        use pcn_types::ChannelId;
+        let mut g = Graph::new(n);
+        let mut r = ReferenceGraph::new(n);
+        for (a, b) in edges {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a != b {
+                let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+                prop_assert_eq!(g.add_edge(a, b), r.add_edge(a, b));
+            }
+        }
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    // Close a (possibly already closed / unknown) channel.
+                    let id = ChannelId::new(x % (g.edge_count().max(1) as u32 + 2));
+                    let (gr, rr) = (g.close_channel(id), r.close_channel(id));
+                    prop_assert_eq!(gr.is_ok(), rr.is_ok());
+                }
+                1 => {
+                    let id = ChannelId::new(x % (g.edge_count().max(1) as u32 + 2));
+                    let (gr, rr) = (g.reopen_channel(id), r.reopen_channel(id));
+                    prop_assert_eq!(gr.is_ok(), rr.is_ok());
+                }
+                2 => {
+                    let (a, b) = ((x as usize) % n, (x as usize / n) % n);
+                    if a != b {
+                        let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+                        prop_assert_eq!(g.add_edge(a, b), r.add_edge(a, b));
+                    }
+                }
+                _ => g.compact(), // reference is always "compact"
+            }
+        }
+        // Adjacency: same degrees, same neighbour order, entry for entry.
+        for v in 0..n {
+            let v = NodeId::from_index(v);
+            prop_assert_eq!(g.degree(v), r.degree(v));
+            let ge: Vec<_> = Topology::out_edges(&g, v).collect();
+            let re: Vec<_> = r.out_edges(v).collect();
+            prop_assert_eq!(ge, re, "iteration order at {}", v);
+        }
+        // All six search families, deterministic closures off the edge id.
+        let cost = |e: pcn_graph::EdgeRef| Some(1.0 + (e.id.index() % 7) as f64);
+        let width = |e: pcn_graph::EdgeRef| Some(1.0 + (e.id.index() % 5) as f64);
+        let (s, t) = (NodeId::new(0), NodeId::from_index(n - 1));
+        prop_assert_eq!(bfs_hops(&g, s), bfs_hops(&r, s));
+        prop_assert_eq!(shortest_path(&g, s, t, cost), shortest_path(&r, s, t, cost));
+        prop_assert_eq!(widest_path(&g, s, t, width), widest_path(&r, s, t, width));
+        prop_assert_eq!(
+            k_shortest_paths(&g, s, t, 3, cost),
+            k_shortest_paths(&r, s, t, 3, cost)
+        );
+        prop_assert_eq!(
+            edge_disjoint_shortest_paths(&g, s, t, 2, cost),
+            edge_disjoint_shortest_paths(&r, s, t, 2, cost)
+        );
+        prop_assert_eq!(
+            edge_disjoint_widest_paths(&g, s, t, 2, width),
+            edge_disjoint_widest_paths(&r, s, t, 2, width)
+        );
+        let cap = |e: pcn_graph::EdgeRef| Some(1 + (e.id.index() as u64 % 5));
+        let (gf, rf) = (max_flow(&g, s, t, cap), max_flow(&r, s, t, cap));
+        prop_assert_eq!(gf.value, rf.value);
+        prop_assert_eq!(gf.paths.len(), rf.paths.len());
     }
 
     #[test]
