@@ -25,6 +25,14 @@ pub struct RunTuning {
     /// event sequence; used for the determinism regression and scheduler
     /// A/B cells.
     pub calendar_queue: Option<bool>,
+    /// Engine shard count (None = follow the spec's `params.shards`).
+    /// `Some(k)` forces the sharded engine with `k` partitioned event
+    /// loops — including `Some(1)`, which exercises the sharded
+    /// machinery itself. Semantics-preserving for any `k`: the merged
+    /// run is bit-identical to the single engine (the determinism
+    /// regression pins this), so this axis only trades cores for wall
+    /// clock.
+    pub shards: Option<u32>,
 }
 
 /// Scheme-level overrides (the paper's Table II and ablation rows tweak
@@ -156,6 +164,9 @@ pub fn run_on_scenario(
     }
     if let Some(calendar) = tuning.calendar_queue {
         prepared.tune_engine(|cfg| cfg.use_calendar_queue = calendar);
+    }
+    if let Some(k) = tuning.shards {
+        prepared.set_shards(k);
     }
     let report = prepared.run();
     let violations = check_expectations(spec, &report);

@@ -226,6 +226,29 @@ impl PathCacheStats {
         }
     }
 
+    /// Adds `other`'s counters into this one, per cause — the
+    /// aggregation shards and stat merges use. The exhaustive
+    /// destructure makes adding a counter without deciding its merge
+    /// role a compile error.
+    pub fn absorb(&mut self, other: &PathCacheStats) {
+        let PathCacheStats {
+            hits,
+            misses,
+            inv_topology,
+            inv_funds,
+            inv_price,
+            inv_footprint,
+            evictions,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.inv_topology += inv_topology;
+        self.inv_funds += inv_funds;
+        self.inv_price += inv_price;
+        self.inv_footprint += inv_footprint;
+        self.evictions += evictions;
+    }
+
     fn record_stale(&mut self, cause: StaleCause) {
         match cause {
             StaleCause::Topology => self.inv_topology += 1,

@@ -190,7 +190,56 @@ impl Engine {
         }
     }
 
+    /// Computes the payment's plan, routing ownership through the shard
+    /// link when this engine is a replica of a sharded run: the owning
+    /// shard computes the shared plan and publishes it, every other
+    /// replica receives that exact plan in event order, and the
+    /// per-payment finish ([`Engine::plan_finish`]) runs locally on all
+    /// replicas so their RNG streams stay in lockstep.
     pub(super) fn plan_paths(&mut self, p: &Payment) -> Arc<[Path]> {
+        let route = self
+            .shard
+            .as_ref()
+            .map(|link| (link.me(), link.owner_of(self.compute_node(p))));
+        let shared = match route {
+            None => self.plan_shared(p),
+            Some((me, owner)) if owner == me => {
+                let plan = self.plan_shared(p);
+                self.shard
+                    .as_ref()
+                    .expect("link checked above")
+                    .publish(p.id, &plan);
+                plan
+            }
+            Some((_, owner)) => self
+                .shard
+                .as_ref()
+                .expect("link checked above")
+                .recv(owner, p.id),
+        };
+        self.plan_finish(p, shared)
+    }
+
+    /// Completes a shared plan into the per-payment plan. For Flash mice
+    /// the shared plan is the pooled KSP candidate set and the final
+    /// single-path draw happens here, on this engine's RNG — in a
+    /// sharded run every replica draws locally from its
+    /// identically-advancing stream, so handing off the pre-draw pool
+    /// keeps all RNG states synchronized. Every other scheme passes
+    /// through unchanged.
+    fn plan_finish(&mut self, p: &Payment, shared: Arc<[Path]>) -> Arc<[Path]> {
+        if let RouteVia::FlashMaxFlow { elephant_threshold } = &self.scheme.route_via {
+            if p.value <= *elephant_threshold && !shared.is_empty() {
+                return vec![shared[self.rng.index(shared.len())].clone()].into();
+            }
+        }
+        shared
+    }
+
+    /// The shard-shareable part of planning: everything up to (but not
+    /// including) the per-payment RNG finish. This is what a sharded
+    /// run's owning replica hands off to its peers.
+    fn plan_shared(&mut self, p: &Payment) -> Arc<[Path]> {
         let k = self.scheme.num_paths.max(1);
         let strategy = self.scheme.path_select;
         let view = self.scheme.balance_view;
@@ -203,7 +252,6 @@ impl Engine {
             prices,
             path_cache,
             workspace,
-            rng,
             ..
         } = self;
         let now = EpochStamp {
@@ -403,9 +451,9 @@ impl Engine {
                         },
                     )
                 } else {
-                    // The pooled plan is shared via `Arc`; only the one
-                    // drawn path is cloned per payment.
-                    let pool = cached_or(
+                    // The pooled plan is shared via `Arc`; `plan_finish`
+                    // draws the one per-payment path from it.
+                    cached_or(
                         path_cache,
                         use_cache,
                         CacheKey {
@@ -429,12 +477,7 @@ impl Engine {
                                 min_w,
                             )
                         },
-                    );
-                    if pool.is_empty() {
-                        no_paths()
-                    } else {
-                        vec![pool[rng.index(pool.len())].clone()].into()
-                    }
+                    )
                 }
             }
         }

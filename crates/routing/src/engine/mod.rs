@@ -67,7 +67,10 @@ mod arena;
 mod arrivals;
 mod control;
 mod lifecycle;
+mod shard;
 mod world;
+
+pub use shard::ShardedEngine;
 
 #[cfg(test)]
 mod tests;
@@ -279,6 +282,10 @@ pub struct Engine {
     /// Reusable graph-search buffers for the hot path-selection loop.
     pub(super) workspace: SearchWorkspace,
     pub(super) hub_count: usize,
+    /// Handoff mesh link when this engine is one replica of a
+    /// [`ShardedEngine`] run (`None` for plain single-engine runs).
+    /// `plan_paths` routes ownership decisions through it.
+    pub(super) shard: Option<shard::ShardLink>,
 }
 
 impl Engine {
@@ -338,6 +345,7 @@ impl Engine {
             path_cache: PathCache::new(),
             workspace: SearchWorkspace::new(),
             hub_count,
+            shard: None,
         }
     }
 

@@ -1,0 +1,268 @@
+//! K partitioned event loops with a deterministic handoff merge.
+//!
+//! [`ShardedEngine`] runs `K` engine replicas on `K` threads and merges
+//! their results into one [`RunStats`] that is **bit-identical to a
+//! single-engine run, regardless of K or thread scheduling**. This
+//! module documents the exact contract, because it is the foundation
+//! every later scaling item builds on.
+//!
+//! # The determinism contract
+//!
+//! The lockstep discipline is taken to its limit: instead of advancing
+//! shards in conservative time-window epochs and exchanging boundary
+//! state, **every shard executes the complete `(time, lane, seq)` event
+//! sequence over a full replica of the world** — graph, funds, prices,
+//! queues, TU arenas, RNG. State-mutating events (hop traversal,
+//! settlement, price ticks, world-timeline mutations) are the cheap,
+//! allocation-free part of the loop (PR 4); replaying them everywhere
+//! means no shard can ever receive a message from its past, because
+//! every shard already *is* the past — epoch synchronization with a
+//! zero-width window.
+//!
+//! What is partitioned is the expensive part: **route computation**.
+//! Each payment's plan is computed only by the shard that owns its
+//! compute node under the hub-cut [`Partition`] (see [`crate::shard`]
+//! for the partitioning invariant). The owner publishes the computed
+//! plan as a handoff message on a per-shard-pair FIFO channel; every
+//! other replica, on reaching the same `ComputeDone` event in its own
+//! sequence, blocks until that exact plan arrives (the payment id is
+//! asserted on receipt, so any ordering drift aborts loudly instead of
+//! silently diverging). This is semantics-preserving for the same
+//! reason the path cache is: a plan is a deterministic function of the
+//! replicated `(topology, funds, prices)` state at the planning
+//! instant, so "computed here" and "received from the owner" are
+//! bit-identical. The single RNG draw in planning (the Flash mice
+//! pick) stays *local*: the owner hands off the pre-draw candidate
+//! pool and every replica draws from its own identically-advancing
+//! stream, keeping all K RNG states in lockstep.
+//!
+//! Deadlock-freedom follows from the strict total order: if any shard
+//! were blocked forever, consider the earliest event position where
+//! that happens — its plan's owner is not blocked before that position
+//! (it is the earliest), so the owner reaches it and publishes.
+//! Handoff sends never block (unbounded channels), completing the
+//! induction.
+//!
+//! # What merging means
+//!
+//! Because replicas are bit-identical, every shard produces the same
+//! semantic [`RunStats`] — asserted, not assumed, after every run. The
+//! merged result is that shared payload with the per-shard
+//! [`PathCacheStats`] summed per cause (each shard only caches the
+//! plans it owns) and `wall_secs` taken as the max across threads. At
+//! K=1 the sum is the identity, so a K=1 sharded run is bit-identical
+//! to the plain [`Engine`] *including* cache counters — the
+//! determinism suite pins this for all six schemes.
+//!
+//! # Where the speedup comes from
+//!
+//! Route computation dominates exactly when the cache cannot absorb it:
+//! uncached A/B runs, churn-heavy dynamic worlds, and large topologies
+//! where searches are expensive. In those regimes each shard computes
+//! ~1/K of the plans and the replicated bookkeeping is cheap, so
+//! throughput scales with cores (`benches/shard_scale.rs`). In
+//! fully-cache-warmed static regimes planning is already ~free and
+//! sharding buys little — by design: the contract is "bit-identical
+//! always, faster where it matters".
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+use pcn_graph::{Graph, Path};
+use pcn_sim::SimRng;
+use pcn_types::{NodeId, TxId};
+
+use crate::cache::PathCacheStats;
+use crate::channel::NetworkFunds;
+use crate::scheme::SchemeConfig;
+use crate::shard::Partition;
+use crate::stats::RunStats;
+use crate::tu::Payment;
+use crate::world::WorldEvent;
+
+use super::{Engine, EngineConfig};
+
+/// A plan handoff: the owning shard's computed (pre-finish) plan for
+/// one payment.
+type PlanMsg = (TxId, Arc<[Path]>);
+
+/// One shard's view of the handoff mesh: a sender to every peer and a
+/// FIFO inbox from every peer. Installed into the replica's [`Engine`];
+/// `plan_paths` routes through it.
+pub(crate) struct ShardLink {
+    me: u32,
+    partition: Partition,
+    /// `peers[j]`: sender on the `me → j` channel (`None` for `j == me`).
+    peers: Vec<Option<Sender<PlanMsg>>>,
+    /// `inbox[j]`: receiver on the `j → me` channel (`None` for `j == me`).
+    inbox: Vec<Option<Receiver<PlanMsg>>>,
+}
+
+impl ShardLink {
+    /// This shard's index.
+    pub(super) fn me(&self) -> u32 {
+        self.me
+    }
+
+    /// The shard owning route computation for `compute_node`.
+    pub(super) fn owner_of(&self, compute_node: NodeId) -> u32 {
+        self.partition.shard_of(compute_node)
+    }
+
+    /// Publishes an owned plan to every peer shard. Never blocks
+    /// (unbounded channels) — the deadlock-freedom induction needs this.
+    pub(super) fn publish(&self, tx: TxId, plan: &Arc<[Path]>) {
+        for sender in self.peers.iter().flatten() {
+            sender
+                .send((tx, Arc::clone(plan)))
+                .expect("peer shard hung up mid-run — a replica thread panicked");
+        }
+    }
+
+    /// Receives the next plan from `owner`'s FIFO. The handoff order is
+    /// the event total order restricted to `owner`'s payments, so the
+    /// head of the queue must be exactly `tx` — anything else means the
+    /// replicas' event sequences diverged, which voids the determinism
+    /// contract and must abort.
+    pub(super) fn recv(&self, owner: u32, tx: TxId) -> Arc<[Path]> {
+        let rx = self.inbox[owner as usize]
+            .as_ref()
+            .expect("no handoff channel from owning shard");
+        let (got, plan) = rx
+            .recv()
+            .expect("owning shard hung up mid-run — a replica thread panicked");
+        assert_eq!(
+            got, tx,
+            "handoff order drift: shard {} expected the plan for tx {tx:?} \
+             but the owner (shard {owner}) published tx {got:?} — replica \
+             event sequences diverged",
+            self.me
+        );
+        plan
+    }
+}
+
+/// K engine replicas executing one run in parallel, planning routes
+/// only for the payments they own (see the module docs for the
+/// contract).
+pub struct ShardedEngine {
+    engines: Vec<Engine>,
+}
+
+impl ShardedEngine {
+    /// Creates `k` replica engines (clamped to at least 1) wired into a
+    /// pairwise handoff mesh. Every replica starts from a clone of the
+    /// same world and the same RNG state.
+    pub fn new(
+        graph: Graph,
+        funds: NetworkFunds,
+        scheme: SchemeConfig,
+        cfg: EngineConfig,
+        rng: SimRng,
+        k: u32,
+    ) -> ShardedEngine {
+        let k = k.max(1) as usize;
+        let partition = Partition::new(&scheme.route_via, graph.node_count(), k as u32);
+        // Pairwise channel mesh: senders[from][to] / inboxes[to][from].
+        let mut senders: Vec<Vec<Option<Sender<PlanMsg>>>> =
+            (0..k).map(|_| (0..k).map(|_| None).collect()).collect();
+        let mut inboxes: Vec<Vec<Option<Receiver<PlanMsg>>>> =
+            (0..k).map(|_| (0..k).map(|_| None).collect()).collect();
+        for from in 0..k {
+            for to in 0..k {
+                if from != to {
+                    let (tx, rx) = channel();
+                    senders[from][to] = Some(tx);
+                    inboxes[to][from] = Some(rx);
+                }
+            }
+        }
+        let engines = senders
+            .into_iter()
+            .zip(inboxes)
+            .enumerate()
+            .map(|(me, (peers, inbox))| {
+                let mut engine = Engine::new(
+                    graph.clone(),
+                    funds.clone(),
+                    scheme.clone(),
+                    cfg.clone(),
+                    rng.clone(),
+                );
+                engine.shard = Some(ShardLink {
+                    me: me as u32,
+                    partition: partition.clone(),
+                    peers,
+                    inbox,
+                });
+                engine
+            })
+            .collect();
+        ShardedEngine { engines }
+    }
+
+    /// Installs the same dynamic-world timeline into every replica —
+    /// world events are state mutations, and state is replicated.
+    pub fn with_timeline(self, events: Vec<WorldEvent>) -> ShardedEngine {
+        ShardedEngine {
+            engines: self
+                .engines
+                .into_iter()
+                .map(|e| e.with_timeline(events.clone()))
+                .collect(),
+        }
+    }
+
+    /// Runs all replicas to completion and merges their statistics.
+    /// Same payment-list requirements as [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any replica's semantic statistics diverge from shard
+    /// 0's — the determinism contract is asserted on every run, never
+    /// assumed.
+    pub fn run(mut self, payments: Vec<Payment>) -> RunStats {
+        let per_shard: Vec<RunStats> = if self.engines.len() == 1 {
+            // One shard has no peers to talk to: run on this thread.
+            vec![self.engines.pop().expect("k >= 1").run(payments)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .engines
+                    .into_iter()
+                    .map(|engine| {
+                        let shard_payments = payments.clone();
+                        scope.spawn(move || engine.run(shard_payments))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard replica panicked"))
+                    .collect()
+            })
+        };
+        merge_replicas(per_shard)
+    }
+}
+
+/// Merges per-replica statistics: asserts the semantic payloads are
+/// identical, sums cache counters per cause, takes the max wall clock.
+fn merge_replicas(per_shard: Vec<RunStats>) -> RunStats {
+    let base = per_shard[0].without_cache_counters();
+    for (i, stats) in per_shard.iter().enumerate().skip(1) {
+        assert!(
+            stats.without_cache_counters() == base,
+            "shard {i} diverged from shard 0 — replicated execution must \
+             be bit-identical:\n  shard 0: {base}\n  shard {i}: {stats}"
+        );
+    }
+    let mut merged = per_shard[0].clone();
+    merged.path_cache = per_shard
+        .iter()
+        .fold(PathCacheStats::default(), |mut acc, s| {
+            acc.absorb(&s.path_cache);
+            acc
+        });
+    merged.wall_secs = per_shard.iter().map(|s| s.wall_secs).fold(0.0, f64::max);
+    merged
+}

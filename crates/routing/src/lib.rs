@@ -32,6 +32,10 @@
 //!   abort/refund/retry), and `engine::control` (price ticks, queue
 //!   expiry and marking, rate updates, hub synchronization), dispatched
 //!   from `engine::mod`.
+//! * [`shard`] + `engine::shard` — K partitioned event loops: a
+//!   deterministic hub-cut [`Partition`] assigns route-computation
+//!   ownership, and [`ShardedEngine`] runs K replicas whose merged
+//!   result is bit-identical to a single-engine run.
 //!
 //! # Example: Fig. 1's local deadlock, then Splicer avoiding it
 //!
@@ -72,13 +76,15 @@ pub mod prices;
 pub mod rate;
 pub mod scheduler;
 pub mod scheme;
+pub mod shard;
 pub mod stats;
 pub mod tu;
 pub mod window;
 pub mod world;
 
 pub use cache::{PathCache, PathCacheStats};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, ShardedEngine};
 pub use scheme::{ComputeModel, RouteVia, SchemeConfig};
+pub use shard::Partition;
 pub use stats::RunStats;
 pub use world::{RebalancePolicy, WorldEvent};

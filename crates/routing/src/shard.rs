@@ -1,0 +1,187 @@
+//! Deterministic node→shard partitioning for sharded runs.
+//!
+//! A [`Partition`] assigns every node to one of `K` shards; a payment's
+//! route computation is *owned* by the shard of its compute node (the
+//! source for source-routing schemes, the responsible hub otherwise —
+//! [`crate::engine::Engine`]'s `compute_node`). The partition is a pure
+//! function of the routing scheme and the node count, so every shard
+//! derives the identical assignment independently — no coordination, no
+//! shared state.
+//!
+//! # The hub-cut invariant
+//!
+//! The paper's trampoline architecture forces cross-region traffic
+//! through hubs, which makes hubs the natural cut line: for
+//! [`RouteVia::Hubs`] every hub goes to shard `rank % K` (rank in the
+//! sorted hub set, the same ordering the world stage uses for outage
+//! resolution) and **every client lands in its assigned hub's shard**.
+//! A payment's entire route computation therefore happens where its
+//! hub lives, and the per-hub route-computation FIFO (`node_busy`)
+//! never splits across shards. [`RouteVia::SingleHub`] degenerates to
+//! one owning shard (the single hub serializes all computation by
+//! definition — the A2L baseline has no parallelism to extract).
+//!
+//! Flat schemes (`Direct`, `Landmarks`, `FlashMaxFlow`) have no hub
+//! regions; they get a deterministic SplitMix64 hash of the node index,
+//! which spreads independent sources uniformly across shards.
+
+use std::collections::HashMap;
+
+use pcn_types::NodeId;
+
+use crate::scheme::RouteVia;
+
+/// The SplitMix64 finalizer — a full-avalanche bijection on `u64`, the
+/// same mixer the harness uses for seed derivation. Good enough to
+/// spread dense node indices uniformly over shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic assignment of every node to one of `K` shards.
+///
+/// Cheap to clone (one dense `u32` per node) — every shard replica
+/// carries its own copy.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    k: u32,
+    shard_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds the partition for a routing scheme over `node_count`
+    /// nodes. `k` is clamped to at least 1.
+    ///
+    /// Hub schemes partition by hub region (see the module docs); flat
+    /// schemes hash the node index. Nodes outside any hub region (a
+    /// `Hubs` scheme with unassigned nodes) fall back to the hash —
+    /// `compute_node` falls back to the source for them, so ownership
+    /// stays well defined.
+    pub fn new(route_via: &RouteVia, node_count: usize, k: u32) -> Partition {
+        let k = k.max(1);
+        let mut shard_of: Vec<u32> = (0..node_count)
+            .map(|i| (splitmix64(i as u64) % u64::from(k)) as u32)
+            .collect();
+        match route_via {
+            RouteVia::Hubs { assignment } => {
+                // Sorted hub set → rank % K: the same deterministic
+                // ordering the outage stage resolves hub ranks with.
+                let hubs = route_via.hub_set();
+                let hub_shard: HashMap<NodeId, u32> = hubs
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, &h)| (h, (rank as u32) % k))
+                    .collect();
+                for (&hub, &s) in &hub_shard {
+                    shard_of[hub.index()] = s;
+                }
+                for (&client, &hub) in assignment {
+                    shard_of[client.index()] = hub_shard[&hub];
+                }
+            }
+            RouteVia::SingleHub { hub } => {
+                // One hub owns every computation; pin it to shard 0 so
+                // the (degenerate) ownership is obvious in traces.
+                shard_of[hub.index()] = 0;
+            }
+            RouteVia::Direct | RouteVia::Landmarks { .. } | RouteVia::FlashMaxFlow { .. } => {}
+        }
+        Partition { k, shard_of }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The shard owning node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside the node range the partition was built
+    /// over.
+    pub fn shard_of(&self, n: NodeId) -> u32 {
+        self.shard_of[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn hub_scheme_places_clients_with_their_hub() {
+        // Hubs 0 and 1; clients 2,3 → hub 0, clients 4,5 → hub 1.
+        let assignment: HashMap<NodeId, NodeId> =
+            [(n(2), n(0)), (n(3), n(0)), (n(4), n(1)), (n(5), n(1))]
+                .into_iter()
+                .collect();
+        let p = Partition::new(&RouteVia::Hubs { assignment }, 6, 2);
+        assert_eq!(p.shard_of(n(0)), 0, "hub rank 0 → shard 0");
+        assert_eq!(p.shard_of(n(1)), 1, "hub rank 1 → shard 1");
+        assert_eq!(p.shard_of(n(2)), p.shard_of(n(0)));
+        assert_eq!(p.shard_of(n(3)), p.shard_of(n(0)));
+        assert_eq!(p.shard_of(n(4)), p.shard_of(n(1)));
+        assert_eq!(p.shard_of(n(5)), p.shard_of(n(1)));
+    }
+
+    #[test]
+    fn hub_regions_never_split_across_shards() {
+        // 4 hubs over 2 shards: ranks wrap, but every client still
+        // shares its hub's shard.
+        let assignment: HashMap<NodeId, NodeId> = (4u32..40).map(|c| (n(c), n(c % 4))).collect();
+        let p = Partition::new(
+            &RouteVia::Hubs {
+                assignment: assignment.clone(),
+            },
+            40,
+            2,
+        );
+        for (&client, &hub) in &assignment {
+            assert_eq!(p.shard_of(client), p.shard_of(hub));
+        }
+    }
+
+    #[test]
+    fn flat_partition_is_deterministic_and_in_range() {
+        let a = Partition::new(&RouteVia::Direct, 1000, 4);
+        let b = Partition::new(&RouteVia::Direct, 1000, 4);
+        let mut per_shard = [0usize; 4];
+        for i in 0..1000u32 {
+            let s = a.shard_of(n(i));
+            assert_eq!(s, b.shard_of(n(i)), "partition must be reproducible");
+            assert!(s < 4);
+            per_shard[s as usize] += 1;
+        }
+        // SplitMix64 over dense indices should spread roughly evenly.
+        for (s, &count) in per_shard.iter().enumerate() {
+            assert!(
+                (150..=350).contains(&count),
+                "shard {s} got {count} of 1000 nodes — hash badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_maps_everything_to_shard_zero() {
+        let p = Partition::new(&RouteVia::Direct, 16, 1);
+        assert_eq!(p.k(), 1);
+        for i in 0..16u32 {
+            assert_eq!(p.shard_of(n(i)), 0);
+        }
+    }
+
+    #[test]
+    fn single_hub_owns_shard_zero() {
+        let p = Partition::new(&RouteVia::SingleHub { hub: n(7) }, 16, 4);
+        assert_eq!(p.shard_of(n(7)), 0);
+    }
+}

@@ -144,6 +144,63 @@ impl RunStats {
             && self.completed_value <= self.generated_value
     }
 
+    /// Aggregates several runs' statistics into one: semantic counters
+    /// sum, latency histograms concatenate, cache counters combine per
+    /// cause, and the wall clock (equality-exempt, as ever) takes the
+    /// max — the convention for concurrently-executed parts. Merging a
+    /// single run reproduces it exactly (pinned by
+    /// `merge_of_one_is_identity`); merging nothing is the zero run.
+    ///
+    /// Note this is *summing* aggregation — for disjoint workloads
+    /// (sweep cells, split traces). The sharded engine's replicas are
+    /// **not** disjoint (each replays the full run), so
+    /// [`crate::ShardedEngine`] asserts replica equality and keeps one
+    /// payload instead of calling this.
+    pub fn merge(runs: &[RunStats]) -> RunStats {
+        let mut out = RunStats::default();
+        for run in runs {
+            // Exhaustive destructure: a new field must choose its merge
+            // role here or this stops compiling.
+            let RunStats {
+                generated,
+                generated_value,
+                completed,
+                completed_value,
+                failed,
+                latency,
+                overhead_msgs,
+                marked_tus,
+                aborted_tus,
+                delivered_tus,
+                drained_directions_end,
+                unroutable,
+                world_events_applied,
+                tus_expired_by_close,
+                graph_compactions,
+                path_cache,
+                wall_secs,
+            } = run;
+            out.generated += generated;
+            out.generated_value += *generated_value;
+            out.completed += completed;
+            out.completed_value += *completed_value;
+            out.failed += failed;
+            out.latency.merge(latency);
+            out.overhead_msgs += overhead_msgs;
+            out.marked_tus += marked_tus;
+            out.aborted_tus += aborted_tus;
+            out.delivered_tus += delivered_tus;
+            out.drained_directions_end += drained_directions_end;
+            out.unroutable += unroutable;
+            out.world_events_applied += world_events_applied;
+            out.tus_expired_by_close += tus_expired_by_close;
+            out.graph_compactions += graph_compactions;
+            out.path_cache.absorb(path_cache);
+            out.wall_secs = out.wall_secs.max(*wall_secs);
+        }
+        out
+    }
+
     /// This run with the diagnostic cache counters zeroed — the semantic
     /// payload that must be identical regardless of caching, worker
     /// count, or workspace reuse.
@@ -243,6 +300,86 @@ mod tests {
             "per-cause invalidation breakdown must be visible: {shown}"
         );
         assert!(shown.contains("world=6ev/2exp"));
+    }
+
+    /// A fully-populated sample run: every field nonzero so identity
+    /// and summing bugs cannot hide behind defaults.
+    fn sample_run() -> RunStats {
+        let mut s = RunStats {
+            generated: 10,
+            generated_value: Amount::from_tokens(100),
+            completed: 7,
+            completed_value: Amount::from_tokens(60),
+            failed: 3,
+            overhead_msgs: 42,
+            marked_tus: 4,
+            aborted_tus: 5,
+            delivered_tus: 30,
+            drained_directions_end: 2,
+            unroutable: 1,
+            world_events_applied: 6,
+            tus_expired_by_close: 2,
+            graph_compactions: 1,
+            path_cache: PathCacheStats {
+                hits: 9,
+                misses: 8,
+                inv_topology: 1,
+                inv_funds: 2,
+                inv_price: 3,
+                inv_footprint: 4,
+                evictions: 5,
+                // No `..Default::default()`: a new counter must be
+                // populated here for the merge tests to stay honest.
+            },
+            wall_secs: 1.5,
+            ..Default::default()
+        };
+        s.latency.record(0.4);
+        s.latency.record(1.2);
+        s
+    }
+
+    #[test]
+    fn merge_of_one_is_identity() {
+        let a = sample_run();
+        let merged = RunStats::merge(std::slice::from_ref(&a));
+        assert_eq!(merged, a);
+        // The equality-exempt wall clock must round-trip too.
+        assert_eq!(merged.wall_secs, a.wall_secs);
+        assert_eq!(merged.path_cache, a.path_cache);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_wall_clock() {
+        let a = sample_run();
+        let mut b = sample_run();
+        b.wall_secs = 0.5;
+        b.latency.record(9.0);
+        let merged = RunStats::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.generated, a.generated + b.generated);
+        assert_eq!(
+            merged.generated_value,
+            a.generated_value + b.generated_value
+        );
+        assert_eq!(
+            merged.latency.count(),
+            a.latency.count() + b.latency.count()
+        );
+        assert_eq!(
+            merged.path_cache.hits,
+            a.path_cache.hits + b.path_cache.hits
+        );
+        assert_eq!(
+            merged.path_cache.invalidations(),
+            a.path_cache.invalidations() + b.path_cache.invalidations()
+        );
+        assert_eq!(merged.wall_secs, 1.5, "wall clock is a max, not a sum");
+        assert_eq!(merged.drained_directions_end, 4);
+    }
+
+    #[test]
+    fn merge_of_none_is_the_zero_run() {
+        assert_eq!(RunStats::merge(&[]), RunStats::default());
     }
 
     #[test]

@@ -102,6 +102,15 @@ impl Histogram {
         self.values[idx]
     }
 
+    /// Appends every value recorded in `other`, preserving `other`'s
+    /// recording order — so merging a histogram into an empty one
+    /// reproduces it exactly (value-equality, which is what
+    /// [`PartialEq`] compares).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = self.values.is_empty();
+    }
+
     /// Maximum recorded value (0.0 when empty).
     pub fn max(&self) -> f64 {
         self.values.iter().copied().fold(0.0, f64::max)
@@ -210,6 +219,22 @@ mod tests {
         assert_eq!(h.quantile(1.0), 1.0);
         h.record(10.0);
         assert_eq!(h.quantile(1.0), 10.0); // re-sorts after new data
+    }
+
+    #[test]
+    fn histogram_merge_concatenates_values() {
+        let mut a = Histogram::new();
+        a.record(2.0);
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 8.0);
+        assert_eq!(a.quantile(0.0), 1.0);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a, "merge into empty must reproduce the source");
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl Criterion {
             sample_size: 10,
             throughput: None,
             results: Vec::new(),
+            metadata: Vec::new(),
             finished: false,
             quick,
         }
@@ -112,6 +113,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     throughput: Option<Throughput>,
     results: Vec<Measurement>,
+    metadata: Vec<(String, String)>,
     finished: bool,
     quick: bool,
 }
@@ -126,6 +128,20 @@ impl BenchmarkGroup<'_> {
     /// Annotates subsequent benchmarks with a throughput.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
         self.throughput = Some(t);
+        self
+    }
+
+    /// Records a host/run fact in the group's baseline file (a `"meta"`
+    /// object in `BENCH_<group>.json`). Our extension, not criterion
+    /// API: baselines measured on shared or small hosts are only
+    /// interpretable alongside facts like the core count, so benches
+    /// stamp them into the artifact itself instead of a side channel.
+    /// Values that parse as numbers are written as JSON numbers,
+    /// everything else as strings. Last write per key wins.
+    pub fn metadata(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        let key = key.into();
+        self.metadata.retain(|(k, _)| *k != key);
+        self.metadata.push((key, value.to_string()));
         self
     }
 
@@ -191,7 +207,7 @@ impl BenchmarkGroup<'_> {
         }
         self.finished = true;
         if !self.quick {
-            write_json(&self.name, &self.results);
+            write_json(&self.name, &self.results, &self.metadata);
         }
     }
 }
@@ -310,7 +326,7 @@ fn diff_against_baseline(results: &[Measurement], previous: &str) {
     }
 }
 
-fn write_json(group: &str, results: &[Measurement]) {
+fn write_json(group: &str, results: &[Measurement], metadata: &[(String, String)]) {
     if results.is_empty() {
         return;
     }
@@ -325,7 +341,22 @@ fn write_json(group: &str, results: &[Measurement]) {
     }
     let mut body = String::from("{\n  \"group\": \"");
     body.push_str(group);
-    body.push_str("\",\n  \"benchmarks\": [\n");
+    body.push_str("\",\n");
+    if !metadata.is_empty() {
+        body.push_str("  \"meta\": {");
+        for (i, (key, value)) in metadata.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            if value.parse::<f64>().is_ok() {
+                body.push_str(&format!("\"{key}\": {value}"));
+            } else {
+                body.push_str(&format!("\"{key}\": \"{value}\""));
+            }
+        }
+        body.push_str("},\n");
+    }
+    body.push_str("  \"benchmarks\": [\n");
     for (i, m) in results.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
@@ -383,6 +414,31 @@ mod tests {
         group.finish();
         assert_eq!(group.results.len(), 1);
         assert!(group.results[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn metadata_lands_in_the_baseline_json() {
+        // Same value as `measures_and_reports` sets, so the tests cannot
+        // race each other through the process-global environment.
+        let dir = std::env::temp_dir();
+        std::env::set_var("BENCH_OUTPUT_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("metaselftest");
+        group.sample_size(2);
+        group.metadata("available_parallelism", 4);
+        group.metadata("host", "ci");
+        group.metadata("host", "local"); // last write wins
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let body = std::fs::read_to_string(dir.join("BENCH_metaselftest.json")).expect("baseline");
+        assert!(
+            body.contains("\"meta\": {\"available_parallelism\": 4, \"host\": \"local\"}"),
+            "numbers unquoted, strings quoted, deduped: {body}"
+        );
+        // The extra "meta" line must not confuse the baseline re-reader.
+        let parsed = parse_baseline(&body);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "metaselftest/noop");
     }
 
     #[test]

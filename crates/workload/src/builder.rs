@@ -260,6 +260,15 @@ impl ScenarioBuilder {
         self.timeline(|t| t.churn(per_sec))
     }
 
+    /// Engine shard count: `k > 1` runs the payment trace on `k`
+    /// partitioned event loops ([`pcn_routing::ShardedEngine`]) whose
+    /// merged result is bit-identical to the single engine — a pure
+    /// cores-for-wall-clock trade. Clamped to at least 1.
+    pub fn shards(mut self, k: u32) -> Self {
+        self.params.shards = k.max(1);
+        self
+    }
+
     /// Root seed: every random decision in the run derives from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.params.seed = seed;
@@ -407,6 +416,7 @@ mod tests {
             .churn(0.25)
             .rebalance(5.0)
             .build();
+        input.shards = 4;
         input.seed = 4242;
 
         let crate::scenario::ScenarioParams {
@@ -421,6 +431,7 @@ mod tests {
             hotspot_fraction,
             hotspot_skew,
             timeline,
+            shards,
             seed,
         } = ScenarioBuilder::from_params(input.clone()).build().params;
         assert_eq!(nodes, input.nodes);
@@ -434,7 +445,15 @@ mod tests {
         assert_eq!(hotspot_fraction, input.hotspot_fraction);
         assert_eq!(hotspot_skew, input.hotspot_skew);
         assert_eq!(timeline, input.timeline);
+        assert_eq!(shards, input.shards);
         assert_eq!(seed, input.seed);
+    }
+
+    #[test]
+    fn shards_knob_clamps_to_one() {
+        assert_eq!(ScenarioBuilder::tiny().shards(4).build().params.shards, 4);
+        assert_eq!(ScenarioBuilder::tiny().shards(0).build().params.shards, 1);
+        assert_eq!(ScenarioBuilder::tiny().build().params.shards, 1);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct ScenarioParams {
     /// Dynamic-world timeline (rate shifts, hub outages, channel churn,
     /// rebalances); empty = the classic static world.
     pub timeline: TimelineSpec,
+    /// Engine shard count: 1 (the default) runs the plain single engine,
+    /// `k > 1` runs `k` partitioned event loops merged deterministically
+    /// ([`pcn_routing::ShardedEngine`]) — bit-identical results either
+    /// way, this knob only trades cores for wall clock.
+    pub shards: u32,
     /// Root seed.
     pub seed: u64,
 }
@@ -58,6 +63,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            shards: 1,
             seed: 1,
         }
     }
@@ -76,6 +82,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            shards: 1,
             seed: 1,
         }
     }
@@ -94,6 +101,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            shards: 1,
             seed: 1,
         }
     }

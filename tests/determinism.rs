@@ -427,6 +427,84 @@ fn dynamic_world_grid_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn sharded_run_is_semantics_preserving() {
+    // The acceptance bar for the sharded engine: K partitioned event
+    // loops merged over the deterministic hub-handoff mesh produce
+    // results identical to the plain single engine, for all six schemes,
+    // K ∈ {1, 2, 4}, cached and uncached. Equality tiers:
+    //
+    // - K = 1 and every uncached run: full bit-identity, diagnostic
+    //   cache counters included (a single replica's merged counters are
+    //   the counters; a disabled cache counts zero everywhere).
+    // - K > 1 cached: identical modulo the cache counters — plan keys
+    //   split across K shard-local caches, so hits/misses legitimately
+    //   redistribute while every semantic field stays pinned.
+    //
+    // The same bars then repeat under the PR-5 mixed dynamic timeline
+    // (rate shifts, a hub outage, churn, a rebalance), proving world
+    // events replicate identically into every shard's world copy.
+    let schemes = [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ];
+    for scheme in schemes {
+        for (label, spec) in [
+            ("static", tiny_spec(scheme)),
+            ("dynamic", dynamic_spec(scheme)),
+        ] {
+            let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+            for cache in [true, false] {
+                let plain = with(RunTuning {
+                    path_cache: Some(cache),
+                    ..RunTuning::default()
+                });
+                if label == "dynamic" {
+                    assert!(
+                        plain.report.stats.world_events_applied > 0,
+                        "{} ({label}): the timeline must fire",
+                        scheme.name()
+                    );
+                }
+                for k in [1u32, 2, 4] {
+                    let sharded = with(RunTuning {
+                        path_cache: Some(cache),
+                        shards: Some(k),
+                        ..RunTuning::default()
+                    });
+                    if k == 1 || !cache {
+                        assert_eq!(
+                            plain.report.stats,
+                            sharded.report.stats,
+                            "{} ({label}, cache={cache}): K={k} sharded run is not \
+                             bit-identical to the plain engine",
+                            scheme.name()
+                        );
+                    } else {
+                        assert_eq!(
+                            plain.report.stats.without_cache_counters(),
+                            sharded.report.stats.without_cache_counters(),
+                            "{} ({label}): K={k} cached sharded run diverged \
+                             semantically from the plain engine",
+                            scheme.name()
+                        );
+                        assert!(
+                            sharded.report.stats.path_cache.lookups() > 0,
+                            "{} ({label}): K={k} shard-local caches were never \
+                             consulted",
+                            scheme.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn per_variant_seed_policy_is_reproducible() {
     let grid = ExperimentGrid::new(ScenarioParams::tiny())
         .schemes([SchemeChoice::Spider])
