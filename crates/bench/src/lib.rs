@@ -9,6 +9,8 @@
 //! from the paper (different hardware, a simulator instead of LND); the
 //! *shapes* are the reproduction target — see EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use pcn_harness::{CellResult, ExperimentGrid};
 use pcn_types::SimDuration;
 use pcn_workload::ScenarioParams;

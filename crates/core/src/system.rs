@@ -6,7 +6,7 @@
 //! (multi-star for Splicer, single star for A2L) funded from the same
 //! channel-size distribution.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcn_placement::{CostParams, PlacementInstance, PlacementPlan, PlacementSolver};
 use pcn_routing::tu::Payment;
@@ -305,7 +305,7 @@ impl SystemBuilder {
     /// Fails when the placement problem is infeasible.
     pub fn build_splicer(&self) -> Result<PreparedRun> {
         let (inst, plan) = self.solve_placement()?;
-        let assignment: HashMap<NodeId, NodeId> = self
+        let assignment: BTreeMap<NodeId, NodeId> = self
             .scenario
             .clients
             .iter()

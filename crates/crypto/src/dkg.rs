@@ -95,7 +95,7 @@ impl KeyManagementGroup {
     /// Issues a fresh per-transaction key pair (`pk_tid`, `sk_tid`).
     pub fn issue_keypair(&mut self) -> KeyPair {
         self.issued += 1;
-        KeyPair::from_entropy(&mut self.entropy)
+        KeyPair::from_rng(&mut self.entropy)
     }
 
     /// Number of key pairs issued so far.

@@ -34,8 +34,10 @@ impl core::fmt::Debug for SecretKey {
 }
 
 impl KeyPair {
-    /// Derives a key pair deterministically from entropy.
-    pub fn from_entropy(rng: &mut SplitMix64) -> KeyPair {
+    /// Derives a key pair deterministically from the given seeded RNG.
+    /// (Deliberately *not* named `from_entropy`: there is no OS entropy
+    /// anywhere in the workspace — splicer-lint R2 enforces this.)
+    pub fn from_rng(rng: &mut SplitMix64) -> KeyPair {
         // sk ∈ [1, p-1)
         let sk = 1 + rng.next_below(MODULUS - 2);
         KeyPair {
@@ -46,7 +48,7 @@ impl KeyPair {
 
     /// Convenience constructor from a raw seed.
     pub fn from_seed(seed: u64) -> KeyPair {
-        KeyPair::from_entropy(&mut SplitMix64::new(seed))
+        KeyPair::from_rng(&mut SplitMix64::new(seed))
     }
 }
 

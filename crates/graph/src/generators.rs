@@ -105,7 +105,10 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
         }
     }
     for v in seed..n {
-        let mut targets = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: the emitted edge order (and hence every
+        // downstream channel id) follows set-iteration order, and hash
+        // order varies per process even under a fixed scenario seed.
+        let mut targets = std::collections::BTreeSet::new();
         let mut guard = 0;
         while targets.len() < m && guard < 100 * m {
             let t = endpoints[rng.random_range(0..endpoints.len())];
@@ -256,6 +259,27 @@ mod tests {
         // Scale-free: max degree far above the mean.
         let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
         assert!(max_deg as f64 > 3.0 * average_degree(&g), "max {max_deg}");
+    }
+
+    #[test]
+    fn ba_edge_order_is_canonical() {
+        // Regression for the HashSet→BTreeSet fix: each new node's
+        // attachment edges must be emitted in ascending target order, so
+        // channel ids are a pure function of the seed rather than of the
+        // process's hasher state. (Both orders pass a same-process
+        // determinism check; only the canonical one survives across
+        // processes.)
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(120, 3, &mut rng);
+        let edges: Vec<_> = g.edges().map(|c| g.endpoints(c).unwrap()).collect();
+        // Edges for node v (v >= seed nodes) form one contiguous run of
+        // (v, t) pairs; within a run the targets must strictly ascend.
+        for w in edges.windows(2) {
+            let ((a1, b1), (a2, b2)) = (w[0], w[1]);
+            if a1 == a2 && a1.index() >= 4 {
+                assert!(b1 < b2, "targets of {a1:?} not ascending: {b1:?} !< {b2:?}");
+            }
+        }
     }
 
     #[test]

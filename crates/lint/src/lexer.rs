@@ -1,0 +1,441 @@
+//! A hand-rolled Rust lexer, just deep enough for token-level linting.
+//!
+//! The rules in [`crate::rules`] must match *tokens*, never text inside
+//! string literals, doc comments, or commented-out code — otherwise a
+//! doc example mentioning `HashMap::iter` would trip the determinism
+//! lint. The lexer therefore classifies exactly the constructs that can
+//! hide rule text from a naive regex:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! - string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, any hash depth),
+//! - char literals vs lifetimes (`'a'` vs `'a`),
+//! - numbers (so `0..n` does not swallow the range dots).
+//!
+//! Everything else is an identifier or a single-char punct. Comments are
+//! kept as tokens — rule R4 and the suppression parser need them — and
+//! rules skip them when matching code.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A lifetime (`'a`), without its ticks.
+    Lifetime,
+    /// Char literal, including quotes.
+    CharLit,
+    /// String / byte-string / raw-string literal, including quotes.
+    StrLit,
+    /// Numeric literal.
+    Number,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` comment (incl. doc comments), without the newline.
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs are
+/// closed at end of input (the linter must keep scanning a file a human
+/// is mid-edit on, not panic).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.string(line, col, String::new());
+            } else if c == '\'' {
+                self.tick(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident(line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    /// A (possibly raw/byte) string literal. `prefix` holds an already
+    /// consumed literal prefix (`r`, `b`, `br`, `rb`) when called from
+    /// [`Lexer::ident`].
+    fn string(&mut self, line: u32, col: u32, prefix: String) {
+        let mut text = prefix.clone();
+        let raw = prefix.contains('r');
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                text.push('#');
+                self.bump();
+            }
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a string: re-lex as ident text.
+            let mut t = text;
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    t.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Ident, t, line, col);
+            return;
+        }
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if !raw && c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                if raw {
+                    // Need `hashes` trailing #s to actually close.
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        text.push('#');
+                        self.bump();
+                    }
+                    if seen < hashes {
+                        continue; // a quote inside the raw string
+                    }
+                }
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::StrLit, text, line, col);
+    }
+
+    /// Disambiguates a lifetime (`'a`) from a char literal (`'a'`).
+    fn tick(&mut self, line: u32, col: u32) {
+        // A tick starts a lifetime iff it is followed by an ident char
+        // that is NOT itself followed by a closing tick ('x' is a char).
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime =
+            matches!(c1, Some(c) if c.is_alphabetic() || c == '_') && c2 != Some('\'');
+        self.bump(); // the tick
+        if is_lifetime {
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+            return;
+        }
+        // Char literal: consume one (possibly escaped) char, then the
+        // closing tick. `'\u{1F600}'` needs the braced scan.
+        let mut text = String::from("'");
+        if self.peek(0) == Some('\\') {
+            text.push('\\');
+            self.bump();
+            match self.bump() {
+                Some('u') => {
+                    text.push('u');
+                    while let Some(c) = self.peek(0) {
+                        text.push(c);
+                        self.bump();
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                Some(e) => text.push(e),
+                None => {}
+            }
+        } else if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        if self.peek(0) == Some('\'') {
+            text.push('\'');
+            self.bump();
+        }
+        self.push(TokenKind::CharLit, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // One fractional part, but never a range: `1.5` yes, `1..n` no.
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Number, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes hand off to the string lexer.
+        if matches!(text.as_str(), "r" | "b" | "br" | "rb")
+            && matches!(self.peek(0), Some('"') | Some('#'))
+        {
+            self.string(line, col, text);
+            return;
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn strings_hide_rule_text() {
+        // The HashMap/iter mentions live inside literals: no Ident tokens.
+        let src = r##"let s = "HashMap.iter()"; let r = r#"targets.keys() "quoted""#;"##;
+        let idents = code_idents(src);
+        assert_eq!(idents, vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        let toks = kinds(r###"r##"has "# inside"## after"###);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert!(toks[0].1.contains("inside"));
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn unicode_escape_char() {
+        let toks = kinds(r"let c = '\u{1F600}'; next");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::CharLit));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "next".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n { let f = 1.5e3; let h = 0xFF; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e3", "0xFF"]);
+    }
+
+    #[test]
+    fn line_and_doc_comments() {
+        let src = "/// doc HashMap iter\n//! inner\nfn x() {} // trailing";
+        let comments: Vec<_> = lex(src).into_iter().filter(Token::is_comment).collect();
+        assert_eq!(comments.len(), 3);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[2].line, 3);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn byte_string_is_a_literal() {
+        let toks = kinds(r#"b"HashMap" x"#);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+}

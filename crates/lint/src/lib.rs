@@ -1,0 +1,100 @@
+//! `splicer-lint` — workspace determinism linter.
+//!
+//! Enforces the epoch/determinism contract at the source level across
+//! every non-vendor workspace crate. See [`rules`] for the four rules
+//! (R1 unordered-iter, R2 ambient-nondet, R3 epoch-bump, R4
+//! safety-comment) and the suppression grammar, [`lexer`] for the
+//! hand-rolled token model that keeps rules from matching text inside
+//! strings or doc comments.
+//!
+//! Dependency-free and hermetic: the linter reads sources with `std::fs`
+//! only, has no build-time or runtime dependencies, and is itself
+//! excluded from scanning (it legitimately touches `std::env`/`std::fs`).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding, Rule, R2_WALL_CLOCK_SITE};
+
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees the linter scans. Deliberately a closed
+/// list: vendor stubs, the bench shim, the root integration crate's
+/// dependents, and the linter itself stay out of scope.
+pub const SCANNED_CRATES: [&str; 10] = [
+    "types",
+    "sim",
+    "graph",
+    "crypto",
+    "milp",
+    "placement",
+    "routing",
+    "workload",
+    "core",
+    "harness",
+];
+
+/// Locates the workspace root: walks up from `start` looking for a
+/// `Cargo.toml` containing a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// report order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints one file on disk. `root` is the workspace root used to form
+/// the workspace-relative path in reports.
+pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(rules::lint_source(&rel, &src))
+}
+
+/// Lints every scanned crate under `root`. Returns all findings plus
+/// the number of files examined. Errors only on unreadable files that
+/// exist; absent crates are skipped (the list is a superset contract).
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        rust_files(&src_dir, &mut files);
+    }
+    let n = files.len();
+    for path in files {
+        findings.extend(lint_file(root, &path)?);
+    }
+    Ok((findings, n))
+}

@@ -1,0 +1,49 @@
+//! R1 fixture: every hash-container iteration shape the rule must catch.
+//! Not compiled — lexed by `tests/corpus.rs` under a semantic-crate path.
+
+use std::collections::{HashMap, HashSet};
+
+struct Book {
+    entries: HashMap<u64, u64>,
+}
+
+fn method_calls(m: &HashMap<u64, u64>, s: &mut HashSet<u64>) {
+    let _ = m.keys().count(); // finding: keys()
+    let _ = m.values().sum::<u64>(); // finding: values()
+    s.retain(|&x| x > 0); // finding: retain()
+    for x in s.drain() {
+        // finding: drain()
+        let _ = x;
+    }
+}
+
+fn for_loops(m: &HashMap<u64, u64>) {
+    for (k, v) in m {
+        // finding: bare for over HashMap
+        let _ = (k, v);
+    }
+    let mut local = std::collections::HashSet::new();
+    local.insert(1u64);
+    for t in &local {
+        // finding: un-ascribed let binding tracked too
+        let _ = t;
+    }
+}
+
+impl Book {
+    fn totals(&self) -> u64 {
+        self.entries.values().sum() // finding: struct field binding
+    }
+}
+
+fn lookups_are_fine(m: &HashMap<u64, u64>, s: &HashSet<u64>) {
+    let _ = m.get(&1);
+    let _ = s.contains(&2);
+    let _ = m.len() + s.len();
+}
+
+fn ordered_containers_are_fine(b: &std::collections::BTreeMap<u64, u64>) {
+    for (k, v) in b {
+        let _ = (k, v);
+    }
+}

@@ -1,0 +1,21 @@
+//! R2 fixture: every ambient-nondeterminism source the rule must catch.
+//! Not compiled — lexed by `tests/corpus.rs` under a semantic-crate path.
+
+fn clocks() {
+    let _ = std::time::Instant::now(); // finding: Instant::now
+    let _ = std::time::SystemTime::now(); // finding: SystemTime
+}
+
+fn environment() {
+    let _ = std::env::var("SPLICER_SEED"); // finding: std::env
+}
+
+fn randomness() {
+    let _ = thread_rng(); // finding: thread_rng
+    let _ = SmallRng::from_entropy(); // finding: from_entropy
+}
+
+fn mentions_in_text_are_fine() {
+    // Instant::now() in a comment is not a finding.
+    let _doc = "neither is Instant::now() inside a string literal";
+}

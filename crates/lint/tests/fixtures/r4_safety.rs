@@ -1,0 +1,22 @@
+//! R4 fixture: `unsafe` blocks, documented and not.
+//! Not compiled — lexed by `tests/corpus.rs`.
+//! (The word the rule looks for appears below only where the
+//! fixture means it to.)
+
+fn bare() {
+    let x = unsafe { core::ptr::read(P) }; // finding: undocumented
+    let _ = x;
+}
+
+fn documented() {
+    // SAFETY: P points to a live, initialized value for the whole call.
+    let x = unsafe { core::ptr::read(P) };
+    let _ = x;
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_still_required() {
+        let _ = unsafe { core::ptr::read(P) }; // finding: R4 has no test exemption
+    }
+}

@@ -1,0 +1,19 @@
+//! Suppression-hygiene fixture: allows that are themselves findings.
+//! Not compiled — lexed by `tests/corpus.rs`.
+
+use std::collections::HashMap;
+
+fn missing_reason(m: &HashMap<u64, u64>) -> u64 {
+    // splicer-lint: allow(r1)
+    m.values().sum()
+}
+
+fn unused_allow() {
+    // splicer-lint: allow(r2) — nothing below actually reads a clock
+    let _ = 1 + 1;
+}
+
+fn unknown_rule(m: &HashMap<u64, u64>) -> usize {
+    // splicer-lint: allow(r9) — no such rule
+    m.keys().count()
+}

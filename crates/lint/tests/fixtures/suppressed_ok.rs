@@ -1,0 +1,24 @@
+//! Suppression fixture: every allow form that must silence a finding.
+//! Not compiled — lexed by `tests/corpus.rs`. Lints clean.
+
+use std::collections::HashMap;
+
+fn above_line(m: &HashMap<u64, u64>) -> u64 {
+    // splicer-lint: allow(r1) — summation folds out iteration order
+    m.values().sum()
+}
+
+fn same_line(m: &HashMap<u64, u64>) -> usize {
+    m.keys().count() // splicer-lint: allow(r1) — count is order-free
+}
+
+fn long_name_form(m: &HashMap<u64, u64>) -> u64 {
+    // splicer-lint: allow(unordered-iter) — max is order-free
+    m.values().copied().max().unwrap_or(0)
+}
+
+fn stacked(m: &HashMap<u64, u64>) {
+    // splicer-lint: allow(r1) — order feeds a commutative fold only
+    // splicer-lint: allow(r2) — diagnostic wall-clock, never semantic
+    let _ = (m.values().count(), std::time::Instant::now());
+}

@@ -609,7 +609,7 @@ mod tests {
     fn same_hub_plans_survive_funds_movement() {
         let g = pcn_graph::star(4); // hub 0
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
-        let assignment: std::collections::HashMap<NodeId, NodeId> =
+        let assignment: std::collections::BTreeMap<NodeId, NodeId> =
             [(n(1), n(0)), (n(2), n(0)), (n(3), n(0))]
                 .into_iter()
                 .collect();
@@ -650,7 +650,7 @@ mod tests {
         g.add_edge(n(1), n(3)); // ch2: tail (hub 1 → client 3)
         let island = g.add_edge(n(4), n(5)); // ch3: unreachable from 0
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
-        let assignment: std::collections::HashMap<NodeId, NodeId> =
+        let assignment: std::collections::BTreeMap<NodeId, NodeId> =
             [(n(2), n(0)), (n(3), n(1))].into_iter().collect();
         let mut engine = Engine::new(
             g,

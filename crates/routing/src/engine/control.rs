@@ -105,7 +105,7 @@ mod tests {
     use crate::scheme::SchemeConfig;
     use pcn_sim::SimRng;
     use pcn_types::{Amount, NodeId, SimDuration, SimTime};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -156,7 +156,7 @@ mod tests {
         g.add_edge(n(3), n(5));
         g.add_edge(n(4), n(5));
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
-        let assignment: HashMap<NodeId, NodeId> =
+        let assignment: BTreeMap<NodeId, NodeId> =
             [(n(0), n(4)), (n(1), n(4)), (n(2), n(5)), (n(3), n(5))]
                 .into_iter()
                 .collect();

@@ -369,12 +369,12 @@ impl Engine {
             "payment ids must be dense (every id < payment count): \
              the engine's transaction table is indexed by raw id"
         );
-        let wall_start = std::time::Instant::now();
+        let wall_start = crate::stats::wall_timer();
         self.begin(payments);
         while let Some((now, ev)) = self.events.pop() {
             self.handle(now, ev);
         }
-        self.stats.wall_secs = wall_start.elapsed().as_secs_f64();
+        self.stats.wall_secs = wall_start.elapsed_secs();
         self.stats.path_cache = self.path_cache.stats();
         self.stats.graph_compactions = self.graph.compactions();
         // Open channels only: a tombstoned channel's frozen zero side is

@@ -4,7 +4,7 @@
 
 use super::*;
 use crate::scheme::SchemeConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -103,7 +103,7 @@ fn splicer_hub_routing_on_multi_star() {
     g.add_edge(n(3), n(5));
     g.add_edge(n(4), n(5));
     let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
-    let assignment: HashMap<NodeId, NodeId> =
+    let assignment: BTreeMap<NodeId, NodeId> =
         [(n(0), n(4)), (n(1), n(4)), (n(2), n(5)), (n(3), n(5))]
             .into_iter()
             .collect();
@@ -285,15 +285,21 @@ mod alloc_counter {
     unsafe impl GlobalAlloc for Counting {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
             unsafe { System.alloc(layout) }
         }
 
+        // SAFETY: delegates to `System` under the caller's own contract
+        // (ptr was allocated by this allocator with this layout).
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: same ptr/layout pair the caller guarantees.
             unsafe { System.dealloc(ptr, layout) }
         }
 
+        // SAFETY: delegates to `System` under the caller's own contract.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            // SAFETY: same ptr/layout/new_size the caller guarantees.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

@@ -350,7 +350,7 @@ mod tests {
     fn hub_outage_darkens_and_recovery_restores() {
         let g = pcn_graph::star(4); // hub 0, leaves 1..3
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
-        let assignment: std::collections::HashMap<NodeId, NodeId> =
+        let assignment: std::collections::BTreeMap<NodeId, NodeId> =
             [(n(1), n(0)), (n(2), n(0)), (n(3), n(0))]
                 .into_iter()
                 .collect();

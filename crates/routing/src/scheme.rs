@@ -6,7 +6,7 @@
 //! with what path strategy, and whether the rate/congestion controllers of
 //! §IV-D run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcn_types::{Amount, NodeId, SimDuration};
 
@@ -48,7 +48,7 @@ pub enum RouteVia {
     /// recipient's hub → recipient (Splicer's multi-star, Fig. 2b).
     Hubs {
         /// client → assigned hub.
-        assignment: HashMap<NodeId, NodeId>,
+        assignment: BTreeMap<NodeId, NodeId>,
     },
     /// Via the k best-connected landmarks: shortest path to each landmark,
     /// then landmark → recipient (Flare/SilentWhispers/SpeedyMurmurs).
@@ -119,7 +119,7 @@ pub struct SchemeConfig {
 impl SchemeConfig {
     /// Splicer (this paper): hub routing on fresh state, EDW paths,
     /// rate + congestion control, LIFO queues.
-    pub fn splicer(assignment: HashMap<NodeId, NodeId>) -> SchemeConfig {
+    pub fn splicer(assignment: BTreeMap<NodeId, NodeId>) -> SchemeConfig {
         SchemeConfig {
             name: "Splicer".into(),
             path_select: PathSelect::Edw,
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn splicer_defaults_match_paper() {
-        let s = SchemeConfig::splicer(HashMap::new());
+        let s = SchemeConfig::splicer(BTreeMap::new());
         assert_eq!(s.name, "Splicer");
         assert_eq!(s.path_select, PathSelect::Edw);
         assert_eq!(s.num_paths, 5);

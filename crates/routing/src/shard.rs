@@ -25,7 +25,7 @@
 //! regions; they get a deterministic SplitMix64 hash of the node index,
 //! which spreads independent sources uniformly across shards.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcn_types::NodeId;
 
@@ -70,7 +70,7 @@ impl Partition {
                 // Sorted hub set → rank % K: the same deterministic
                 // ordering the outage stage resolves hub ranks with.
                 let hubs = route_via.hub_set();
-                let hub_shard: HashMap<NodeId, u32> = hubs
+                let hub_shard: BTreeMap<NodeId, u32> = hubs
                     .iter()
                     .enumerate()
                     .map(|(rank, &h)| (h, (rank as u32) % k))
@@ -111,7 +111,7 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn hub_scheme_places_clients_with_their_hub() {
         // Hubs 0 and 1; clients 2,3 → hub 0, clients 4,5 → hub 1.
-        let assignment: HashMap<NodeId, NodeId> =
+        let assignment: BTreeMap<NodeId, NodeId> =
             [(n(2), n(0)), (n(3), n(0)), (n(4), n(1)), (n(5), n(1))]
                 .into_iter()
                 .collect();
@@ -137,7 +137,7 @@ mod tests {
     fn hub_regions_never_split_across_shards() {
         // 4 hubs over 2 shards: ranks wrap, but every client still
         // shares its hub's shard.
-        let assignment: HashMap<NodeId, NodeId> = (4u32..40).map(|c| (n(c), n(c % 4))).collect();
+        let assignment: BTreeMap<NodeId, NodeId> = (4u32..40).map(|c| (n(c), n(c % 4))).collect();
         let p = Partition::new(
             &RouteVia::Hubs {
                 assignment: assignment.clone(),

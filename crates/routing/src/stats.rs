@@ -63,6 +63,32 @@ pub struct RunStats {
     pub wall_secs: f64,
 }
 
+/// A started wall-clock measurement. Obtain one via [`wall_timer`].
+#[derive(Debug)]
+pub struct WallTimer {
+    start: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Seconds elapsed since the timer was started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Starts a wall-clock timer.
+///
+/// This is the workspace's single allowlisted ambient-clock site
+/// (splicer-lint R2): every semantic wall-clock measurement funnels
+/// through here, and the only thing it can feed is the diagnostic
+/// [`RunStats::wall_secs`] field, which equality already ignores.
+/// Benches keep raw `Instant` via the tests/benches exemption.
+pub fn wall_timer() -> WallTimer {
+    WallTimer {
+        start: std::time::Instant::now(),
+    }
+}
+
 impl PartialEq for RunStats {
     fn eq(&self, other: &Self) -> bool {
         // Everything except the machine-dependent wall clock. The

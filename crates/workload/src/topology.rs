@@ -1,6 +1,6 @@
 //! PCN topologies: flat small-world graphs and hub rewirings.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcn_graph::{watts_strogatz, Graph};
 use pcn_routing::channel::NetworkFunds;
@@ -49,7 +49,7 @@ impl PcnTopology {
     pub fn multi_star(
         n: usize,
         hubs: &[NodeId],
-        assignment: &HashMap<NodeId, NodeId>,
+        assignment: &BTreeMap<NodeId, NodeId>,
         sampler: &ChannelFunds,
         hub_fund_factor: f64,
         rng: &mut SimRng,
@@ -77,7 +77,7 @@ impl PcnTopology {
         n: usize,
         hubs: &[NodeId],
         mesh: &[(NodeId, NodeId)],
-        assignment: &HashMap<NodeId, NodeId>,
+        assignment: &BTreeMap<NodeId, NodeId>,
         sampler: &ChannelFunds,
         hub_fund_factor: f64,
         rng: &mut SimRng,
@@ -98,9 +98,9 @@ impl PcnTopology {
         }
         // Client spokes. The hub side of a client channel is also
         // hub-capitalized (it routes many clients' traffic).
-        let mut clients: Vec<(&NodeId, &NodeId)> = assignment.iter().collect();
-        clients.sort();
-        for (&client, &hub) in clients {
+        // BTreeMap iterates in client order — the same order the old
+        // sort-before-iterate produced, so channel ids are unchanged.
+        for (&client, &hub) in assignment.iter() {
             assert!(hubs.contains(&hub), "assignment references unknown hub");
             graph.add_edge(client, hub);
             let f_client = sampler.sample(&mut fund_rng);
@@ -128,7 +128,7 @@ impl PcnTopology {
         hub_fund_factor: f64,
         rng: &mut SimRng,
     ) -> PcnTopology {
-        let assignment: HashMap<NodeId, NodeId> = clients.iter().map(|&c| (c, hub)).collect();
+        let assignment: BTreeMap<NodeId, NodeId> = clients.iter().map(|&c| (c, hub)).collect();
         PcnTopology::multi_star(n, &[hub], &assignment, sampler, hub_fund_factor, rng)
     }
 
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn multi_star_structure() {
         let hubs = vec![n(0), n(1)];
-        let assignment: HashMap<NodeId, NodeId> =
+        let assignment: BTreeMap<NodeId, NodeId> =
             [(n(2), n(0)), (n(3), n(0)), (n(4), n(1)), (n(5), n(1))]
                 .into_iter()
                 .collect();
@@ -208,7 +208,7 @@ mod tests {
     fn bad_assignment_panics() {
         let sampler = ChannelFunds::lightning();
         let mut rng = SimRng::seed(4);
-        let assignment: HashMap<NodeId, NodeId> = [(n(2), n(9))].into_iter().collect();
+        let assignment: BTreeMap<NodeId, NodeId> = [(n(2), n(9))].into_iter().collect();
         let _ = PcnTopology::multi_star(10, &[n(0)], &assignment, &sampler, 10.0, &mut rng);
     }
 }

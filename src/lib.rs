@@ -1,3 +1,6 @@
 //! Reproduction of Splicer (ICDCS 2023). The root crate re-exports the
 //! public API; see README.md and the `examples/` directory.
+
+#![forbid(unsafe_code)]
+
 pub use splicer_core::*;
