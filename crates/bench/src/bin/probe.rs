@@ -16,7 +16,8 @@ fn main() {
         println!(
             "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
              tus: del={} abort={} marked={} drained={} hubs={:?} \
-             cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e ({:.0}% hit) world={}ev/{}exp pps={:.0}",
+             cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e ({:.0}% hit) world={}ev/{}exp \
+             adv={}f/{}g/{}dl honest={:.3} pps={:.0}",
             r.scheme,
             s.tsr(),
             s.normalized_throughput(),
@@ -41,6 +42,10 @@ fn main() {
             100.0 * s.path_cache.hit_rate(),
             s.world_events_applied,
             s.tus_expired_by_close,
+            s.faults_injected,
+            s.griefed_locks,
+            s.deadlocks_detected,
+            s.honest_tsr(),
             s.payments_per_sec(),
         );
     }

@@ -56,6 +56,10 @@ pub struct PreparedRun {
     /// Materialized world-event timeline, shared by every scheme of the
     /// scenario (the engine resolves selectors against its own topology).
     timeline: Vec<pcn_routing::world::WorldEvent>,
+    /// Materialized fault plan, likewise shared by every scheme (the
+    /// engine resolves rogue-hub ranks against its own hub set; an
+    /// empty plan installs nothing).
+    faults: pcn_routing::FaultPlan,
     seed: u64,
     /// `Some(k)` routes execution through [`ShardedEngine`] with `k`
     /// partitioned event loops — even `k = 1`, so the sharded machinery
@@ -116,6 +120,7 @@ impl PreparedRun {
                 k,
             )
             .with_timeline(self.timeline)
+            .with_faults(self.faults)
             .run(self.payments),
             None => Engine::new(
                 self.topology.graph,
@@ -125,6 +130,7 @@ impl PreparedRun {
                 SimRng::seed(self.seed),
             )
             .with_timeline(self.timeline)
+            .with_faults(self.faults)
             .run(self.payments),
         };
         RunReport {
@@ -330,6 +336,7 @@ impl SystemBuilder {
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
             timeline: self.scenario.timeline.clone(),
+            faults: self.scenario.faults.clone(),
             seed: self.run_seed,
             shards: self.scenario_shards(),
             placement: Some(PlacementSummary {
@@ -366,6 +373,7 @@ impl SystemBuilder {
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
             timeline: self.scenario.timeline.clone(),
+            faults: self.scenario.faults.clone(),
             seed: self.run_seed,
             shards: self.scenario_shards(),
             placement: None,
@@ -413,6 +421,7 @@ impl SystemBuilder {
             engine_cfg: self.engine_cfg.clone(),
             payments: self.scenario.payments.clone(),
             timeline: self.scenario.timeline.clone(),
+            faults: self.scenario.faults.clone(),
             seed: self.run_seed,
             shards: self.scenario_shards(),
             placement: None,

@@ -105,9 +105,14 @@ impl PaymentWorkflow {
     /// transcript.
     ///
     /// `drop_tu` injects the threat model: TUs whose index satisfies the
-    /// predicate are dropped in transit (adversarial message drop); the
+    /// filter are dropped in transit (adversarial message drop); the
     /// workflow must then leave `θ_tid = false` and the payment is
-    /// withdrawn without loss (§III-B threat model).
+    /// withdrawn without loss (§III-B threat model). Any
+    /// `FnMut(usize) -> bool` closure works via the blanket
+    /// [`pcn_routing::TuDropFilter`] impl, as does a materialized
+    /// [`pcn_routing::FaultPlan`] reference — the same plan the routing
+    /// engine consumes, so workflow-level and engine-level drop
+    /// decisions share one source of truth.
     ///
     /// # Errors
     ///
@@ -115,7 +120,7 @@ impl PaymentWorkflow {
     /// [`PcnError::CryptoFailure`] if an envelope fails to open.
     pub fn execute<F>(&mut self, demand: Demand, mut drop_tu: F) -> Result<WorkflowTranscript>
     where
-        F: FnMut(usize) -> bool,
+        F: pcn_routing::TuDropFilter,
     {
         if demand.value.is_zero() {
             return Err(PcnError::InvalidDemand("zero value".into()));
@@ -149,7 +154,7 @@ impl PaymentWorkflow {
             };
             let sealed = Envelope::seal(&tu_pair.public, &tu_demand.encode(), self.kmg.entropy());
             wire_bytes += sealed.wire_size();
-            if drop_tu(idx) {
+            if drop_tu.drops_tu(idx) {
                 // Adversary dropped the TU: no ACK, θ_tuid stays false.
                 theta_parts.push(false);
                 continue;

@@ -28,6 +28,11 @@ pub struct Overrides {
     /// Channel-churn rate (close + open pairs per second) applied to the
     /// world's timeline — the dynamic-world sweep axis.
     pub churn_per_sec: Option<f64>,
+    /// Fraction of clients that grief (lock hops, never settle) — the
+    /// adversarial sweep axis. Writes `params.adversary.griefer_fraction`;
+    /// if the spec carries no hold time yet, a default 5 s hold (beyond
+    /// the 3 s TU timeout, so every griefed lock times out) is installed.
+    pub griefer_fraction: Option<f64>,
     /// Root seed override (pins a variant to a fixed world).
     pub seed: Option<u64>,
     /// Expectation override (replaces the grid-wide expectations).
@@ -51,6 +56,12 @@ impl Overrides {
         }
         if let Some(churn) = self.churn_per_sec {
             params.timeline.churn_per_sec = churn;
+        }
+        if let Some(fraction) = self.griefer_fraction {
+            params.adversary.griefer_fraction = fraction;
+            if params.adversary.griefer_hold_ms == 0 {
+                params.adversary.griefer_hold_ms = 5_000;
+            }
         }
         if let Some(seed) = self.seed {
             params.seed = seed;
@@ -236,6 +247,25 @@ impl ExperimentGrid {
                 v,
                 Overrides {
                     churn_per_sec: Some(v),
+                    ..Overrides::default()
+                },
+            );
+        }
+        self
+    }
+
+    /// Adds an adversarial sweep axis: each point runs every scheme with
+    /// fraction `v` of the clients griefing (0 = the honest world). The
+    /// interesting read-outs are [`RunStats::honest_tsr`] and
+    /// `griefed_locks` per cell — how gracefully each scheme degrades as
+    /// the griefer population grows.
+    pub fn sweep_adversary(mut self, values: &[f64]) -> Self {
+        for &v in values {
+            self = self.variant(
+                format!("griefers {v}"),
+                v,
+                Overrides {
+                    griefer_fraction: Some(v),
                     ..Overrides::default()
                 },
             );
@@ -490,6 +520,9 @@ mod tests {
         let unreachable = Expectations {
             min_tsr: Some(1.1),
             no_deadlock: false,
+            value_conserved: false,
+            honest_min_tsr: None,
+            bounded_stall_ms: None,
         };
         let results = ExperimentGrid::new(ScenarioParams::tiny())
             .schemes([SchemeChoice::ShortestPath])
@@ -605,6 +638,30 @@ mod tests {
             results[0].stats.without_cache_counters(),
             results[1].stats.without_cache_counters(),
             "sharding must not change semantics"
+        );
+    }
+
+    #[test]
+    fn adversary_sweep_flows_into_the_spec_and_perturbs_the_run() {
+        let grid = ExperimentGrid::new(ScenarioParams::tiny())
+            .schemes([SchemeChoice::Spider])
+            .sweep_adversary(&[0.0, 0.25]);
+        let cells = grid.cells();
+        assert_eq!(cells[0].spec.params.adversary.griefer_fraction, 0.0);
+        assert_eq!(cells[1].spec.params.adversary.griefer_fraction, 0.25);
+        assert_eq!(
+            cells[1].spec.params.adversary.griefer_hold_ms, 5_000,
+            "the sweep installs a default hold beyond the TU timeout"
+        );
+        let results = grid.run(2);
+        assert_eq!(results[0].stats.griefed_locks, 0, "honest point");
+        assert!(
+            results[1].stats.griefed_locks > 0,
+            "a quarter of the clients griefing must show up in the stats"
+        );
+        assert!(
+            results[1].stats.honest_tsr() >= results[1].stats.tsr(),
+            "griefer payments never complete, so honest TSR ≥ overall TSR"
         );
     }
 

@@ -28,6 +28,16 @@
 //! baselines included, and [`ExperimentGrid::sweep_churn_rate`] sweeps
 //! the dynamic-world churn axis across schemes.
 //!
+//! The adversarial axis rides the same machinery:
+//! [`ExperimentGrid::sweep_adversary`] grows the griefer population per
+//! variant ([`Overrides::griefer_fraction`]), cells surface
+//! `faults_injected` / `griefed_locks` / `deadlocks_detected` /
+//! [`honest_tsr`](pcn_routing::RunStats::honest_tsr) through their
+//! stats, and the spec-level expectation knobs
+//! (`expect_value_conserved`, `expect_honest_min_tsr`,
+//! `expect_bounded_stall`, `expect_no_deadlock`) are checked on every
+//! cell after the run.
+//!
 //! ```
 //! use pcn_harness::ExperimentGrid;
 //! use pcn_workload::{ScenarioParams, SchemeChoice};

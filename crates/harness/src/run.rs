@@ -175,16 +175,44 @@ pub fn run_on_scenario(
 
 fn check_expectations(spec: &ScenarioSpec, report: &RunReport) -> Vec<String> {
     let mut violations = Vec::new();
-    if spec.expect.no_deadlock && report.stats.drained_directions_end > 0 {
-        violations.push(format!(
-            "expected no deadlock, but {} channel directions ended drained",
-            report.stats.drained_directions_end
-        ));
+    if spec.expect.no_deadlock {
+        if report.stats.drained_directions_end > 0 {
+            violations.push(format!(
+                "expected no deadlock, but {} channel directions ended drained",
+                report.stats.drained_directions_end
+            ));
+        }
+        if report.stats.deadlocks_detected > 0 {
+            violations.push(format!(
+                "expected no deadlock, but the detector fired {} time(s)",
+                report.stats.deadlocks_detected
+            ));
+        }
     }
     if let Some(min_tsr) = spec.expect.min_tsr {
         let tsr = report.stats.tsr();
         if tsr < min_tsr {
             violations.push(format!("expected TSR ≥ {min_tsr:.3}, got {tsr:.3}"));
+        }
+    }
+    if spec.expect.value_conserved && report.stats.conservation_violations > 0 {
+        violations.push(format!(
+            "expected value conservation, but {} check(s) failed",
+            report.stats.conservation_violations
+        ));
+    }
+    if let Some(min_tsr) = spec.expect.honest_min_tsr {
+        let tsr = report.stats.honest_tsr();
+        if tsr < min_tsr {
+            violations.push(format!("expected honest TSR ≥ {min_tsr:.3}, got {tsr:.3}"));
+        }
+    }
+    if let Some(ms) = spec.expect.bounded_stall_ms {
+        let stall_us = report.stats.max_stall_us;
+        if stall_us > ms.saturating_mul(1_000) {
+            violations.push(format!(
+                "expected honest stalls bounded by {ms} ms, got {stall_us} µs"
+            ));
         }
     }
     violations

@@ -98,6 +98,14 @@ impl Engine {
         }
         self.stats.generated += 1;
         self.stats.generated_value += payment.value;
+        if !self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.is_adversarial(payment.id))
+        {
+            // Honest runs count everything here, so honest_tsr == tsr.
+            self.stats.honest_generated += 1;
+        }
         let tx = payment.id;
         // Route computation is serviced at the source (source routing) or
         // at the responsible hub, modelled as a FIFO per-node CPU.

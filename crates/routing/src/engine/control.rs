@@ -91,9 +91,102 @@ impl Engine {
         if self.hub_count > 1 {
             self.stats.overhead_msgs += (self.hub_count * (self.hub_count - 1)) as u64;
         }
+        // Deadlock watchdog — armed only when a fault plan is installed.
+        // Pure observation: no overhead messages, no scheduled events, so
+        // the adversarial control plane is invisible beyond the faults
+        // themselves.
+        self.detect_deadlock();
         if now + self.cfg.update_interval <= self.horizon {
             self.events
                 .schedule_after(self.cfg.update_interval, Ev::PriceTick);
+        }
+    }
+
+    /// The deadlock detector: a stalled-run watchdog gated on a
+    /// fully-drained-direction cycle over the open graph.
+    ///
+    /// If no lock or settle happened for a whole τ (the watchdog half),
+    /// look for a cycle in the digraph of *drained directions* — an edge
+    /// `u → v` wherever `u`'s side of open channel `(u, v)` holds less
+    /// than one Min-TU of spendable funds, i.e. the direction no TU can
+    /// traverse until the opposite flow refills it. A cycle of drained
+    /// directions is Fig. 1's deadlock shape scaled up: every participant needs
+    /// liquidity only the stalled cycle itself could provide. Detection
+    /// latches (`RunStats::deadlocks_detected` counts distinct stall
+    /// episodes, not ticks) and unlatches on the next forward progress.
+    fn detect_deadlock(&mut self) {
+        {
+            let Some(fault) = self.fault.as_mut() else {
+                return;
+            };
+            let progressed = fault.progress != fault.last_progress;
+            fault.last_progress = fault.progress;
+            if progressed {
+                fault.latched = false;
+                return;
+            }
+            if fault.latched {
+                return;
+            }
+        }
+        let n = self.graph.node_count();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for ch in self.graph.open_edges() {
+            let (a, b) = self.endpoints[ch.index()];
+            if self.funds.balance(ch, a) < self.cfg.min_tu {
+                edges.push((a.raw(), b.raw()));
+            }
+            if self.funds.balance(ch, b) < self.cfg.min_tu {
+                edges.push((b.raw(), a.raw()));
+            }
+        }
+        if edges.is_empty() {
+            return;
+        }
+        // CSR-lite over the drained digraph, then an iterative 3-colour
+        // DFS: a grey→grey edge is a cycle.
+        edges.sort_unstable();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey (on stack), 2 black
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        let mut found = false;
+        'starts: for start in 0..n {
+            if colour[start] != 0 {
+                continue;
+            }
+            colour[start] = 1;
+            stack.push((start as u32, offsets[start]));
+            while let Some(frame) = stack.last_mut() {
+                let u = frame.0 as usize;
+                if frame.1 == offsets[u + 1] {
+                    colour[u] = 2;
+                    stack.pop();
+                    continue;
+                }
+                let v = edges[frame.1].1 as usize;
+                frame.1 += 1;
+                match colour[v] {
+                    0 => {
+                        colour[v] = 1;
+                        stack.push((v as u32, offsets[v]));
+                    }
+                    1 => {
+                        found = true;
+                        break 'starts;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if found {
+            self.stats.deadlocks_detected += 1;
+            self.fault.as_mut().expect("checked above").latched = true;
         }
     }
 }

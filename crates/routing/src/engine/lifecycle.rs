@@ -149,8 +149,9 @@ impl Engine {
             return;
         }
         let hop = tu.next_hop;
-        let (from, ch, _to) = nth_hop(tu.path(), hop);
+        let (from, ch, to) = nth_hop(tu.path(), hop);
         let amount = tu.amount;
+        let (tx, retries) = (tu.tx, tu.retries);
         if self.graph.is_closed(ch) {
             // The channel closed under a stale plan (dynamic world):
             // funds would still lock — the tombstone keeps its state —
@@ -158,6 +159,16 @@ impl Engine {
             // refund; the flow replans lazily via the epoch-staled cache.
             self.abort_tu(now, tu_id, false);
             return;
+        }
+        if let Some(fault) = &self.fault {
+            if fault.plan.drops(ch, tx, hop, retries) {
+                // A dropped forward is indistinguishable from a lost
+                // message: nothing was locked at this hop yet, so the
+                // ordinary abort/refund path unwinds the earlier hops.
+                self.stats.faults_injected += 1;
+                self.abort_tu(now, tu_id, false);
+                return;
+            }
         }
         match self.funds.lock(ch, from, amount) {
             Ok(()) => {
@@ -167,8 +178,8 @@ impl Engine {
                 tu.next_hop += 1;
                 tu.locked_hops += 1;
                 tu.enqueued_at = None;
-                self.events
-                    .schedule_after(self.cfg.hop_delay, Ev::HopArrive(tu_id));
+                let delay = self.forward_delay(ch, to, tx, hop, retries);
+                self.events.schedule_after(delay, Ev::HopArrive(tu_id));
             }
             Err(_) => {
                 if self.scheme.congestion_control {
@@ -186,6 +197,60 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// The delay before the TU's forward message reaches the next node,
+    /// given that hop `hop` over `ch` toward `to` just locked. Honest
+    /// engines (`fault: None`) return `cfg.hop_delay` untouched; an
+    /// installed adversary may stretch it (griefer hold, channel jitter,
+    /// rogue-hub stall/misorder). Every lock passes through here, so it
+    /// doubles as the deadlock watchdog's progress bump.
+    fn forward_delay(
+        &mut self,
+        ch: ChannelId,
+        to: pcn_types::NodeId,
+        tx: TxId,
+        hop: usize,
+        retries: u32,
+    ) -> pcn_types::SimDuration {
+        let Some(fault) = self.fault.as_mut() else {
+            return self.cfg.hop_delay;
+        };
+        fault.progress += 1;
+        let plan = &fault.plan;
+        if plan.is_griefer(tx) {
+            // The griefer acquired the lock honestly and now sits on it:
+            // liquidity stays pinned until the deadline → abort → refund
+            // lifecycle reclaims it.
+            self.stats.griefed_locks += 1;
+            self.stats.faults_injected += 1;
+            return plan.griefer_hold.max(self.cfg.hop_delay);
+        }
+        let mut extra = plan.jitter(ch, tx, hop, retries);
+        for &(node, behavior) in &fault.rogue_nodes {
+            if node == to {
+                extra += match behavior {
+                    crate::fault::RogueBehavior::Stall => self.cfg.hop_delay.saturating_mul(8),
+                    crate::fault::RogueBehavior::Misorder => {
+                        if plan.misorders(ch, tx, hop, retries) {
+                            self.cfg.hop_delay.saturating_mul(2)
+                        } else {
+                            pcn_types::SimDuration::ZERO
+                        }
+                    }
+                };
+            }
+        }
+        if extra.is_zero() {
+            return self.cfg.hop_delay;
+        }
+        self.stats.faults_injected += 1;
+        if !plan.is_adversarial(tx) {
+            // An honest TU got stalled — the degradation the
+            // `expect_bounded_stall` knob bounds.
+            self.stats.max_stall_us = self.stats.max_stall_us.max(extra.as_micros());
+        }
+        self.cfg.hop_delay + extra
     }
 
     pub(super) fn deliver(&mut self, now: SimTime, tu_id: TuId) {
@@ -214,6 +279,9 @@ impl Engine {
         self.funds
             .settle(ch, from, amount)
             .expect("settling a locked hop");
+        if let Some(fault) = self.fault.as_mut() {
+            fault.progress += 1;
+        }
         // Settling credits the reverse direction; queued reverse TUs may
         // now proceed.
         let rev_dir = self.dir_of(ch, to);
@@ -240,6 +308,13 @@ impl Engine {
             state.resolved = true;
             self.stats.completed += 1;
             self.stats.completed_value += state.payment.value;
+            if !self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.plan.is_adversarial(state.payment.id))
+            {
+                self.stats.honest_completed += 1;
+            }
             self.stats
                 .latency
                 .record(now.saturating_since(state.payment.created).as_secs_f64());
@@ -311,7 +386,10 @@ impl Engine {
                     enqueued_at: None,
                     retries: tu.retries + 1,
                 });
-                self.events.schedule_at(now, Ev::HopArrive(id));
+                // With the default zero backoff this is exactly the
+                // historical immediate retry.
+                self.events
+                    .schedule_at(now + self.cfg.retry_backoff, Ev::HopArrive(id));
             } else {
                 // Without rate control a lost TU sinks the transaction.
                 self.fail_tx(tu.tx);
@@ -372,6 +450,9 @@ impl Engine {
                 continue;
             }
             tu.enqueued_at = None;
+            let hop = tu.next_hop;
+            let (_, _, to) = nth_hop(tu.path(), hop);
+            let (tx, retries) = (tu.tx, tu.retries);
             self.funds
                 .lock(ch, from, entry.amount)
                 .expect("pop_eligible guarantees funds");
@@ -381,8 +462,8 @@ impl Engine {
             let tu = self.tus.get_mut(tu_id).expect("present");
             tu.next_hop += 1;
             tu.locked_hops += 1;
-            self.events
-                .schedule_after(self.cfg.hop_delay, Ev::HopArrive(tu_id));
+            let delay = self.forward_delay(ch, to, tx, hop, retries);
+            self.events.schedule_after(delay, Ev::HopArrive(tu_id));
         }
     }
 }

@@ -131,6 +131,12 @@ pub struct EngineConfig {
     pub initial_window: f64,
     /// TU retry budget after a failed attempt (Flash uses 1).
     pub max_retries: u32,
+    /// Pause before a failed TU re-enters the network. Zero (the
+    /// default) retries immediately — the historical behaviour, kept
+    /// exactly so honest runs are byte-identical. Victims of griefing
+    /// or channel faults can opt into pacing so retries don't pile
+    /// onto a stalled cycle (see the crate-level threat model).
+    pub retry_backoff: SimDuration,
     /// Serve path plans from the epoch-versioned [`PathCache`]. The cache
     /// is semantics-preserving (hits are bit-identical to recomputation),
     /// so this toggle only trades CPU for memory; it exists for A/B runs
@@ -165,6 +171,7 @@ impl Default for EngineConfig {
             initial_rate: 50.0,
             initial_window: 20.0,
             max_retries: 0,
+            retry_backoff: SimDuration::ZERO,
             use_path_cache: true,
             use_calendar_queue: true,
         }
@@ -240,6 +247,23 @@ impl FlowState {
     }
 }
 
+/// Runtime adversary state: the installed [`FaultPlan`](crate::fault::FaultPlan)
+/// plus the deadlock watchdog's progress tracking. `None` on the engine
+/// means the honest fast path — not a single fault branch is taken.
+pub(super) struct FaultState {
+    pub(super) plan: crate::fault::FaultPlan,
+    /// Rogue-hub ranks resolved against this scheme's hub set (flat
+    /// schemes have no hubs, so their rogue entries resolve to nothing).
+    pub(super) rogue_nodes: Vec<(NodeId, crate::fault::RogueBehavior)>,
+    /// Monotone counter bumped on every lock and settle — the watchdog's
+    /// notion of forward progress.
+    pub(super) progress: u64,
+    /// `progress` as of the previous price tick.
+    pub(super) last_progress: u64,
+    /// A detected deadlock is reported once, not once per tick.
+    pub(super) latched: bool,
+}
+
 pub(super) struct TxState {
     pub(super) payment: Payment,
     pub(super) flow: Option<FlowState>,
@@ -286,6 +310,9 @@ pub struct Engine {
     /// [`ShardedEngine`] run (`None` for plain single-engine runs).
     /// `plan_paths` routes ownership decisions through it.
     pub(super) shard: Option<shard::ShardLink>,
+    /// Adversary runtime, `None` unless a non-empty [`FaultPlan`]
+    /// (crate::fault) was installed via [`Engine::with_faults`].
+    pub(super) fault: Option<FaultState>,
 }
 
 impl Engine {
@@ -346,7 +373,39 @@ impl Engine {
             workspace: SearchWorkspace::new(),
             hub_count,
             shard: None,
+            fault: None,
         }
+    }
+
+    /// Installs an adversarial [`FaultPlan`](crate::fault::FaultPlan).
+    ///
+    /// An **empty plan is a no-op**: the engine keeps `fault: None`, so
+    /// the run is the same execution as never calling this at all —
+    /// byte-identical stats, byte-identical event order. A non-empty
+    /// plan resolves its rogue-hub ranks against the scheme's hub set
+    /// (`rank % hubs.len()`, the [`crate::world::WorldEvent::HubOutage`]
+    /// convention; flat schemes have no hubs and ignore rogue entries)
+    /// and arms the deadlock watchdog.
+    #[must_use]
+    pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Engine {
+        if plan.is_empty() {
+            return self;
+        }
+        let hubs = self.scheme.route_via.hub_set();
+        let rogue_nodes = plan
+            .rogue_hubs
+            .iter()
+            .filter(|_| !hubs.is_empty())
+            .map(|&(rank, behavior)| (hubs[rank % hubs.len()], behavior))
+            .collect();
+        self.fault = Some(FaultState {
+            plan,
+            rogue_nodes,
+            progress: 0,
+            last_progress: 0,
+            latched: false,
+        });
+        self
     }
 
     /// Runs the engine over a pre-generated payment list (must be sorted
@@ -389,6 +448,11 @@ impl Engine {
                     + usize::from(self.funds.balance(ch, b).is_zero())
             })
             .sum();
+        // Conservation is the graceful-degradation guarantee: faults ride
+        // the abort/refund lifecycle, so even an adversarial run must end
+        // with every token accounted for. Checked in release builds too —
+        // a violation is a counted stat, not just a debug panic.
+        self.stats.conservation_violations += u64::from(!self.funds.verify_conservation());
         debug_assert!(self.funds.verify_conservation());
         debug_assert!(self.stats.is_consistent());
         self.stats

@@ -213,6 +213,22 @@ impl ShardedEngine {
         }
     }
 
+    /// Installs the same [`FaultPlan`](crate::fault::FaultPlan) into every
+    /// replica. Fault decisions are pure hashes of replicated state (plan
+    /// salt, payment id, hop, retry, channel) — never the engine RNG — so
+    /// every replica injects the identical faults and the per-replica
+    /// stats-equality assertion in the merge continues to hold under
+    /// attack.
+    pub fn with_faults(self, plan: crate::fault::FaultPlan) -> ShardedEngine {
+        ShardedEngine {
+            engines: self
+                .engines
+                .into_iter()
+                .map(|e| e.with_faults(plan.clone()))
+                .collect(),
+        }
+    }
+
     /// Runs all replicas to completion and merges their statistics.
     /// Same payment-list requirements as [`Engine::run`].
     ///

@@ -36,6 +36,47 @@
 //!   deterministic hub-cut [`Partition`] assigns route-computation
 //!   ownership, and [`ShardedEngine`] runs K replicas whose merged
 //!   result is bit-identical to a single-engine run.
+//! * [`fault`] — the adversarial layer (threat model below): a pure-data
+//!   [`FaultPlan`] the engine evaluates at hop-event boundaries.
+//!
+//! # Threat model & fault injection
+//!
+//! The paper's headline claim is *deadlock-free* routing, so the engine
+//! must survive workloads engineered to break it. The [`fault`] module
+//! models four adversaries, all expressed as one [`FaultPlan`] installed
+//! via [`Engine::with_faults`](engine::Engine::with_faults):
+//!
+//! * **Griefers** — clients whose TUs acquire hop locks normally and
+//!   then stall for `griefer_hold` (typically past the transaction
+//!   timeout), pinning liquidity until the ordinary deadline → abort →
+//!   refund path reclaims it. Counted in `RunStats::griefed_locks`.
+//! * **Circular demand** — a ring of adversarial payments circulating
+//!   value one direction, tuned to drain a channel cycle (the Fig. 1
+//!   deadlock mechanism, scaled up). Ring payments route like honest
+//!   ones; the attack is the demand pattern itself.
+//! * **Channel faults** — a hash-selected fraction of channels drops or
+//!   delays forwarded TUs (`drop(frac, prob)` / `delay(frac, jitter)`).
+//! * **Rogue hubs** — a hub that stalls or misorders everything it
+//!   forwards ([`RogueBehavior`]).
+//!
+//! Three guarantees hold under every plan:
+//!
+//! 1. **No value leak**: every fault resolves through the existing
+//!    abort/refund/timeout lifecycle; `NetworkFunds` conservation is
+//!    re-verified at end of run (`RunStats::conservation_violations`).
+//! 2. **Determinism**: fault decisions are pure hashes of
+//!    `(plan salt, payment id, hop, retry, channel)` — never the engine
+//!    RNG — so cached ≡ uncached, calendar ≡ heap and sharded ≡ plain
+//!    stay bit-identical under attack, and an empty plan is
+//!    byte-identical to an honest run.
+//! 3. **Detection, not prevention**: a stalled-run watchdog plus a
+//!    drained-direction cycle check over the CSR graph fires
+//!    `RunStats::deadlocks_detected` when no lock or settle happened for
+//!    a whole price tick while a fully-drained channel cycle exists —
+//!    the deadlock symptom the honest-traffic counters
+//!    (`honest_generated` / `honest_completed`, `RunStats::honest_tsr`)
+//!    then quantify. Victims can opt into retry pacing via
+//!    [`EngineConfig::retry_backoff`](engine::EngineConfig::retry_backoff).
 //!
 //! # Example: Fig. 1's local deadlock, then Splicer avoiding it
 //!
@@ -71,6 +112,7 @@
 pub mod cache;
 pub mod channel;
 pub mod engine;
+pub mod fault;
 pub mod paths;
 pub mod prices;
 pub mod rate;
@@ -84,6 +126,7 @@ pub mod world;
 
 pub use cache::{PathCache, PathCacheStats};
 pub use engine::{Engine, EngineConfig, ShardedEngine};
+pub use fault::{FaultPlan, RogueBehavior, TuDropFilter};
 pub use scheme::{ComputeModel, RouteVia, SchemeConfig};
 pub use shard::Partition;
 pub use stats::RunStats;

@@ -52,6 +52,36 @@ pub struct RunStats {
     /// the mutation sequence, so this must be identical across
     /// cache/backend/worker configurations of the same run.
     pub graph_compactions: u64,
+    /// Adversarial fault interventions applied (channel drops, injected
+    /// delays, rogue-hub stalls/misorders; griefed locks are counted
+    /// separately). Semantic: fault decisions are pure hashes of the
+    /// plan salt and the forward's identity, identical across
+    /// cache/backend/shard configurations.
+    pub faults_injected: u64,
+    /// Hop locks acquired by griefer TUs and then stalled for the plan's
+    /// hold time (the lock-and-stall attack's footprint). Semantic.
+    pub griefed_locks: u64,
+    /// Deadlock-detector firings: price ticks at which no lock or settle
+    /// had happened for a whole interval while a fully-drained channel
+    /// cycle existed (edge-triggered — one firing per stall episode).
+    /// Only adversarial runs arm the detector. Semantic.
+    pub deadlocks_detected: u64,
+    /// Honest (non-adversary-originated) payments generated: everything
+    /// except griefer and circular-demand ring traffic. Equals
+    /// [`RunStats::generated`] on honest runs. Semantic.
+    pub honest_generated: u64,
+    /// Honest payments completed before their deadline. Semantic.
+    pub honest_completed: u64,
+    /// Largest extra fault-injected forwarding delay applied to any
+    /// honest TU, in microseconds (griefers stalling their *own* TUs are
+    /// excluded — this measures collateral damage). Semantic; merges as
+    /// a max like the wall clock.
+    pub max_stall_us: u64,
+    /// End-of-run value-conservation failures (0 = every channel's
+    /// spendable + locked still sums to its funding). Checked in release
+    /// builds too, so adversarial runs cannot silently leak value.
+    /// Semantic.
+    pub conservation_violations: u64,
     /// Path-cache counters (hits/misses/invalidations/evictions).
     /// Diagnostic only: the cache is semantics-preserving, so these are
     /// the *only* fields allowed to differ between a cached and an
@@ -111,6 +141,13 @@ impl PartialEq for RunStats {
             world_events_applied,
             tus_expired_by_close,
             graph_compactions,
+            faults_injected,
+            griefed_locks,
+            deadlocks_detected,
+            honest_generated,
+            honest_completed,
+            max_stall_us,
+            conservation_violations,
             path_cache,
             wall_secs: _,
         } = self;
@@ -129,6 +166,13 @@ impl PartialEq for RunStats {
             && *world_events_applied == other.world_events_applied
             && *tus_expired_by_close == other.tus_expired_by_close
             && *graph_compactions == other.graph_compactions
+            && *faults_injected == other.faults_injected
+            && *griefed_locks == other.griefed_locks
+            && *deadlocks_detected == other.deadlocks_detected
+            && *honest_generated == other.honest_generated
+            && *honest_completed == other.honest_completed
+            && *max_stall_us == other.max_stall_us
+            && *conservation_violations == other.conservation_violations
             && *path_cache == other.path_cache
     }
 }
@@ -164,10 +208,31 @@ impl RunStats {
         }
     }
 
-    /// Whether the bookkeeping is internally consistent.
+    /// Honest-traffic success ratio: honest completions over honest
+    /// generations — the number an adversarial sweep watches, since the
+    /// attacker's own traffic failing is not degradation. Equals
+    /// [`RunStats::tsr`] on honest runs.
+    pub fn honest_tsr(&self) -> f64 {
+        if self.honest_generated == 0 {
+            0.0
+        } else {
+            self.honest_completed as f64 / self.honest_generated as f64
+        }
+    }
+
+    /// Whether the bookkeeping is internally consistent. Adversarial
+    /// runs are held to the same bounds as honest ones — the honest
+    /// sub-counters must nest inside the totals and every griefed lock
+    /// must have been a counted lock message — so fault injection cannot
+    /// silently break value accounting.
     pub fn is_consistent(&self) -> bool {
         self.completed + self.failed <= self.generated
             && self.completed_value <= self.generated_value
+            && self.honest_generated <= self.generated
+            && self.honest_completed <= self.honest_generated
+            && self.honest_completed <= self.completed
+            && self.griefed_locks <= self.overhead_msgs
+            && self.conservation_violations == 0
     }
 
     /// Aggregates several runs' statistics into one: semantic counters
@@ -203,6 +268,13 @@ impl RunStats {
                 world_events_applied,
                 tus_expired_by_close,
                 graph_compactions,
+                faults_injected,
+                griefed_locks,
+                deadlocks_detected,
+                honest_generated,
+                honest_completed,
+                max_stall_us,
+                conservation_violations,
                 path_cache,
                 wall_secs,
             } = run;
@@ -221,6 +293,14 @@ impl RunStats {
             out.world_events_applied += world_events_applied;
             out.tus_expired_by_close += tus_expired_by_close;
             out.graph_compactions += graph_compactions;
+            out.faults_injected += faults_injected;
+            out.griefed_locks += griefed_locks;
+            out.deadlocks_detected += deadlocks_detected;
+            out.honest_generated += honest_generated;
+            out.honest_completed += honest_completed;
+            // The worst stall across the merged parts, like the wall clock.
+            out.max_stall_us = out.max_stall_us.max(*max_stall_us);
+            out.conservation_violations += conservation_violations;
             out.path_cache.absorb(path_cache);
             out.wall_secs = out.wall_secs.max(*wall_secs);
         }
@@ -244,7 +324,8 @@ impl core::fmt::Display for RunStats {
         write!(
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
-             drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp/{}gc pps={:.0}",
+             drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp/{}gc \
+             adv={}f/{}g/{}dl stall={}us honest={}/{} viol={} pps={:.0}",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -264,6 +345,13 @@ impl core::fmt::Display for RunStats {
             self.world_events_applied,
             self.tus_expired_by_close,
             self.graph_compactions,
+            self.faults_injected,
+            self.griefed_locks,
+            self.deadlocks_detected,
+            self.max_stall_us,
+            self.honest_completed,
+            self.honest_generated,
+            self.conservation_violations,
             self.payments_per_sec(),
         )
     }
@@ -346,6 +434,13 @@ mod tests {
             world_events_applied: 6,
             tus_expired_by_close: 2,
             graph_compactions: 1,
+            faults_injected: 3,
+            griefed_locks: 2,
+            deadlocks_detected: 1,
+            honest_generated: 9,
+            honest_completed: 6,
+            max_stall_us: 250,
+            conservation_violations: 1,
             path_cache: PathCacheStats {
                 hits: 9,
                 misses: 8,
@@ -381,6 +476,7 @@ mod tests {
         let mut b = sample_run();
         b.wall_secs = 0.5;
         b.latency.record(9.0);
+        b.max_stall_us = 90;
         let merged = RunStats::merge(&[a.clone(), b.clone()]);
         assert_eq!(merged.generated, a.generated + b.generated);
         assert_eq!(
@@ -401,6 +497,9 @@ mod tests {
         );
         assert_eq!(merged.wall_secs, 1.5, "wall clock is a max, not a sum");
         assert_eq!(merged.drained_directions_end, 4);
+        assert_eq!(merged.faults_injected, a.faults_injected * 2);
+        assert_eq!(merged.honest_generated, a.honest_generated * 2);
+        assert_eq!(merged.max_stall_us, 250, "worst stall is a max, not a sum");
     }
 
     #[test]

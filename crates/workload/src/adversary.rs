@@ -1,0 +1,462 @@
+//! The adversary DSL: pure-data descriptions of who attacks the run and
+//! how.
+//!
+//! An [`AdversarySpec`] rides inside `ScenarioParams` exactly like the
+//! timeline: it is compared, cloned and hashed into grid cells as plain
+//! data, and two identical specs always materialize identical attacks.
+//! Materialization ([`AdversarySpec::materialize`]) resolves the spec
+//! against the built world — which clients grief, which payments form
+//! the circular-demand ring — into the engine-facing
+//! [`pcn_routing::FaultPlan`], drawing only from the
+//! dedicated `"adversary"` RNG fork:
+//!
+//! * **Griefers** — a shuffled `fraction` of the clients turn griefer;
+//!   every payment they source acquires hop locks normally and then
+//!   stalls for `hold_ms`, pinning liquidity until the deadline →
+//!   abort → refund lifecycle reclaims it.
+//! * **Circular demand** — `ring_len` shuffled clients send value one
+//!   direction around a ring at `rate` payments/sec, the Fig. 1
+//!   deadlock mechanism scaled up. The ring payments are *appended to
+//!   the honest trace* (dense ids, merge-sorted by arrival) so they
+//!   route like any other payment; the attack is the demand pattern.
+//! * **Channel faults** and **rogue hubs** pass through as plan knobs —
+//!   their per-event decisions are pure hashes inside the engine.
+//!
+//! An empty spec draws no randomness and materializes the empty plan,
+//! which the engine refuses to install: honest runs stay byte-identical
+//! to a world without the fault layer.
+//!
+//! Build one through [`AdversaryBuilder`], usually via
+//! `ScenarioBuilder::adversary`:
+//!
+//! ```
+//! use pcn_workload::ScenarioBuilder;
+//!
+//! let spec = ScenarioBuilder::tiny()
+//!     .adversary(|a| {
+//!         a.griefers(0.1, 5_000)
+//!             .circular_demand(4, 2.0)
+//!             .drop(0.2, 0.5)
+//!     })
+//!     .expect_value_conserved()
+//!     .build();
+//! assert_eq!(spec.params.adversary.ring_len, 4);
+//! let world = spec.scenario();
+//! assert!(!world.faults.is_empty());
+//! ```
+
+use pcn_routing::fault::{FaultPlan, RogueBehavior};
+use pcn_routing::tu::Payment;
+use pcn_sim::SimRng;
+use pcn_types::{Amount, NodeId, SimDuration, SimTime, TxId};
+
+/// Pure-data adversary description; a field of `ScenarioParams`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdversarySpec {
+    /// Fraction of clients that turn griefer (0 = none, the default).
+    pub griefer_fraction: f64,
+    /// How long a griefed lock is held, in milliseconds (typically past
+    /// the transaction timeout).
+    pub griefer_hold_ms: u64,
+    /// Circular-demand ring length in clients (0 = no ring).
+    pub ring_len: usize,
+    /// Ring circulation rate in payments/sec around the whole ring.
+    pub ring_rate: f64,
+    /// Value of each ring payment, in tokens (0 = the scenario's mean
+    /// transaction value).
+    pub ring_value_tokens: f64,
+    /// Fraction of channels that drop-fault.
+    pub drop_channel_frac: f64,
+    /// Per-forward drop probability on a drop-faulty channel.
+    pub drop_prob: f64,
+    /// Fraction of channels that delay-fault.
+    pub delay_channel_frac: f64,
+    /// Maximum extra forwarding delay on a delay-faulty channel (ms).
+    pub delay_jitter_ms: u64,
+    /// Rogue hubs as `(rank, behavior)`; ranks resolve against each
+    /// scheme's hub set like `HubOutageSpec::hub_rank`.
+    pub rogue_hubs: Vec<(usize, RogueBehavior)>,
+}
+
+impl AdversarySpec {
+    /// Whether the spec describes no attack at all.
+    pub fn is_empty(&self) -> bool {
+        self.griefer_fraction <= 0.0
+            && (self.ring_len == 0 || self.ring_rate <= 0.0)
+            && (self.drop_channel_frac <= 0.0 || self.drop_prob <= 0.0)
+            && (self.delay_channel_frac <= 0.0 || self.delay_jitter_ms == 0)
+            && self.rogue_hubs.is_empty()
+    }
+
+    /// Resolves the spec against the built world into the engine's
+    /// [`FaultPlan`], appending the circular-demand ring payments to the
+    /// honest trace (dense ids continuing the honest numbering,
+    /// merge-sorted by arrival). Deterministic per `rng` seed; an empty
+    /// spec draws no randomness and leaves `payments` untouched.
+    pub fn materialize(
+        &self,
+        clients: &[NodeId],
+        payments: &mut Vec<Payment>,
+        duration: SimDuration,
+        mean_tx_tokens: f64,
+        timeout: SimDuration,
+        rng: &mut SimRng,
+    ) -> FaultPlan {
+        if self.is_empty() {
+            return FaultPlan::default();
+        }
+        let salt = rng.next_u64();
+        // Griefer clients: a shuffled prefix of the client list. Every
+        // payment the honest generator happened to source at one of them
+        // becomes a griefer payment.
+        let mut griefer_txs: Vec<TxId> = Vec::new();
+        if self.griefer_fraction > 0.0 {
+            let mut pool = clients.to_vec();
+            rng.shuffle(&mut pool);
+            let count = ((clients.len() as f64) * self.griefer_fraction).ceil() as usize;
+            let mut griefers = pool[..count.min(pool.len())].to_vec();
+            griefers.sort_unstable();
+            griefer_txs = payments
+                .iter()
+                .filter(|p| griefers.binary_search(&p.source).is_ok())
+                .map(|p| p.id)
+                .collect();
+            griefer_txs.sort_unstable();
+        }
+        // The circular-demand ring: extra payments circling ring_len
+        // shuffled clients one direction at a uniform cadence.
+        let mut ring_txs: Vec<TxId> = Vec::new();
+        if self.ring_len >= 2 && self.ring_rate > 0.0 {
+            let mut pool = clients.to_vec();
+            rng.shuffle(&mut pool);
+            let ring: Vec<NodeId> = pool.into_iter().take(self.ring_len).collect();
+            assert!(
+                ring.len() >= 2,
+                "circular demand needs at least two clients"
+            );
+            let tokens = if self.ring_value_tokens > 0.0 {
+                self.ring_value_tokens
+            } else {
+                mean_tx_tokens
+            };
+            let value = Amount::from_tokens_f64(tokens);
+            let gap = SimDuration::from_secs_f64(1.0 / self.ring_rate);
+            let end = SimTime::ZERO + duration;
+            let mut next_id = payments.len() as u64;
+            let mut now = SimTime::ZERO + gap;
+            let mut k = 0usize;
+            while now <= end {
+                let source = ring[k % ring.len()];
+                let dest = ring[(k + 1) % ring.len()];
+                ring_txs.push(TxId::new(next_id));
+                payments.push(Payment {
+                    id: TxId::new(next_id),
+                    source,
+                    dest,
+                    value,
+                    created: now,
+                    deadline: now + timeout,
+                });
+                next_id += 1;
+                k += 1;
+                now += gap;
+            }
+            // Merge the ring into arrival order; the stable sort keeps
+            // same-instant honest payments ahead of ring traffic.
+            payments.sort_by_key(|p| p.created);
+        }
+        FaultPlan {
+            salt,
+            griefer_txs,
+            griefer_hold: SimDuration::from_millis(self.griefer_hold_ms),
+            ring_txs,
+            drop_channel_frac: self.drop_channel_frac,
+            drop_prob: self.drop_prob,
+            delay_channel_frac: self.delay_channel_frac,
+            delay_jitter: SimDuration::from_millis(self.delay_jitter_ms),
+            rogue_hubs: self.rogue_hubs.clone(),
+        }
+    }
+}
+
+/// Chainable builder over [`AdversarySpec`]; see the module example.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryBuilder {
+    spec: AdversarySpec,
+}
+
+impl AdversaryBuilder {
+    /// Starts from an existing spec (what `ScenarioBuilder::adversary`
+    /// passes in, so repeated calls accumulate).
+    pub fn from_spec(spec: AdversarySpec) -> AdversaryBuilder {
+        AdversaryBuilder { spec }
+    }
+
+    /// A `fraction` of the clients turn griefer: their payments acquire
+    /// hop locks normally, then stall for `hold_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is not within `[0, 1]`.
+    pub fn griefers(mut self, fraction: f64, hold_ms: u64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "griefer fraction must be in [0, 1]"
+        );
+        self.spec.griefer_fraction = fraction;
+        self.spec.griefer_hold_ms = hold_ms;
+        self
+    }
+
+    /// `ring_len` clients circulate value one direction at `rate`
+    /// payments/sec — the deadlock probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ring_len` is 1 or `rate` is negative or not finite.
+    pub fn circular_demand(mut self, ring_len: usize, rate: f64) -> Self {
+        assert!(ring_len != 1, "a ring of one client cannot circulate");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "ring rate must be non-negative"
+        );
+        self.spec.ring_len = ring_len;
+        self.spec.ring_rate = rate;
+        self
+    }
+
+    /// Overrides the per-payment ring value (defaults to the scenario's
+    /// mean transaction value).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens` is negative or not finite.
+    pub fn ring_value(mut self, tokens: f64) -> Self {
+        assert!(
+            tokens.is_finite() && tokens >= 0.0,
+            "ring value must be non-negative"
+        );
+        self.spec.ring_value_tokens = tokens;
+        self
+    }
+
+    /// A hash-selected `channel_frac` of the channels drops each forward
+    /// with probability `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either argument is not within `[0, 1]`.
+    pub fn drop(mut self, channel_frac: f64, prob: f64) -> Self {
+        assert!(
+            channel_frac.is_finite() && (0.0..=1.0).contains(&channel_frac),
+            "drop channel fraction must be in [0, 1]"
+        );
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "drop probability must be in [0, 1]"
+        );
+        self.spec.drop_channel_frac = channel_frac;
+        self.spec.drop_prob = prob;
+        self
+    }
+
+    /// A hash-selected `channel_frac` of the channels delays each
+    /// forward by a hash fraction of `jitter_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel_frac` is not within `[0, 1]`.
+    pub fn delay(mut self, channel_frac: f64, jitter_ms: u64) -> Self {
+        assert!(
+            channel_frac.is_finite() && (0.0..=1.0).contains(&channel_frac),
+            "delay channel fraction must be in [0, 1]"
+        );
+        self.spec.delay_channel_frac = channel_frac;
+        self.spec.delay_jitter_ms = jitter_ms;
+        self
+    }
+
+    /// The `rank`-th hub of each scheme's hub set goes rogue with the
+    /// given behavior (flat schemes have no hubs and ignore this).
+    pub fn rogue_hub(mut self, rank: usize, behavior: RogueBehavior) -> Self {
+        self.spec.rogue_hubs.push((rank, behavior));
+        self
+    }
+
+    /// Finishes the chain into the pure-data spec.
+    pub fn build(self) -> AdversarySpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clients(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn honest_trace(n: u64) -> Vec<Payment> {
+        (0..n)
+            .map(|i| {
+                let created = SimTime::ZERO + SimDuration::from_millis(100 * i);
+                Payment {
+                    id: TxId::new(i),
+                    source: NodeId::new((i % 8) as u32),
+                    dest: NodeId::new(((i + 1) % 8) as u32),
+                    value: Amount::from_tokens(5),
+                    created,
+                    deadline: created + SimDuration::from_secs(3),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_spec_materializes_nothing_and_draws_no_randomness() {
+        let spec = AdversarySpec::default();
+        assert!(spec.is_empty());
+        let mut payments = honest_trace(10);
+        let before = payments.clone();
+        let mut rng = SimRng::seed(1);
+        let plan = spec.materialize(
+            &clients(8),
+            &mut payments,
+            SimDuration::from_secs(10),
+            8.0,
+            SimDuration::from_secs(3),
+            &mut rng,
+        );
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+        assert_eq!(payments, before, "empty specs must not touch the trace");
+        assert_eq!(
+            rng.next_u64(),
+            SimRng::seed(1).next_u64(),
+            "materializing an empty adversary must not consume randomness"
+        );
+    }
+
+    #[test]
+    fn griefers_claim_a_proportional_slice_of_the_trace() {
+        let spec = AdversaryBuilder::default().griefers(0.25, 5_000).build();
+        let mut payments = honest_trace(64);
+        let plan = spec.materialize(
+            &clients(8),
+            &mut payments,
+            SimDuration::from_secs(10),
+            8.0,
+            SimDuration::from_secs(3),
+            &mut SimRng::seed(2),
+        );
+        // 8 clients at 0.25 → 2 griefers; the round-robin trace sources
+        // each client equally, so a quarter of the payments grief.
+        assert_eq!(plan.griefer_txs.len(), 64 / 4);
+        assert_eq!(plan.griefer_hold, SimDuration::from_secs(5));
+        assert!(plan.griefer_txs.windows(2).all(|w| w[0] < w[1]));
+        assert!(plan.ring_txs.is_empty());
+        assert_eq!(payments.len(), 64, "griefing adds no payments");
+    }
+
+    #[test]
+    fn circular_demand_appends_a_dense_sorted_ring() {
+        let spec = AdversaryBuilder::default().circular_demand(4, 2.0).build();
+        let mut payments = honest_trace(20);
+        let plan = spec.materialize(
+            &clients(8),
+            &mut payments,
+            SimDuration::from_secs(10),
+            8.0,
+            SimDuration::from_secs(3),
+            &mut SimRng::seed(3),
+        );
+        // 2/sec over 10 s → 20 ring payments with ids 20..40.
+        assert_eq!(plan.ring_txs.len(), 20);
+        assert_eq!(payments.len(), 40);
+        assert!(plan.ring_txs.iter().all(|tx| tx.index() >= 20));
+        // Dense ids and sorted arrivals — the engine's preconditions.
+        assert!(payments.iter().all(|p| p.id.index() < payments.len()));
+        assert!(payments.windows(2).all(|w| w[0].created <= w[1].created));
+        // The ring circulates one direction: every ring client sends to
+        // exactly one successor.
+        let mut next: std::collections::BTreeMap<NodeId, NodeId> = Default::default();
+        for p in payments.iter().filter(|p| plan.is_ring(p.id)) {
+            let prior = next.insert(p.source, p.dest);
+            assert!(
+                prior.is_none_or(|d| d == p.dest),
+                "one successor per client"
+            );
+        }
+        assert_eq!(next.len(), 4, "all four ring clients send");
+    }
+
+    #[test]
+    fn materialization_is_deterministic_per_seed() {
+        let spec = AdversaryBuilder::default()
+            .griefers(0.3, 4_000)
+            .circular_demand(3, 1.0)
+            .drop(0.2, 0.5)
+            .delay(0.2, 80)
+            .rogue_hub(0, RogueBehavior::Stall)
+            .build();
+        let run = |seed: u64| {
+            let mut payments = honest_trace(32);
+            let plan = spec.materialize(
+                &clients(12),
+                &mut payments,
+                SimDuration::from_secs(8),
+                8.0,
+                SimDuration::from_secs(3),
+                &mut SimRng::seed(seed),
+            );
+            (plan, payments)
+        };
+        assert_eq!(run(7), run(7));
+        let (a, _) = run(7);
+        let (b, _) = run(8);
+        assert_ne!(a, b, "distinct seeds must pick distinct victims");
+    }
+
+    #[test]
+    fn spec_knobs_reach_the_plan() {
+        let spec = AdversaryBuilder::default()
+            .drop(0.2, 0.5)
+            .delay(0.3, 120)
+            .rogue_hub(1, RogueBehavior::Misorder)
+            .build();
+        let mut payments = honest_trace(4);
+        let plan = spec.materialize(
+            &clients(4),
+            &mut payments,
+            SimDuration::from_secs(1),
+            8.0,
+            SimDuration::from_secs(3),
+            &mut SimRng::seed(4),
+        );
+        assert_eq!(plan.drop_channel_frac, 0.2);
+        assert_eq!(plan.drop_prob, 0.5);
+        assert_eq!(plan.delay_channel_frac, 0.3);
+        assert_eq!(plan.delay_jitter, SimDuration::from_millis(120));
+        assert_eq!(plan.rogue_hubs, vec![(1, RogueBehavior::Misorder)]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "griefer fraction")]
+    fn out_of_range_griefer_fraction_rejected() {
+        let _ = AdversaryBuilder::default().griefers(1.5, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring of one")]
+    fn single_client_ring_rejected() {
+        let _ = AdversaryBuilder::default().circular_demand(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn out_of_range_drop_probability_rejected() {
+        let _ = AdversaryBuilder::default().drop(0.5, 2.0);
+    }
+}

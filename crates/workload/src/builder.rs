@@ -77,10 +77,21 @@ impl SchemeChoice {
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Expectations {
     /// No channel direction may end the run fully drained (the paper's
-    /// deadlock symptom, Fig. 1).
+    /// deadlock symptom, Fig. 1), and the engine's stalled-cycle
+    /// detector must never fire.
     pub no_deadlock: bool,
     /// Minimum transaction success ratio, if any.
     pub min_tsr: Option<f64>,
+    /// Value conservation must hold at end of run (the engine's release
+    /// check, `RunStats::conservation_violations == 0`) — the
+    /// graceful-degradation floor under any adversary.
+    pub value_conserved: bool,
+    /// Minimum success ratio over *honest* traffic only (adversarial
+    /// griefer/ring payments excluded), if any.
+    pub honest_min_tsr: Option<f64>,
+    /// Maximum adversarial stall injected into any honest TU's forward,
+    /// in milliseconds, if bounded.
+    pub bounded_stall_ms: Option<u64>,
 }
 
 /// A complete experiment description: world + scheme + expectations.
@@ -260,6 +271,35 @@ impl ScenarioBuilder {
         self.timeline(|t| t.churn(per_sec))
     }
 
+    /// Edits the adversary through an
+    /// [`AdversaryBuilder`](crate::adversary::AdversaryBuilder) chain
+    /// (repeated calls accumulate onto the same spec):
+    ///
+    /// ```
+    /// use pcn_workload::ScenarioBuilder;
+    ///
+    /// let spec = ScenarioBuilder::tiny()
+    ///     .adversary(|a| a.griefers(0.1, 5_000).circular_demand(4, 2.0))
+    ///     .build();
+    /// assert_eq!(spec.params.adversary.griefer_fraction, 0.1);
+    /// ```
+    pub fn adversary<F>(mut self, edit: F) -> Self
+    where
+        F: FnOnce(crate::adversary::AdversaryBuilder) -> crate::adversary::AdversaryBuilder,
+    {
+        let current = std::mem::take(&mut self.params.adversary);
+        self.params.adversary =
+            edit(crate::adversary::AdversaryBuilder::from_spec(current)).build();
+        self
+    }
+
+    /// Griefer attack: `fraction` of clients lock-and-stall for
+    /// `hold_ms` (the grid's adversary-sweep knob; shorthand for
+    /// `adversary(|a| a.griefers(fraction, hold_ms))`).
+    pub fn griefers(self, fraction: f64, hold_ms: u64) -> Self {
+        self.adversary(|a| a.griefers(fraction, hold_ms))
+    }
+
     /// Engine shard count: `k > 1` runs the payment trace on `k`
     /// partitioned event loops ([`pcn_routing::ShardedEngine`]) whose
     /// merged result is bit-identical to the single engine — a pure
@@ -298,6 +338,27 @@ impl ScenarioBuilder {
     /// Expect a minimum transaction success ratio.
     pub fn expect_min_tsr(mut self, tsr: f64) -> Self {
         self.expect.min_tsr = Some(tsr);
+        self
+    }
+
+    /// Expect value conservation to hold at end of run — the
+    /// graceful-degradation floor no adversary may break.
+    pub fn expect_value_conserved(mut self) -> Self {
+        self.expect.value_conserved = true;
+        self
+    }
+
+    /// Expect a minimum success ratio over honest traffic only
+    /// (adversarial griefer/ring payments excluded from the ratio).
+    pub fn expect_honest_min_tsr(mut self, tsr: f64) -> Self {
+        self.expect.honest_min_tsr = Some(tsr);
+        self
+    }
+
+    /// Expect no honest TU to be stalled by the adversary for more than
+    /// `ms` milliseconds on any single forward.
+    pub fn expect_bounded_stall(mut self, ms: u64) -> Self {
+        self.expect.bounded_stall_ms = Some(ms);
         self
     }
 
@@ -416,6 +477,13 @@ mod tests {
             .churn(0.25)
             .rebalance(5.0)
             .build();
+        input.adversary = crate::adversary::AdversaryBuilder::default()
+            .griefers(0.2, 6_000)
+            .circular_demand(5, 1.5)
+            .drop(0.1, 0.3)
+            .delay(0.2, 90)
+            .rogue_hub(0, crate::RogueBehavior::Stall)
+            .build();
         input.shards = 4;
         input.seed = 4242;
 
@@ -431,6 +499,7 @@ mod tests {
             hotspot_fraction,
             hotspot_skew,
             timeline,
+            adversary,
             shards,
             seed,
         } = ScenarioBuilder::from_params(input.clone()).build().params;
@@ -445,8 +514,30 @@ mod tests {
         assert_eq!(hotspot_fraction, input.hotspot_fraction);
         assert_eq!(hotspot_skew, input.hotspot_skew);
         assert_eq!(timeline, input.timeline);
+        assert_eq!(adversary, input.adversary);
         assert_eq!(shards, input.shards);
         assert_eq!(seed, input.seed);
+    }
+
+    #[test]
+    fn adversary_chains_accumulate_and_flow_into_the_scenario() {
+        let spec = ScenarioBuilder::tiny()
+            .adversary(|a| a.griefers(0.25, 4_000))
+            .adversary(|a| a.circular_demand(4, 1.0))
+            .expect_value_conserved()
+            .expect_honest_min_tsr(0.5)
+            .expect_bounded_stall(500)
+            .build();
+        assert_eq!(spec.params.adversary.griefer_fraction, 0.25);
+        assert_eq!(spec.params.adversary.ring_len, 4);
+        assert!(spec.expect.value_conserved);
+        assert_eq!(spec.expect.honest_min_tsr, Some(0.5));
+        assert_eq!(spec.expect.bounded_stall_ms, Some(500));
+        let world = spec.scenario();
+        assert!(!world.faults.is_empty());
+        assert!(!world.faults.ring_txs.is_empty());
+        // An adversary-free builder still materializes an honest world.
+        assert!(ScenarioBuilder::tiny().build_scenario().faults.is_empty());
     }
 
     #[test]

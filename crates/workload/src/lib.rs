@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod builder;
 pub mod funds;
 pub mod scenario;
@@ -44,8 +45,10 @@ pub mod timeline;
 pub mod topology;
 pub mod transactions;
 
+pub use adversary::{AdversaryBuilder, AdversarySpec};
 pub use builder::{Expectations, ScenarioBuilder, ScenarioSpec, SchemeChoice};
 pub use funds::ChannelFunds;
+pub use pcn_routing::fault::RogueBehavior;
 pub use scenario::{Scenario, ScenarioParams};
 pub use timeline::{HubOutageSpec, TimelineBuilder, TimelineSpec};
 pub use topology::PcnTopology;

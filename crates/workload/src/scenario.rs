@@ -1,10 +1,12 @@
 //! Scenario presets: the paper's two evaluation scales.
 
+use pcn_routing::fault::FaultPlan;
 use pcn_routing::tu::Payment;
 use pcn_routing::world::WorldEvent;
 use pcn_sim::SimRng;
 use pcn_types::{NodeId, SimDuration};
 
+use crate::adversary::AdversarySpec;
 use crate::funds::ChannelFunds;
 use crate::timeline::TimelineSpec;
 use crate::topology::PcnTopology;
@@ -39,6 +41,9 @@ pub struct ScenarioParams {
     /// Dynamic-world timeline (rate shifts, hub outages, channel churn,
     /// rebalances); empty = the classic static world.
     pub timeline: TimelineSpec,
+    /// Adversarial fault spec (griefers, circular demand, channel
+    /// faults, rogue hubs); empty = every agent honest, the default.
+    pub adversary: AdversarySpec,
     /// Engine shard count: 1 (the default) runs the plain single engine,
     /// `k > 1` runs `k` partitioned event loops merged deterministically
     /// ([`pcn_routing::ShardedEngine`]) — bit-identical results either
@@ -63,6 +68,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            adversary: AdversarySpec::default(),
             shards: 1,
             seed: 1,
         }
@@ -82,6 +88,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            adversary: AdversarySpec::default(),
             shards: 1,
             seed: 1,
         }
@@ -101,6 +108,7 @@ impl ScenarioParams {
             hotspot_fraction: 0.0,
             hotspot_skew: 1.2,
             timeline: TimelineSpec::default(),
+            adversary: AdversarySpec::default(),
             shards: 1,
             seed: 1,
         }
@@ -129,6 +137,11 @@ pub struct Scenario {
     /// same event list — the engine resolves selectors against its own
     /// topology view.
     pub timeline: Vec<WorldEvent>,
+    /// Materialized fault plan (empty for honest scenarios). Like the
+    /// timeline, every scheme of this scenario installs the same plan —
+    /// per-scheme resolution (rogue-hub ranks) happens inside the
+    /// engine.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -165,13 +178,24 @@ impl Scenario {
         // Rate shifts phase the arrival gaps; the trace embeds them so
         // every scheme replays identical phased traffic.
         workload.rate_phases = params.timeline.rate_shifts.clone();
-        let payments = workload.generate(params.duration, &mut rng.fork("workload"));
+        let mut payments = workload.generate(params.duration, &mut rng.fork("workload"));
         // The timeline draws from its own fork: a churnless spec leaves
         // every other stream — and therefore the whole trace — untouched.
         let timeline =
             params
                 .timeline
                 .materialize(params.duration, &sampler, &mut rng.fork("timeline"));
+        // Likewise the adversary: an empty spec draws nothing, appends
+        // nothing, and materializes the empty plan the engine refuses to
+        // install — honest scenarios stay byte-identical.
+        let faults = params.adversary.materialize(
+            &clients,
+            &mut payments,
+            params.duration,
+            params.mean_tx_tokens,
+            workload.timeout,
+            &mut rng.fork("adversary"),
+        );
         Scenario {
             params,
             flat,
@@ -180,6 +204,7 @@ impl Scenario {
             payments,
             sampler,
             timeline,
+            faults,
         }
     }
 
@@ -236,6 +261,44 @@ mod tests {
         assert_eq!(a.payments.len(), b.payments.len());
         assert_eq!(a.generated_value(), b.generated_value());
         assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn adversarial_scenario_extends_the_honest_trace_without_perturbing_it() {
+        let honest = Scenario::build(ScenarioParams::tiny());
+        assert!(honest.faults.is_empty());
+        let mut params = ScenarioParams::tiny();
+        params.adversary = crate::adversary::AdversaryBuilder::default()
+            .griefers(0.1, 5_000)
+            .circular_demand(4, 1.0)
+            .build();
+        let adv = Scenario::build(params);
+        assert!(!adv.faults.is_empty());
+        assert!(!adv.faults.griefer_txs.is_empty());
+        assert!(!adv.faults.ring_txs.is_empty());
+        // The adversary draws only from its own fork and appends ids past
+        // the honest numbering: the honest sub-trace is byte-identical.
+        let honest_in_adv: Vec<_> = adv
+            .payments
+            .iter()
+            .filter(|p| p.id.index() < honest.payments.len())
+            .cloned()
+            .collect();
+        assert_eq!(honest_in_adv, honest.payments);
+        // The merged trace keeps the engine's preconditions.
+        assert!(adv
+            .payments
+            .windows(2)
+            .all(|w| w[0].created <= w[1].created));
+        assert!(adv
+            .payments
+            .iter()
+            .all(|p| p.id.index() < adv.payments.len()));
+        // Ring endpoints are clients, like everything else.
+        for p in adv.payments.iter().filter(|p| adv.faults.is_ring(p.id)) {
+            assert!(adv.clients.contains(&p.source));
+            assert!(adv.clients.contains(&p.dest));
+        }
     }
 
     #[test]

@@ -504,6 +504,122 @@ fn sharded_run_is_semantics_preserving() {
     }
 }
 
+/// An adversarial world mixing every fault ingredient: griefers holding
+/// locks past the TU timeout, a circular-demand ring, probabilistic
+/// channel drops, delay jitter, and a stalling rogue hub — over the 10 s
+/// tiny world.
+fn adversarial_spec(scheme: SchemeChoice) -> pcn_workload::ScenarioSpec {
+    ScenarioBuilder::tiny()
+        .adversary(|a| {
+            a.griefers(0.15, 4_000)
+                .circular_demand(4, 1.5)
+                .drop(0.15, 0.4)
+                .delay(0.2, 30)
+                .rogue_hub(0, pcn_workload::RogueBehavior::Stall)
+        })
+        .scheme(scheme)
+        .seed(41)
+        .build()
+}
+
+#[test]
+fn adversarial_world_is_semantics_preserving() {
+    // The determinism contract does not relax under attack: for all six
+    // schemes, under the full fault mix, (a) the fault layer actually
+    // fired (the test would be vacuous otherwise), (b) cached ≡ uncached
+    // modulo the diagnostic cache counters, (c) the calendar queue ≡ the
+    // reference heap bit-for-bit, and (d) K ∈ {1, 2, 4} sharded runs
+    // match the plain engine — fault decisions are pure hashes of
+    // replicated state, never of scheduling.
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = adversarial_spec(scheme);
+        let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        let cached = with(RunTuning {
+            path_cache: Some(true),
+            ..RunTuning::default()
+        });
+        assert!(
+            cached.report.stats.faults_injected > 0,
+            "{}: the fault mix must fire",
+            scheme.name()
+        );
+        assert!(
+            cached.report.stats.griefed_locks > 0,
+            "{}: griefers must show up in the stats",
+            scheme.name()
+        );
+        let uncached = with(RunTuning {
+            path_cache: Some(false),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            cached.report.stats.without_cache_counters(),
+            uncached.report.stats.without_cache_counters(),
+            "{}: cached run diverged from uncached run under attack",
+            scheme.name()
+        );
+        let heap = with(RunTuning {
+            calendar_queue: Some(false),
+            ..RunTuning::default()
+        });
+        let calendar = with(RunTuning {
+            calendar_queue: Some(true),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            calendar.report.stats,
+            heap.report.stats,
+            "{}: event-queue backends diverged under attack",
+            scheme.name()
+        );
+        for k in [1u32, 2, 4] {
+            let sharded = with(RunTuning {
+                path_cache: Some(false),
+                shards: Some(k),
+                ..RunTuning::default()
+            });
+            assert_eq!(
+                uncached.report.stats,
+                sharded.report.stats,
+                "{}: K={k} sharded adversarial run is not bit-identical \
+                 to the plain engine",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_adversary_spec_is_byte_identical_to_the_honest_run() {
+    // `Engine::with_faults(FaultPlan::default())` installs nothing and
+    // an empty `AdversarySpec` draws zero randomness, so chaining an
+    // empty adversary must reproduce the honest run bit for bit —
+    // every diagnostic counter included.
+    for scheme in [SchemeChoice::Splicer, SchemeChoice::Spider] {
+        let honest = run_spec(&tiny_spec(scheme));
+        let empty_adv = run_spec(
+            &ScenarioBuilder::tiny()
+                .adversary(|a| a)
+                .scheme(scheme)
+                .seed(11)
+                .build(),
+        );
+        assert_eq!(
+            honest.report.stats,
+            empty_adv.report.stats,
+            "{}: an empty adversary spec perturbed the honest run",
+            scheme.name()
+        );
+    }
+}
+
 #[test]
 fn per_variant_seed_policy_is_reproducible() {
     let grid = ExperimentGrid::new(ScenarioParams::tiny())

@@ -42,6 +42,154 @@ fn overload_fails_transactions_but_not_invariants() {
 }
 
 #[test]
+fn fault_plan_drives_the_payment_workflow() {
+    // Satellite of the fault layer: the same `FaultPlan` the routing
+    // engine consumes plugs into `PaymentWorkflow::execute` through the
+    // `TuDropFilter` trait — one source of truth for drop decisions.
+    use pcn_routing::FaultPlan;
+    let demand = Demand {
+        sender: NodeId::new(1),
+        recipient: NodeId::new(2),
+        value: Amount::from_tokens(12),
+    };
+    let mut wf = PaymentWorkflow::new(5, 3, 7);
+    // An empty plan drops nothing: θ completes.
+    let t = wf.execute(demand, &FaultPlan::default()).unwrap();
+    assert!(t.theta, "the empty plan must not drop TUs");
+    // A certain-drop plan kills every TU: θ stays false, no panic, and
+    // the transcript still accounts for every TU (withdrawn, not lost).
+    let lossy = FaultPlan {
+        drop_prob: 1.0,
+        ..FaultPlan::default()
+    };
+    let t = wf.execute(demand, &lossy).unwrap();
+    assert!(!t.theta, "p=1 drops must block completion");
+    assert_eq!(t.tuids.len(), 3);
+    // Closures keep working unchanged through the blanket impl.
+    let t = wf.execute(demand, |idx: usize| idx == 0).unwrap();
+    assert!(!t.theta);
+}
+
+#[test]
+fn griefing_degrades_gracefully_across_all_schemes() {
+    // 10% of the clients grief: their TUs lock hops and hold them past
+    // the 3 s TU timeout. For every scheme the run must degrade
+    // gracefully — value conserved, stats consistent, griefed locks
+    // visible, and honest traffic strictly better off than the
+    // griefers' own (never-completing) payments.
+    for scheme in [
+        pcn_workload::SchemeChoice::Splicer,
+        pcn_workload::SchemeChoice::Spider,
+        pcn_workload::SchemeChoice::Flash,
+        pcn_workload::SchemeChoice::Landmark,
+        pcn_workload::SchemeChoice::A2L,
+        pcn_workload::SchemeChoice::ShortestPath,
+    ] {
+        let spec = ScenarioBuilder::tiny()
+            .griefers(0.1, 5_000)
+            .expect_value_conserved()
+            .scheme(scheme)
+            .seed(13)
+            .build();
+        let outcome = run_spec(&spec);
+        let s = &outcome.report.stats;
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            outcome.report.scheme,
+            outcome.violations
+        );
+        assert!(
+            s.is_consistent(),
+            "{} stats inconsistent",
+            outcome.report.scheme
+        );
+        assert!(
+            s.griefed_locks > 0 && s.faults_injected > 0,
+            "{}: griefers must show up in the stats",
+            outcome.report.scheme
+        );
+        assert!(
+            s.honest_generated < s.generated,
+            "{}: griefer payments must be excluded from the honest count",
+            outcome.report.scheme
+        );
+        assert!(
+            s.honest_tsr() >= s.tsr(),
+            "{}: griefer payments never complete, so honest TSR ≥ overall",
+            outcome.report.scheme
+        );
+    }
+}
+
+#[test]
+fn circular_demand_wedges_flat_baselines_but_not_splicer() {
+    // The committed head-to-head scenario (see
+    // `examples/adversarial_deadlock.rs`): a 12-client ring circulating
+    // 1-token payments at 60/s over thin channels. The flat baselines
+    // grind directional balances below one Min-TU until a stalled
+    // drained-direction cycle forms — the detector must fire for
+    // ShortestPath and Landmark. Splicer's hub topology cancels the
+    // circulation hop-locally and must pass `expect_no_deadlock()`.
+    // Every scheme must still degrade gracefully: value conserved and
+    // honest traffic completing.
+    let attacked = |scheme| {
+        let builder = ScenarioBuilder::tiny()
+            .channel_scale(0.2)
+            .arrivals_per_sec(3.0)
+            .duration_secs(15)
+            .adversary(|a| a.circular_demand(12, 60.0).ring_value(1.0))
+            .expect_value_conserved()
+            .seed(3);
+        let builder = if scheme == pcn_workload::SchemeChoice::Splicer {
+            builder.expect_no_deadlock()
+        } else {
+            builder
+        };
+        builder.scheme(scheme).build()
+    };
+    let splicer = run_spec(&attacked(pcn_workload::SchemeChoice::Splicer));
+    assert!(splicer.passed(), "Splicer: {:?}", splicer.violations);
+    assert_eq!(
+        splicer.report.stats.deadlocks_detected, 0,
+        "Splicer must stay deadlock-free under the ring"
+    );
+    assert!(
+        splicer.report.stats.honest_tsr() > 0.5,
+        "Splicer honest traffic must keep completing, got {:.3}",
+        splicer.report.stats.honest_tsr()
+    );
+    let mut wedged = 0u32;
+    for scheme in [
+        pcn_workload::SchemeChoice::ShortestPath,
+        pcn_workload::SchemeChoice::Landmark,
+    ] {
+        let outcome = run_spec(&attacked(scheme));
+        let s = &outcome.report.stats;
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            outcome.report.scheme,
+            outcome.violations
+        );
+        assert!(
+            s.is_consistent(),
+            "{} stats inconsistent",
+            outcome.report.scheme
+        );
+        assert!(
+            s.honest_tsr() > 0.1,
+            "{}: even wedged, honest traffic must trickle (graceful \
+             degradation), got {:.3}",
+            outcome.report.scheme,
+            s.honest_tsr()
+        );
+        wedged += u32::from(s.deadlocks_detected > 0);
+    }
+    assert!(wedged > 0, "the ring must wedge at least one flat baseline");
+}
+
+#[test]
 fn tampered_envelope_is_rejected() {
     use pcn_crypto::{envelope::Envelope, keys::KeyPair, rng64::SplitMix64};
     let kp = KeyPair::from_seed(11);
