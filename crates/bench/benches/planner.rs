@@ -1,0 +1,261 @@
+//! Goal-directed planning on the 100k-node large-world topology.
+//!
+//! An interleaved same-build A/B over WS(100 000, 16) — the world
+//! `tests/large_world.rs` pins for scaling — comparing the plain
+//! planner against the goal-directed one (`use_goal_directed`):
+//!
+//! * `plan_p2p_plain` / `plan_p2p_goal_directed` — warm point-to-point
+//!   EDS plan selection (`select_paths_in`, k = 4, capacity view), the
+//!   shape Direct-routing schemes run per payment. Goal-directed runs
+//!   the bidirectional + ALT landmark search inside every Dijkstra.
+//! * `hub_legs_per_pair` / `hub_legs_batched_trees` — the Landmark
+//!   scheme's hub-leg planning: 2·k single-pair searches versus one
+//!   source tree plus one destination tree with per-landmark readoffs
+//!   (`shortest_path_two_trees_in`).
+//!
+//! Both regimes alternate pair by pair inside one process and one
+//! build, so frequency drift and cache warmth cancel. The acceptance
+//! bars assert in every run, `--quick` CI smoke included:
+//!
+//! * goal-directed warm plan latency ≥ 1.5× faster than plain;
+//! * goal-directed settles ≤ half the plain search's settled nodes;
+//! * batched hub-leg trees ≥ 1.5× faster than the per-pair baseline.
+//!
+//! The committed `BENCH_planner.json` baseline records the measured
+//! numbers (full, non-quick run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcn_graph::{shortest_path_two_trees_in, Path, SearchWorkspace};
+use pcn_routing::channel::NetworkFunds;
+use pcn_routing::paths::{select_paths_in, BalanceView, PathSelect};
+use pcn_types::{Amount, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const NODES: usize = 100_000;
+const DEGREE: usize = 16;
+const K: usize = 4;
+const NUM_LANDMARKS: usize = 8;
+const PAIRS: usize = 12;
+const AB_ROUNDS: usize = 3;
+
+fn world() -> (pcn_graph::Graph, NetworkFunds, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = pcn_graph::watts_strogatz(NODES, DEGREE, 0.3, &mut rng);
+    let funds = NetworkFunds::uniform(&g, Amount::from_tokens(100));
+    // Deterministic scattered pairs: strided indices, no RNG reuse.
+    let pairs = (0..PAIRS)
+        .map(|i| {
+            (
+                NodeId::from_index((i * 8_191 + 17) % NODES),
+                NodeId::from_index((i * 15_773 + NODES / 2) % NODES),
+            )
+        })
+        .collect();
+    (g, funds, pairs)
+}
+
+/// One warm EDS plan selection; returns (nanos, settled nodes).
+fn plan_once(
+    g: &pcn_graph::Graph,
+    ws: &mut SearchWorkspace,
+    funds: &NetworkFunds,
+    src: NodeId,
+    dst: NodeId,
+    accel: bool,
+) -> (u128, u64) {
+    let settled0 = ws.nodes_settled();
+    let t0 = Instant::now();
+    black_box(select_paths_in(
+        g,
+        ws,
+        funds,
+        src,
+        dst,
+        K,
+        PathSelect::Eds,
+        BalanceView::CapacityOnly,
+        Amount::from_tokens(1),
+        accel,
+    ));
+    (t0.elapsed().as_nanos(), ws.nodes_settled() - settled0)
+}
+
+/// The Landmark scheme's per-pair hub-leg baseline: 2·k single-pair
+/// searches (source → landmark, and the canonical dest → landmark leg,
+/// reversed — exactly what `plan_paths` runs with the toggle off).
+fn hub_legs_per_pair(
+    g: &pcn_graph::Graph,
+    ws: &mut SearchWorkspace,
+    funds: &NetworkFunds,
+    landmarks: &[NodeId],
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<(Option<Path>, Option<Path>)> {
+    let cost = |e: pcn_graph::EdgeRef| (funds.total(e.id) > Amount::ZERO).then_some(1.0);
+    landmarks
+        .iter()
+        .map(|&lm| {
+            (
+                g.shortest_path_in(ws, src, lm, cost).map(|(_, p)| p),
+                g.shortest_path_in(ws, dst, lm, cost)
+                    .map(|(_, p)| p.reversed()),
+            )
+        })
+        .collect()
+}
+
+/// The batched replacement: one tree from the source, one from the
+/// destination, legs read off per landmark.
+fn hub_legs_batched(
+    g: &pcn_graph::Graph,
+    ws: &mut SearchWorkspace,
+    funds: &NetworkFunds,
+    landmarks: &[NodeId],
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<(Option<Path>, Option<Path>)> {
+    let cost = |e: pcn_graph::EdgeRef| (funds.total(e.id) > Amount::ZERO).then_some(1.0);
+    let (up_tree, down_tree) = shortest_path_two_trees_in(g, ws, src, dst, cost);
+    landmarks
+        .iter()
+        .map(|&lm| {
+            (
+                up_tree.path_to(lm),
+                down_tree.path_to(lm).map(Path::reversed),
+            )
+        })
+        .collect()
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let (g, funds, pairs) = world();
+    let mut ws = SearchWorkspace::new();
+    ws.prepare_landmarks(&g);
+    let landmarks: Vec<NodeId> = (0..NUM_LANDMARKS)
+        .map(|i| NodeId::from_index((i * 12_347 + 5) % NODES))
+        .collect();
+
+    // ---- Interleaved A/B: the acceptance bars -------------------------
+    // Alternate plain/goal-directed per pair (order flipped every round)
+    // so the two sides sample identical machine conditions; one warmup
+    // query each absorbs first-touch buffer growth.
+    plan_once(&g, &mut ws, &funds, pairs[0].0, pairs[0].1, false);
+    plan_once(&g, &mut ws, &funds, pairs[0].0, pairs[0].1, true);
+    let (mut plain_ns, mut accel_ns) = (0u128, 0u128);
+    let (mut plain_settled, mut accel_settled) = (0u64, 0u64);
+    for round in 0..AB_ROUNDS {
+        for &(src, dst) in &pairs {
+            for &accel in if round % 2 == 0 {
+                &[false, true]
+            } else {
+                &[true, false]
+            } {
+                let (ns, settled) = plan_once(&g, &mut ws, &funds, src, dst, accel);
+                if accel {
+                    accel_ns += ns;
+                    accel_settled += settled;
+                } else {
+                    plain_ns += ns;
+                    plain_settled += settled;
+                }
+            }
+        }
+    }
+    let plan_speedup = plain_ns as f64 / accel_ns as f64;
+    let settle_ratio = plain_settled as f64 / accel_settled as f64;
+    assert!(
+        plan_speedup >= 1.5,
+        "goal-directed warm plans must be ≥1.5× faster than plain \
+         (plain {plain_ns} ns vs goal-directed {accel_ns} ns = {plan_speedup:.2}×)"
+    );
+    assert!(
+        settle_ratio >= 2.0,
+        "goal-directed search must settle ≤ half the nodes \
+         (plain {plain_settled} vs goal-directed {accel_settled} = {settle_ratio:.2}×)"
+    );
+
+    let (mut pair_ns, mut tree_ns) = (0u128, 0u128);
+    for round in 0..AB_ROUNDS {
+        for &(src, dst) in &pairs {
+            for &batched in if round % 2 == 0 {
+                &[false, true]
+            } else {
+                &[true, false]
+            } {
+                let t0 = Instant::now();
+                let legs = if batched {
+                    hub_legs_batched(&g, &mut ws, &funds, &landmarks, src, dst)
+                } else {
+                    hub_legs_per_pair(&g, &mut ws, &funds, &landmarks, src, dst)
+                };
+                let ns = t0.elapsed().as_nanos();
+                if batched {
+                    tree_ns += ns;
+                } else {
+                    pair_ns += ns;
+                }
+                black_box(legs);
+            }
+        }
+    }
+    let tree_speedup = pair_ns as f64 / tree_ns as f64;
+    assert!(
+        tree_speedup >= 1.5,
+        "batched hub-leg trees must be ≥1.5× faster than 2·k single-pair \
+         searches (per-pair {pair_ns} ns vs batched {tree_ns} ns = {tree_speedup:.2}×)"
+    );
+
+    // ---- Criterion samples: the committed baseline --------------------
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+    group.metadata("world", format!("watts_strogatz({NODES}, {DEGREE}, 0.3)"));
+    group.metadata("plan_speedup_interleaved", format!("{plan_speedup:.2}"));
+    group.metadata(
+        "settled_reduction_interleaved",
+        format!("{settle_ratio:.2}"),
+    );
+    group.metadata("hub_leg_speedup_interleaved", format!("{tree_speedup:.2}"));
+
+    let sample: Vec<(NodeId, NodeId)> = pairs.iter().copied().take(4).collect();
+    group.bench_function(format!("plan_p2p_plain_{NODES}n_k{K}"), |b| {
+        b.iter(|| {
+            for &(src, dst) in &sample {
+                plan_once(&g, &mut ws, &funds, src, dst, false);
+            }
+        })
+    });
+    group.bench_function(format!("plan_p2p_goal_directed_{NODES}n_k{K}"), |b| {
+        b.iter(|| {
+            for &(src, dst) in &sample {
+                plan_once(&g, &mut ws, &funds, src, dst, true);
+            }
+        })
+    });
+    group.bench_function(
+        format!("hub_legs_per_pair_{NODES}n_{NUM_LANDMARKS}lm"),
+        |b| {
+            b.iter(|| {
+                for &(src, dst) in &sample {
+                    black_box(hub_legs_per_pair(&g, &mut ws, &funds, &landmarks, src, dst));
+                }
+            })
+        },
+    );
+    group.bench_function(
+        format!("hub_legs_batched_trees_{NODES}n_{NUM_LANDMARKS}lm"),
+        |b| {
+            b.iter(|| {
+                for &(src, dst) in &sample {
+                    black_box(hub_legs_batched(&g, &mut ws, &funds, &landmarks, src, dst));
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -84,6 +84,7 @@ fn bench_hot_path(c: &mut Criterion) {
                     PathSelect::Edw,
                     BalanceView::CapacityOnly,
                     Amount::from_tokens(1),
+                    false,
                 ));
             }
         })
@@ -103,6 +104,7 @@ fn bench_hot_path(c: &mut Criterion) {
                     PathSelect::Edw,
                     BalanceView::CapacityOnly,
                     Amount::from_tokens(1),
+                    false,
                 ));
             }
         })
@@ -137,6 +139,7 @@ fn bench_hot_path(c: &mut Criterion) {
                             PathSelect::Edw,
                             BalanceView::CapacityOnly,
                             Amount::from_tokens(1),
+                            false,
                         )
                     },
                 );
@@ -177,6 +180,7 @@ fn bench_hot_path(c: &mut Criterion) {
                             PathSelect::Edw,
                             BalanceView::Live,
                             Amount::from_tokens(1),
+                            false,
                             fp,
                         )
                     });

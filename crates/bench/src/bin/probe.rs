@@ -17,7 +17,7 @@ fn main() {
             "{:12} tsr={:.3} thr={:.3} lat={:.3}s gen={} done={} fail={} unroutable={} \
              tus: del={} abort={} marked={} drained={} hubs={:?} \
              cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e ({:.0}% hit) world={}ev/{}exp \
-             adv={}f/{}g/{}dl honest={:.3} pps={:.0}",
+             adv={}f/{}g/{}dl honest={:.3} planner={}gd/{}lr/{}ns pps={:.0}",
             r.scheme,
             s.tsr(),
             s.normalized_throughput(),
@@ -46,6 +46,9 @@ fn main() {
             s.griefed_locks,
             s.deadlocks_detected,
             s.honest_tsr(),
+            s.goal_directed_plans,
+            s.landmark_rebuilds,
+            s.nodes_settled,
             s.payments_per_sec(),
         );
     }

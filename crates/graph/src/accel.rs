@@ -1,0 +1,796 @@
+//! Goal-directed point-to-point search: bidirectional Dijkstra with a
+//! canonical tie-break, ALT landmark lower bounds, and batched
+//! shortest-path-tree pairs.
+//!
+//! Every entry point here is **semantics-preserving**: the returned path
+//! is bit-identical (same nodes, same channels) to the one the plain
+//! unidirectional [`crate::dijkstra::shortest_path_in`] returns, so the
+//! routing layer can toggle acceleration per run without changing a
+//! single plan. That identity is not an accident of luck but of a
+//! canonical tie-break, documented here because every future edit must
+//! preserve it:
+//!
+//! * The plain Dijkstra pops `(dist, node id)` min-first and only
+//!   overwrites a parent on a *strict* improvement. Its final parent for
+//!   any node `v` on the reconstructed chain is therefore the optimal
+//!   predecessor minimizing `(dist, id)`, carrying the first channel in
+//!   that predecessor's adjacency order that achieves the minimum.
+//! * The goal-directed search runs A* with a *consistent* heuristic and
+//!   pops `(dist + h, dist, id)` min-first. Optimal predecessors no
+//!   longer relax `v` in `(dist, id)` order, so the canonical parent is
+//!   enforced explicitly: on an equal-distance relaxation the parent is
+//!   replaced only if the new predecessor has a strictly smaller
+//!   `(dist, id)`. A same-predecessor later channel never replaces an
+//!   earlier one (not strictly smaller), preserving adjacency order.
+//!
+//! The heuristic is the max of two consistent lower bounds:
+//!
+//! * **Backward-ball bound**: a bounded backward Dijkstra from the
+//!   target settles a ball `S_b` with exact reverse distances; `h(u)`
+//!   is the exact distance for `u ∈ S_b` and the backward heap's final
+//!   top key otherwise (every unsettled node's true reverse distance is
+//!   at least that key). The backward ball is grown alternately with a
+//!   forward probe ball (advance the smaller top; stop once
+//!   `top_f + top_b ≥ μ`, the best meeting-path length seen), which
+//!   keeps both balls near half the source–target radius — on
+//!   small-world topologies two half-radius balls are far smaller than
+//!   the one full-radius ball the unidirectional search settles.
+//! * **ALT landmark bound**: `max_L |d(L,u) − d(L,t)|` over the
+//!   [`LandmarkTable`]'s hop-metric rows. Admissible and consistent
+//!   **only when every usable edge costs ≥ 1**, which holds for the
+//!   unit-cost searches routing runs (KSP/EDS price edges at 1.0);
+//!   enforced by a debug assertion. A `u32::MAX` row entry means the
+//!   node cannot reach the landmark's component at all, which upgrades
+//!   the bound to "unreachable" and prunes the push entirely.
+//!
+//! The landmark table follows the path cache's staleness discipline: it
+//! is keyed by [`Graph::topology_epoch`] and rebuilt lazily on mismatch
+//! ([`LandmarkTable::ensure_fresh`]), so a stale table can never serve a
+//! search on a mutated topology. Funds movement never invalidates it —
+//! the rows are pure topology.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pcn_types::NodeId;
+
+use crate::cost::Cost;
+use crate::dijkstra::{reconstruct, relax, reset, usable, DijkstraScratch, ShortestPathTree};
+use crate::{bfs_hops, EdgeRef, Graph, Path, SearchWorkspace, Topology};
+
+/// Landmarks per table: enough rows to bound 100k-node small worlds
+/// well while keeping the table a few megabytes and the rebuild a
+/// handful of BFS sweeps.
+const NUM_LANDMARKS: usize = 8;
+
+/// Epoch-keyed ALT landmark table: hop-metric distance rows from a
+/// deterministic farthest-point landmark set.
+///
+/// Owned by a [`SearchWorkspace`]; [`LandmarkTable::ensure_fresh`] is
+/// cheap when the table already matches the graph's
+/// [`Graph::topology_epoch`] (two integer compares) and rebuilds the
+/// rows with level-synchronous BFS sweeps otherwise.
+#[derive(Debug, Default)]
+pub struct LandmarkTable {
+    landmarks: Vec<NodeId>,
+    /// Row-major hop distances: row `l` spans `[l·nodes, (l+1)·nodes)`.
+    /// `u32::MAX` marks a node unreachable from that landmark.
+    rows: Vec<u32>,
+    nodes: usize,
+    /// `(node_count, topology_epoch)` the rows were built for; `None`
+    /// until the first build. Any mismatch means stale.
+    built_epoch: Option<(usize, u64)>,
+    rebuilds: u64,
+}
+
+impl LandmarkTable {
+    /// Creates an empty (stale) table.
+    pub fn new() -> LandmarkTable {
+        LandmarkTable::default()
+    }
+
+    /// Whether the rows match `g`'s current size and topology epoch.
+    pub fn is_fresh(&self, g: &Graph) -> bool {
+        self.built_epoch == Some((g.node_count(), g.topology_epoch()))
+    }
+
+    /// The chosen landmark set (empty until the first build).
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Rebuilds performed so far — the feed behind the
+    /// `landmark_rebuilds` run counter.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Rebuilds the table iff its epoch no longer matches `g`.
+    ///
+    /// Like the routing layer's path cache, the table tracks **one**
+    /// graph's epoch stream: pair each workspace with a single graph.
+    /// Two different graph instances can coincide on
+    /// `(node_count, topology_epoch)`, and the table cannot tell them
+    /// apart.
+    ///
+    /// Landmark selection is deterministic farthest-point: the first
+    /// landmark is the node farthest from node 0 (ties to the smallest
+    /// id), each further landmark maximizes the hop distance to the
+    /// landmarks already chosen. A fresh table returns after comparing
+    /// the stored `(node_count, topology_epoch)` key — no allocation,
+    /// no graph traversal.
+    pub fn ensure_fresh(&mut self, g: &Graph) {
+        if self.is_fresh(g) {
+            return;
+        }
+        let n = g.node_count();
+        self.nodes = n;
+        self.landmarks.clear();
+        self.rows.clear();
+        if n > 0 {
+            let want = NUM_LANDMARKS.min(n);
+            let seed_hops = bfs_hops(g, NodeId::from_index(0));
+            let first = farthest_finite(&seed_hops).unwrap_or(NodeId::from_index(0));
+            let row = bfs_hops(g, first);
+            let mut min_hops = row.clone();
+            self.landmarks.push(first);
+            self.rows.extend_from_slice(&row);
+            while self.landmarks.len() < want {
+                // The next landmark maximizes distance-to-set; a best
+                // value of 0 means every reachable node already is a
+                // landmark, so stop early.
+                let Some(next) = farthest_finite(&min_hops).filter(|c| min_hops[c.index()] > 0)
+                else {
+                    break;
+                };
+                let row = bfs_hops(g, next);
+                for (m, &h) in min_hops.iter_mut().zip(&row) {
+                    *m = (*m).min(h);
+                }
+                self.landmarks.push(next);
+                self.rows.extend_from_slice(&row);
+            }
+        }
+        self.built_epoch = Some((n, g.topology_epoch()));
+        self.rebuilds += 1;
+    }
+}
+
+/// The reachable node with the largest hop value, ties to the smallest
+/// id; `None` when nothing is reachable.
+fn farthest_finite(hops: &[u32]) -> Option<NodeId> {
+    let mut best: Option<(u32, usize)> = None;
+    for (i, &h) in hops.iter().enumerate() {
+        if h != u32::MAX && best.is_none_or(|(bh, _)| h > bh) {
+            best = Some((h, i));
+        }
+    }
+    best.map(|(_, i)| NodeId::from_index(i))
+}
+
+/// Reusable goal-directed search state: the bidirectional probe balls,
+/// the A* heap (keyed `(f, dist, id)`), the ALT target columns, and a
+/// second recycled tree for [`shortest_path_two_trees_in`].
+#[derive(Debug, Default)]
+pub(crate) struct AccelScratch {
+    dist_f: Vec<f64>,
+    dist_b: Vec<f64>,
+    settled_b: Vec<bool>,
+    heap_f: BinaryHeap<Reverse<(Cost, NodeId)>>,
+    heap_b: BinaryHeap<Reverse<(Cost, NodeId)>>,
+    heap2: BinaryHeap<Reverse<(Cost, Cost, NodeId)>>,
+    /// Per-search compaction of the landmark rows against the target:
+    /// `(row index, hops(landmark, target))` for landmarks that reach
+    /// the target at all.
+    tcol: Vec<(u32, u32)>,
+    pub(crate) tree_b: ShortestPathTree,
+    /// Monotone settled-node count across every goal-directed search on
+    /// this scratch (both probe balls plus the A* phase).
+    pub(crate) settled: u64,
+}
+
+/// Combined consistent lower bound on the remaining distance to the
+/// target: backward-ball bound maxed with the ALT landmark bound.
+/// `f64::INFINITY` means "provably cannot reach the target" and the
+/// caller skips the push.
+fn lower_bound(
+    dist_b: &[f64],
+    settled_b: &[bool],
+    top_b: f64,
+    alt: Option<&LandmarkTable>,
+    tcol: &[(u32, u32)],
+    v: usize,
+) -> f64 {
+    let mut h = if settled_b[v] { dist_b[v] } else { top_b };
+    if let Some(table) = alt {
+        for &(l, dt) in tcol {
+            let du = table.rows[l as usize * table.nodes + v];
+            if du == u32::MAX {
+                // The target's landmark cannot reach `v`: different
+                // components, so `v` cannot reach the target either.
+                return f64::INFINITY;
+            }
+            let bound = (i64::from(du) - i64::from(dt)).unsigned_abs() as f64;
+            if bound > h {
+                h = bound;
+            }
+        }
+    }
+    h
+}
+
+/// [`crate::shortest_path_in`], goal-directed: bidirectional probe
+/// phase, then a canonical A* over the combined lower bound. Returns the
+/// bit-identical `(cost, path)` of the unidirectional search.
+///
+/// Generic over [`Topology`]; never consults a landmark table. Use
+/// [`shortest_path_accel_in`] on a [`Graph`] to add ALT bounds.
+pub fn shortest_path_bidir_in<G, F>(
+    g: &G,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    cost: F,
+) -> Option<(f64, Path)>
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let SearchWorkspace {
+        dijkstra, accel, ..
+    } = ws;
+    accel_scratch(g, dijkstra, accel, None, from, to, cost)
+}
+
+/// [`shortest_path_bidir_in`] plus ALT landmark lower bounds when the
+/// workspace's [`LandmarkTable`] is fresh for `g` (stale or absent rows
+/// silently degrade to the pure bidirectional search — never to a wrong
+/// answer).
+///
+/// # Contract
+///
+/// With a fresh table, every usable edge must cost **at least 1** (the
+/// landmark rows are hop-metric lower bounds); the unit-cost closures of
+/// the routing layer satisfy this, and a debug assertion enforces it.
+pub fn shortest_path_accel_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    cost: F,
+) -> Option<(f64, Path)>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let SearchWorkspace {
+        dijkstra,
+        accel,
+        landmarks,
+        ..
+    } = ws;
+    let alt = landmarks.is_fresh(g).then_some(&*landmarks);
+    accel_scratch(g, dijkstra, accel, alt, from, to, cost)
+}
+
+fn accel_scratch<G, F>(
+    g: &G,
+    dij: &mut DijkstraScratch,
+    acc: &mut AccelScratch,
+    alt: Option<&LandmarkTable>,
+    from: NodeId,
+    to: NodeId,
+    mut cost: F,
+) -> Option<(f64, Path)>
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let n = g.node_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    if from == to {
+        return Some((0.0, Path::trivial(from)));
+    }
+    let AccelScratch {
+        dist_f,
+        dist_b,
+        settled_b,
+        heap_f,
+        heap_b,
+        heap2,
+        tcol,
+        settled,
+        tree_b: _,
+    } = acc;
+    tcol.clear();
+    if let Some(table) = alt {
+        for l in 0..table.landmarks.len() {
+            let dt = table.rows[l * table.nodes + to.index()];
+            if dt != u32::MAX {
+                tcol.push((l as u32, dt));
+            }
+        }
+    }
+
+    // Phase 1: alternating bidirectional probe. Grows a forward ball
+    // from `from` and a backward ball from `to` (advance the smaller
+    // top; forward on ties), tracking μ = the best meeting-path length
+    // seen. No parents are kept — the phase only exists to size the
+    // backward ball that phase 2 mines for lower bounds.
+    dist_f.clear();
+    dist_f.resize(n, f64::INFINITY);
+    dist_b.clear();
+    dist_b.resize(n, f64::INFINITY);
+    settled_b.clear();
+    settled_b.resize(n, false);
+    heap_f.clear();
+    heap_b.clear();
+    dist_f[from.index()] = 0.0;
+    heap_f.push(Reverse((Cost(0.0), from)));
+    dist_b[to.index()] = 0.0;
+    heap_b.push(Reverse((Cost(0.0), to)));
+    let mut mu = f64::INFINITY;
+    loop {
+        let top_f = heap_f.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+        let top_b = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+        if top_f + top_b >= mu {
+            // Covers exhaustion too: both tops infinite ⇒ the sum is
+            // infinite ⇒ stop (μ still infinite means unreachable).
+            break;
+        }
+        if top_f <= top_b {
+            let Some(Reverse((Cost(d), u))) = heap_f.pop() else {
+                break;
+            };
+            if d > dist_f[u.index()] {
+                continue; // stale entry
+            }
+            *settled += 1;
+            if dist_b[u.index()].is_finite() {
+                // Any backward label is the length of a real u→to path,
+                // so μ stays an achievable upper bound.
+                mu = mu.min(d + dist_b[u.index()]);
+            }
+            for e in g.out_edges(u) {
+                let Some(w) = usable(cost(e)) else { continue };
+                debug_assert!(
+                    alt.is_none() || w >= 1.0,
+                    "ALT landmark bounds require unit-or-larger edge costs"
+                );
+                let nd = d + w;
+                if nd < dist_f[e.to.index()] {
+                    dist_f[e.to.index()] = nd;
+                    heap_f.push(Reverse((Cost(nd), e.to)));
+                }
+            }
+        } else {
+            let Some(Reverse((Cost(d), u))) = heap_b.pop() else {
+                break;
+            };
+            if d > dist_b[u.index()] {
+                continue; // stale entry
+            }
+            *settled += 1;
+            settled_b[u.index()] = true;
+            if dist_f[u.index()].is_finite() {
+                mu = mu.min(d + dist_f[u.index()]);
+            }
+            for e in g.out_edges(u) {
+                // Traversing the channel backwards prices the forward
+                // arc e.to → u, exactly what a path through u pays.
+                let flipped = EdgeRef {
+                    id: e.id,
+                    from: e.to,
+                    to: e.from,
+                };
+                let Some(w) = usable(cost(flipped)) else {
+                    continue;
+                };
+                let nd = d + w;
+                if nd < dist_b[e.to.index()] {
+                    dist_b[e.to.index()] = nd;
+                    heap_b.push(Reverse((Cost(nd), e.to)));
+                }
+            }
+        }
+    }
+    if !mu.is_finite() {
+        return None;
+    }
+    // Every unsettled node's true backward distance is at least the
+    // final top key (exhausted heap ⇒ the settled set is complete and
+    // the bound is rightly infinite).
+    let top_b_final = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+
+    // Phase 2: canonical A* from `from`, authoritative for the answer.
+    reset(&mut dij.dist, &mut dij.parent, &mut dij.heap, n);
+    heap2.clear();
+    dij.dist[from.index()] = 0.0;
+    let h0 = lower_bound(dist_b, settled_b, top_b_final, alt, tcol, from.index());
+    if h0.is_finite() {
+        heap2.push(Reverse((Cost(h0), Cost(0.0), from)));
+    }
+    while let Some(Reverse((Cost(_), Cost(d), u))) = heap2.pop() {
+        if d > dij.dist[u.index()] {
+            continue; // stale entry
+        }
+        *settled += 1;
+        if u == to {
+            break;
+        }
+        for e in g.out_edges(u) {
+            let Some(w) = usable(cost(e)) else { continue };
+            let nd = d + w;
+            let vi = e.to.index();
+            if nd < dij.dist[vi] {
+                dij.dist[vi] = nd;
+                dij.parent[vi] = Some((u, e.id));
+                let hv = lower_bound(dist_b, settled_b, top_b_final, alt, tcol, vi);
+                if hv.is_finite() {
+                    heap2.push(Reverse((Cost(nd + hv), Cost(nd), e.to)));
+                }
+            } else if nd == dij.dist[vi] {
+                // Canonical tie-break: keep the parent with the smaller
+                // `(dist, id)`. Both candidates are settled, so their
+                // labels are final and the comparison is well-defined.
+                // A same-parent later channel is not strictly smaller
+                // and never replaces the adjacency-order winner.
+                if let Some((p, _)) = dij.parent[vi] {
+                    let pd = dij.dist[p.index()];
+                    if d < pd || (d == pd && u < p) {
+                        dij.parent[vi] = Some((u, e.id));
+                    }
+                }
+            }
+        }
+    }
+    if !dij.dist[to.index()].is_finite() {
+        return None;
+    }
+    let path = reconstruct(from, to, &dij.parent).expect("finite distance implies a parent chain");
+    Some((dij.dist[to.index()], path))
+}
+
+/// Two full shortest-path trees in one call — from `a` and from `b`,
+/// both priced by the same (direction-aware) `cost` closure — without
+/// the second tree evicting the first from the workspace.
+///
+/// This is the batched form of the Landmark scheme's per-plan legs: one
+/// tree from the payment source and one from the destination replace
+/// `2·k` single-pair searches, and `tree.path_to(landmark)` reads each
+/// leg off in O(path length). The returned references borrow the
+/// workspace and are overwritten by the next tree query on it.
+pub fn shortest_path_two_trees_in<'a, G, F>(
+    g: &G,
+    ws: &'a mut SearchWorkspace,
+    a: NodeId,
+    b: NodeId,
+    mut cost: F,
+) -> (&'a ShortestPathTree, &'a ShortestPathTree)
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    let n = g.node_count();
+    let SearchWorkspace {
+        dijkstra: dij,
+        accel: acc,
+        ..
+    } = ws;
+    reset(&mut dij.tree.dist, &mut dij.tree.parent, &mut dij.heap, n);
+    dij.tree.source = a;
+    relax(
+        g,
+        a,
+        None,
+        &mut cost,
+        &mut dij.tree.dist,
+        &mut dij.tree.parent,
+        &mut dij.heap,
+        &mut dij.settled,
+    );
+    reset(
+        &mut acc.tree_b.dist,
+        &mut acc.tree_b.parent,
+        &mut acc.heap_f,
+        n,
+    );
+    acc.tree_b.source = b;
+    relax(
+        g,
+        b,
+        None,
+        &mut cost,
+        &mut acc.tree_b.dist,
+        &mut acc.tree_b.parent,
+        &mut acc.heap_f,
+        &mut acc.settled,
+    );
+    (&dij.tree, &acc.tree_b)
+}
+
+/// [`crate::k_shortest_paths_in`] with every inner single-pair search
+/// goal-directed ([`shortest_path_accel_in`]), plus the early-stop hook
+/// of [`crate::k_shortest_paths_until_in`]. Results are bit-identical
+/// to the plain form for any `until`.
+pub fn k_shortest_paths_accel_in<F, U>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    cost: F,
+    until: U,
+) -> Vec<Path>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+    U: FnMut(&Path) -> bool,
+{
+    crate::yen::yen_core(
+        g,
+        ws,
+        from,
+        to,
+        k,
+        cost,
+        |g, ws, s, t, c| shortest_path_accel_in(g, ws, s, t, c),
+        until,
+    )
+}
+
+/// [`crate::edge_disjoint_shortest_paths_in`] with every greedy round's
+/// search goal-directed; bit-identical results.
+pub fn edge_disjoint_shortest_paths_accel_in<F>(
+    g: &Graph,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    cost: F,
+) -> Vec<Path>
+where
+    F: FnMut(EdgeRef) -> Option<f64>,
+{
+    crate::disjoint::eds_core(g, ws, from, to, k, cost, |g, ws, s, t, c| {
+        shortest_path_accel_in(g, ws, s, t, c)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn random_graph(rng: &mut StdRng, nn: usize, p: f64) -> (Graph, Vec<f64>) {
+        let mut g = Graph::new(nn);
+        let mut w = Vec::new();
+        for a in 0..nn {
+            for b in (a + 1)..nn {
+                if rng.random_bool(p) {
+                    g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+                    w.push(rng.random_range(1..9) as f64);
+                }
+            }
+        }
+        (g, w)
+    }
+
+    fn assert_same(a: &Option<(f64, Path)>, b: &Option<(f64, Path)>, label: &str) {
+        match (a, b) {
+            (None, None) => {}
+            (Some((ca, pa)), Some((cb, pb))) => {
+                assert_eq!(ca, cb, "{label}: cost");
+                assert_eq!(pa.nodes(), pb.nodes(), "{label}: nodes");
+                assert_eq!(pa.channels(), pb.channels(), "{label}: channels");
+            }
+            other => panic!("{label}: reachability mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bidir_matches_unidirectional_on_random_weighted_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ws = SearchWorkspace::new();
+        for round in 0..60 {
+            let nn = rng.random_range(2..14);
+            let (g, w) = random_graph(&mut rng, nn, 0.4);
+            let from = n(0);
+            let to = NodeId::from_index(g.node_count() - 1);
+            let plain = g.shortest_path_in(&mut ws, from, to, |e| Some(w[e.id.index()]));
+            let bidir = shortest_path_bidir_in(&g, &mut ws, from, to, |e| Some(w[e.id.index()]));
+            assert_same(&plain, &bidir, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn bidir_handles_directional_and_unusable_costs() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let mut ws = SearchWorkspace::new();
+        // Direction-dependent costs: usable only in the forward direction.
+        let fwd_only = |e: EdgeRef| (e.from < e.to).then_some(1.0);
+        let plain = g.shortest_path_in(&mut ws, n(0), n(2), fwd_only);
+        let bidir = shortest_path_bidir_in(&g, &mut ws, n(0), n(2), fwd_only);
+        assert_same(&plain, &bidir, "forward-only");
+        assert!(plain.is_some());
+        let rev_plain = g.shortest_path_in(&mut ws, n(2), n(0), fwd_only);
+        let rev_bidir = shortest_path_bidir_in(&g, &mut ws, n(2), n(0), fwd_only);
+        assert_same(&rev_plain, &rev_bidir, "reverse unusable");
+        assert!(rev_plain.is_none());
+    }
+
+    #[test]
+    fn bidir_edge_cases() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        let mut ws = SearchWorkspace::new();
+        // Self path.
+        let (c, p) = shortest_path_bidir_in(&g, &mut ws, n(0), n(0), |_| Some(1.0)).unwrap();
+        assert_eq!((c, p.hops()), (0.0, 0));
+        // Unreachable and out of range.
+        assert!(shortest_path_bidir_in(&g, &mut ws, n(0), n(3), |_| Some(1.0)).is_none());
+        assert!(shortest_path_bidir_in(&g, &mut ws, n(0), n(9), |_| Some(1.0)).is_none());
+        assert!(shortest_path_bidir_in(&g, &mut ws, n(9), n(0), |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn alt_accelerated_search_matches_plain_under_bans() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for round in 0..40 {
+            // One workspace per graph: the landmark table tracks a
+            // single graph's epoch stream.
+            let mut ws = SearchWorkspace::new();
+            let nn = rng.random_range(2..16);
+            let (g, _) = random_graph(&mut rng, nn, 0.35);
+            ws.prepare_landmarks(&g);
+            assert!(ws.landmarks.is_fresh(&g));
+            let from = n(0);
+            let to = NodeId::from_index(g.node_count() - 1);
+            // Unit costs with a pseudo-random banned channel set — the
+            // shape of Yen spur searches.
+            let banned: Vec<bool> = (0..64).map(|i| (i * 7 + round) % 5 == 0).collect();
+            let cost =
+                |e: EdgeRef| (!banned.get(e.id.index()).copied().unwrap_or(false)).then_some(1.0);
+            let plain = g.shortest_path_in(&mut ws, from, to, cost);
+            let accel = shortest_path_accel_in(&g, &mut ws, from, to, cost);
+            assert_same(&plain, &accel, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn accel_search_survives_churn_and_epoch_rebuilds() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut ws = SearchWorkspace::new();
+        let (mut g, _) = random_graph(&mut rng, 12, 0.5);
+        for round in 0..30 {
+            // Mutate: close a random open channel or add an edge.
+            let open: Vec<_> = g.open_edges().collect();
+            if !open.is_empty() && rng.random_bool(0.6) {
+                let victim = open[rng.random_range(0..open.len())];
+                g.close_channel(victim).unwrap();
+            } else {
+                let a = rng.random_range(0..12u32);
+                let b = (a + 1 + rng.random_range(0..11u32)) % 12;
+                g.add_edge(n(a), n(b));
+            }
+            ws.prepare_landmarks(&g);
+            let from = n(rng.random_range(0..12u32));
+            let to = n(rng.random_range(0..12u32));
+            let plain = g.shortest_path_in(&mut ws, from, to, |_| Some(1.0));
+            let accel = shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0));
+            assert_same(&plain, &accel, &format!("churn round {round}"));
+        }
+        // Rebuild count tracked epoch changes, not query count.
+        assert_eq!(ws.landmark_rebuilds(), 30);
+        ws.prepare_landmarks(&g);
+        assert_eq!(ws.landmark_rebuilds(), 30, "fresh table must not rebuild");
+    }
+
+    #[test]
+    fn landmark_selection_is_deterministic_and_epoch_keyed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut g, _) = random_graph(&mut rng, 20, 0.3);
+        let mut t1 = LandmarkTable::new();
+        let mut t2 = LandmarkTable::new();
+        t1.ensure_fresh(&g);
+        t2.ensure_fresh(&g);
+        assert_eq!(t1.landmarks(), t2.landmarks());
+        assert!(!t1.landmarks().is_empty());
+        assert_eq!(t1.rebuilds(), 1);
+        t1.ensure_fresh(&g);
+        assert_eq!(t1.rebuilds(), 1, "fresh table must be a no-op");
+        let epoch = g.topology_epoch();
+        g.add_edge(n(0), n(1));
+        assert_ne!(g.topology_epoch(), epoch);
+        assert!(!t1.is_fresh(&g));
+        t1.ensure_fresh(&g);
+        assert_eq!(t1.rebuilds(), 2);
+        assert!(t1.is_fresh(&g));
+    }
+
+    #[test]
+    fn two_trees_match_individual_searches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (g, w) = random_graph(&mut rng, 14, 0.4);
+        let mut ws = SearchWorkspace::new();
+        let cost = |e: EdgeRef| Some(w[e.id.index()]);
+        let (ta, tb) = shortest_path_two_trees_in(&g, &mut ws, n(0), n(13), cost);
+        let (ta, tb) = (ta.clone(), tb.clone());
+        let mut ws2 = SearchWorkspace::new();
+        for v in g.nodes() {
+            let from_a = g.shortest_path_in(&mut ws2, n(0), v, cost);
+            assert_eq!(ta.distance(v), from_a.as_ref().map(|(c, _)| *c), "{v}");
+            assert_eq!(
+                ta.path_to(v)
+                    .map(|p| (p.nodes().to_vec(), p.channels().to_vec())),
+                from_a.map(|(_, p)| (p.nodes().to_vec(), p.channels().to_vec())),
+                "tree from a diverges at {v}"
+            );
+            let from_b = g.shortest_path_in(&mut ws2, n(13), v, cost);
+            assert_eq!(
+                tb.path_to(v)
+                    .map(|p| (p.nodes().to_vec(), p.channels().to_vec())),
+                from_b.map(|(_, p)| (p.nodes().to_vec(), p.channels().to_vec())),
+                "tree from b diverges at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn accel_ksp_and_eds_match_plain_variants() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..25 {
+            let mut ws = SearchWorkspace::new();
+            let nn = rng.random_range(4..14);
+            let (g, _) = random_graph(&mut rng, nn, 0.45);
+            ws.prepare_landmarks(&g);
+            let from = n(0);
+            let to = NodeId::from_index(g.node_count() - 1);
+            let plain_ksp = crate::k_shortest_paths_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
+            let accel_ksp =
+                k_shortest_paths_accel_in(&g, &mut ws, from, to, 4, |_| Some(1.0), |_| false);
+            assert_eq!(plain_ksp, accel_ksp);
+            let plain_eds =
+                crate::edge_disjoint_shortest_paths_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
+            let accel_eds =
+                edge_disjoint_shortest_paths_accel_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
+            assert_eq!(plain_eds, accel_eds);
+        }
+    }
+
+    #[test]
+    fn settled_counter_reports_goal_directed_savings() {
+        // On an expander-like small world the unidirectional search
+        // settles close to the whole ball of radius d(s,t); the two
+        // half-radius balls plus the bounded A* corridor are far
+        // smaller. Aggregate over pairs to keep the assertion robust.
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = crate::watts_strogatz(800, 8, 0.3, &mut rng);
+        let mut ws = SearchWorkspace::new();
+        ws.prepare_landmarks(&g);
+        let mut plain_settled = 0;
+        let mut accel_settled = 0;
+        for round in 0..30u32 {
+            let from = NodeId::new((round * 97) % 800);
+            let to = NodeId::new((round * 211 + 400) % 800);
+            let before = ws.nodes_settled();
+            let plain = g.shortest_path_in(&mut ws, from, to, |_| Some(1.0));
+            let mid = ws.nodes_settled();
+            let accel = shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0));
+            assert_same(&plain, &accel, &format!("pair {round}"));
+            plain_settled += mid - before;
+            accel_settled += ws.nodes_settled() - mid;
+        }
+        assert!(
+            accel_settled * 2 < plain_settled,
+            "goal-directed settled {accel_settled} vs plain {plain_settled}"
+        );
+    }
+}

@@ -22,9 +22,9 @@ use crate::{EdgeRef, Path, SearchWorkspace, Topology};
 /// the placement cost model (all-clients-to-candidate hop counts).
 #[derive(Clone, Debug, Default)]
 pub struct ShortestPathTree {
-    source: NodeId,
-    dist: Vec<f64>,
-    parent: Vec<Option<(NodeId, ChannelId)>>,
+    pub(crate) source: NodeId,
+    pub(crate) dist: Vec<f64>,
+    pub(crate) parent: Vec<Option<(NodeId, ChannelId)>>,
 }
 
 impl ShortestPathTree {
@@ -74,13 +74,17 @@ impl ShortestPathTree {
 /// recycled [`ShortestPathTree`] for the tree queries.
 #[derive(Debug, Default)]
 pub(crate) struct DijkstraScratch {
-    dist: Vec<f64>,
-    parent: Vec<Option<(NodeId, ChannelId)>>,
-    heap: BinaryHeap<Reverse<(Cost, NodeId)>>,
-    tree: ShortestPathTree,
+    pub(crate) dist: Vec<f64>,
+    pub(crate) parent: Vec<Option<(NodeId, ChannelId)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(Cost, NodeId)>>,
+    pub(crate) tree: ShortestPathTree,
+    /// Monotone count of nodes settled (non-stale heap pops) by every
+    /// search run on this scratch — the planner-observability feed behind
+    /// `SearchWorkspace::nodes_settled`.
+    pub(crate) settled: u64,
 }
 
-fn usable(cost: Option<f64>) -> Option<f64> {
+pub(crate) fn usable(cost: Option<f64>) -> Option<f64> {
     match cost {
         Some(c) if c.is_finite() && c >= 0.0 => Some(c),
         _ => None,
@@ -89,7 +93,7 @@ fn usable(cost: Option<f64>) -> Option<f64> {
 
 /// Re-initializes `dist`/`parent` for `n` nodes without reallocating once
 /// grown, and empties the heap (keeping its capacity).
-fn reset(
+pub(crate) fn reset(
     dist: &mut Vec<f64>,
     parent: &mut Vec<Option<(NodeId, ChannelId)>>,
     heap: &mut BinaryHeap<Reverse<(Cost, NodeId)>>,
@@ -103,8 +107,11 @@ fn reset(
 }
 
 /// The core relaxation loop. `stop_at` enables the early exit of the
-/// point-to-point query; `None` settles every reachable node.
-fn relax<G, F>(
+/// point-to-point query; `None` settles every reachable node. `settled`
+/// is bumped once per settled node (an entry with a strictly smaller
+/// label is never re-pushed, so non-stale pops are exactly settles).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn relax<G, F>(
     g: &G,
     from: NodeId,
     stop_at: Option<NodeId>,
@@ -112,6 +119,7 @@ fn relax<G, F>(
     dist: &mut [f64],
     parent: &mut [Option<(NodeId, ChannelId)>],
     heap: &mut BinaryHeap<Reverse<(Cost, NodeId)>>,
+    settled: &mut u64,
 ) where
     G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
@@ -125,6 +133,7 @@ fn relax<G, F>(
         if d > dist[u.index()] {
             continue; // stale entry
         }
+        *settled += 1;
         if stop_at == Some(u) {
             break;
         }
@@ -141,7 +150,11 @@ fn relax<G, F>(
     heap.clear();
 }
 
-fn reconstruct(from: NodeId, to: NodeId, parent: &[Option<(NodeId, ChannelId)>]) -> Option<Path> {
+pub(crate) fn reconstruct(
+    from: NodeId,
+    to: NodeId,
+    parent: &[Option<(NodeId, ChannelId)>],
+) -> Option<Path> {
     let mut rev_nodes = vec![to];
     let mut rev_chans = Vec::new();
     let mut cur = to;
@@ -169,7 +182,17 @@ where
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<(NodeId, ChannelId)>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    relax(g, from, None, cost, &mut dist, &mut parent, &mut heap);
+    let mut settled = 0;
+    relax(
+        g,
+        from,
+        None,
+        cost,
+        &mut dist,
+        &mut parent,
+        &mut heap,
+        &mut settled,
+    );
     ShortestPathTree {
         source: from,
         dist,
@@ -201,6 +224,7 @@ where
         &mut s.tree.dist,
         &mut s.tree.parent,
         &mut s.heap,
+        &mut s.settled,
     );
     &s.tree
 }
@@ -260,6 +284,7 @@ where
         &mut s.dist,
         &mut s.parent,
         &mut s.heap,
+        &mut s.settled,
     );
     if !s.dist[to.index()].is_finite() {
         return None;

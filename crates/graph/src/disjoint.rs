@@ -53,16 +53,44 @@ pub fn edge_disjoint_shortest_paths_in<G, F>(
     from: NodeId,
     to: NodeId,
     k: usize,
-    mut cost: F,
+    cost: F,
 ) -> Vec<Path>
 where
     G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
+    eds_core(g, ws, from, to, k, cost, |g, ws, s, t, c| {
+        crate::dijkstra::shortest_path_in(g, ws, s, t, c)
+    })
+}
+
+/// The greedy EDS loop, parameterized over the single-pair search so the
+/// goal-directed variant (`crate::edge_disjoint_shortest_paths_accel_in`)
+/// reuses the exact removal order.
+pub(crate) fn eds_core<G, F, S>(
+    g: &G,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    mut cost: F,
+    mut search: S,
+) -> Vec<Path>
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+    S: FnMut(
+        &G,
+        &mut SearchWorkspace,
+        NodeId,
+        NodeId,
+        &mut dyn FnMut(EdgeRef) -> Option<f64>,
+    ) -> Option<(f64, Path)>,
+{
     let mut used: HashSet<ChannelId> = HashSet::new();
     let mut paths = Vec::new();
     for _ in 0..k {
-        let found = crate::dijkstra::shortest_path_in(g, ws, from, to, |e| {
+        let found = search(g, ws, from, to, &mut |e| {
             if used.contains(&e.id) {
                 None
             } else {

@@ -682,6 +682,23 @@ impl Graph {
         crate::dijkstra::shortest_path_in(self, ws, from, to, cost)
     }
 
+    /// [`Graph::shortest_path_in`], goal-directed: bidirectional probe
+    /// phase plus ALT landmark lower bounds when the workspace's table is
+    /// fresh for this graph. Bit-identical results; see
+    /// [`crate::shortest_path_accel_in`].
+    pub fn shortest_path_accel_in<F>(
+        &self,
+        ws: &mut crate::SearchWorkspace,
+        from: NodeId,
+        to: NodeId,
+        cost: F,
+    ) -> Option<(f64, Path)>
+    where
+        F: FnMut(EdgeRef) -> Option<f64>,
+    {
+        crate::accel::shortest_path_accel_in(self, ws, from, to, cost)
+    }
+
     /// [`Graph::shortest_path_tree`] into a workspace-owned tree: the
     /// returned reference borrows the workspace and is overwritten by the
     /// next tree query on it.

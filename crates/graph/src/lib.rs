@@ -63,6 +63,39 @@
 //! kept as an executable spec for equivalence proptests and honest
 //! same-build benchmarks.
 //!
+//! # Search acceleration
+//!
+//! Point-to-point queries have goal-directed variants that return
+//! **bit-identical** paths to the plain searches, so callers can toggle
+//! them freely without changing a single result:
+//!
+//! * [`shortest_path_bidir_in`] — bidirectional Dijkstra: an alternating
+//!   forward/backward probe phase sizes two half-radius balls, then a
+//!   canonical A* over the backward ball's exact distances produces the
+//!   answer. Works on any [`Topology`] and any nonnegative cost closure.
+//! * [`shortest_path_accel_in`] — adds **ALT landmark lower bounds**
+//!   from the workspace's [`LandmarkTable`]: hop-metric rows from a
+//!   deterministic farthest-point landmark set give the admissible
+//!   triangle-inequality bound `max_L |d(L,u) − d(L,t)|`, valid for the
+//!   unit-cost searches the routing layer runs (every usable edge must
+//!   cost ≥ 1; stale tables silently degrade to pure bidirectional).
+//! * [`k_shortest_paths_accel_in`] / [`edge_disjoint_shortest_paths_accel_in`]
+//!   — the Yen and greedy-EDS loops with every inner single-pair search
+//!   goal-directed.
+//! * [`shortest_path_two_trees_in`] — two full trees (e.g. one from a
+//!   payment's source, one from its destination) in one call, batching
+//!   what would otherwise be `2·k` single-pair searches.
+//!
+//! Bit-identity rests on a canonical tie-break, spelled out in the
+//! `accel` module docs: the plain search's final parent for any node on
+//! the returned chain is the optimal predecessor with the smallest
+//! `(dist, node id)` (carrying the first channel in its adjacency order
+//! achieving the minimum), and the A* phase enforces exactly that parent
+//! on equal-distance relaxations instead of relying on pop order. The
+//! [`LandmarkTable`] follows the routing path cache's staleness
+//! discipline: rows are keyed by [`Graph::topology_epoch`] and rebuilt
+//! lazily on mismatch, so a stale table can never serve a search.
+//!
 //! # Examples
 //!
 //! ```
@@ -85,6 +118,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accel;
 mod bfs;
 mod dijkstra;
 mod disjoint;
@@ -100,6 +134,10 @@ mod widest;
 mod workspace;
 mod yen;
 
+pub use accel::{
+    edge_disjoint_shortest_paths_accel_in, k_shortest_paths_accel_in, shortest_path_accel_in,
+    shortest_path_bidir_in, shortest_path_two_trees_in, LandmarkTable,
+};
 pub use bfs::{bfs_hops, connected_components, is_connected};
 pub use dijkstra::{
     shortest_path, shortest_path_in, shortest_path_tree, shortest_path_tree_in, ShortestPathTree,
@@ -118,7 +156,7 @@ pub use reference::ReferenceGraph;
 pub use topology::Topology;
 pub use widest::{widest_path, widest_path_in};
 pub use workspace::SearchWorkspace;
-pub use yen::{k_shortest_paths, k_shortest_paths_in};
+pub use yen::{k_shortest_paths, k_shortest_paths_in, k_shortest_paths_until_in};
 
 pub(crate) mod cost {
     /// Total-order wrapper for `f64` costs inside priority queues.

@@ -127,6 +127,16 @@ impl Path {
         self.channels.extend_from_slice(&other.channels);
         self
     }
+
+    /// The same walk traversed target-to-source. Channels are undirected,
+    /// so the reverse of a valid path is a valid path; the goal-directed
+    /// planner uses this to turn a canonical `dst → landmark` leg into
+    /// the `landmark → dst` leg of a joined route.
+    pub fn reversed(mut self) -> Path {
+        self.nodes.reverse();
+        self.channels.reverse();
+        self
+    }
 }
 
 impl core::fmt::Debug for Path {

@@ -33,9 +33,11 @@
 //! }
 //! ```
 
+use crate::accel::{AccelScratch, LandmarkTable};
 use crate::dijkstra::DijkstraScratch;
 use crate::maxflow::MaxFlowScratch;
 use crate::widest::WidestScratch;
+use crate::Graph;
 
 /// Owned scratch buffers shared by all search algorithms.
 ///
@@ -46,12 +48,34 @@ pub struct SearchWorkspace {
     pub(crate) dijkstra: DijkstraScratch,
     pub(crate) widest: WidestScratch,
     pub(crate) maxflow: MaxFlowScratch,
+    pub(crate) accel: AccelScratch,
+    pub(crate) landmarks: LandmarkTable,
 }
 
 impl SearchWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> SearchWorkspace {
         SearchWorkspace::default()
+    }
+
+    /// Monotone count of nodes settled (non-stale priority-queue pops)
+    /// by every Dijkstra-family search run on this workspace — plain,
+    /// tree, and goal-directed alike. The per-run difference is the
+    /// planner-observability counter `RunStats::nodes_settled`.
+    pub fn nodes_settled(&self) -> u64 {
+        self.dijkstra.settled + self.accel.settled
+    }
+
+    /// Rebuilds the workspace's ALT [`LandmarkTable`] iff its epoch no
+    /// longer matches `g` (see [`LandmarkTable::ensure_fresh`]). Cheap
+    /// when fresh: two integer compares, no allocation.
+    pub fn prepare_landmarks(&mut self, g: &Graph) {
+        self.landmarks.ensure_fresh(g);
+    }
+
+    /// How many times the workspace's landmark table has been rebuilt.
+    pub fn landmark_rebuilds(&self) -> u64 {
+        self.landmarks.rebuilds()
     }
 }
 
@@ -86,6 +110,17 @@ mod tests {
                 g.shortest_path_in(warm, from, to, cost),
                 g.shortest_path_in(&mut cold, from, to, cost),
                 "shortest_path_in diverged: {label}"
+            );
+            assert_eq!(
+                crate::shortest_path_bidir_in(g, warm, from, to, cost),
+                g.shortest_path_in(&mut cold, from, to, cost),
+                "shortest_path_bidir_in diverged: {label}"
+            );
+            warm.prepare_landmarks(g);
+            assert_eq!(
+                crate::shortest_path_accel_in(g, warm, from, to, cost),
+                g.shortest_path_in(&mut cold, from, to, cost),
+                "shortest_path_accel_in diverged: {label}"
             );
             let width = |e: crate::EdgeRef| Some(1.0 + e.id.index() as f64);
             let warm_w = widest_path_in(g, warm, from, to, width);

@@ -45,17 +45,80 @@ pub fn k_shortest_paths_in<G, F>(
     from: NodeId,
     to: NodeId,
     k: usize,
-    mut cost: F,
+    cost: F,
 ) -> Vec<Path>
 where
     G: Topology,
     F: FnMut(EdgeRef) -> Option<f64>,
 {
+    k_shortest_paths_until_in(g, ws, from, to, k, cost, |_| false)
+}
+
+/// [`k_shortest_paths_in`] with an early-stop hook: `until` sees each
+/// accepted path in Yen order and returns `true` to stop generating.
+///
+/// The result is always a **prefix** of the full Yen sequence, so a
+/// caller that can prove its selection is already decided (e.g. the
+/// bottleneck-ranked top-k of `PathSelect::Heuristic` once `k` paths at
+/// the maximum attainable width have been seen) skips the remaining —
+/// and most expensive — candidate rounds without changing what it picks.
+pub fn k_shortest_paths_until_in<G, F, U>(
+    g: &G,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    cost: F,
+    until: U,
+) -> Vec<Path>
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+    U: FnMut(&Path) -> bool,
+{
+    yen_core(
+        g,
+        ws,
+        from,
+        to,
+        k,
+        cost,
+        |g, ws, s, t, c| crate::dijkstra::shortest_path_in(g, ws, s, t, c),
+        until,
+    )
+}
+
+/// The Yen loop, parameterized over the single-pair search so the
+/// goal-directed variant (`crate::k_shortest_paths_accel_in`) reuses the
+/// exact candidate-generation order. The `&mut dyn FnMut` cost keeps the
+/// search generic without monomorphizing over every spur-ban closure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn yen_core<G, F, S, U>(
+    g: &G,
+    ws: &mut SearchWorkspace,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    mut cost: F,
+    mut search: S,
+    mut until: U,
+) -> Vec<Path>
+where
+    G: Topology,
+    F: FnMut(EdgeRef) -> Option<f64>,
+    S: FnMut(
+        &G,
+        &mut SearchWorkspace,
+        NodeId,
+        NodeId,
+        &mut dyn FnMut(EdgeRef) -> Option<f64>,
+    ) -> Option<(f64, Path)>,
+    U: FnMut(&Path) -> bool,
+{
     if k == 0 {
         return Vec::new();
     }
-    let Some((first_cost, first)) = crate::dijkstra::shortest_path_in(g, ws, from, to, &mut cost)
-    else {
+    let Some((first_cost, first)) = search(g, ws, from, to, &mut cost) else {
         return Vec::new();
     };
     let mut accepted: Vec<(f64, Path)> = vec![(first_cost, first)];
@@ -63,6 +126,9 @@ where
     let mut candidates: Vec<(f64, Path)> = Vec::new();
     let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
     seen.insert(accepted[0].1.nodes().to_vec());
+    if until(&accepted[0].1) {
+        return accepted.into_iter().map(|(_, p)| p).collect();
+    }
 
     while accepted.len() < k {
         let (_, last) = accepted.last().expect("accepted is non-empty").clone();
@@ -81,7 +147,7 @@ where
             // Nodes on the root (except the spur node) are banned to keep
             // paths loopless.
             let banned_nodes: HashSet<NodeId> = root.nodes()[..i].iter().copied().collect();
-            let spur = crate::dijkstra::shortest_path_in(g, ws, spur_node, to, |e| {
+            let spur = search(g, ws, spur_node, to, &mut |e| {
                 if banned_channels.contains(&e.id)
                     || banned_nodes.contains(&e.to)
                     || banned_nodes.contains(&e.from)
@@ -122,6 +188,9 @@ where
             .map(|(i, _)| i)
             .expect("non-empty");
         accepted.push(candidates.swap_remove(best_idx));
+        if until(&accepted.last().expect("just pushed").1) {
+            break;
+        }
     }
     accepted.into_iter().map(|(_, p)| p).collect()
 }
@@ -227,6 +296,31 @@ mod tests {
                 assert_eq!(a.nodes(), b.nodes());
                 assert_eq!(a.channels(), b.channels());
             }
+        }
+    }
+
+    #[test]
+    fn until_stops_with_a_prefix_of_the_full_sequence() {
+        let (g, w) = yen_graph();
+        let full = k_shortest_paths(&g, n(0), n(5), 5, |e| Some(w[e.id.index()]));
+        assert!(full.len() >= 3);
+        let mut ws = SearchWorkspace::new();
+        for stop_after in 1..=full.len() {
+            let mut seen = 0;
+            let cut = k_shortest_paths_until_in(
+                &g,
+                &mut ws,
+                n(0),
+                n(5),
+                5,
+                |e| Some(w[e.id.index()]),
+                |_| {
+                    seen += 1;
+                    seen >= stop_after
+                },
+            );
+            assert_eq!(cut.len(), stop_after);
+            assert_eq!(&full[..stop_after], &cut[..]);
         }
     }
 

@@ -447,6 +447,7 @@ fn merge_tuning(base: &RunTuning, variant: &RunTuning) -> RunTuning {
         update_interval_ms: variant.update_interval_ms.or(base.update_interval_ms),
         path_cache: variant.path_cache.or(base.path_cache),
         calendar_queue: variant.calendar_queue.or(base.calendar_queue),
+        goal_directed: variant.goal_directed.or(base.goal_directed),
         shards: variant.shards.or(base.shards),
     }
 }

@@ -25,6 +25,12 @@ pub struct RunTuning {
     /// event sequence; used for the determinism regression and scheduler
     /// A/B cells.
     pub calendar_queue: Option<bool>,
+    /// Goal-directed planning toggle (None = engine default, on).
+    /// Bidirectional + ALT landmark searches and batched hub-leg trees;
+    /// semantics-preserving either way modulo the planner-observability
+    /// counters (`RunStats::without_planner_counters`). Used for the
+    /// determinism regression and planner A/B cells.
+    pub goal_directed: Option<bool>,
     /// Engine shard count (None = follow the spec's `params.shards`).
     /// `Some(k)` forces the sharded engine with `k` partitioned event
     /// loops — including `Some(1)`, which exercises the sharded
@@ -164,6 +170,9 @@ pub fn run_on_scenario(
     }
     if let Some(calendar) = tuning.calendar_queue {
         prepared.tune_engine(|cfg| cfg.use_calendar_queue = calendar);
+    }
+    if let Some(goal) = tuning.goal_directed {
+        prepared.tune_engine(|cfg| cfg.use_goal_directed = goal);
     }
     if let Some(k) = tuning.shards {
         prepared.set_shards(k);

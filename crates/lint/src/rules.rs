@@ -481,6 +481,17 @@ impl<'a> FileAnalysis<'a> {
                     triggers_method: &[],
                     satisfiers: &["bump", "compact", "maybe_compact"],
                 }),
+                // The ALT landmark table caches per-landmark hop rows; a
+                // rebuild that does not key the new rows to the graph's
+                // topology epoch would serve stale lower bounds to later
+                // searches — the same contract as the routing path cache.
+                Some("LandmarkTable") => Some(EpochGuard {
+                    target: "LandmarkTable",
+                    state: "landmark-row",
+                    triggers_ident: &["rows", "landmarks"],
+                    triggers_method: &[],
+                    satisfiers: &["ensure_fresh"],
+                }),
                 _ => None,
             };
             if let Some(guard) = guard {

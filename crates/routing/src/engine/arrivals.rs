@@ -71,21 +71,58 @@ fn cached_select(
     strategy: PathSelect,
     view: BalanceView,
     min_w: Amount,
+    accel: bool,
 ) -> Arc<[Path]> {
     if !use_cache {
-        return select_paths_in(graph, workspace, funds, src, dst, k, strategy, view, min_w).into();
+        return select_paths_in(
+            graph, workspace, funds, src, dst, k, strategy, view, min_w, accel,
+        )
+        .into();
     }
     match view {
         BalanceView::Live => cache.get_or_compute_scoped(key, now, funds, |fp| {
             select_paths_footprint(
-                graph, workspace, funds, src, dst, k, strategy, view, min_w, fp,
+                graph, workspace, funds, src, dst, k, strategy, view, min_w, accel, fp,
             )
         }),
         BalanceView::CapacityOnly => {
             cache.get_or_compute_with(key, now, Volatility::CapacityOnly, Some(funds), || {
-                select_paths_in(graph, workspace, funds, src, dst, k, strategy, view, min_w)
+                select_paths_in(
+                    graph, workspace, funds, src, dst, k, strategy, view, min_w, accel,
+                )
             })
         }
+    }
+}
+
+/// Whether a scheme's shared-plan computation runs unit-cost searches
+/// that can consult the ALT landmark table (and therefore whether the
+/// table is kept fresh for its runs at all).
+fn uses_alt(scheme: &crate::scheme::SchemeConfig) -> bool {
+    match &scheme.route_via {
+        RouteVia::Direct | RouteVia::Hubs { .. } => matches!(
+            scheme.path_select,
+            PathSelect::Ksp | PathSelect::Eds | PathSelect::Heuristic
+        ),
+        RouteVia::FlashMaxFlow { .. } => true,
+        RouteVia::Landmarks { .. } | RouteVia::SingleHub { .. } => false,
+    }
+}
+
+/// Whether this payment's plan goes through a goal-directed computation
+/// when `EngineConfig::use_goal_directed` is on. Purely a function of
+/// the scheme and the payment — identical on every replica of a sharded
+/// run, with or without the cache — so `goal_directed_plans` stays a
+/// semantic counter.
+fn plan_uses_accel(scheme: &crate::scheme::SchemeConfig, p: &Payment) -> bool {
+    match &scheme.route_via {
+        RouteVia::Direct | RouteVia::Hubs { .. } => matches!(
+            scheme.path_select,
+            PathSelect::Ksp | PathSelect::Eds | PathSelect::Heuristic
+        ),
+        RouteVia::Landmarks { .. } => true,
+        RouteVia::FlashMaxFlow { elephant_threshold } => p.value <= *elephant_threshold,
+        RouteVia::SingleHub { .. } => false,
     }
 }
 
@@ -205,14 +242,25 @@ impl Engine {
     /// per-payment finish ([`Engine::plan_finish`]) runs locally on all
     /// replicas so their RNG streams stay in lockstep.
     pub(super) fn plan_paths(&mut self, p: &Payment) -> Arc<[Path]> {
+        let accel = self.cfg.use_goal_directed && plan_uses_accel(&self.scheme, p);
+        if accel {
+            self.stats.goal_directed_plans += 1;
+        }
+        if self.cfg.use_goal_directed && uses_alt(&self.scheme) {
+            // Before the ownership branch on purpose: every replica of a
+            // sharded run rebuilds (epoch mismatch) or no-ops (fresh, two
+            // integer compares) in lockstep, keeping `landmark_rebuilds`
+            // semantic across shard counts.
+            self.workspace.prepare_landmarks(&self.graph);
+        }
         let route = self
             .shard
             .as_ref()
             .map(|link| (link.me(), link.owner_of(self.compute_node(p))));
         let shared = match route {
-            None => self.plan_shared(p),
+            None => self.plan_shared(p, accel),
             Some((me, owner)) if owner == me => {
-                let plan = self.plan_shared(p);
+                let plan = self.plan_shared(p, accel);
                 self.shard
                     .as_ref()
                     .expect("link checked above")
@@ -247,7 +295,7 @@ impl Engine {
     /// The shard-shareable part of planning: everything up to (but not
     /// including) the per-payment RNG finish. This is what a sharded
     /// run's owning replica hands off to its peers.
-    fn plan_shared(&mut self, p: &Payment) -> Arc<[Path]> {
+    fn plan_shared(&mut self, p: &Payment, accel: bool) -> Arc<[Path]> {
         let k = self.scheme.num_paths.max(1);
         let strategy = self.scheme.path_select;
         let view = self.scheme.balance_view;
@@ -282,6 +330,7 @@ impl Engine {
                 strategy,
                 view,
                 min_w,
+                accel,
             ),
             RouteVia::Hubs { assignment } => {
                 let Some(&hub_s) = assignment.get(&p.source) else {
@@ -351,6 +400,7 @@ impl Engine {
                     strategy,
                     view,
                     min_w,
+                    accel,
                 );
                 middles
                     .iter()
@@ -374,21 +424,46 @@ impl Engine {
                 // independent of the declared balance view.
                 Volatility::CapacityOnly,
                 || {
-                    let mut out = Vec::new();
-                    for &lm in landmarks.iter().take(k) {
-                        if lm == p.source || lm == p.dest {
-                            continue;
+                    // Both toggle arms build each route as
+                    // `source → landmark` joined with the **reverse** of
+                    // the canonical `dest → landmark` leg, so flipping
+                    // `use_goal_directed` is bit-identical: the batched
+                    // trees below read off exactly those two searches.
+                    let cost =
+                        |e: pcn_graph::EdgeRef| (funds.total(e.id) > Amount::ZERO).then_some(1.0);
+                    let mut legs: Vec<(Option<Path>, Option<Path>)> = Vec::new();
+                    if accel {
+                        // One tree from the source plus one from the
+                        // destination replace the 2·k single-pair
+                        // searches of the per-pair baseline.
+                        let (up_tree, down_tree) = pcn_graph::shortest_path_two_trees_in(
+                            graph, workspace, p.source, p.dest, cost,
+                        );
+                        for &lm in landmarks.iter().take(k) {
+                            if lm == p.source || lm == p.dest {
+                                continue;
+                            }
+                            legs.push((
+                                up_tree.path_to(lm),
+                                down_tree.path_to(lm).map(Path::reversed),
+                            ));
                         }
-                        let up = graph
-                            .shortest_path_in(workspace, p.source, lm, |e| {
-                                (funds.total(e.id) > Amount::ZERO).then_some(1.0)
-                            })
-                            .map(|(_, path)| path);
-                        let down = graph
-                            .shortest_path_in(workspace, lm, p.dest, |e| {
-                                (funds.total(e.id) > Amount::ZERO).then_some(1.0)
-                            })
-                            .map(|(_, path)| path);
+                    } else {
+                        for &lm in landmarks.iter().take(k) {
+                            if lm == p.source || lm == p.dest {
+                                continue;
+                            }
+                            let up = graph
+                                .shortest_path_in(workspace, p.source, lm, cost)
+                                .map(|(_, path)| path);
+                            let down = graph
+                                .shortest_path_in(workspace, p.dest, lm, cost)
+                                .map(|(_, path)| path.reversed());
+                            legs.push((up, down));
+                        }
+                    }
+                    let mut out = Vec::new();
+                    for (up, down) in legs {
                         if let (Some(u), Some(d)) = (up, down) {
                             // Loops through the landmark are allowed by the
                             // scheme but a hop may not revisit the same channel.
@@ -483,6 +558,7 @@ impl Engine {
                                 PathSelect::Ksp,
                                 BalanceView::CapacityOnly,
                                 min_w,
+                                accel,
                             )
                         },
                     )

@@ -148,6 +148,15 @@ pub struct EngineConfig {
     /// order), so this toggle is semantics-preserving; it exists for A/B
     /// runs and the determinism regression.
     pub use_calendar_queue: bool,
+    /// Plan with goal-directed searches: bidirectional Dijkstra with
+    /// ALT landmark lower bounds for point-to-point selection, and
+    /// batched two-tree hub-leg planning for the landmark scheme. The
+    /// accelerated searches are bit-identical to the plain ones (the
+    /// `pcn-graph` tie-break canon), so this toggle is
+    /// semantics-preserving modulo the planner-observability counters
+    /// (`RunStats::without_planner_counters`); it exists for A/B runs
+    /// and the determinism regression.
+    pub use_goal_directed: bool,
 }
 
 impl Default for EngineConfig {
@@ -174,6 +183,7 @@ impl Default for EngineConfig {
             retry_backoff: SimDuration::ZERO,
             use_path_cache: true,
             use_calendar_queue: true,
+            use_goal_directed: true,
         }
     }
 }
@@ -436,6 +446,8 @@ impl Engine {
         self.stats.wall_secs = wall_start.elapsed_secs();
         self.stats.path_cache = self.path_cache.stats();
         self.stats.graph_compactions = self.graph.compactions();
+        self.stats.nodes_settled = self.workspace.nodes_settled();
+        self.stats.landmark_rebuilds = self.workspace.landmark_rebuilds();
         // Open channels only: a tombstoned channel's frozen zero side is
         // inert capital, not the deadlock symptom (routing cannot reach
         // it), so dynamic-world runs don't inflate the metric.

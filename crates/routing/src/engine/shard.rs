@@ -273,6 +273,11 @@ fn merge_replicas(per_shard: Vec<RunStats>) -> RunStats {
         );
     }
     let mut merged = per_shard[0].clone();
+    // Settles are per-replica work (a replica only computes the plans it
+    // owns), so the run total is the sum. The semantic planner counters
+    // (`goal_directed_plans`, `landmark_rebuilds`) are replica-equal —
+    // enforced by the assert above — and ride along from shard 0.
+    merged.nodes_settled = per_shard.iter().map(|s| s.nodes_settled).sum();
     merged.path_cache = per_shard
         .iter()
         .fold(PathCacheStats::default(), |mut acc, s| {

@@ -1,8 +1,11 @@
 //! Path selection strategies (Table II: KSP, Heuristic, EDW, EDS).
 
+use core::cell::RefCell;
+
 use pcn_graph::{
-    edge_disjoint_shortest_paths_in, edge_disjoint_widest_paths_in, k_shortest_paths_in, EdgeRef,
-    Footprint, Graph, Path, SearchWorkspace,
+    edge_disjoint_shortest_paths_accel_in, edge_disjoint_shortest_paths_in,
+    edge_disjoint_widest_paths_in, k_shortest_paths_accel_in, k_shortest_paths_in,
+    k_shortest_paths_until_in, widest_path_in, EdgeRef, Footprint, Graph, Path, SearchWorkspace,
 };
 use pcn_types::{Amount, NodeId};
 
@@ -58,6 +61,10 @@ pub enum BalanceView {
 /// Widths come from channel funds: live directional balance or static
 /// total depending on `view`. Paths that cannot carry at least
 /// `min_width` are filtered out for the width-based strategies.
+///
+/// `accel` routes the unit-cost searches (KSP/EDS/Heuristic) through the
+/// goal-directed variants ([`pcn_graph::shortest_path_accel_in`]);
+/// results are bit-identical either way.
 #[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
 pub fn select_paths(
     g: &Graph,
@@ -68,6 +75,7 @@ pub fn select_paths(
     strategy: PathSelect,
     view: BalanceView,
     min_width: Amount,
+    accel: bool,
 ) -> Vec<Path> {
     select_paths_in(
         g,
@@ -79,6 +87,7 @@ pub fn select_paths(
         strategy,
         view,
         min_width,
+        accel,
     )
 }
 
@@ -97,9 +106,10 @@ pub fn select_paths_in(
     strategy: PathSelect,
     view: BalanceView,
     min_width: Amount,
+    accel: bool,
 ) -> Vec<Path> {
     let width = |e: EdgeRef| funds_width(funds, view, e);
-    select_paths_core(g, ws, width, src, dst, k, strategy, min_width)
+    select_paths_core(g, ws, width, src, dst, k, strategy, min_width, accel)
 }
 
 /// [`select_paths_in`] that additionally records the **channel dependency
@@ -121,6 +131,7 @@ pub fn select_paths_footprint(
     strategy: PathSelect,
     view: BalanceView,
     min_width: Amount,
+    accel: bool,
     fp: &mut Footprint,
 ) -> Vec<Path> {
     fp.clear();
@@ -128,7 +139,7 @@ pub fn select_paths_footprint(
         fp.record(e.id);
         funds_width(funds, view, e)
     };
-    select_paths_core(g, ws, width, src, dst, k, strategy, min_width)
+    select_paths_core(g, ws, width, src, dst, k, strategy, min_width, accel)
 }
 
 /// Usable width of a directed edge under a balance view: live
@@ -153,28 +164,68 @@ fn select_paths_core<W>(
     k: usize,
     strategy: PathSelect,
     min_width: Amount,
+    accel: bool,
 ) -> Vec<Path>
 where
     W: FnMut(EdgeRef) -> Option<f64>,
 {
     let min_w = min_width.to_tokens_f64();
     match strategy {
-        PathSelect::Ksp => k_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0)),
+        PathSelect::Ksp => {
+            if accel {
+                k_shortest_paths_accel_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0), |_| false)
+            } else {
+                k_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+            }
+        }
         PathSelect::Eds => {
-            edge_disjoint_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+            if accel {
+                edge_disjoint_shortest_paths_accel_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+            } else {
+                edge_disjoint_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+            }
         }
         PathSelect::Edw => {
             edge_disjoint_widest_paths_in(g, ws, src, dst, k, |e| width(e).filter(|w| *w >= min_w))
         }
         PathSelect::Heuristic => {
-            // Rank a KSP candidate pool by bottleneck funds, keep the top k.
-            let pool = k_shortest_paths_in(g, ws, src, dst, 3 * k, |e| width(e).map(|_| 1.0));
+            // Rank a KSP candidate pool by bottleneck funds, keep the top
+            // k — but stop pool generation early. One widest-path query
+            // yields the best bottleneck any pool path can achieve; once
+            // k accepted paths hit that bound, the stable descending sort
+            // below can never rank a later (by construction no wider)
+            // candidate into the top k, so the remaining — and most
+            // expensive — Yen rounds cannot change the selection.
+            let width = RefCell::new(&mut width);
+            let wmax = widest_path_in(g, ws, src, dst, |e| (width.borrow_mut())(e)).map(|(w, _)| w);
+            let mut at_max = 0usize;
+            let until = |p: &Path| {
+                let Some(wm) = wmax else { return false };
+                let bottleneck = p
+                    .hops_iter()
+                    .map(|(from, ch, to)| {
+                        (width.borrow_mut())(EdgeRef { id: ch, from, to }).unwrap_or(0.0)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if bottleneck >= wm {
+                    at_max += 1;
+                }
+                at_max >= k
+            };
+            let cost = |e: EdgeRef| (width.borrow_mut())(e).map(|_| 1.0);
+            let pool = if accel {
+                k_shortest_paths_accel_in(g, ws, src, dst, 3 * k, cost, until)
+            } else {
+                k_shortest_paths_until_in(g, ws, src, dst, 3 * k, cost, until)
+            };
             let mut scored: Vec<(f64, Path)> = pool
                 .into_iter()
                 .map(|p| {
                     let bottleneck = p
                         .hops_iter()
-                        .map(|(from, ch, to)| width(EdgeRef { id: ch, from, to }).unwrap_or(0.0))
+                        .map(|(from, ch, to)| {
+                            (width.borrow_mut())(EdgeRef { id: ch, from, to }).unwrap_or(0.0)
+                        })
                         .fold(f64::INFINITY, f64::min);
                     (bottleneck, p)
                 })
@@ -223,6 +274,7 @@ mod tests {
             PathSelect::Edw,
             BalanceView::Live,
             Amount::from_tokens(1),
+            false,
         );
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].nodes()[1], n(2), "fat route first");
@@ -240,6 +292,7 @@ mod tests {
             PathSelect::Edw,
             BalanceView::Live,
             Amount::from_tokens(10),
+            false,
         );
         assert_eq!(paths.len(), 1, "thin route excluded");
     }
@@ -249,21 +302,24 @@ mod tests {
         let (g, funds) = setup();
         for strategy in PathSelect::ALL {
             for view in [BalanceView::Live, BalanceView::CapacityOnly] {
-                let paths = select_paths(
-                    &g,
-                    &funds,
-                    n(0),
-                    n(3),
-                    4,
-                    strategy,
-                    view,
-                    Amount::from_millitokens(1),
-                );
-                assert!(!paths.is_empty(), "{strategy:?}/{view:?}");
-                for p in &paths {
-                    p.validate(&g).unwrap();
-                    assert_eq!(p.source(), n(0));
-                    assert_eq!(p.target(), n(3));
+                for accel in [false, true] {
+                    let paths = select_paths(
+                        &g,
+                        &funds,
+                        n(0),
+                        n(3),
+                        4,
+                        strategy,
+                        view,
+                        Amount::from_millitokens(1),
+                        accel,
+                    );
+                    assert!(!paths.is_empty(), "{strategy:?}/{view:?}/accel={accel}");
+                    for p in &paths {
+                        p.validate(&g).unwrap();
+                        assert_eq!(p.source(), n(0));
+                        assert_eq!(p.target(), n(3));
+                    }
                 }
             }
         }
@@ -281,6 +337,7 @@ mod tests {
             PathSelect::Heuristic,
             BalanceView::Live,
             Amount::from_millitokens(1),
+            false,
         );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].nodes()[1], n(2));
@@ -320,6 +377,7 @@ mod tests {
             PathSelect::Heuristic,
             BalanceView::Live,
             Amount::from_millitokens(1),
+            false,
         );
         assert_eq!(paths.len(), 1);
         assert_eq!(
@@ -341,8 +399,12 @@ mod tests {
         let island = g.add_edge(i0, i1);
         let funds = NetworkFunds::uniform(&g, Amount::from_tokens(10));
         let mut fp = pcn_graph::Footprint::new();
-        for strategy in PathSelect::ALL {
+        for (strategy, accel) in PathSelect::ALL
+            .into_iter()
+            .flat_map(|s| [(s, false), (s, true)])
+        {
             let mut ws = pcn_graph::SearchWorkspace::new();
+            ws.prepare_landmarks(&g);
             let plain = select_paths_in(
                 &g,
                 &mut ws,
@@ -353,8 +415,10 @@ mod tests {
                 strategy,
                 BalanceView::Live,
                 Amount::from_millitokens(1),
+                accel,
             );
             let mut ws2 = pcn_graph::SearchWorkspace::new();
+            ws2.prepare_landmarks(&g);
             let tracked = select_paths_footprint(
                 &g,
                 &mut ws2,
@@ -365,9 +429,10 @@ mod tests {
                 strategy,
                 BalanceView::Live,
                 Amount::from_millitokens(1),
+                accel,
                 &mut fp,
             );
-            assert_eq!(plain, tracked, "{strategy:?}");
+            assert_eq!(plain, tracked, "{strategy:?}/accel={accel}");
             assert!(!fp.is_empty(), "{strategy:?} consulted channels");
             // Every channel on a returned path was consulted.
             for p in &tracked {
@@ -395,6 +460,7 @@ mod tests {
             PathSelect::Edw,
             BalanceView::Live,
             Amount::from_tokens(1),
+            false,
         );
         // Live view: fat route unusable forward, only thin remains.
         assert_eq!(live.len(), 1);
@@ -409,9 +475,79 @@ mod tests {
             PathSelect::Edw,
             BalanceView::CapacityOnly,
             Amount::from_tokens(1),
+            false,
         );
         assert_eq!(stale.len(), 2);
         assert_eq!(stale[0].nodes()[1], n(2));
+    }
+
+    /// The Heuristic early exit must not change the selection: once k
+    /// accepted pool paths reach the widest-path bound, generation stops
+    /// — and the picked top-k is bit-identical to ranking the full 3·k
+    /// pool the old code built. The wide routes are also the shortest
+    /// here, so the exit fires before the narrow 3-hop candidates are
+    /// generated, which the settled-node counter makes observable.
+    #[test]
+    fn heuristic_early_exit_preserves_selection() {
+        let mut g = Graph::new(10);
+        // Two wide 2-hop routes …
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(9));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(9));
+        // … and three narrow 3-hop routes.
+        for (a, b) in [(3, 4), (5, 6), (7, 8)] {
+            g.add_edge(n(0), n(a));
+            g.add_edge(n(a), n(b));
+            g.add_edge(n(b), n(9));
+        }
+        let funds = NetworkFunds::from_graph(&g, |id, _| {
+            Amount::from_tokens(if id.index() < 4 { 100 } else { 10 })
+        });
+        let k = 2;
+        // The old behaviour, spelled out: full 3·k pool, stable
+        // descending bottleneck sort, take k.
+        let mut ws = SearchWorkspace::new();
+        let full_pool = pcn_graph::k_shortest_paths_in(&g, &mut ws, n(0), n(9), 3 * k, |e| {
+            (funds.balance(e.id, e.from) > Amount::ZERO).then_some(1.0)
+        });
+        assert_eq!(full_pool.len(), 5, "all routes are in the full pool");
+        let mut scored: Vec<(f64, Path)> = full_pool
+            .into_iter()
+            .map(|p| {
+                let b = p
+                    .hops_iter()
+                    .map(|(from, ch, _)| funds.balance(ch, from).to_tokens_f64())
+                    .fold(f64::INFINITY, f64::min);
+                (b, p)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let baseline: Vec<Path> = scored.into_iter().take(k).map(|(_, p)| p).collect();
+        for accel in [false, true] {
+            let mut ws = SearchWorkspace::new();
+            ws.prepare_landmarks(&g);
+            let warmup = ws.nodes_settled();
+            let _ = warmup;
+            let before = ws.nodes_settled();
+            let picked = select_paths_in(
+                &g,
+                &mut ws,
+                &funds,
+                n(0),
+                n(9),
+                k,
+                PathSelect::Heuristic,
+                BalanceView::Live,
+                Amount::from_millitokens(1),
+                accel,
+            );
+            let settled = ws.nodes_settled() - before;
+            assert_eq!(picked, baseline, "accel={accel}");
+            // Full Yen over this graph costs well over 60 settles; the
+            // early exit stops after the two wide routes are accepted.
+            assert!(settled < 60, "accel={accel}: settled {settled}");
+        }
     }
 
     #[test]

@@ -82,6 +82,27 @@ pub struct RunStats {
     /// builds too, so adversarial runs cannot silently leak value.
     /// Semantic.
     pub conservation_violations: u64,
+    /// Payment plans that went through a goal-directed computation:
+    /// [`crate::EngineConfig::use_goal_directed`] on and the scheme's
+    /// plan running accelerable searches for this payment (unit-cost
+    /// KSP/EDS/Heuristic selection, landmark hub-leg trees, Flash mice
+    /// pools). Semantic across cache/backend/shard configurations of
+    /// one run; it legitimately differs across the toggle itself, which
+    /// is what [`RunStats::without_planner_counters`] is for.
+    pub goal_directed_plans: u64,
+    /// ALT landmark-table rebuilds (lazy, on topology-epoch mismatch).
+    /// Semantic across cache/backend/shard configurations: every
+    /// sharded replica keeps its table in lockstep, and freshness is
+    /// checked per plan whether or not the cache then absorbs the
+    /// searches. Zero when goal-directed planning is off or the scheme
+    /// never consults the table.
+    pub landmark_rebuilds: u64,
+    /// Nodes settled (non-stale heap pops) by every Dijkstra-family
+    /// search the planner ran — plain, tree-building and goal-directed
+    /// alike (widest-path and max-flow searches are not counted).
+    /// Diagnostic like the cache counters: a cache hit skips its
+    /// searches entirely, so cached and uncached runs differ here.
+    pub nodes_settled: u64,
     /// Path-cache counters (hits/misses/invalidations/evictions).
     /// Diagnostic only: the cache is semantics-preserving, so these are
     /// the *only* fields allowed to differ between a cached and an
@@ -148,6 +169,9 @@ impl PartialEq for RunStats {
             honest_completed,
             max_stall_us,
             conservation_violations,
+            goal_directed_plans,
+            landmark_rebuilds,
+            nodes_settled,
             path_cache,
             wall_secs: _,
         } = self;
@@ -173,6 +197,9 @@ impl PartialEq for RunStats {
             && *honest_completed == other.honest_completed
             && *max_stall_us == other.max_stall_us
             && *conservation_violations == other.conservation_violations
+            && *goal_directed_plans == other.goal_directed_plans
+            && *landmark_rebuilds == other.landmark_rebuilds
+            && *nodes_settled == other.nodes_settled
             && *path_cache == other.path_cache
     }
 }
@@ -275,6 +302,9 @@ impl RunStats {
                 honest_completed,
                 max_stall_us,
                 conservation_violations,
+                goal_directed_plans,
+                landmark_rebuilds,
+                nodes_settled,
                 path_cache,
                 wall_secs,
             } = run;
@@ -301,6 +331,9 @@ impl RunStats {
             // The worst stall across the merged parts, like the wall clock.
             out.max_stall_us = out.max_stall_us.max(*max_stall_us);
             out.conservation_violations += conservation_violations;
+            out.goal_directed_plans += goal_directed_plans;
+            out.landmark_rebuilds += landmark_rebuilds;
+            out.nodes_settled += nodes_settled;
             out.path_cache.absorb(path_cache);
             out.wall_secs = out.wall_secs.max(*wall_secs);
         }
@@ -313,7 +346,24 @@ impl RunStats {
     pub fn without_cache_counters(&self) -> RunStats {
         RunStats {
             path_cache: PathCacheStats::default(),
+            nodes_settled: 0,
             wall_secs: 0.0,
+            ..self.clone()
+        }
+    }
+
+    /// This run with every planner-observability counter zeroed —
+    /// [`RunStats::goal_directed_plans`], [`RunStats::landmark_rebuilds`]
+    /// and [`RunStats::nodes_settled`]. Composed with
+    /// [`RunStats::without_cache_counters`], this is the payload that
+    /// must be bit-identical when `use_goal_directed` is flipped: the
+    /// accelerated searches return the same paths, only the bookkeeping
+    /// about *how* they were found may change.
+    pub fn without_planner_counters(&self) -> RunStats {
+        RunStats {
+            goal_directed_plans: 0,
+            landmark_rebuilds: 0,
+            nodes_settled: 0,
             ..self.clone()
         }
     }
@@ -325,7 +375,8 @@ impl core::fmt::Display for RunStats {
             f,
             "tsr={:.3} throughput={:.3} latency={:.3}s gen={} done={} fail={} overhead={} \
              drained={} cache={}h/{}m/{}i[{}t/{}f/{}p/{}fp]/{}e world={}ev/{}exp/{}gc \
-             adv={}f/{}g/{}dl stall={}us honest={}/{} viol={} pps={:.0}",
+             adv={}f/{}g/{}dl stall={}us honest={}/{} viol={} \
+             planner={}gd/{}lr/{}ns pps={:.0}",
             self.tsr(),
             self.normalized_throughput(),
             self.avg_latency_secs(),
@@ -352,6 +403,9 @@ impl core::fmt::Display for RunStats {
             self.honest_completed,
             self.honest_generated,
             self.conservation_violations,
+            self.goal_directed_plans,
+            self.landmark_rebuilds,
+            self.nodes_settled,
             self.payments_per_sec(),
         )
     }
@@ -416,6 +470,32 @@ mod tests {
         assert!(shown.contains("world=6ev/2exp"));
     }
 
+    #[test]
+    fn display_surfaces_planner_counters() {
+        let s = RunStats {
+            goal_directed_plans: 11,
+            landmark_rebuilds: 3,
+            nodes_settled: 999,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("planner=11gd/3lr/999ns"));
+    }
+
+    #[test]
+    fn planner_counters_zero_out_together() {
+        let mut a = sample_run();
+        let mut b = sample_run();
+        a.goal_directed_plans = 0;
+        a.landmark_rebuilds = 0;
+        a.nodes_settled = 0;
+        b.path_cache.hits += 1;
+        assert_ne!(a, b.without_planner_counters());
+        assert_eq!(
+            a.without_cache_counters(),
+            b.without_planner_counters().without_cache_counters()
+        );
+    }
+
     /// A fully-populated sample run: every field nonzero so identity
     /// and summing bugs cannot hide behind defaults.
     fn sample_run() -> RunStats {
@@ -441,6 +521,9 @@ mod tests {
             honest_completed: 6,
             max_stall_us: 250,
             conservation_violations: 1,
+            goal_directed_plans: 7,
+            landmark_rebuilds: 2,
+            nodes_settled: 480,
             path_cache: PathCacheStats {
                 hits: 9,
                 misses: 8,
@@ -500,6 +583,8 @@ mod tests {
         assert_eq!(merged.faults_injected, a.faults_injected * 2);
         assert_eq!(merged.honest_generated, a.honest_generated * 2);
         assert_eq!(merged.max_stall_us, 250, "worst stall is a max, not a sum");
+        assert_eq!(merged.goal_directed_plans, a.goal_directed_plans * 2);
+        assert_eq!(merged.nodes_settled, a.nodes_settled * 2);
     }
 
     #[test]

@@ -504,6 +504,157 @@ fn sharded_run_is_semantics_preserving() {
     }
 }
 
+#[test]
+fn goal_directed_is_semantics_preserving() {
+    // The acceptance bar for goal-directed planning: flipping
+    // `use_goal_directed` changes how plans are computed (bidirectional
+    // Dijkstra with ALT landmark bounds, batched two-tree hub legs) but
+    // not a single planned path. For all six schemes, cached and
+    // uncached, plain and K ∈ {1, 2, 4} sharded, a goal-directed run is
+    // bit-identical to a plain-search run modulo the diagnostic cache
+    // counters and the planner-observability counters
+    // (`goal_directed_plans` / `landmark_rebuilds` / `nodes_settled`),
+    // which are *about* the toggle and so legitimately differ across it.
+    for scheme in [
+        SchemeChoice::Splicer,
+        SchemeChoice::Spider,
+        SchemeChoice::Flash,
+        SchemeChoice::Landmark,
+        SchemeChoice::A2L,
+        SchemeChoice::ShortestPath,
+    ] {
+        let spec = tiny_spec(scheme);
+        let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        for cache in [true, false] {
+            let on = with(RunTuning {
+                path_cache: Some(cache),
+                goal_directed: Some(true),
+                ..RunTuning::default()
+            });
+            let off = with(RunTuning {
+                path_cache: Some(cache),
+                goal_directed: Some(false),
+                ..RunTuning::default()
+            });
+            assert_eq!(
+                on.report
+                    .stats
+                    .without_cache_counters()
+                    .without_planner_counters(),
+                off.report
+                    .stats
+                    .without_cache_counters()
+                    .without_planner_counters(),
+                "{} (cache={cache}): goal-directed planning changed the run",
+                scheme.name()
+            );
+            assert_eq!(
+                off.report.stats.goal_directed_plans,
+                0,
+                "{}: the disabled accelerator must never plan",
+                scheme.name()
+            );
+            assert_eq!(
+                off.report.stats.landmark_rebuilds,
+                0,
+                "{}: the disabled accelerator must never build landmark tables",
+                scheme.name()
+            );
+            // Schemes whose plans run accelerable (unit-cost Dijkstra)
+            // searches must actually route through the accelerator:
+            // Flash mice pools, landmark hub legs, direct EDS selection.
+            // Splicer/Spider plan with widest-path searches and A2L with
+            // single-hub table lookups — nothing to accelerate there.
+            if matches!(
+                scheme,
+                SchemeChoice::Flash | SchemeChoice::Landmark | SchemeChoice::ShortestPath
+            ) {
+                assert!(
+                    on.report.stats.goal_directed_plans > 0,
+                    "{}: goal-directed runs must actually use the accelerator",
+                    scheme.name()
+                );
+            }
+            // Sharded replicas keep their planner state in lockstep: the
+            // semantic planner counters match the plain engine for every
+            // K, and per-replica settles sum to the plain engine's total
+            // (each plan is computed by exactly one owner).
+            for k in [1u32, 2, 4] {
+                let sharded = with(RunTuning {
+                    path_cache: Some(cache),
+                    goal_directed: Some(true),
+                    shards: Some(k),
+                    ..RunTuning::default()
+                });
+                if k == 1 || !cache {
+                    assert_eq!(
+                        on.report.stats,
+                        sharded.report.stats,
+                        "{} (cache={cache}): K={k} goal-directed sharded run is \
+                         not bit-identical to the plain engine",
+                        scheme.name()
+                    );
+                } else {
+                    assert_eq!(
+                        on.report.stats.without_cache_counters(),
+                        sharded.report.stats.without_cache_counters(),
+                        "{} (cache={cache}): K={k} goal-directed sharded run \
+                         diverged semantically from the plain engine",
+                        scheme.name()
+                    );
+                }
+                assert_eq!(
+                    on.report.stats.goal_directed_plans,
+                    sharded.report.stats.goal_directed_plans,
+                    "{}: K={k} replicas diverged on goal_directed_plans",
+                    scheme.name()
+                );
+                assert_eq!(
+                    on.report.stats.landmark_rebuilds,
+                    sharded.report.stats.landmark_rebuilds,
+                    "{}: K={k} replicas diverged on landmark_rebuilds",
+                    scheme.name()
+                );
+            }
+        }
+    }
+    // And the toggle survives a moving topology: the PR-5 mixed dynamic
+    // timeline forces landmark-table rebuilds mid-run for an ALT-using
+    // scheme, and the runs still agree.
+    for scheme in [SchemeChoice::ShortestPath, SchemeChoice::Landmark] {
+        let spec = dynamic_spec(scheme);
+        let with = |tuning: RunTuning| run_spec_tuned(&spec, &tuning, &SchemeTuning::default());
+        let on = with(RunTuning {
+            goal_directed: Some(true),
+            ..RunTuning::default()
+        });
+        let off = with(RunTuning {
+            goal_directed: Some(false),
+            ..RunTuning::default()
+        });
+        assert_eq!(
+            on.report
+                .stats
+                .without_cache_counters()
+                .without_planner_counters(),
+            off.report
+                .stats
+                .without_cache_counters()
+                .without_planner_counters(),
+            "{} (dynamic): goal-directed planning changed the run",
+            scheme.name()
+        );
+        if scheme == SchemeChoice::ShortestPath {
+            assert!(
+                on.report.stats.landmark_rebuilds > 1,
+                "{} (dynamic): churn must force mid-run landmark rebuilds, got {}",
+                scheme.name(),
+                on.report.stats.landmark_rebuilds
+            );
+        }
+    }
+}
+
 /// An adversarial world mixing every fault ingredient: griefers holding
 /// locks past the TU timeout, a circular-demand ring, probabilistic
 /// channel drops, delay jitter, and a stalling rogue hub — over the 10 s

@@ -216,6 +216,78 @@ proptest! {
         prop_assert_eq!(gf.paths.len(), rf.paths.len());
     }
 
+    /// The goal-directed searches (bidirectional Dijkstra and the ALT
+    /// landmark A*) stay bit-identical to the plain search — cost, node
+    /// sequence and channel sequence — under arbitrary interleavings of
+    /// channel opens, closes, reopens and explicit CSR compactions, with
+    /// one long-lived workspace whose landmark table rebuilds across the
+    /// topology-epoch crossings. The `Vec<Vec>` [`ReferenceGraph`] rides
+    /// along as an independent distance oracle.
+    #[test]
+    fn accelerated_search_matches_reference(
+        n in 3usize..16,
+        edges in prop::collection::vec((0u32..16, 0u32..16), 1..40),
+        ops in prop::collection::vec((0u8..4, 0u32..64), 0..60),
+        pairs in prop::collection::vec((0u32..16, 0u32..16), 1..8),
+    ) {
+        use pcn_graph::{
+            shortest_path, shortest_path_accel_in, shortest_path_bidir_in, ReferenceGraph,
+            SearchWorkspace,
+        };
+        use pcn_types::ChannelId;
+        let mut g = Graph::new(n);
+        let mut r = ReferenceGraph::new(n);
+        let mut ws = SearchWorkspace::new();
+        // Unit-or-larger costs: the regime the routing layer prices its
+        // accelerable searches in, and what keeps the ALT bound admissible.
+        let cost = |e: pcn_graph::EdgeRef| Some(1.0 + (e.id.index() % 7) as f64);
+        for (a, b) in edges {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a != b {
+                let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+                prop_assert_eq!(g.add_edge(a, b), r.add_edge(a, b));
+            }
+        }
+        // Interleave churn with query rounds so the same workspace (and
+        // the same landmark table) crosses several epoch rebuilds.
+        for chunk in std::iter::once(&[][..]).chain(ops.chunks(10)) {
+            for &(op, x) in chunk {
+                match op {
+                    0 => {
+                        let id = ChannelId::new(x % (g.edge_count().max(1) as u32 + 2));
+                        let (gr, rr) = (g.close_channel(id), r.close_channel(id));
+                        prop_assert_eq!(gr.is_ok(), rr.is_ok());
+                    }
+                    1 => {
+                        let id = ChannelId::new(x % (g.edge_count().max(1) as u32 + 2));
+                        let (gr, rr) = (g.reopen_channel(id), r.reopen_channel(id));
+                        prop_assert_eq!(gr.is_ok(), rr.is_ok());
+                    }
+                    2 => {
+                        let (a, b) = ((x as usize) % n, (x as usize / n) % n);
+                        if a != b {
+                            let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+                            prop_assert_eq!(g.add_edge(a, b), r.add_edge(a, b));
+                        }
+                    }
+                    _ => g.compact(), // reference is always "compact"
+                }
+            }
+            ws.prepare_landmarks(&g);
+            for &(ps, pt) in &pairs {
+                let s = NodeId::from_index(ps as usize % n);
+                let t = NodeId::from_index(pt as usize % n);
+                let oracle = shortest_path(&r, s, t, cost);
+                let plain = g.shortest_path_in(&mut ws, s, t, cost);
+                let bidir = shortest_path_bidir_in(&g, &mut ws, s, t, cost);
+                let accel = shortest_path_accel_in(&g, &mut ws, s, t, cost);
+                prop_assert_eq!(&plain, &oracle, "plain search diverged from the oracle");
+                prop_assert_eq!(&bidir, &plain, "bidirectional search diverged");
+                prop_assert_eq!(&accel, &plain, "ALT-accelerated search diverged");
+            }
+        }
+    }
+
     #[test]
     fn lemma1_no_single_client_improvement(seed in 0u64..500) {
         // Moving any single client off its Lemma-1 hub cannot reduce C_B.
