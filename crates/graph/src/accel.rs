@@ -48,6 +48,30 @@
 //! ([`LandmarkTable::ensure_fresh`]), so a stale table can never serve a
 //! search on a mutated topology. Funds movement never invalidates it —
 //! the rows are pure topology.
+//!
+//! # Pruning bounds and dependency footprints
+//!
+//! The two lower bounds differ in what they depend on, and that matters
+//! to callers that record a channel dependency footprint (the set of
+//! channels the cost closure was consulted on, used for scoped cache
+//! invalidation):
+//!
+//! * The **backward-ball bound** is built by pricing edges under the
+//!   *current* funds configuration. It prunes nodes the plain search
+//!   would settle, so channels the plain search would consult are never
+//!   priced — the consulted-channel set is **not** a sufficient
+//!   dependency footprint, and a later funds move can change the answer
+//!   without touching any consulted channel.
+//! * The **ALT bound** is pure topology: the hop rows lower-bound the
+//!   remaining hop count in the open graph, and usable edges are a
+//!   subset of open edges priced at ≥ 1, so the bound stays valid under
+//!   *any* funds re-configuration. With the `(f, dist, id)` pop order,
+//!   every node with slack (`dist + h ≤ dist(t)`, `dist < dist(t)`) is
+//!   settled before the target, so any funds move that could shorten or
+//!   re-tie the answer must touch a consulted channel.
+//!
+//! [`AccelBounds`] selects between the two regimes; footprint-recording
+//! callers must use [`AccelBounds::TopologyOnly`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -62,6 +86,35 @@ use crate::{bfs_hops, EdgeRef, Graph, Path, SearchWorkspace, Topology};
 /// well while keeping the table a few megabytes and the rebuild a
 /// handful of BFS sweeps.
 const NUM_LANDMARKS: usize = 8;
+
+/// Which lower bounds a goal-directed search may prune with (see the
+/// module docs' "Pruning bounds and dependency footprints").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AccelBounds {
+    /// Backward probe ball maxed with the ALT landmark bound. Fastest,
+    /// but the ball is priced under the current funds configuration, so
+    /// the set of channels the cost closure is consulted on is **not** a
+    /// sufficient dependency footprint.
+    #[default]
+    Full,
+    /// ALT landmark bounds only — funds-independent, so the consulted
+    /// channel set remains a sufficient dependency footprint under any
+    /// later funds movement. Required for footprint-recording callers;
+    /// degrades to plain Dijkstra order when no fresh table is available.
+    TopologyOnly,
+}
+
+/// The ALT ≥1-cost contract, checked at every relaxation site that can
+/// price an edge while a fresh landmark table is in play — forward
+/// probe, backward probe, and the A* phase alike — so a sub-unit cost
+/// cannot slip in through whichever loop happens to price it first.
+#[inline]
+fn debug_assert_alt_cost(alt: Option<&LandmarkTable>, w: f64) {
+    debug_assert!(
+        alt.is_none() || w >= 1.0,
+        "ALT landmark bounds require unit-or-larger edge costs, got {w}"
+    );
+}
 
 /// Epoch-keyed ALT landmark table: hop-metric distance rows from a
 /// deterministic farthest-point landmark set.
@@ -190,18 +243,26 @@ pub(crate) struct AccelScratch {
 }
 
 /// Combined consistent lower bound on the remaining distance to the
-/// target: backward-ball bound maxed with the ALT landmark bound.
+/// target: backward-ball bound (when a probe ran, i.e.
+/// [`AccelBounds::Full`]) maxed with the ALT landmark bound.
 /// `f64::INFINITY` means "provably cannot reach the target" and the
 /// caller skips the push.
 fn lower_bound(
-    dist_b: &[f64],
-    settled_b: &[bool],
-    top_b: f64,
+    ball: Option<(&[f64], &[bool], f64)>,
     alt: Option<&LandmarkTable>,
     tcol: &[(u32, u32)],
     v: usize,
 ) -> f64 {
-    let mut h = if settled_b[v] { dist_b[v] } else { top_b };
+    let mut h = match ball {
+        Some((dist_b, settled_b, top_b)) => {
+            if settled_b[v] {
+                dist_b[v]
+            } else {
+                top_b
+            }
+        }
+        None => 0.0,
+    };
     if let Some(table) = alt {
         for &(l, dt) in tcol {
             let du = table.rows[l as usize * table.nodes + v];
@@ -239,25 +300,29 @@ where
     let SearchWorkspace {
         dijkstra, accel, ..
     } = ws;
-    accel_scratch(g, dijkstra, accel, None, from, to, cost)
+    accel_scratch(g, dijkstra, accel, None, AccelBounds::Full, from, to, cost)
 }
 
 /// [`shortest_path_bidir_in`] plus ALT landmark lower bounds when the
 /// workspace's [`LandmarkTable`] is fresh for `g` (stale or absent rows
 /// silently degrade to the pure bidirectional search — never to a wrong
-/// answer).
+/// answer). `bounds` selects the pruning regime: [`AccelBounds::Full`]
+/// adds the backward probe ball, [`AccelBounds::TopologyOnly`] skips it
+/// so footprint-recording callers consult a sufficient channel set.
 ///
 /// # Contract
 ///
 /// With a fresh table, every usable edge must cost **at least 1** (the
 /// landmark rows are hop-metric lower bounds); the unit-cost closures of
-/// the routing layer satisfy this, and a debug assertion enforces it.
+/// the routing layer satisfy this, and a debug assertion enforces it at
+/// every relaxation site.
 pub fn shortest_path_accel_in<F>(
     g: &Graph,
     ws: &mut SearchWorkspace,
     from: NodeId,
     to: NodeId,
     cost: F,
+    bounds: AccelBounds,
 ) -> Option<(f64, Path)>
 where
     F: FnMut(EdgeRef) -> Option<f64>,
@@ -269,14 +334,16 @@ where
         ..
     } = ws;
     let alt = landmarks.is_fresh(g).then_some(&*landmarks);
-    accel_scratch(g, dijkstra, accel, alt, from, to, cost)
+    accel_scratch(g, dijkstra, accel, alt, bounds, from, to, cost)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accel_scratch<G, F>(
     g: &G,
     dij: &mut DijkstraScratch,
     acc: &mut AccelScratch,
     alt: Option<&LandmarkTable>,
+    bounds: AccelBounds,
     from: NodeId,
     to: NodeId,
     mut cost: F,
@@ -313,101 +380,107 @@ where
         }
     }
 
-    // Phase 1: alternating bidirectional probe. Grows a forward ball
-    // from `from` and a backward ball from `to` (advance the smaller
-    // top; forward on ties), tracking μ = the best meeting-path length
-    // seen. No parents are kept — the phase only exists to size the
-    // backward ball that phase 2 mines for lower bounds.
-    dist_f.clear();
-    dist_f.resize(n, f64::INFINITY);
-    dist_b.clear();
-    dist_b.resize(n, f64::INFINITY);
-    settled_b.clear();
-    settled_b.resize(n, false);
-    heap_f.clear();
-    heap_b.clear();
-    dist_f[from.index()] = 0.0;
-    heap_f.push(Reverse((Cost(0.0), from)));
-    dist_b[to.index()] = 0.0;
-    heap_b.push(Reverse((Cost(0.0), to)));
-    let mut mu = f64::INFINITY;
-    loop {
-        let top_f = heap_f.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
-        let top_b = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
-        if top_f + top_b >= mu {
-            // Covers exhaustion too: both tops infinite ⇒ the sum is
-            // infinite ⇒ stop (μ still infinite means unreachable).
-            break;
-        }
-        if top_f <= top_b {
-            let Some(Reverse((Cost(d), u))) = heap_f.pop() else {
+    // Phase 1 (AccelBounds::Full only): alternating bidirectional probe.
+    // Grows a forward ball from `from` and a backward ball from `to`
+    // (advance the smaller top; forward on ties), tracking μ = the best
+    // meeting-path length seen. No parents are kept — the phase only
+    // exists to size the backward ball that phase 2 mines for lower
+    // bounds. TopologyOnly skips it entirely: the ball bound prices
+    // edges under the current funds configuration, which would let
+    // phase 2 prune nodes whose channels a footprint must record.
+    let ball = if bounds == AccelBounds::Full {
+        dist_f.clear();
+        dist_f.resize(n, f64::INFINITY);
+        dist_b.clear();
+        dist_b.resize(n, f64::INFINITY);
+        settled_b.clear();
+        settled_b.resize(n, false);
+        heap_f.clear();
+        heap_b.clear();
+        dist_f[from.index()] = 0.0;
+        heap_f.push(Reverse((Cost(0.0), from)));
+        dist_b[to.index()] = 0.0;
+        heap_b.push(Reverse((Cost(0.0), to)));
+        let mut mu = f64::INFINITY;
+        loop {
+            let top_f = heap_f.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+            let top_b = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+            if top_f + top_b >= mu {
+                // Covers exhaustion too: both tops infinite ⇒ the sum is
+                // infinite ⇒ stop (μ still infinite means unreachable).
                 break;
-            };
-            if d > dist_f[u.index()] {
-                continue; // stale entry
             }
-            *settled += 1;
-            if dist_b[u.index()].is_finite() {
-                // Any backward label is the length of a real u→to path,
-                // so μ stays an achievable upper bound.
-                mu = mu.min(d + dist_b[u.index()]);
-            }
-            for e in g.out_edges(u) {
-                let Some(w) = usable(cost(e)) else { continue };
-                debug_assert!(
-                    alt.is_none() || w >= 1.0,
-                    "ALT landmark bounds require unit-or-larger edge costs"
-                );
-                let nd = d + w;
-                if nd < dist_f[e.to.index()] {
-                    dist_f[e.to.index()] = nd;
-                    heap_f.push(Reverse((Cost(nd), e.to)));
+            if top_f <= top_b {
+                let Some(Reverse((Cost(d), u))) = heap_f.pop() else {
+                    break;
+                };
+                if d > dist_f[u.index()] {
+                    continue; // stale entry
+                }
+                *settled += 1;
+                if dist_b[u.index()].is_finite() {
+                    // Any backward label is the length of a real u→to path,
+                    // so μ stays an achievable upper bound.
+                    mu = mu.min(d + dist_b[u.index()]);
+                }
+                for e in g.out_edges(u) {
+                    let Some(w) = usable(cost(e)) else { continue };
+                    debug_assert_alt_cost(alt, w);
+                    let nd = d + w;
+                    if nd < dist_f[e.to.index()] {
+                        dist_f[e.to.index()] = nd;
+                        heap_f.push(Reverse((Cost(nd), e.to)));
+                    }
+                }
+            } else {
+                let Some(Reverse((Cost(d), u))) = heap_b.pop() else {
+                    break;
+                };
+                if d > dist_b[u.index()] {
+                    continue; // stale entry
+                }
+                *settled += 1;
+                settled_b[u.index()] = true;
+                if dist_f[u.index()].is_finite() {
+                    mu = mu.min(d + dist_f[u.index()]);
+                }
+                for e in g.out_edges(u) {
+                    // Traversing the channel backwards prices the forward
+                    // arc e.to → u, exactly what a path through u pays.
+                    let flipped = EdgeRef {
+                        id: e.id,
+                        from: e.to,
+                        to: e.from,
+                    };
+                    let Some(w) = usable(cost(flipped)) else {
+                        continue;
+                    };
+                    debug_assert_alt_cost(alt, w);
+                    let nd = d + w;
+                    if nd < dist_b[e.to.index()] {
+                        dist_b[e.to.index()] = nd;
+                        heap_b.push(Reverse((Cost(nd), e.to)));
+                    }
                 }
             }
-        } else {
-            let Some(Reverse((Cost(d), u))) = heap_b.pop() else {
-                break;
-            };
-            if d > dist_b[u.index()] {
-                continue; // stale entry
-            }
-            *settled += 1;
-            settled_b[u.index()] = true;
-            if dist_f[u.index()].is_finite() {
-                mu = mu.min(d + dist_f[u.index()]);
-            }
-            for e in g.out_edges(u) {
-                // Traversing the channel backwards prices the forward
-                // arc e.to → u, exactly what a path through u pays.
-                let flipped = EdgeRef {
-                    id: e.id,
-                    from: e.to,
-                    to: e.from,
-                };
-                let Some(w) = usable(cost(flipped)) else {
-                    continue;
-                };
-                let nd = d + w;
-                if nd < dist_b[e.to.index()] {
-                    dist_b[e.to.index()] = nd;
-                    heap_b.push(Reverse((Cost(nd), e.to)));
-                }
-            }
         }
-    }
-    if !mu.is_finite() {
-        return None;
-    }
-    // Every unsettled node's true backward distance is at least the
-    // final top key (exhausted heap ⇒ the settled set is complete and
-    // the bound is rightly infinite).
-    let top_b_final = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+        if !mu.is_finite() {
+            return None;
+        }
+        // Every unsettled node's true backward distance is at least the
+        // final top key (exhausted heap ⇒ the settled set is complete and
+        // the bound is rightly infinite).
+        let top_b_final = heap_b.peek().map_or(f64::INFINITY, |Reverse((c, _))| c.0);
+        Some((&**dist_b, &**settled_b, top_b_final))
+    } else {
+        None
+    };
 
     // Phase 2: canonical A* from `from`, authoritative for the answer.
     reset(&mut dij.dist, &mut dij.parent, &mut dij.heap, n);
     heap2.clear();
     dij.dist[from.index()] = 0.0;
-    let h0 = lower_bound(dist_b, settled_b, top_b_final, alt, tcol, from.index());
+    let h0 = lower_bound(ball, alt, tcol, from.index());
     if h0.is_finite() {
         heap2.push(Reverse((Cost(h0), Cost(0.0), from)));
     }
@@ -421,12 +494,13 @@ where
         }
         for e in g.out_edges(u) {
             let Some(w) = usable(cost(e)) else { continue };
+            debug_assert_alt_cost(alt, w);
             let nd = d + w;
             let vi = e.to.index();
             if nd < dij.dist[vi] {
                 dij.dist[vi] = nd;
                 dij.parent[vi] = Some((u, e.id));
-                let hv = lower_bound(dist_b, settled_b, top_b_final, alt, tcol, vi);
+                let hv = lower_bound(ball, alt, tcol, vi);
                 if hv.is_finite() {
                     heap2.push(Reverse((Cost(nd + hv), Cost(nd), e.to)));
                 }
@@ -511,9 +585,11 @@ where
 }
 
 /// [`crate::k_shortest_paths_in`] with every inner single-pair search
-/// goal-directed ([`shortest_path_accel_in`]), plus the early-stop hook
-/// of [`crate::k_shortest_paths_until_in`]. Results are bit-identical
-/// to the plain form for any `until`.
+/// goal-directed ([`shortest_path_accel_in`] under `bounds`), plus the
+/// early-stop hook of [`crate::k_shortest_paths_until_in`]. Results are
+/// bit-identical to the plain form for any `until` and either bound
+/// regime.
+#[allow(clippy::too_many_arguments)]
 pub fn k_shortest_paths_accel_in<F, U>(
     g: &Graph,
     ws: &mut SearchWorkspace,
@@ -522,6 +598,7 @@ pub fn k_shortest_paths_accel_in<F, U>(
     k: usize,
     cost: F,
     until: U,
+    bounds: AccelBounds,
 ) -> Vec<Path>
 where
     F: FnMut(EdgeRef) -> Option<f64>,
@@ -534,13 +611,13 @@ where
         to,
         k,
         cost,
-        |g, ws, s, t, c| shortest_path_accel_in(g, ws, s, t, c),
+        |g, ws, s, t, c| shortest_path_accel_in(g, ws, s, t, c, bounds),
         until,
     )
 }
 
 /// [`crate::edge_disjoint_shortest_paths_in`] with every greedy round's
-/// search goal-directed; bit-identical results.
+/// search goal-directed under `bounds`; bit-identical results either way.
 pub fn edge_disjoint_shortest_paths_accel_in<F>(
     g: &Graph,
     ws: &mut SearchWorkspace,
@@ -548,12 +625,13 @@ pub fn edge_disjoint_shortest_paths_accel_in<F>(
     to: NodeId,
     k: usize,
     cost: F,
+    bounds: AccelBounds,
 ) -> Vec<Path>
 where
     F: FnMut(EdgeRef) -> Option<f64>,
 {
     crate::disjoint::eds_core(g, ws, from, to, k, cost, |g, ws, s, t, c| {
-        shortest_path_accel_in(g, ws, s, t, c)
+        shortest_path_accel_in(g, ws, s, t, c, bounds)
     })
 }
 
@@ -659,8 +737,10 @@ mod tests {
             let cost =
                 |e: EdgeRef| (!banned.get(e.id.index()).copied().unwrap_or(false)).then_some(1.0);
             let plain = g.shortest_path_in(&mut ws, from, to, cost);
-            let accel = shortest_path_accel_in(&g, &mut ws, from, to, cost);
-            assert_same(&plain, &accel, &format!("round {round}"));
+            for bounds in [AccelBounds::Full, AccelBounds::TopologyOnly] {
+                let accel = shortest_path_accel_in(&g, &mut ws, from, to, cost, bounds);
+                assert_same(&plain, &accel, &format!("round {round} {bounds:?}"));
+            }
         }
     }
 
@@ -684,7 +764,8 @@ mod tests {
             let from = n(rng.random_range(0..12u32));
             let to = n(rng.random_range(0..12u32));
             let plain = g.shortest_path_in(&mut ws, from, to, |_| Some(1.0));
-            let accel = shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0));
+            let accel =
+                shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0), AccelBounds::Full);
             assert_same(&plain, &accel, &format!("churn round {round}"));
         }
         // Rebuild count tracked epoch changes, not query count.
@@ -754,15 +835,78 @@ mod tests {
             let from = n(0);
             let to = NodeId::from_index(g.node_count() - 1);
             let plain_ksp = crate::k_shortest_paths_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
-            let accel_ksp =
-                k_shortest_paths_accel_in(&g, &mut ws, from, to, 4, |_| Some(1.0), |_| false);
-            assert_eq!(plain_ksp, accel_ksp);
             let plain_eds =
                 crate::edge_disjoint_shortest_paths_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
-            let accel_eds =
-                edge_disjoint_shortest_paths_accel_in(&g, &mut ws, from, to, 4, |_| Some(1.0));
-            assert_eq!(plain_eds, accel_eds);
+            for bounds in [AccelBounds::Full, AccelBounds::TopologyOnly] {
+                let accel_ksp = k_shortest_paths_accel_in(
+                    &g,
+                    &mut ws,
+                    from,
+                    to,
+                    4,
+                    |_| Some(1.0),
+                    |_| false,
+                    bounds,
+                );
+                assert_eq!(plain_ksp, accel_ksp, "{bounds:?}");
+                let accel_eds = edge_disjoint_shortest_paths_accel_in(
+                    &g,
+                    &mut ws,
+                    from,
+                    to,
+                    4,
+                    |_| Some(1.0),
+                    bounds,
+                );
+                assert_eq!(plain_eds, accel_eds, "{bounds:?}");
+            }
         }
+    }
+
+    /// The ≥1-cost ALT contract is checked in **every** loop that can
+    /// price an edge, not just the phase-1 forward relaxation: here the
+    /// backward probe is the first to price the sub-unit arc into the
+    /// target (the forward ball never reaches it first).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unit-or-larger")]
+    fn sub_unit_cost_trips_assert_in_backward_probe() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let mut ws = SearchWorkspace::new();
+        ws.prepare_landmarks(&g);
+        // The arc 1→2 (priced flipped by the backward probe from 2
+        // before the forward ball gets there) costs 0.5.
+        let cost = |e: EdgeRef| {
+            Some(if e.from == n(1) && e.to == n(2) {
+                0.5
+            } else {
+                1.0
+            })
+        };
+        let _ = shortest_path_accel_in(&g, &mut ws, n(0), n(2), cost, AccelBounds::Full);
+    }
+
+    /// TopologyOnly runs no probe at all, so the phase-2 A* loop must
+    /// carry the same ≥1-cost check.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unit-or-larger")]
+    fn sub_unit_cost_trips_assert_in_astar_phase() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let mut ws = SearchWorkspace::new();
+        ws.prepare_landmarks(&g);
+        let cost = |e: EdgeRef| {
+            Some(if e.from == n(1) && e.to == n(2) {
+                0.5
+            } else {
+                1.0
+            })
+        };
+        let _ = shortest_path_accel_in(&g, &mut ws, n(0), n(2), cost, AccelBounds::TopologyOnly);
     }
 
     #[test]
@@ -783,7 +927,8 @@ mod tests {
             let before = ws.nodes_settled();
             let plain = g.shortest_path_in(&mut ws, from, to, |_| Some(1.0));
             let mid = ws.nodes_settled();
-            let accel = shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0));
+            let accel =
+                shortest_path_accel_in(&g, &mut ws, from, to, |_| Some(1.0), AccelBounds::Full);
             assert_same(&plain, &accel, &format!("pair {round}"));
             plain_settled += mid - before;
             accel_settled += ws.nodes_settled() - mid;

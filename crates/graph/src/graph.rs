@@ -684,8 +684,10 @@ impl Graph {
 
     /// [`Graph::shortest_path_in`], goal-directed: bidirectional probe
     /// phase plus ALT landmark lower bounds when the workspace's table is
-    /// fresh for this graph. Bit-identical results; see
-    /// [`crate::shortest_path_accel_in`].
+    /// fresh for this graph. Bit-identical results; always runs the full
+    /// [`crate::AccelBounds::Full`] regime — footprint-recording callers
+    /// must go through [`crate::shortest_path_accel_in`] with
+    /// [`crate::AccelBounds::TopologyOnly`] instead.
     pub fn shortest_path_accel_in<F>(
         &self,
         ws: &mut crate::SearchWorkspace,
@@ -696,7 +698,7 @@ impl Graph {
     where
         F: FnMut(EdgeRef) -> Option<f64>,
     {
-        crate::accel::shortest_path_accel_in(self, ws, from, to, cost)
+        crate::accel::shortest_path_accel_in(self, ws, from, to, cost, crate::AccelBounds::Full)
     }
 
     /// [`Graph::shortest_path_tree`] into a workspace-owned tree: the

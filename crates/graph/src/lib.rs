@@ -82,6 +82,14 @@
 //! * [`k_shortest_paths_accel_in`] / [`edge_disjoint_shortest_paths_accel_in`]
 //!   — the Yen and greedy-EDS loops with every inner single-pair search
 //!   goal-directed.
+//! * [`AccelBounds`] — which lower bounds a search may prune with.
+//!   `Full` (backward probe ball + ALT) is fastest; `TopologyOnly` (ALT
+//!   alone) restricts pruning to funds-independent bounds so the set of
+//!   channels the cost closure is consulted on stays a **sufficient
+//!   dependency footprint** — required whenever the computation records
+//!   one for scoped cache invalidation, because the probe ball is priced
+//!   under the current funds configuration and would otherwise hide
+//!   channels a later funds move can flip.
 //! * [`shortest_path_two_trees_in`] — two full trees (e.g. one from a
 //!   payment's source, one from its destination) in one call, batching
 //!   what would otherwise be `2·k` single-pair searches.
@@ -136,7 +144,7 @@ mod yen;
 
 pub use accel::{
     edge_disjoint_shortest_paths_accel_in, k_shortest_paths_accel_in, shortest_path_accel_in,
-    shortest_path_bidir_in, shortest_path_two_trees_in, LandmarkTable,
+    shortest_path_bidir_in, shortest_path_two_trees_in, AccelBounds, LandmarkTable,
 };
 pub use bfs::{bfs_hops, connected_components, is_connected};
 pub use dijkstra::{

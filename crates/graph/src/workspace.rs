@@ -117,11 +117,13 @@ mod tests {
                 "shortest_path_bidir_in diverged: {label}"
             );
             warm.prepare_landmarks(g);
-            assert_eq!(
-                crate::shortest_path_accel_in(g, warm, from, to, cost),
-                g.shortest_path_in(&mut cold, from, to, cost),
-                "shortest_path_accel_in diverged: {label}"
-            );
+            for bounds in [crate::AccelBounds::Full, crate::AccelBounds::TopologyOnly] {
+                assert_eq!(
+                    crate::shortest_path_accel_in(g, warm, from, to, cost, bounds),
+                    g.shortest_path_in(&mut cold, from, to, cost),
+                    "shortest_path_accel_in diverged: {label} {bounds:?}"
+                );
+            }
             let width = |e: crate::EdgeRef| Some(1.0 + e.id.index() as f64);
             let warm_w = widest_path_in(g, warm, from, to, width);
             let cold_w = widest_path_in(g, &mut cold, from, to, width);

@@ -56,6 +56,12 @@ fn no_paths() -> Arc<[Path]> {
 /// capacity-only views through a topology-stamped entry, and with
 /// caching off the query computes directly. Shared by the `Direct` plan
 /// and the inter-hub middle leg.
+///
+/// On the footprint-scoped path, goal-directed searches run with
+/// funds-independent (`TopologyOnly`) pruning only — the backward-probe
+/// ball is priced under the current funds and could hide channels a
+/// later funds move can flip, under-recording the dependency set (see
+/// the `pcn_graph` accel module docs). Results stay bit-identical.
 #[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
 fn cached_select(
     cache: &mut PathCache,

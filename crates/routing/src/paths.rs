@@ -5,7 +5,8 @@ use core::cell::RefCell;
 use pcn_graph::{
     edge_disjoint_shortest_paths_accel_in, edge_disjoint_shortest_paths_in,
     edge_disjoint_widest_paths_in, k_shortest_paths_accel_in, k_shortest_paths_in,
-    k_shortest_paths_until_in, widest_path_in, EdgeRef, Footprint, Graph, Path, SearchWorkspace,
+    k_shortest_paths_until_in, widest_path_in, AccelBounds, EdgeRef, Footprint, Graph, Path,
+    SearchWorkspace,
 };
 use pcn_types::{Amount, NodeId};
 
@@ -109,7 +110,18 @@ pub fn select_paths_in(
     accel: bool,
 ) -> Vec<Path> {
     let width = |e: EdgeRef| funds_width(funds, view, e);
-    select_paths_core(g, ws, width, src, dst, k, strategy, min_width, accel)
+    select_paths_core(
+        g,
+        ws,
+        width,
+        src,
+        dst,
+        k,
+        strategy,
+        min_width,
+        accel,
+        Scope::Plain,
+    )
 }
 
 /// [`select_paths_in`] that additionally records the **channel dependency
@@ -120,6 +132,13 @@ pub fn select_paths_in(
 /// funds movement confined to channels outside the footprint — the
 /// scoped-invalidation contract the path cache relies on. Path results
 /// are bit-identical to [`select_paths_in`].
+///
+/// Sufficiency is preserved by running under the footprint scope:
+/// goal-directed searches prune with funds-independent bounds only
+/// ([`AccelBounds::TopologyOnly`] — the backward probe ball would hide
+/// channels a later funds move can flip), and the Heuristic candidate
+/// pool never stops early (the early exit skips candidates whose
+/// channels a funds increase could promote into the top k).
 #[allow(clippy::too_many_arguments)] // the routing tuple is the paper's Table II axes
 pub fn select_paths_footprint(
     g: &Graph,
@@ -139,7 +158,18 @@ pub fn select_paths_footprint(
         fp.record(e.id);
         funds_width(funds, view, e)
     };
-    select_paths_core(g, ws, width, src, dst, k, strategy, min_width, accel)
+    select_paths_core(
+        g,
+        ws,
+        width,
+        src,
+        dst,
+        k,
+        strategy,
+        min_width,
+        accel,
+        Scope::Footprint,
+    )
 }
 
 /// Usable width of a directed edge under a balance view: live
@@ -150,6 +180,21 @@ fn funds_width(funds: &NetworkFunds, view: BalanceView, e: EdgeRef) -> Option<f6
         BalanceView::CapacityOnly => funds.total(e.id).to_tokens_f64(),
     };
     (tokens > 0.0).then_some(tokens)
+}
+
+/// Whether the computation records a channel dependency footprint.
+///
+/// Scoped computations restrict themselves to **funds-independent
+/// pruning** so that every channel whose funds state can influence the
+/// result is consulted (and therefore recorded): goal-directed searches
+/// run [`AccelBounds::TopologyOnly`] (the backward probe ball prices
+/// edges under the current funds configuration and would prune nodes
+/// whose channels a later funds move can flip), and the Heuristic pool
+/// never stops early. Results are bit-identical in both scopes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    Plain,
+    Footprint,
 }
 
 /// Strategy dispatch over an arbitrary width closure — the single body
@@ -165,22 +210,44 @@ fn select_paths_core<W>(
     strategy: PathSelect,
     min_width: Amount,
     accel: bool,
+    scope: Scope,
 ) -> Vec<Path>
 where
     W: FnMut(EdgeRef) -> Option<f64>,
 {
     let min_w = min_width.to_tokens_f64();
+    let bounds = match scope {
+        Scope::Plain => AccelBounds::Full,
+        Scope::Footprint => AccelBounds::TopologyOnly,
+    };
     match strategy {
         PathSelect::Ksp => {
             if accel {
-                k_shortest_paths_accel_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0), |_| false)
+                k_shortest_paths_accel_in(
+                    g,
+                    ws,
+                    src,
+                    dst,
+                    k,
+                    |e| width(e).map(|_| 1.0),
+                    |_| false,
+                    bounds,
+                )
             } else {
                 k_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
             }
         }
         PathSelect::Eds => {
             if accel {
-                edge_disjoint_shortest_paths_accel_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
+                edge_disjoint_shortest_paths_accel_in(
+                    g,
+                    ws,
+                    src,
+                    dst,
+                    k,
+                    |e| width(e).map(|_| 1.0),
+                    bounds,
+                )
             } else {
                 edge_disjoint_shortest_paths_in(g, ws, src, dst, k, |e| width(e).map(|_| 1.0))
             }
@@ -196,8 +263,18 @@ where
             // below can never rank a later (by construction no wider)
             // candidate into the top k, so the remaining — and most
             // expensive — Yen rounds cannot change the selection.
+            //
+            // Footprint scope generates the full pool instead: skipped
+            // candidates' channels are never priced, so a funds increase
+            // lifting one of them above the old widest bound would not
+            // invalidate a scoped cache entry whose selection it changes.
             let width = RefCell::new(&mut width);
-            let wmax = widest_path_in(g, ws, src, dst, |e| (width.borrow_mut())(e)).map(|(w, _)| w);
+            let wmax = match scope {
+                Scope::Plain => {
+                    widest_path_in(g, ws, src, dst, |e| (width.borrow_mut())(e)).map(|(w, _)| w)
+                }
+                Scope::Footprint => None,
+            };
             let mut at_max = 0usize;
             let until = |p: &Path| {
                 let Some(wm) = wmax else { return false };
@@ -214,7 +291,7 @@ where
             };
             let cost = |e: EdgeRef| (width.borrow_mut())(e).map(|_| 1.0);
             let pool = if accel {
-                k_shortest_paths_accel_in(g, ws, src, dst, 3 * k, cost, until)
+                k_shortest_paths_accel_in(g, ws, src, dst, 3 * k, cost, until, bounds)
             } else {
                 k_shortest_paths_until_in(g, ws, src, dst, 3 * k, cost, until)
             };
@@ -547,6 +624,161 @@ mod tests {
             // Full Yen over this graph costs well over 60 settles; the
             // early exit stops after the two wide routes are accepted.
             assert!(settled < 60, "accel={accel}: settled {settled}");
+        }
+    }
+
+    /// The scoped-invalidation contract itself: funds movement confined
+    /// to channels **outside** the recorded footprint must leave the
+    /// selection bit-identical — including funding previously-unusable
+    /// channels, the direction the goal-directed pruning could hide.
+    /// With backward-ball pruning (or the Heuristic early exit) active
+    /// under a footprint, a pruned node's unfunded out-channel would be
+    /// missing from the footprint, and funding it could change a fresh
+    /// recomputation while the stale scoped entry survives.
+    #[test]
+    fn footprint_survives_funds_movement_outside_it() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for round in 0..40u64 {
+            let nn = rng.random_range(6..18usize);
+            let mut g = Graph::new(nn);
+            let mut m = 0usize;
+            for a in 0..nn {
+                for b in (a + 1)..nn {
+                    if rng.random_bool(0.3) {
+                        g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+                        m += 1;
+                    }
+                }
+            }
+            if m == 0 {
+                continue;
+            }
+            // A quarter of the channels start unfunded: funding one of
+            // them later is exactly the move that can reveal a path the
+            // original computation never priced.
+            let base: Vec<u64> = (0..m)
+                .map(|_| {
+                    if rng.random_bool(0.25) {
+                        0
+                    } else {
+                        rng.random_range(1..50)
+                    }
+                })
+                .collect();
+            let funds = NetworkFunds::from_graph(&g, |id, _| Amount::from_tokens(base[id.index()]));
+            let (src, dst) = (n(0), NodeId::from_index(nn - 1));
+            for strategy in PathSelect::ALL {
+                for accel in [false, true] {
+                    let mut ws = SearchWorkspace::new();
+                    ws.prepare_landmarks(&g);
+                    let mut fp = pcn_graph::Footprint::new();
+                    let tracked = select_paths_footprint(
+                        &g,
+                        &mut ws,
+                        &funds,
+                        src,
+                        dst,
+                        3,
+                        strategy,
+                        BalanceView::Live,
+                        Amount::from_millitokens(1),
+                        accel,
+                        &mut fp,
+                    );
+                    // Move funds on every channel outside the footprint
+                    // (fund the unfunded, widen the rest); footprint
+                    // channels keep their exact state.
+                    let moved = NetworkFunds::from_graph(&g, |id, _| {
+                        let boost = if fp.contains(id) { 0 } else { 75 };
+                        Amount::from_tokens(base[id.index()] + boost)
+                    });
+                    let mut ws2 = SearchWorkspace::new();
+                    let fresh = select_paths_in(
+                        &g,
+                        &mut ws2,
+                        &moved,
+                        src,
+                        dst,
+                        3,
+                        strategy,
+                        BalanceView::Live,
+                        Amount::from_millitokens(1),
+                        false,
+                    );
+                    assert_eq!(
+                        tracked, fresh,
+                        "round {round} {strategy:?} accel={accel}: a funds move \
+                         outside the footprint changed the selection"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Under a footprint the Heuristic generates the full 3·k pool: the
+    /// skipped candidates' channels must be recorded, because a funds
+    /// increase on one of them can lift its bottleneck above the old
+    /// widest bound and change the selection. The selection itself stays
+    /// bit-identical to the early-exiting plain computation.
+    #[test]
+    fn heuristic_footprint_covers_skipped_candidates() {
+        // Same topology as `heuristic_early_exit_preserves_selection`:
+        // two wide 2-hop routes (channels 0..4) and three narrow 3-hop
+        // routes (channels 4..13) the early exit never generates.
+        let mut g = Graph::new(10);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(9));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(2), n(9));
+        for (a, b) in [(3, 4), (5, 6), (7, 8)] {
+            g.add_edge(n(0), n(a));
+            g.add_edge(n(a), n(b));
+            g.add_edge(n(b), n(9));
+        }
+        let funds = NetworkFunds::from_graph(&g, |id, _| {
+            Amount::from_tokens(if id.index() < 4 { 100 } else { 10 })
+        });
+        let k = 2;
+        for accel in [false, true] {
+            let mut ws = SearchWorkspace::new();
+            ws.prepare_landmarks(&g);
+            let plain = select_paths_in(
+                &g,
+                &mut ws,
+                &funds,
+                n(0),
+                n(9),
+                k,
+                PathSelect::Heuristic,
+                BalanceView::Live,
+                Amount::from_millitokens(1),
+                accel,
+            );
+            let mut ws2 = SearchWorkspace::new();
+            ws2.prepare_landmarks(&g);
+            let mut fp = pcn_graph::Footprint::new();
+            let tracked = select_paths_footprint(
+                &g,
+                &mut ws2,
+                &funds,
+                n(0),
+                n(9),
+                k,
+                PathSelect::Heuristic,
+                BalanceView::Live,
+                Amount::from_millitokens(1),
+                accel,
+                &mut fp,
+            );
+            assert_eq!(plain, tracked, "accel={accel}");
+            for ch in 4..13u32 {
+                assert!(
+                    fp.contains(pcn_types::ChannelId::new(ch)),
+                    "accel={accel}: narrow-route channel {ch} missing from footprint"
+                );
+            }
         }
     }
 

@@ -231,8 +231,8 @@ proptest! {
         pairs in prop::collection::vec((0u32..16, 0u32..16), 1..8),
     ) {
         use pcn_graph::{
-            shortest_path, shortest_path_accel_in, shortest_path_bidir_in, ReferenceGraph,
-            SearchWorkspace,
+            shortest_path, shortest_path_accel_in, shortest_path_bidir_in, AccelBounds,
+            ReferenceGraph, SearchWorkspace,
         };
         use pcn_types::ChannelId;
         let mut g = Graph::new(n);
@@ -280,10 +280,13 @@ proptest! {
                 let oracle = shortest_path(&r, s, t, cost);
                 let plain = g.shortest_path_in(&mut ws, s, t, cost);
                 let bidir = shortest_path_bidir_in(&g, &mut ws, s, t, cost);
-                let accel = shortest_path_accel_in(&g, &mut ws, s, t, cost);
+                let accel = shortest_path_accel_in(&g, &mut ws, s, t, cost, AccelBounds::Full);
+                let topo =
+                    shortest_path_accel_in(&g, &mut ws, s, t, cost, AccelBounds::TopologyOnly);
                 prop_assert_eq!(&plain, &oracle, "plain search diverged from the oracle");
                 prop_assert_eq!(&bidir, &plain, "bidirectional search diverged");
                 prop_assert_eq!(&accel, &plain, "ALT-accelerated search diverged");
+                prop_assert_eq!(&topo, &plain, "topology-only accelerated search diverged");
             }
         }
     }
